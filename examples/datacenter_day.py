@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A (compressed) day in the life of a monitored server.
+
+Ties the toolkit together on a realistic long-horizon scenario: a
+diurnal web server plus a nightly batch job run for two compressed
+"days" under live PowerAPI monitoring, while the sysfs view watches the
+package temperature.  Afterwards: the power timeline, the energy
+hotspot ranking and the day's consumption bill.
+
+Run:  python examples/datacenter_day.py
+"""
+
+from repro.analysis import (PowerTrace, ascii_chart, rank_consumers,
+                            render_hotspots)
+from repro.core import (InMemoryReporter, PowerAPI, SamplingCampaign,
+                        learn_power_model)
+from repro.os import SimKernel, SysFs
+from repro.simcpu import intel_i3_2120
+from repro.workloads import (CpuStress, MemoryStress, Phase,
+                             PhasedWorkload, WebServerWorkload, cpu_demand)
+from repro.os.process import Demand
+
+DAY_S = 240.0
+DAYS = 2
+
+
+def nightly_batch():
+    """Idle all day, a heavy ETL burst each 'night'."""
+    phases = []
+    for _day in range(DAYS):
+        phases.append(Phase(DAY_S * 0.75, Demand(utilization=0.0),
+                            region="sleep"))
+        phases.append(Phase(DAY_S * 0.25,
+                            cpu_demand(utilization=1.0, threads=2),
+                            region="etl"))
+    return PhasedWorkload(phases, name="nightly-batch")
+
+
+def main() -> None:
+    spec = intel_i3_2120()
+    print("learning a power model (~15 s) ...")
+    campaign = SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=4),
+                   MemoryStress(utilization=1.0, threads=4,
+                                working_set_bytes=64 * 1024 ** 2)],
+        frequencies_hz=[spec.max_frequency_hz],
+        window_s=1.0, windows_per_run=4, settle_s=60.0)
+    model = learn_power_model(spec, campaign=campaign,
+                              idle_duration_s=10.0).model
+
+    kernel = SimKernel(spec, quantum_s=0.05)
+    sysfs = SysFs(kernel.machine)
+    web = kernel.spawn(WebServerWorkload(
+        duration_s=DAY_S * DAYS, day_length_s=DAY_S, threads=2, seed=11),
+        name="webserver")
+    batch = kernel.spawn(nightly_batch(), name="nightly-batch")
+
+    api = PowerAPI(kernel, model, period_s=2.0)
+    handle = api.monitor(web, batch).every(2.0).to(InMemoryReporter())
+    print(f"simulating {DAYS} compressed days "
+          f"({DAY_S * DAYS:.0f} s) of operation ...")
+    temps = []
+    for _slot in range(int(DAY_S * DAYS / 10)):
+        api.run(10.0)
+        temps.append(int(sysfs.read("thermal/thermal_zone0/temp")) / 1000)
+    api.flush()
+
+    trace = PowerTrace.from_series("estimated total",
+                                   handle.reporter.time_series(),
+                                   handle.reporter.total_series())
+    print(ascii_chart([trace.smoothed(5)], width=78, height=12,
+                      title="Estimated machine power over two days"))
+    print(f"package temperature: min {min(temps):.1f} C, "
+          f"max {max(temps):.1f} C (sysfs thermal zone)")
+
+    print("\n== energy hotspots over the period ==")
+    hotspots = rank_consumers(handle.reporter.aggregated)
+    print(render_hotspots(hotspots, names={web: "webserver",
+                                           batch: "nightly-batch"}))
+
+    total_j = sum(report.total_w * report.period_s
+                  for report in handle.reporter.aggregated)
+    print(f"\nestimated consumption for the period: {total_j / 1000:.2f} kJ "
+          f"({total_j / 3.6e6 * 1000:.2f} Wh)")
+    api.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Energy unit testing and code-level profiling (paper reference [7]).
+
+The group's companion work (Noureddine et al., "Unit Testing of Energy
+Consumption of Software Libraries") proposes treating energy like any
+other regression-tested property.  This example:
+
+1. profiles a multi-phase "request handler" workload per code region,
+2. sets an energy budget from the v1 baseline,
+3. shows the budget catching a v2 "performance refactor" that silently
+   doubles the energy per request.
+
+Run:  python examples/energy_unit_test.py
+"""
+
+from repro.analysis import render_grid
+from repro.core import (EnergyBudget, EnergyBudgetExceeded, SamplingCampaign,
+                        learn_power_model, measure_energy,
+                        assert_energy_within)
+from repro.os.process import Demand
+from repro.simcpu import intel_i3_2120
+from repro.workloads import (CpuStress, MemoryStress, Phase, PhasedWorkload,
+                             cpu_demand, memory_demand)
+
+
+def service_v1():
+    """A request handler: parse -> query -> render, then idle."""
+    return PhasedWorkload([
+        Phase(2.0, cpu_demand(utilization=0.8), region="parse_request"),
+        Phase(3.0, memory_demand(utilization=0.9,
+                                 working_set_bytes=32 * 1024 ** 2),
+              region="query_database"),
+        Phase(2.0, cpu_demand(utilization=0.6), region="render_response"),
+        Phase(1.0, Demand(utilization=0.05), region="idle_keepalive"),
+    ], name="service-v1")
+
+
+def service_v2_regressed():
+    """The 'optimised' v2: the query path now thrashes a bigger cache."""
+    return PhasedWorkload([
+        Phase(2.0, cpu_demand(utilization=0.8), region="parse_request"),
+        Phase(6.0, memory_demand(utilization=1.0,
+                                 working_set_bytes=128 * 1024 ** 2,
+                                 locality=0.6),
+              region="query_database"),
+        Phase(2.0, cpu_demand(utilization=0.6), region="render_response"),
+        Phase(1.0, Demand(utilization=0.05), region="idle_keepalive"),
+    ], name="service-v2")
+
+
+def main() -> None:
+    spec = intel_i3_2120()
+    print("learning a power model (~10 s) ...")
+    campaign = SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=4),
+                   MemoryStress(utilization=1.0, threads=4,
+                                working_set_bytes=64 * 1024 ** 2)],
+        frequencies_hz=[spec.max_frequency_hz],
+        window_s=1.0, windows_per_run=4, settle_s=0.5)
+    model = learn_power_model(spec, campaign=campaign,
+                              idle_duration_s=10.0).model
+
+    print("\n== code-level energy profile of service v1 ==")
+    baseline = measure_energy(service_v1(), spec, model, period_s=0.25)
+    rows = [[region, f"{joules:.2f} J",
+             f"{joules / baseline.active_energy_j * 100:.0f}%"]
+            for region, joules in sorted(baseline.by_region_j.items(),
+                                         key=lambda item: -item[1])]
+    print(render_grid(["code region", "active energy", "share"], rows))
+    print(f"total: {baseline.active_energy_j:.2f} J over "
+          f"{baseline.duration_s:.1f} s")
+
+    budget = EnergyBudget(
+        max_active_energy_j=baseline.active_energy_j * 1.3)
+    print(f"\nenergy budget set at {budget.max_active_energy_j:.2f} J "
+          "(baseline + 30%)")
+
+    print("\n== running the energy unit tests ==")
+    assert_energy_within(service_v1(), budget, spec, model=model,
+                         period_s=0.25)
+    print("service-v1: PASS (within budget)")
+    try:
+        assert_energy_within(service_v2_regressed(), budget, spec,
+                             model=model, period_s=0.25)
+        print("service-v2: PASS")
+    except EnergyBudgetExceeded as failure:
+        print(f"service-v2: FAIL — {failure}")
+        v2 = measure_energy(service_v2_regressed(), spec, model,
+                            period_s=0.25)
+        worst = max(v2.by_region_j, key=v2.by_region_j.get)
+        print(f"energy hotspot: {worst} "
+              f"({v2.by_region_j[worst]:.2f} J vs "
+              f"{baseline.by_region_j.get(worst, 0.0):.2f} J in v1)")
+
+
+if __name__ == "__main__":
+    main()

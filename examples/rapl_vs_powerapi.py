@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""RAPL vs PowerAPI: accuracy against portability.
+
+The paper's motivation (Section 2): RAPL "is architecture dependent and
+is limited to few architectures", while the counter-based approach works
+"on all recent architectures without important hardware investments".
+
+This example shows both halves of that claim on the simulator:
+
+* on the Intel i3-2120 both approaches track the meter (RAPL better —
+  it reads the package energy directly),
+* on an AMD-flagged part RAPL simply does not exist, while the
+  counter-based pipeline retrains and keeps working.
+
+Run:  python examples/rapl_vs_powerapi.py
+"""
+
+import dataclasses
+
+from repro.baselines import (RaplEstimator, calibrate_rest_of_system,
+                             run_windows, score_model)
+from repro.core import (InMemoryReporter, PowerAPI, SamplingCampaign,
+                        learn_power_model)
+from repro.errors import PowerMeterError
+from repro.os import SimKernel
+from repro.powermeter import PowerSpy
+from repro.simcpu import intel_i3_2120
+from repro.workloads import CpuStress, MemoryStress, SpecJbbWorkload
+
+
+def learn(spec):
+    campaign = SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=spec.num_threads),
+                   MemoryStress(utilization=1.0, threads=spec.num_threads,
+                                working_set_bytes=64 * 1024 ** 2)],
+        frequencies_hz=[spec.max_frequency_hz],
+        window_s=1.0, windows_per_run=4, settle_s=0.5)
+    return learn_power_model(spec, campaign=campaign,
+                             idle_duration_s=10.0).model
+
+
+def run_on_intel() -> None:
+    spec = intel_i3_2120()
+    print("== Intel i3-2120: both approaches available ==")
+    model = learn(spec)
+    rest_w = calibrate_rest_of_system(spec, duration_s=10.0)
+
+    kernel = SimKernel(spec)
+    meter = PowerSpy(kernel.machine, sample_rate_hz=1.0, seed=11)
+    meter.connect()
+    rapl = RaplEstimator(kernel.machine, rest_of_system_w=rest_w)
+    pid = kernel.spawn(SpecJbbWorkload(duration_s=120.0, threads=4))
+    api = PowerAPI(kernel, model, period_s=1.0)
+    handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+
+    rapl_estimates = []
+    for _second in range(60):
+        api.run(1.0)
+        rapl_estimates.append(rapl.estimate_w())
+
+    measured = [sample.power_w for sample in meter.samples[:60]]
+    powerapi_estimates = handle.reporter.total_series()[:60]
+    from repro.core.metrics import median_ape
+    n = min(len(measured), len(powerapi_estimates), len(rapl_estimates))
+    print(f"PowerSpy mean:      {sum(measured[:n]) / n:6.2f} W")
+    print(f"RAPL median error:  "
+          f"{median_ape(measured[:n], rapl_estimates[:n]) * 100:5.2f}% "
+          "(reads the package directly, Intel-only)")
+    print(f"PowerAPI med error: "
+          f"{median_ape(measured[:n], powerapi_estimates[:n]) * 100:5.2f}% "
+          "(works anywhere the generic counters exist)")
+    api.shutdown()
+
+
+def run_on_amd() -> None:
+    print("\n== AMD-flagged part: RAPL is unavailable, PowerAPI retrains ==")
+    spec = dataclasses.replace(intel_i3_2120(), vendor="AMD",
+                               model="Phenom X4")
+    kernel = SimKernel(spec)
+    try:
+        RaplEstimator(kernel.machine, rest_of_system_w=30.0)
+    except PowerMeterError as error:
+        print(f"RAPL: {error}")
+
+    model = learn(spec)
+    windows = run_windows(spec, [CpuStress(utilization=1.0, threads=2,
+                                           duration_s=100.0)],
+                          frequency_hz=spec.max_frequency_hz,
+                          duration_s=20.0, window_s=1.0)
+    error = score_model(model, windows)["median_ape"]
+    print(f"PowerAPI on the AMD part: median error {error * 100:.2f}% — "
+          "the counter-based approach carried over")
+
+
+def main() -> None:
+    run_on_intel()
+    run_on_amd()
+
+
+if __name__ == "__main__":
+    main()

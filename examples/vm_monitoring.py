@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Per-VM and per-guest power estimation.
+
+The paper's conclusion picks virtual machines as the next optimisation
+target.  This example runs two VMs (a busy web VM and a mostly idle
+batch VM) on the simulated host, estimates each VM's power with the
+standard PowerAPI pipeline, and splits the busy VM's power across its
+guests using the hypervisor-side accounting split.
+
+Run:  python examples/vm_monitoring.py
+"""
+
+from repro.analysis import rank_consumers, render_hotspots
+from repro.core import (InMemoryReporter, PowerAPI, SamplingCampaign,
+                        learn_power_model)
+from repro.os import SimKernel
+from repro.os.virt import VirtualMachine, split_vm_power
+from repro.simcpu import intel_i3_2120
+from repro.workloads import ConstantWorkload, CpuStress, MemoryStress
+from repro.workloads.base import cpu_demand, memory_demand
+
+DURATION_S = 20.0
+
+
+def main() -> None:
+    spec = intel_i3_2120()
+    print("learning a power model (~10 s) ...")
+    campaign = SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=4),
+                   MemoryStress(utilization=1.0, threads=4,
+                                working_set_bytes=64 * 1024 ** 2)],
+        frequencies_hz=[spec.max_frequency_hz],
+        window_s=1.0, windows_per_run=4, settle_s=0.5)
+    model = learn_power_model(spec, campaign=campaign,
+                              idle_duration_s=10.0).model
+
+    web_vm = VirtualMachine("web-vm", vcpus=2, guests=[
+        ConstantWorkload(cpu_demand(utilization=0.9), name="nginx"),
+        ConstantWorkload(memory_demand(utilization=0.7,
+                                       working_set_bytes=48 * 1024 ** 2),
+                         name="redis"),
+        ConstantWorkload(cpu_demand(utilization=0.2), name="cron"),
+    ])
+    batch_vm = VirtualMachine("batch-vm", vcpus=1, guests=[
+        ConstantWorkload(cpu_demand(utilization=0.15), name="nightly-job"),
+    ])
+
+    kernel = SimKernel(spec)
+    web_pid = kernel.spawn(web_vm, name=web_vm.name)
+    batch_pid = kernel.spawn(batch_vm, name=batch_vm.name)
+
+    api = PowerAPI(kernel, model, period_s=1.0)
+    handle = api.monitor(web_pid, batch_pid).every(1.0).to(InMemoryReporter())
+    print(f"monitoring both VMs for {DURATION_S:.0f} s ...")
+    api.run(DURATION_S)
+
+    print("\n== per-VM ranking (hypervisor view) ==")
+    hotspots = rank_consumers(handle.reporter.aggregated)
+    print(render_hotspots(hotspots, names={web_pid: "web-vm",
+                                           batch_pid: "batch-vm"}))
+
+    web_power = handle.reporter.pid_series(web_pid)[-1]
+    print(f"\n== splitting web-vm's {web_power:.2f} W across its guests ==")
+    for guest, watts in sorted(split_vm_power(web_vm, web_power).items(),
+                               key=lambda item: -item[1]):
+        print(f"  {guest:<12} {watts:5.2f} W")
+    print("\n(the split uses vCPU accounting — the hypervisor cannot read "
+          "guest HPCs,\n which is exactly the precision gap the paper's "
+          "VM future work targets)")
+    api.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of PowerAPI (Colmant et al., Middleware DS 2014).
+
+An actor-based middleware toolkit estimating per-process CPU power from
+hardware performance counters, together with the full substrate the paper
+depends on, rebuilt in simulation: a multi-core CPU (DVFS, SMT, C-states,
+caches, HPCs, hidden ground-truth power), an OS layer (processes,
+scheduler, cpufreq, procfs), a perf-event interface, power meters
+(PowerSpy, RAPL, ACPI), workloads (stress, SPECjbb-like, SPEC CPU-like)
+and baseline models (CPU-load, decomposable, hyperthread-aware).
+
+Quickstart::
+
+    from repro.simcpu import intel_i3_2120
+    from repro.os import SimKernel
+    from repro.workloads import SpecJbbWorkload
+    from repro.core import (SamplingCampaign, learn_power_model, PowerAPI,
+                            InMemoryReporter)
+
+    spec = intel_i3_2120()
+    model = learn_power_model(spec).model       # Figure 1 pipeline
+
+    kernel = SimKernel(spec)
+    pid = kernel.spawn(SpecJbbWorkload(duration_s=120.0), name="specjbb")
+    api = PowerAPI(kernel, model)               # Figure 2 pipeline
+    handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+    api.run(duration_s=120.0)
+    print(handle.reporter.total_series())
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,17 @@
+"""Deterministic actor runtime (the Akka-equivalent substrate)."""
+
+from repro.actors.actor import (Actor, ActorContext, ActorRef, Envelope,
+                                Mailbox)
+from repro.actors.clock import ClockTick, VirtualClock
+from repro.actors.eventbus import EventBus
+from repro.actors.supervision import (Directive, EscalateStrategy,
+                                      RestartStrategy, ResumeStrategy,
+                                      StopStrategy, SupervisionStrategy)
+from repro.actors.system import ActorSystem
+
+__all__ = [
+    "Actor", "ActorContext", "ActorRef", "ActorSystem", "ClockTick",
+    "Directive", "Envelope", "EscalateStrategy", "EventBus", "Mailbox",
+    "RestartStrategy", "ResumeStrategy", "StopStrategy",
+    "SupervisionStrategy", "VirtualClock",
+]

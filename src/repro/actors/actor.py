@@ -1,0 +1,130 @@
+"""Actor base classes.
+
+PowerAPI is built on lightweight actors processing messages with an
+event-driven model (the paper uses Akka).  This runtime keeps the same
+programming model — actors communicate only through messages delivered to
+mailboxes — but executes deterministically on one thread, which makes
+every experiment and test reproducible.
+
+An :class:`Actor` subclass implements :meth:`~Actor.receive`.  It talks to
+the world through its :class:`ActorContext`: ``context.self_ref`` to give
+out its own address, ``context.system`` to reach the event bus or spawn
+children, and ``sender`` to reply.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+from repro.errors import ActorStoppedError, MailboxOverflowError
+
+#: Default mailbox capacity; generous but bounded so a runaway publisher
+#: fails loudly instead of consuming all memory.
+DEFAULT_MAILBOX_CAPACITY = 1_000_000
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message plus its sender, as stored in a mailbox."""
+
+    message: Any
+    sender: Optional["ActorRef"]
+
+
+class Mailbox:
+    """Bounded FIFO queue of envelopes."""
+
+    def __init__(self, capacity: int = DEFAULT_MAILBOX_CAPACITY) -> None:
+        self.capacity = capacity
+        self._queue: Deque[Envelope] = deque()
+
+    def put(self, envelope: Envelope) -> None:
+        """Enqueue an envelope; raises MailboxOverflowError when full."""
+        if len(self._queue) >= self.capacity:
+            raise MailboxOverflowError(
+                f"mailbox overflow at {self.capacity} messages")
+        self._queue.append(envelope)
+
+    def get(self) -> Optional[Envelope]:
+        """Dequeue the oldest envelope, or None when empty."""
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class ActorRef:
+    """Address of an actor; the only handle other code may hold."""
+
+    def __init__(self, name: str, system: "ActorSystem") -> None:
+        self.name = name
+        self._system = system
+
+    def tell(self, message: Any, sender: Optional["ActorRef"] = None) -> None:
+        """Send *message* asynchronously (fire-and-forget)."""
+        self._system._deliver(self, message, sender)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the actor is still running."""
+        return self._system._is_alive(self.name)
+
+    def __repr__(self) -> str:
+        return f"ActorRef({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ActorRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class ActorContext:
+    """Runtime services available to an actor while processing a message."""
+
+    def __init__(self, system: "ActorSystem", self_ref: ActorRef) -> None:
+        self.system = system
+        self.self_ref = self_ref
+        #: Sender of the message currently being processed (may be None).
+        self.sender: Optional[ActorRef] = None
+
+
+class Actor:
+    """Base class for all actors."""
+
+    def __init__(self) -> None:
+        self.context: Optional[ActorContext] = None
+
+    # -- lifecycle hooks --------------------------------------------------
+
+    def pre_start(self) -> None:
+        """Called once before the first message."""
+
+    def post_stop(self) -> None:
+        """Called once after the actor stops."""
+
+    def pre_restart(self, failure: Exception) -> None:
+        """Called on the failing instance before a supervised restart."""
+
+    # -- messaging ----------------------------------------------------------
+
+    def receive(self, message: Any) -> None:
+        """Handle one message; subclasses must implement."""
+        raise NotImplementedError
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def self_ref(self) -> ActorRef:
+        """This actor's own address (only valid while running)."""
+        if self.context is None:
+            raise ActorStoppedError("actor is not running")
+        return self.context.self_ref
+
+    def publish(self, message: Any) -> None:
+        """Publish *message* on the system event bus."""
+        if self.context is None:
+            raise ActorStoppedError("actor is not running")
+        self.context.system.event_bus.publish(message, sender=self.self_ref)

@@ -1,0 +1,52 @@
+"""Type-routed publish/subscribe event bus.
+
+PowerAPI components are decoupled through a bus: Sensors publish sensor
+messages, Formulas subscribe to them and publish power estimations,
+Aggregators subscribe to those, and so on (Figure 2 of the paper).
+Subscription is by message *class*; publishing delivers to every
+subscriber of the message's class or any of its base classes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Type
+
+from repro.actors.actor import ActorRef
+
+
+class EventBus:
+    """Class-based topic routing onto actor mailboxes."""
+
+    def __init__(self, system: "ActorSystem") -> None:
+        self._system = system
+        self._subscribers: Dict[type, List[ActorRef]] = defaultdict(list)
+
+    def subscribe(self, topic: Type, subscriber: ActorRef) -> None:
+        """Deliver every published instance of *topic* to *subscriber*."""
+        if subscriber not in self._subscribers[topic]:
+            self._subscribers[topic].append(subscriber)
+
+    def unsubscribe(self, topic: Type, subscriber: ActorRef) -> None:
+        """Stop delivering *topic* to *subscriber* (no-op if absent)."""
+        if subscriber in self._subscribers[topic]:
+            self._subscribers[topic].remove(subscriber)
+
+    def unsubscribe_all(self, subscriber: ActorRef) -> None:
+        """Remove *subscriber* from every topic."""
+        for refs in self._subscribers.values():
+            if subscriber in refs:
+                refs.remove(subscriber)
+
+    def publish(self, message: Any, sender: Optional[ActorRef] = None) -> None:
+        """Route *message* to all subscribers of its class hierarchy."""
+        delivered = set()
+        for klass in type(message).__mro__:
+            for subscriber in self._subscribers.get(klass, ()):
+                if subscriber.name not in delivered:
+                    delivered.add(subscriber.name)
+                    subscriber.tell(message, sender=sender)
+
+    def subscriber_count(self, topic: Type) -> int:
+        """Number of direct subscribers of *topic*."""
+        return len(self._subscribers.get(topic, ()))

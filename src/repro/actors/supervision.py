@@ -1,0 +1,64 @@
+"""Supervision strategies: what to do when an actor's receive raises.
+
+Mirrors Akka's one-for-one strategies.  The system consults its strategy
+with the failing actor's name, the exception and the failure count, and
+acts on the returned :class:`Directive`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Directive(enum.Enum):
+    """Supervisor decision for one failure."""
+
+    RESUME = "resume"      # drop the message, keep actor state
+    RESTART = "restart"    # recreate the actor from its factory
+    STOP = "stop"          # stop the actor
+    ESCALATE = "escalate"  # re-raise to the caller of dispatch()
+
+
+class SupervisionStrategy:
+    """Base strategy; subclasses override :meth:`decide`."""
+
+    def decide(self, actor_name: str, failure: Exception,
+               failure_count: int) -> Directive:
+        raise NotImplementedError
+
+
+class StopStrategy(SupervisionStrategy):
+    """Stop any actor that fails (fail-fast)."""
+
+    def decide(self, actor_name: str, failure: Exception,
+               failure_count: int) -> Directive:
+        return Directive.STOP
+
+
+class ResumeStrategy(SupervisionStrategy):
+    """Drop the poisonous message and carry on."""
+
+    def decide(self, actor_name: str, failure: Exception,
+               failure_count: int) -> Directive:
+        return Directive.RESUME
+
+
+class RestartStrategy(SupervisionStrategy):
+    """Restart up to *max_restarts* times, then stop."""
+
+    def __init__(self, max_restarts: int = 3) -> None:
+        self.max_restarts = max_restarts
+
+    def decide(self, actor_name: str, failure: Exception,
+               failure_count: int) -> Directive:
+        if failure_count <= self.max_restarts:
+            return Directive.RESTART
+        return Directive.STOP
+
+
+class EscalateStrategy(SupervisionStrategy):
+    """Propagate every failure to the dispatch caller (useful in tests)."""
+
+    def decide(self, actor_name: str, failure: Exception,
+               failure_count: int) -> Directive:
+        return Directive.ESCALATE

@@ -1,0 +1,165 @@
+"""The actor system: registry, dispatch loop and supervision.
+
+Execution model: :meth:`ActorSystem.dispatch` drains mailboxes in global
+FIFO order until quiescent.  Because there is exactly one thread, message
+processing is deterministic — the property that makes the PowerAPI
+pipeline unit-testable tick by tick.  Under real-time use the host
+(:class:`repro.core.monitor.PowerAPI`) calls ``dispatch()`` after every
+clock tick, which is equivalent to an event loop that always drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.actors.actor import (Actor, ActorContext, ActorRef, Envelope,
+                                Mailbox)
+from repro.actors.eventbus import EventBus
+from repro.actors.supervision import (Directive, RestartStrategy,
+                                      SupervisionStrategy)
+from repro.errors import ActorError, ActorStoppedError
+
+
+class _Cell:
+    """Internal bookkeeping for one live actor."""
+
+    def __init__(self, actor: Actor, factory: Optional[Callable[[], Actor]],
+                 mailbox: Mailbox) -> None:
+        self.actor = actor
+        self.factory = factory
+        self.mailbox = mailbox
+        self.failure_count = 0
+
+
+class ActorSystem:
+    """Owns all actors, their mailboxes and the event bus."""
+
+    def __init__(self, name: str = "powerapi",
+                 strategy: Optional[SupervisionStrategy] = None) -> None:
+        self.name = name
+        self.strategy = strategy or RestartStrategy()
+        self.event_bus = EventBus(self)
+        self._cells: Dict[str, _Cell] = {}
+        self._run_queue: Deque[str] = deque()
+        self._counter = 0
+
+    # -- spawning -------------------------------------------------------
+
+    def actor_of(self, factory: Callable[[], Actor],
+                 name: Optional[str] = None) -> ActorRef:
+        """Create an actor from a zero-argument factory and start it.
+
+        Passing the factory (rather than an instance) is what enables the
+        RESTART directive to rebuild a fresh instance after a failure.
+        """
+        if name is None:
+            self._counter += 1
+            name = f"{self.name}-actor-{self._counter}"
+        if name in self._cells:
+            raise ActorError(f"actor name {name!r} already in use")
+        actor = factory()
+        if not isinstance(actor, Actor):
+            raise ActorError(f"factory returned {type(actor).__name__}, "
+                             "expected an Actor")
+        ref = ActorRef(name, self)
+        cell = _Cell(actor, factory, Mailbox())
+        self._cells[name] = cell
+        actor.context = ActorContext(self, ref)
+        actor.pre_start()
+        return ref
+
+    def spawn(self, actor: Actor, name: Optional[str] = None) -> ActorRef:
+        """Start a pre-built actor instance (not restartable)."""
+        return self.actor_of(lambda: actor, name=name)
+
+    # -- stopping --------------------------------------------------------
+
+    def stop(self, ref: ActorRef) -> None:
+        """Stop one actor: unsubscribe it and drop its mailbox."""
+        cell = self._cells.pop(ref.name, None)
+        if cell is None:
+            return
+        self.event_bus.unsubscribe_all(ref)
+        cell.actor.post_stop()
+        cell.actor.context = None
+
+    def shutdown(self) -> None:
+        """Stop every actor."""
+        for name in list(self._cells):
+            self.stop(ActorRef(name, self))
+
+    # -- delivery (called via ActorRef) ------------------------------------
+
+    def _deliver(self, ref: ActorRef, message: Any,
+                 sender: Optional[ActorRef]) -> None:
+        cell = self._cells.get(ref.name)
+        if cell is None:
+            raise ActorStoppedError(f"actor {ref.name!r} is not running")
+        cell.mailbox.put(Envelope(message, sender))
+        self._run_queue.append(ref.name)
+
+    def _is_alive(self, name: str) -> bool:
+        return name in self._cells
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, max_messages: int = 1_000_000) -> int:
+        """Process queued messages until quiescent; returns count handled.
+
+        Raises :class:`~repro.errors.ActorError` if *max_messages* is
+        exceeded, which catches accidental message loops.
+        """
+        handled = 0
+        while self._run_queue:
+            if handled >= max_messages:
+                raise ActorError(
+                    f"dispatch exceeded {max_messages} messages; "
+                    "possible message loop")
+            name = self._run_queue.popleft()
+            cell = self._cells.get(name)
+            if cell is None:
+                continue  # stopped after the message was queued
+            envelope = cell.mailbox.get()
+            if envelope is None:
+                continue
+            self._process(name, cell, envelope)
+            handled += 1
+        return handled
+
+    def _process(self, name: str, cell: _Cell, envelope: Envelope) -> None:
+        actor = cell.actor
+        assert actor.context is not None
+        actor.context.sender = envelope.sender
+        try:
+            actor.receive(envelope.message)
+        except Exception as failure:  # noqa: BLE001 - supervision boundary
+            cell.failure_count += 1
+            directive = self.strategy.decide(name, failure, cell.failure_count)
+            if directive is Directive.RESUME:
+                return
+            if directive is Directive.RESTART and cell.factory is not None:
+                actor.pre_restart(failure)
+                context = actor.context
+                actor.context = None
+                fresh = cell.factory()  # may return the same instance
+                fresh.context = context
+                cell.actor = fresh
+                fresh.pre_start()
+                return
+            if directive is Directive.ESCALATE:
+                raise
+            self.stop(ActorRef(name, self))
+        finally:
+            if actor.context is not None:
+                actor.context.sender = None
+
+    # -- introspection -----------------------------------------------------
+
+    def actor_names(self):
+        """Names of all live actors."""
+        return tuple(self._cells)
+
+    def pending_messages(self) -> int:
+        """Total messages waiting in mailboxes."""
+        return sum(len(cell.mailbox) for cell in self._cells.values())

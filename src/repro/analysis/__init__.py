@@ -1,0 +1,17 @@
+"""Trace analysis and text rendering of the paper's tables and figures."""
+
+from repro.analysis.hotspots import (Diagnosis, Hotspot, diagnose,
+                                     rank_consumers, render_hotspots)
+from repro.analysis.report import (ascii_chart, format_metrics,
+                                   render_comparison, render_grid,
+                                   render_table)
+from repro.analysis.stats import (BootstrapResult, bootstrap,
+                                  median_ape_interval)
+from repro.analysis.traces import PowerTrace, align, compare
+
+__all__ = [
+    "BootstrapResult", "Diagnosis", "Hotspot", "PowerTrace", "align",
+    "ascii_chart", "bootstrap", "compare", "diagnose", "format_metrics",
+    "median_ape_interval", "rank_consumers", "render_comparison",
+    "render_grid", "render_hotspots", "render_table",
+]

@@ -1,0 +1,121 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness regenerates the paper's artefacts as terminal
+output: :func:`render_table` prints aligned key/value or grid tables
+(Table 1), :func:`ascii_chart` overlays power traces as a line chart
+(Figure 3), and :func:`render_comparison` prints measured-vs-estimated
+metric rows for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.traces import PowerTrace
+from repro.errors import ConfigurationError
+
+
+def render_table(rows: Sequence[Tuple[str, str]], title: str = "") -> str:
+    """Two-column table with aligned separators."""
+    if not rows:
+        raise ConfigurationError("table needs at least one row")
+    key_width = max(len(key) for key, _value in rows)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), key_width + 3))
+    for key, value in rows:
+        lines.append(f"{key.ljust(key_width)} : {value}")
+    return "\n".join(lines)
+
+
+def render_grid(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                title: str = "") -> str:
+    """Multi-column grid with a header rule."""
+    if not rows:
+        raise ConfigurationError("grid needs at least one row")
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(traces: Sequence[PowerTrace], width: int = 78,
+                height: int = 18, title: str = "",
+                y_label: str = "W") -> str:
+    """Overlay up to a few power traces as an ASCII line chart.
+
+    Each trace is drawn with its own glyph; the legend maps glyphs to
+    trace names.  This renders the Figure 3 overlay in a terminal.
+    """
+    if not traces:
+        raise ConfigurationError("chart needs at least one trace")
+    if width < 20 or height < 5:
+        raise ConfigurationError("chart too small to draw")
+    glyphs = "*+ox#@"
+    t_min = min(trace.times_s[0] for trace in traces if len(trace))
+    t_max = max(trace.times_s[-1] for trace in traces if len(trace))
+    p_min = min(min(trace.powers_w) for trace in traces if len(trace))
+    p_max = max(max(trace.powers_w) for trace in traces if len(trace))
+    if p_max - p_min < 1e-9:
+        p_max = p_min + 1.0
+    if t_max - t_min < 1e-9:
+        t_max = t_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for trace_index, trace in enumerate(traces):
+        glyph = glyphs[trace_index % len(glyphs)]
+        for t, p in zip(trace.times_s, trace.powers_w):
+            col = int((t - t_min) / (t_max - t_min) * (width - 1))
+            row = int((p - p_min) / (p_max - p_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{p_max:7.1f} {y_label} |"
+    bottom_label = f"{p_min:7.1f} {y_label} |"
+    pad = " " * len(top_label.rstrip("|"))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label
+        elif index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = pad + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(pad + "+" + "-" * width)
+    lines.append(pad + f" {t_min:.0f}s" + " " * (width - 12) + f"{t_max:.0f}s")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {trace.name}"
+                        for i, trace in enumerate(traces))
+    lines.append(pad + " " + legend)
+    return "\n".join(lines)
+
+
+def render_comparison(experiment: str, paper_value: str, measured_value: str,
+                      verdict: str) -> str:
+    """One EXPERIMENTS.md-style row: paper vs this reproduction."""
+    return (f"{experiment}: paper={paper_value}  "
+            f"reproduction={measured_value}  [{verdict}]")
+
+
+def format_metrics(summary: Dict[str, float]) -> str:
+    """Render an error-summary dict on one line."""
+    parts = []
+    for key in ("median_ape", "mean_ape", "max_ape"):
+        if key in summary:
+            parts.append(f"{key}={summary[key] * 100:.1f}%")
+    if "rmse_w" in summary:
+        parts.append(f"rmse={summary['rmse_w']:.2f}W")
+    if "r2" in summary:
+        parts.append(f"r2={summary['r2']:.3f}")
+    if "aligned" in summary:
+        parts.append(f"n={summary['aligned']}")
+    return "  ".join(parts)

@@ -1,0 +1,81 @@
+"""Statistical utilities: bootstrap confidence intervals for error metrics.
+
+A single median-APE number (the paper reports "15 %") says nothing about
+its stability.  The bootstrap quantifies it: resample the per-sample
+errors with replacement, recompute the statistic, and read the spread of
+the resampled statistics.  Used by EXPERIMENTS.md to report intervals
+alongside point estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import absolute_percentage_errors
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with its bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.4g} "
+                f"[{self.low:.4g}, {self.high:.4g}] "
+                f"@{self.confidence * 100:.0f}%")
+
+    @property
+    def width(self) -> float:
+        """Width of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap(values: Sequence[float],
+              statistic: Callable[[np.ndarray], float] = np.median,
+              confidence: float = 0.95,
+              resamples: int = 2000,
+              seed: Optional[int] = 12345) -> BootstrapResult:
+    """Percentile-bootstrap interval for *statistic* over *values*."""
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size < 2:
+        raise ConfigurationError("need at least 2 values to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be within (0, 1)")
+    if resamples < 100:
+        raise ConfigurationError("use at least 100 resamples")
+
+    rng = np.random.default_rng(seed)
+    indexes = rng.integers(0, data.size, size=(resamples, data.size))
+    stats = np.apply_along_axis(statistic, 1, data[indexes])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(statistic(data)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def median_ape_interval(measured: Sequence[float],
+                        estimated: Sequence[float],
+                        confidence: float = 0.95,
+                        resamples: int = 2000,
+                        seed: Optional[int] = 12345) -> BootstrapResult:
+    """Bootstrap interval for the paper's headline metric."""
+    errors = absolute_percentage_errors(measured, estimated)
+    return bootstrap(errors, statistic=np.median, confidence=confidence,
+                     resamples=resamples, seed=seed)

@@ -1,0 +1,154 @@
+"""Power-trace handling: alignment and comparison of time series.
+
+The Figure 3 evaluation overlays a measured PowerSpy trace with the
+PowerAPI estimation.  The two series are sampled by different components
+(meter intervals vs monitoring clock), so their timestamps carry
+independent floating-point drift; :func:`align` matches samples by
+nearest timestamp within a tolerance instead of exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import error_summary
+from repro.errors import ConfigurationError
+from repro.powermeter.base import PowerSample
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A named power time series."""
+
+    name: str
+    times_s: Tuple[float, ...]
+    powers_w: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.powers_w):
+            raise ConfigurationError("times and powers length mismatch")
+        if list(self.times_s) != sorted(self.times_s):
+            raise ConfigurationError("trace timestamps must be ascending")
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    @classmethod
+    def from_samples(cls, name: str,
+                     samples: Sequence[PowerSample]) -> "PowerTrace":
+        """Build a trace from power-meter samples."""
+        return cls(name=name,
+                   times_s=tuple(sample.time_s for sample in samples),
+                   powers_w=tuple(sample.power_w for sample in samples))
+
+    @classmethod
+    def from_series(cls, name: str, times_s: Sequence[float],
+                    powers_w: Sequence[float]) -> "PowerTrace":
+        """Build a trace from parallel time/power sequences."""
+        return cls(name=name, times_s=tuple(times_s), powers_w=tuple(powers_w))
+
+    def mean_w(self) -> float:
+        """Mean power of the trace."""
+        if not self.powers_w:
+            raise ConfigurationError("empty trace has no mean")
+        return float(np.mean(self.powers_w))
+
+    def energy_j(self) -> float:
+        """Trapezoidal energy integral of the trace."""
+        if len(self) < 2:
+            return 0.0
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.powers_w, self.times_s))
+
+    def window(self, start_s: float, end_s: float) -> "PowerTrace":
+        """Sub-trace with start_s <= t < end_s."""
+        pairs = [(t, p) for t, p in zip(self.times_s, self.powers_w)
+                 if start_s <= t < end_s]
+        return PowerTrace(
+            name=self.name,
+            times_s=tuple(t for t, _p in pairs),
+            powers_w=tuple(p for _t, p in pairs),
+        )
+
+    def smoothed(self, window: int = 5) -> "PowerTrace":
+        """Centred moving-average smoothing (window must be odd, >= 1).
+
+        Edges use the available neighbours, so the trace keeps its
+        length and timestamps — handy before plotting a noisy meter.
+        """
+        if window < 1 or window % 2 == 0:
+            raise ConfigurationError("smoothing window must be odd and >= 1")
+        if window == 1 or len(self) == 0:
+            return self
+        half = window // 2
+        values = np.asarray(self.powers_w)
+        smoothed = [
+            float(values[max(0, i - half):i + half + 1].mean())
+            for i in range(len(values))
+        ]
+        return PowerTrace(name=f"{self.name}~{window}",
+                          times_s=self.times_s,
+                          powers_w=tuple(smoothed))
+
+    def downsampled(self, factor: int) -> "PowerTrace":
+        """Keep every *factor*-th sample (rendering long traces)."""
+        if factor < 1:
+            raise ConfigurationError("downsample factor must be >= 1")
+        return PowerTrace(name=self.name,
+                          times_s=self.times_s[::factor],
+                          powers_w=self.powers_w[::factor])
+
+    def percentiles(self, levels: Sequence[float] = (5, 50, 95)
+                    ) -> Dict[float, float]:
+        """Power percentiles of the trace, e.g. {5: ..., 50: ..., 95: ...}."""
+        if not self.powers_w:
+            raise ConfigurationError("empty trace has no percentiles")
+        values = np.asarray(self.powers_w)
+        return {level: float(np.percentile(values, level))
+                for level in levels}
+
+
+def align(reference: PowerTrace, other: PowerTrace,
+          tolerance_s: float = 0.5) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Match samples of *other* to *reference* by nearest timestamp.
+
+    Returns (times, reference powers, other powers) for every reference
+    sample that has a counterpart within *tolerance_s*.  Each sample of
+    *other* is used at most once.
+    """
+    if tolerance_s <= 0:
+        raise ConfigurationError("tolerance must be positive")
+    times: List[float] = []
+    ref_values: List[float] = []
+    other_values: List[float] = []
+    other_times = np.asarray(other.times_s)
+    used = np.zeros(len(other_times), dtype=bool)
+    for t, p in zip(reference.times_s, reference.powers_w):
+        if other_times.size == 0:
+            break
+        index = int(np.argmin(np.abs(other_times - t)))
+        if used[index] or abs(other_times[index] - t) > tolerance_s:
+            continue
+        used[index] = True
+        times.append(t)
+        ref_values.append(p)
+        other_values.append(other.powers_w[index])
+    return (np.asarray(times), np.asarray(ref_values),
+            np.asarray(other_values))
+
+
+def compare(measured: PowerTrace, estimated: PowerTrace,
+            tolerance_s: float = 0.5) -> dict:
+    """Error summary of *estimated* against *measured* after alignment.
+
+    Adds ``aligned`` (matched sample count) to the metric dict.
+    """
+    times, ref, est = align(measured, estimated, tolerance_s=tolerance_s)
+    if times.size == 0:
+        raise ConfigurationError("traces share no aligned samples")
+    summary = error_summary(ref, est)
+    summary["aligned"] = int(times.size)
+    return summary

@@ -1,0 +1,75 @@
+"""The decomposable per-component model (Bertran et al., ICS'10).
+
+Bertran et al. decompose CPU power into per-component contributions
+(front-end, integer/FP units, each cache level, memory), each driven by
+its own activity counter, and train with targeted microbenchmarks run to
+steady state.  On a "simple architecture without any features for
+improving performances" (Core 2 Duo: no SMT, no TurboBoost) they report a
+4.63 % average error — the accuracy bar the paper compares itself against.
+
+This reproduction keeps the two methodological differences that explain
+that accuracy:
+
+* a *wide* event set covering every modelled component (not just the
+  portable trio),
+* *steady-state* training runs (long settle), so slow effects such as
+  thermal leakage are inside the training distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.sampling import (LearningReport, SamplingCampaign,
+                                 learn_power_model)
+from repro.simcpu import counters as ev
+from repro.simcpu.spec import CpuSpec
+
+#: Per-component activity events of the decomposable model.
+BERTRAN_EVENTS = (
+    ev.INSTRUCTIONS,            # retirement (front-end + issue)
+    ev.CYCLES,                  # clock tree / base activity
+    ev.BRANCHES,                # branch unit
+    ev.L1_DCACHE_LOADS,         # L1 component
+    ev.L1_DCACHE_LOAD_MISSES,   # L2 component
+    ev.CACHE_REFERENCES,        # LLC component
+    ev.CACHE_MISSES,            # memory component
+    ev.STALLED_CYCLES_BACKEND,  # stall power (clock gating remainder)
+)
+
+#: Settle long enough to reach thermal steady state before sampling
+#: (about twice the package thermal time constant).
+STEADY_STATE_SETTLE_S = 90.0
+
+
+def bertran_campaign(spec: CpuSpec,
+                     frequencies_hz: Optional[Sequence[int]] = None,
+                     windows_per_run: int = 4,
+                     window_s: float = 1.0,
+                     quantum_s: float = 0.05) -> SamplingCampaign:
+    """A steady-state sampling campaign with the per-component event set."""
+    return SamplingCampaign(
+        spec,
+        events=BERTRAN_EVENTS,
+        frequencies_hz=frequencies_hz,
+        window_s=window_s,
+        windows_per_run=windows_per_run,
+        settle_s=STEADY_STATE_SETTLE_S,
+        quantum_s=quantum_s,
+    )
+
+
+def learn_bertran_model(spec: CpuSpec,
+                        campaign: Optional[SamplingCampaign] = None,
+                        idle_duration_s: float = 20.0) -> LearningReport:
+    """Fit the decomposable model (NNLS keeps components additive)."""
+    if campaign is None:
+        campaign = bertran_campaign(spec)
+    return learn_power_model(
+        spec,
+        events=BERTRAN_EVENTS,
+        method="nnls",
+        campaign=campaign,
+        idle_duration_s=idle_duration_s,
+        name="bertran-decomposable",
+    )

@@ -1,0 +1,43 @@
+"""The CPU-load baseline (Versick et al.).
+
+Versick et al. "use the CPU load to represent the processor activity";
+the paper argues HPCs are better because load "mostly indicates whether
+the processor executes a job" while counters see *what* it executes.
+
+In counter terms the CPU load is exactly the busy-cycle rate divided by
+the available cycle capacity, so the baseline is a
+:class:`~repro.core.model.PowerModel` learned on the single ``cycles``
+event — it plugs into the same learning and runtime pipeline, making the
+metric comparison (ablation A3) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sampling import (LearningReport, SamplingCampaign,
+                                 learn_power_model)
+from repro.simcpu.counters import CYCLES
+from repro.simcpu.spec import CpuSpec
+
+#: The only event a load-based model consumes.
+CPU_LOAD_EVENTS = (CYCLES,)
+
+
+def learn_cpu_load_model(spec: CpuSpec,
+                         campaign: Optional[SamplingCampaign] = None,
+                         idle_duration_s: float = 20.0) -> LearningReport:
+    """Fit the Versick-style load model with the standard pipeline.
+
+    A default campaign is built with the load event substituted; an
+    explicit campaign must collect ``cycles``.
+    """
+    if campaign is None:
+        campaign = SamplingCampaign(spec, events=CPU_LOAD_EVENTS)
+    return learn_power_model(
+        spec,
+        events=CPU_LOAD_EVENTS,
+        campaign=campaign,
+        idle_duration_s=idle_duration_s,
+        name="cpu-load-versick",
+    )

@@ -1,0 +1,67 @@
+"""RAPL-based estimation: accurate but architecture-dependent.
+
+RAPL gives near-ground-truth package energy on supported Intel parts —
+the paper's point is not that it is inaccurate but that it is *not
+portable* (vendor- and generation-specific) and measures only the CPU
+package.  :class:`RaplEstimator` turns RAPL readings into wall-power
+estimates by adding a calibrated rest-of-system constant; trying to build
+one on a non-Intel spec raises, demonstrating the portability failure the
+counter-based approach avoids.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PowerMeterError
+from repro.powermeter.rapl import (RaplDomain, RaplEnergyReader,
+                                   RaplInterface)
+from repro.simcpu.machine import Machine
+from repro.simcpu.spec import CpuSpec
+
+
+class RaplEstimator:
+    """Wall power = RAPL(package + DRAM) + rest-of-system constant."""
+
+    def __init__(self, machine: Machine, rest_of_system_w: float) -> None:
+        if rest_of_system_w < 0:
+            raise PowerMeterError("rest-of-system power must be >= 0")
+        self.rapl = RaplInterface(machine)  # raises on non-Intel
+        self.machine = machine
+        self.rest_of_system_w = rest_of_system_w
+        self._package = RaplEnergyReader(self.rapl, RaplDomain.PACKAGE)
+        self._dram = RaplEnergyReader(self.rapl, RaplDomain.DRAM)
+        self._last_time_s = machine.time_s
+        self._last_energy_j = 0.0
+
+    def estimate_w(self) -> float:
+        """Average wall power since the previous call, watts."""
+        energy = (self._package.total_energy_j()
+                  + self._dram.total_energy_j())
+        now = self.machine.time_s
+        dt = now - self._last_time_s
+        if dt <= 0:
+            return self.rest_of_system_w
+        power = (energy - self._last_energy_j) / dt + self.rest_of_system_w
+        self._last_time_s = now
+        self._last_energy_j = energy
+        return power
+
+
+def calibrate_rest_of_system(spec: CpuSpec, duration_s: float = 20.0) -> float:
+    """Idle wall power minus idle package power, watts.
+
+    Measured the way an operator would: meter the idle machine, read idle
+    RAPL, subtract.
+    """
+    from repro.os.kernel import SimKernel
+    from repro.powermeter.powerspy import PowerSpy
+
+    kernel = SimKernel(spec, quantum_s=0.05)
+    rapl = RaplInterface(kernel.machine)
+    package = RaplEnergyReader(rapl, RaplDomain.PACKAGE)
+    dram = RaplEnergyReader(rapl, RaplDomain.DRAM)
+    meter = PowerSpy(kernel.machine, sample_rate_hz=1.0, seed=55)
+    with meter:
+        kernel.run(duration_s)
+        wall_w = meter.mean_power_w()
+    rapl_w = (package.total_energy_j() + dram.total_energy_j()) / duration_s
+    return max(0.0, wall_w - rapl_w)

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main flows:
+
+* ``specs``    — print a preset machine's Table 1-style specification,
+* ``learn``    — run the Figure 1 pipeline and write the model as JSON,
+* ``monitor``  — run a workload under live monitoring, print per-period
+  estimates (optionally CSV/JSONL output),
+* ``replay``   — the Figure 3 experiment: SPECjbb vs PowerSpy with an
+  ASCII chart and the median error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.report import ascii_chart, format_metrics, render_table
+from repro.analysis.traces import PowerTrace, compare
+from repro.core.model import PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import ConsoleReporter, CsvReporter, InMemoryReporter
+from repro.core.sampling import SamplingCampaign, learn_power_model
+from repro.errors import ReproError
+from repro.os.kernel import SimKernel
+from repro.powermeter.powerspy import PowerSpy
+from repro.simcpu.spec import PRESETS, preset
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.stress import CpuStress, MemoryStress, MixedStress
+
+WORKLOADS = {
+    "cpu": lambda duration: CpuStress(utilization=1.0, threads=4,
+                                      duration_s=duration),
+    "memory": lambda duration: MemoryStress(utilization=1.0, threads=4,
+                                            duration_s=duration),
+    "mixed": lambda duration: MixedStress(utilization=1.0, threads=4,
+                                          duration_s=duration),
+    "specjbb": lambda duration: SpecJbbWorkload(duration_s=duration,
+                                                threads=4),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PowerAPI reproduction: learn CPU power models and "
+                    "monitor per-process power on a simulated machine.")
+    parser.add_argument("--cpu", default="i3-2120",
+                        choices=sorted(PRESETS),
+                        help="machine preset (default: the paper's i3-2120)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("specs", help="print the machine specification")
+
+    learn = commands.add_parser("learn", help="learn a power model")
+    learn.add_argument("--output", type=Path, default=Path("model.json"),
+                       help="where to write the model JSON")
+    learn.add_argument("--quick", action="store_true",
+                       help="sample only the ladder endpoints (faster)")
+
+    monitor = commands.add_parser("monitor",
+                                  help="monitor a workload's power")
+    monitor.add_argument("--model", type=Path, default=None,
+                         help="model JSON (learned on the fly if omitted)")
+    monitor.add_argument("--workload", default="cpu",
+                         choices=sorted(WORKLOADS))
+    monitor.add_argument("--duration", type=float, default=30.0)
+    monitor.add_argument("--period", type=float, default=1.0)
+    monitor.add_argument("--csv", type=Path, default=None,
+                         help="also write per-period CSV here")
+
+    replay = commands.add_parser("replay",
+                                 help="the Figure 3 SPECjbb experiment")
+    replay.add_argument("--model", type=Path, default=None)
+    replay.add_argument("--duration", type=float, default=300.0)
+    return parser
+
+
+def _quick_campaign(spec) -> SamplingCampaign:
+    return SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=spec.num_threads),
+                   MemoryStress(utilization=1.0, threads=spec.num_threads,
+                                working_set_bytes=64 * 1024 ** 2),
+                   MemoryStress(utilization=1.0, threads=spec.num_threads,
+                                working_set_bytes=2 * 1024 ** 2)],
+        frequencies_hz=[spec.min_frequency_hz, spec.max_frequency_hz],
+        window_s=1.0, windows_per_run=4, settle_s=0.5)
+
+
+def _paper_campaign(spec) -> SamplingCampaign:
+    return SamplingCampaign(
+        spec,
+        workloads=[CpuStress(utilization=1.0, threads=spec.num_threads),
+                   MemoryStress(utilization=1.0, threads=spec.num_threads,
+                                working_set_bytes=64 * 1024 ** 2),
+                   MemoryStress(utilization=1.0, threads=spec.num_threads,
+                                working_set_bytes=2 * 1024 ** 2)],
+        window_s=1.0, windows_per_run=4, settle_s=0.5)
+
+
+def _load_or_learn_model(spec, model_path: Optional[Path],
+                         quick: bool = True, out=sys.stdout) -> PowerModel:
+    if model_path is not None:
+        return PowerModel.from_json(model_path.read_text())
+    print("no model given; learning one now ...", file=out)
+    campaign = _quick_campaign(spec) if quick else _paper_campaign(spec)
+    return learn_power_model(spec, campaign=campaign,
+                             idle_duration_s=10.0).model
+
+
+def cmd_specs(args, out=sys.stdout) -> int:
+    """Print the selected preset's Table 1-style specification."""
+    spec = preset(args.cpu)
+    print(render_table(spec.specification_table(),
+                       title=f"{spec.vendor} {spec.model} specification"),
+          file=out)
+    return 0
+
+
+def cmd_learn(args, out=sys.stdout) -> int:
+    """Run the Figure 1 pipeline and write the model JSON."""
+    spec = preset(args.cpu)
+    campaign = _quick_campaign(spec) if args.quick else _paper_campaign(spec)
+    print(f"sampling {args.cpu} "
+          f"({len(campaign.frequencies_hz)} frequencies) ...", file=out)
+    report = learn_power_model(spec, campaign=campaign,
+                               idle_duration_s=15.0)
+    args.output.write_text(report.model.to_json())
+    print(report.model.equation_text(), file=out)
+    print(f"model written to {args.output}", file=out)
+    return 0
+
+
+def cmd_monitor(args, out=sys.stdout) -> int:
+    """Run a workload under live monitoring, printing per-period rows."""
+    spec = preset(args.cpu)
+    model = _load_or_learn_model(spec, args.model, out=out)
+    kernel = SimKernel(spec)
+    workload = WORKLOADS[args.workload](args.duration)
+    pid = kernel.spawn(workload, name=args.workload)
+
+    api = PowerAPI(kernel, model, period_s=args.period)
+    builder = api.monitor(pid).every(args.period)
+    memory = InMemoryReporter()
+    handle = builder.to(memory)
+    api.system.spawn(ConsoleReporter(stream=out), name="console")
+    if args.csv is not None:
+        api.system.spawn(CsvReporter(args.csv, pids=[pid]), name="csv")
+    api.run(args.duration)
+    api.flush()
+
+    energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
+    print(f"\n{args.workload}: estimated active energy {energy:.1f} J "
+          f"over {args.duration:.0f} s", file=out)
+    api.shutdown()
+    return 0
+
+
+def cmd_replay(args, out=sys.stdout) -> int:
+    """Regenerate the Figure 3 SPECjbb experiment."""
+    spec = preset(args.cpu)
+    model = _load_or_learn_model(spec, args.model, quick=False, out=out)
+    kernel = SimKernel(spec)
+    meter = PowerSpy(kernel.machine, sample_rate_hz=1.0, seed=777)
+    meter.connect()
+    pid = kernel.spawn(SpecJbbWorkload(duration_s=args.duration, threads=4),
+                       name="specjbb2013")
+    api = PowerAPI(kernel, model, period_s=1.0)
+    handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+    print(f"replaying SPECjbb2013 for {args.duration:.0f} s ...", file=out)
+    api.run(args.duration)
+
+    measured = PowerTrace.from_samples("powerspy", meter.samples)
+    estimated = PowerTrace.from_series("powerapi",
+                                       handle.reporter.time_series(),
+                                       handle.reporter.total_series())
+    print(ascii_chart([measured, estimated], width=78, height=16,
+                      title="SPECjbb2013: measured vs estimated"), file=out)
+    summary = compare(measured, estimated)
+    print(format_metrics(summary), file=out)
+    print(f"paper median error: 15%; this run: "
+          f"{summary['median_ape'] * 100:.1f}%", file=out)
+    api.shutdown()
+    return 0
+
+
+COMMANDS = {
+    "specs": cmd_specs,
+    "learn": cmd_learn,
+    "monitor": cmd_monitor,
+    "replay": cmd_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out=out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""PowerAPI core: the paper's contribution.
+
+Model learning (Figure 1): :class:`SamplingCampaign`,
+:func:`learn_power_model`, :func:`calibrate_idle_power`,
+:mod:`~repro.core.regression`, :mod:`~repro.core.selection`.
+
+Runtime estimation (Figure 2): :class:`PowerAPI` facade wiring Sensor →
+Formula → Aggregator → Reporter actors over the event bus.
+"""
+
+from repro.core.aggregators import (FlushAggregates, PidAggregator,
+                                    PidEnergyReport, TimestampAggregator)
+from repro.core.calibration import calibrate_idle_power
+from repro.core.capping import (CappedRunResult, CappingGovernor,
+                                run_capped, solar_budget)
+from repro.core.cgroup_monitor import (CgroupAggregator, CgroupPowerReport,
+                                       InMemoryCgroupReporter)
+from repro.core.codelevel import (EnergyBudget, EnergyBudgetExceeded,
+                                  EnergyMeasurement, RegionProfiler,
+                                  assert_energy_within, measure_energy)
+from repro.core.formula import CpuLoadFormula, HpcFormula
+from repro.core.messages import (AggregatedPowerReport, HpcReport,
+                                 PowerMeterReport, PowerReport, ProcFsReport,
+                                 SensorReport)
+from repro.core.metrics import (absolute_percentage_errors, error_summary,
+                                max_ape, mean_ape, median_ape, r_squared,
+                                rmse)
+from repro.core.model import (FrequencyFormula, PowerModel,
+                              published_i3_2120_model)
+from repro.core.monitor import MonitorBuilder, MonitorHandle, PowerAPI
+from repro.core.offline import (CounterLogWriter, estimate_from_csv,
+                                estimate_from_log)
+from repro.core.registry import ModelRegistry, machine_signature
+from repro.core.regression import (METHODS, RegressionResult, fit, fit_nnls,
+                                   fit_ols, fit_ridge)
+from repro.core.reporters import (CallbackReporter, ConsoleReporter,
+                                  CsvReporter, InMemoryReporter,
+                                  JsonlReporter, PrometheusReporter)
+from repro.core.sampling import (LearningReport, SamplePoint,
+                                 SamplingCampaign, SamplingDataset,
+                                 learn_power_model)
+from repro.core.selection import CounterRanking, rank_counters, select_counters
+from repro.core.validation import (CrossValidationReport, FoldResult,
+                                   cross_validate)
+from repro.core.sensors import (HpcSensor, MachineHpcSensor,
+                                PowerMeterSensor, ProcFsSensor)
+
+__all__ = [
+    "AggregatedPowerReport", "CallbackReporter", "CappedRunResult",
+    "CappingGovernor", "CgroupAggregator", "CgroupPowerReport",
+    "ConsoleReporter", "CounterLogWriter", "CounterRanking", "CpuLoadFormula",
+    "CrossValidationReport", "CsvReporter", "EnergyBudget",
+    "EnergyBudgetExceeded", "EnergyMeasurement", "FlushAggregates",
+    "FoldResult", "FrequencyFormula", "HpcFormula", "HpcReport", "HpcSensor",
+    "InMemoryCgroupReporter", "InMemoryReporter", "JsonlReporter",
+    "LearningReport", "METHODS", "MachineHpcSensor", "ModelRegistry",
+    "MonitorBuilder", "MonitorHandle", "PidAggregator", "PidEnergyReport",
+    "PowerAPI", "PowerMeterReport", "PowerMeterSensor", "PowerModel",
+    "PowerReport", "ProcFsReport", "ProcFsSensor", "PrometheusReporter",
+    "RegionProfiler", "RegressionResult", "SamplePoint", "SamplingCampaign",
+    "SamplingDataset", "SensorReport", "TimestampAggregator",
+    "absolute_percentage_errors", "assert_energy_within",
+    "calibrate_idle_power", "cross_validate", "error_summary",
+    "estimate_from_csv", "estimate_from_log", "fit", "fit_nnls", "fit_ols",
+    "fit_ridge", "learn_power_model", "machine_signature", "max_ape",
+    "mean_ape", "measure_energy", "median_ape", "published_i3_2120_model",
+    "r_squared", "rank_counters", "rmse", "run_capped", "select_counters",
+    "solar_budget",
+]

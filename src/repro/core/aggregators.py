@@ -1,0 +1,130 @@
+"""Aggregator actors: combining per-process estimations.
+
+An Aggregator "aggregates the power estimations according to a dimension,
+like the PID or the timestamp" (paper, Section 3):
+
+* :class:`TimestampAggregator` — groups :class:`PowerReport` messages by
+  timestamp and publishes one machine-level
+  :class:`AggregatedPowerReport` per period (idle + sum of processes),
+* :class:`PidAggregator` — integrates per-process energy over the whole
+  run; on a :class:`FlushAggregates` message it publishes a
+  :class:`PidEnergyReport` with cumulative joules per pid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.actors.actor import Actor
+from repro.core.messages import AggregatedPowerReport, PowerReport
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlushAggregates:
+    """Ask an aggregator to publish (and reset) its accumulated state."""
+
+
+@dataclass(frozen=True)
+class PidEnergyReport:
+    """Cumulative per-process energy over a monitoring run."""
+
+    time_s: float
+    duration_s: float
+    #: pid -> joules of *active* energy attributed.
+    energy_by_pid_j: Mapping[int, float]
+    formula: str
+
+    def total_j(self) -> float:
+        """Sum of attributed energy over all pids, joules."""
+        return sum(self.energy_by_pid_j.values())
+
+
+class TimestampAggregator(Actor):
+    """One AggregatedPowerReport per timestamp, idle power included.
+
+    Reports for timestamp T are held until the first report for a later
+    timestamp arrives (all of T's reports are then known, because message
+    delivery preserves publication order within the single-threaded
+    system).
+    """
+
+    def __init__(self, idle_w: float) -> None:
+        super().__init__()
+        if idle_w < 0:
+            raise ConfigurationError("idle_w must be >= 0")
+        self.idle_w = idle_w
+        self._pending_time: float = -1.0
+        self._pending_period: float = 1.0
+        self._pending_formula = ""
+        self._pending: Dict[int, float] = {}
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
+        self.context.system.event_bus.subscribe(FlushAggregates, self.self_ref)
+
+    def _flush(self) -> None:
+        if self._pending:
+            self.publish(AggregatedPowerReport(
+                time_s=self._pending_time,
+                period_s=self._pending_period,
+                by_pid=dict(self._pending),
+                idle_w=self.idle_w,
+                formula=self._pending_formula,
+            ))
+            self._pending.clear()
+
+    def receive(self, message) -> None:
+        if isinstance(message, FlushAggregates):
+            self._flush()
+            return
+        if not isinstance(message, PowerReport):
+            return
+        if self._pending and message.time_s > self._pending_time + 1e-12:
+            self._flush()
+        self._pending_time = message.time_s
+        self._pending_period = message.period_s
+        self._pending_formula = message.formula
+        self._pending[message.pid] = (
+            self._pending.get(message.pid, 0.0) + message.power_w)
+
+
+class PidAggregator(Actor):
+    """Integrates active energy per pid across the run."""
+
+    def __init__(self, formula: str = "") -> None:
+        super().__init__()
+        self._energy_j: Dict[int, float] = {}
+        self._duration_s = 0.0
+        self._last_time_s = 0.0
+        self._formula = formula
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
+        self.context.system.event_bus.subscribe(FlushAggregates, self.self_ref)
+
+    @property
+    def energy_by_pid_j(self) -> Dict[int, float]:
+        """Snapshot of accumulated energy per pid."""
+        return dict(self._energy_j)
+
+    def receive(self, message) -> None:
+        if isinstance(message, FlushAggregates):
+            self.publish(PidEnergyReport(
+                time_s=self._last_time_s,
+                duration_s=self._duration_s,
+                energy_by_pid_j=dict(self._energy_j),
+                formula=self._formula,
+            ))
+            return
+        if not isinstance(message, PowerReport):
+            return
+        self._energy_j[message.pid] = (
+            self._energy_j.get(message.pid, 0.0)
+            + message.power_w * message.period_s)
+        if message.time_s > self._last_time_s:
+            self._duration_s += message.period_s
+            self._last_time_s = message.time_s
+        if not self._formula:
+            self._formula = message.formula

@@ -1,0 +1,197 @@
+"""Adaptive power capping driven by PowerAPI estimates.
+
+The paper's motivation section calls for "adaptive strategies that can
+cope with the sporadic nature" of renewable energy feeds.  This module
+closes that loop: a cpufreq governor that consumes the *estimated*
+machine power (not the meter — the whole point of the toolkit is to act
+without one) and walks the DVFS ladder to keep the machine under a
+possibly time-varying power budget.
+
+Wiring::
+
+    governor_holder = []
+    kernel = SimKernel(spec, governor_factory=lambda s, t, d:
+        governor_holder.append(CappingGovernor(s, t, d, budget)) or
+        governor_holder[-1])
+    api = PowerAPI(kernel, model)
+    api.monitor(*pids).every(0.5).to(
+        CallbackReporter(governor_holder[-1].observe_report))
+
+:func:`run_capped` packages exactly that for the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.messages import AggregatedPowerReport
+from repro.core.model import PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import CallbackReporter, InMemoryReporter
+from repro.errors import ConfigurationError
+from repro.os.governor import Governor
+from repro.os.kernel import SimKernel
+from repro.simcpu.frequency import FrequencyDomain
+from repro.simcpu.spec import CpuSpec
+from repro.simcpu.topology import Topology
+from repro.workloads.base import Workload
+
+#: A budget is either a constant (watts) or a function of time (seconds).
+BudgetLike = Union[float, Callable[[float], float]]
+
+
+class CappingGovernor(Governor):
+    """Walks the P-state ladder to keep estimated power under budget.
+
+    A hysteresis controller built for a one-period estimate lag: it steps
+    down immediately when the latest estimate exceeds the budget, but
+    steps up only after ``up_patience`` consecutive estimates below
+    ``budget - headroom_w``.  The default headroom is sized to a typical
+    inter-P-state power gap so the controller does not limit-cycle
+    between two ladder rungs.
+    """
+
+    def __init__(self, spec: CpuSpec, topology: Topology,
+                 domain: FrequencyDomain, budget: BudgetLike,
+                 headroom_w: float = 5.0, up_patience: int = 2) -> None:
+        super().__init__(spec, topology, domain)
+        if headroom_w < 0:
+            raise ConfigurationError("headroom must be >= 0")
+        if up_patience < 1:
+            raise ConfigurationError("up_patience must be >= 1")
+        self._budget = budget
+        self.headroom_w = headroom_w
+        self.up_patience = up_patience
+        self._low_streak = 0
+        self._ladder = list(spec.frequencies_hz)
+        self._index = len(self._ladder) - 1  # start at max frequency
+        self._latest_estimate_w: Optional[float] = None
+        self._latest_time_s = 0.0
+        #: (time, estimate, budget, granted frequency) history for analysis.
+        self.decisions: List[tuple] = []
+
+    # -- estimate feed --------------------------------------------------
+
+    def observe_report(self, report: AggregatedPowerReport) -> None:
+        """Feed one aggregated PowerAPI report into the controller."""
+        self._latest_estimate_w = report.total_w
+        self._latest_time_s = report.time_s
+
+    def budget_w(self, time_s: float) -> float:
+        """The budget in effect at *time_s*."""
+        if callable(self._budget):
+            return float(self._budget(time_s))
+        return float(self._budget)
+
+    @property
+    def current_frequency_hz(self) -> int:
+        """The P-state the controller currently requests."""
+        return self._ladder[self._index]
+
+    # -- Governor interface -----------------------------------------------
+
+    def update(self, cpu_busy) -> None:
+        if self._latest_estimate_w is not None:
+            budget = self.budget_w(self._latest_time_s)
+            if self._latest_estimate_w > budget and self._index > 0:
+                self._index -= 1
+                self._low_streak = 0
+            elif self._latest_estimate_w < budget - self.headroom_w:
+                self._low_streak += 1
+                if (self._low_streak >= self.up_patience
+                        and self._index < len(self._ladder) - 1):
+                    self._index += 1
+                    self._low_streak = 0
+            else:
+                self._low_streak = 0
+            self.decisions.append((self._latest_time_s,
+                                   self._latest_estimate_w, budget,
+                                   self.current_frequency_hz))
+            self._latest_estimate_w = None  # one decision per report
+        self.domain.set_all_targets(self.current_frequency_hz)
+
+
+@dataclass(frozen=True)
+class CappedRunResult:
+    """Outcome of :func:`run_capped`."""
+
+    #: PowerAPI estimates per period (the controller's view), watts.
+    estimated_w: List[float]
+    #: Budget in effect per period, watts.
+    budget_w: List[float]
+    #: Instructions retired over the run (work achieved under the cap).
+    instructions: float
+    #: Wall energy actually consumed (ground truth), joules.
+    true_energy_j: float
+    #: Frequency chosen at each controller decision, hertz.
+    frequency_trace_hz: List[int]
+
+    def overshoot_fraction(self, tolerance_w: float = 1.0) -> float:
+        """Fraction of periods whose estimate exceeded budget + tolerance."""
+        if not self.estimated_w:
+            return 0.0
+        over = sum(1 for estimate, budget
+                   in zip(self.estimated_w, self.budget_w)
+                   if estimate > budget + tolerance_w)
+        return over / len(self.estimated_w)
+
+
+def run_capped(spec: CpuSpec, model: PowerModel,
+               workloads: Sequence[Workload], budget: BudgetLike,
+               duration_s: float = 30.0, period_s: float = 0.5,
+               quantum_s: float = 0.02,
+               headroom_w: float = 2.0) -> CappedRunResult:
+    """Run *workloads* under a PowerAPI-driven power cap."""
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    holder: List[CappingGovernor] = []
+
+    def governor_factory(s, topology, domain):
+        governor = CappingGovernor(s, topology, domain, budget,
+                                   headroom_w=headroom_w)
+        holder.append(governor)
+        return governor
+
+    kernel = SimKernel(spec, governor_factory=governor_factory,
+                       quantum_s=quantum_s)
+    governor = holder[0]
+    pids = [kernel.spawn(workload, name=workload.name)
+            for workload in workloads]
+
+    api = PowerAPI(kernel, model, period_s=period_s)
+    reporter = InMemoryReporter()
+    api.monitor(*pids).every(period_s).to(reporter)
+    api.system.spawn(CallbackReporter(governor.observe_report),
+                     name="cap-feedback")
+    api.run(duration_s)
+    api.flush()
+
+    estimates = reporter.total_series()
+    budgets = [governor.budget_w(report.time_s)
+               for report in reporter.aggregated]
+    result = CappedRunResult(
+        estimated_w=estimates,
+        budget_w=budgets,
+        instructions=kernel.machine.counters.read("instructions"),
+        true_energy_j=kernel.machine.energy_j,
+        frequency_trace_hz=[decision[3] for decision in governor.decisions],
+    )
+    api.shutdown()
+    return result
+
+
+def solar_budget(peak_w: float, floor_w: float,
+                 period_s: float = 120.0) -> Callable[[float], float]:
+    """A sinusoidal budget imitating a sporadic renewable feed."""
+    import math
+
+    if peak_w <= floor_w:
+        raise ConfigurationError("peak must exceed floor")
+
+    def budget(time_s: float) -> float:
+        swing = (peak_w - floor_w) / 2.0
+        midpoint = floor_w + swing
+        return midpoint + swing * math.sin(2 * math.pi * time_s / period_s)
+
+    return budget

@@ -1,0 +1,115 @@
+"""Container-level power aggregation over the PowerAPI pipeline.
+
+:class:`CgroupAggregator` subscribes to the per-process
+:class:`~repro.core.messages.PowerReport` stream and re-keys it by
+cgroup, publishing one :class:`CgroupPowerReport` per timestamp — the
+container view powerapi-ng and Kepler expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.actors.actor import Actor
+from repro.core.aggregators import FlushAggregates
+from repro.core.messages import PowerReport
+from repro.errors import ConfigurationError
+from repro.os.cgroups import CgroupTree
+
+
+@dataclass(frozen=True)
+class CgroupPowerReport:
+    """Per-container power for one monitoring period."""
+
+    time_s: float
+    period_s: float
+    #: cgroup name -> active watts.
+    by_group: Mapping[str, float]
+    idle_w: float
+    formula: str
+
+    @property
+    def active_w(self) -> float:
+        """Sum of per-container active power, watts."""
+        return sum(self.by_group.values())
+
+    @property
+    def total_w(self) -> float:
+        """Machine estimate: idle + per-container active power."""
+        return self.idle_w + self.active_w
+
+    def groups(self) -> Tuple[str, ...]:
+        """Container names present in this report, sorted."""
+        return tuple(sorted(self.by_group))
+
+
+class CgroupAggregator(Actor):
+    """Re-keys per-process power reports by cgroup, per timestamp."""
+
+    def __init__(self, tree: CgroupTree, idle_w: float) -> None:
+        super().__init__()
+        if idle_w < 0:
+            raise ConfigurationError("idle_w must be >= 0")
+        self.tree = tree
+        self.idle_w = idle_w
+        self._pending_time = -1.0
+        self._pending_period = 1.0
+        self._pending_formula = ""
+        self._pending: Dict[str, float] = {}
+        #: Cumulative active energy per group over the whole run.
+        self.energy_by_group_j: Dict[str, float] = {}
+
+    def pre_start(self) -> None:
+        bus = self.context.system.event_bus
+        bus.subscribe(PowerReport, self.self_ref)
+        bus.subscribe(FlushAggregates, self.self_ref)
+
+    def _flush(self) -> None:
+        if self._pending:
+            self.publish(CgroupPowerReport(
+                time_s=self._pending_time,
+                period_s=self._pending_period,
+                by_group=dict(self._pending),
+                idle_w=self.idle_w,
+                formula=self._pending_formula,
+            ))
+            self._pending.clear()
+
+    def receive(self, message) -> None:
+        if isinstance(message, FlushAggregates):
+            self._flush()
+            return
+        if not isinstance(message, PowerReport):
+            return
+        if self._pending and message.time_s > self._pending_time + 1e-12:
+            self._flush()
+        self._pending_time = message.time_s
+        self._pending_period = message.period_s
+        self._pending_formula = message.formula
+        group = self.tree.group_of(message.pid)
+        self._pending[group] = (self._pending.get(group, 0.0)
+                                + message.power_w)
+        self.energy_by_group_j[group] = (
+            self.energy_by_group_j.get(group, 0.0)
+            + message.power_w * message.period_s)
+
+
+class InMemoryCgroupReporter(Actor):
+    """Collects CgroupPowerReports for tests and analysis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reports: list = []
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            CgroupPowerReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if isinstance(message, CgroupPowerReport):
+            self.reports.append(message)
+
+    def group_series(self, group: str) -> list:
+        """Active watts of one group per period."""
+        return [report.by_group.get(group, 0.0) for report in self.reports]

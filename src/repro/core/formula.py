@@ -1,0 +1,78 @@
+"""Formula actors: turning sensor reports into power estimations.
+
+A Formula "gets the sensor messages from the event bus in order to
+estimate the power consumption of a given process" (paper, Section 3).
+
+* :class:`HpcFormula` — applies a learned
+  :class:`~repro.core.model.PowerModel` to HPC rates; this is PowerAPI's
+  own formula,
+* :class:`CpuLoadFormula` — the CPU-load linear model of Versick et al.,
+  kept here because it plugs into the same pipeline and the ablations
+  compare the two metric choices.
+"""
+
+from __future__ import annotations
+
+from repro.actors.actor import Actor
+from repro.core.messages import HpcReport, PowerReport, ProcFsReport
+from repro.core.model import PowerModel
+from repro.errors import ConfigurationError
+
+
+class HpcFormula(Actor):
+    """Per-process power from HPC rates via a frequency-aware model."""
+
+    def __init__(self, model: PowerModel) -> None:
+        super().__init__()
+        self.model = model
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(HpcReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if not isinstance(message, HpcReport):
+            return
+        power_w = self.model.predict_active(
+            message.frequency_hz, message.rates())
+        self.publish(PowerReport(
+            time_s=message.time_s,
+            period_s=message.period_s,
+            pid=message.pid,
+            power_w=power_w,
+            formula=self.model.name,
+        ))
+
+
+class CpuLoadFormula(Actor):
+    """Per-process power proportional to CPU-time share (Versick-style).
+
+    ``active_range_w`` is the machine's measured span between idle and
+    all-cores-busy; a process consuming a fraction of total CPU capacity
+    is attributed that fraction of the span.
+    """
+
+    def __init__(self, active_range_w: float, num_cpus: int,
+                 name: str = "cpu-load") -> None:
+        super().__init__()
+        if active_range_w < 0:
+            raise ConfigurationError("active_range_w must be >= 0")
+        if num_cpus < 1:
+            raise ConfigurationError("num_cpus must be >= 1")
+        self.active_range_w = active_range_w
+        self.num_cpus = num_cpus
+        self.name = name
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(ProcFsReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if not isinstance(message, ProcFsReport):
+            return
+        share = message.cpu_time_delta_s / (message.period_s * self.num_cpus)
+        self.publish(PowerReport(
+            time_s=message.time_s,
+            period_s=message.period_s,
+            pid=message.pid,
+            power_w=max(0.0, share) * self.active_range_w,
+            formula=self.name,
+        ))

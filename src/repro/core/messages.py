@@ -1,0 +1,106 @@
+"""Messages exchanged on the PowerAPI event bus (Figure 2).
+
+The pipeline is: Sensors publish :class:`SensorReport` subclasses →
+Formulas publish :class:`PowerReport` → Aggregators publish
+:class:`AggregatedPowerReport` → Reporters render.  Messages are frozen
+dataclasses: actors never share mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensorReport:
+    """Base class of everything a Sensor publishes."""
+
+    #: End of the monitoring period this report covers, seconds.
+    time_s: float
+    #: Length of the covered period, seconds.
+    period_s: float
+    #: Monitored process, or -1 for machine-wide reports.
+    pid: int
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError("report period must be positive")
+
+
+@dataclass(frozen=True)
+class HpcReport(SensorReport):
+    """Hardware-counter deltas for one process over one period."""
+
+    #: Event name -> counts during the period (not cumulative).
+    counters: Mapping[str, float] = field(default_factory=dict)
+    #: Dominant core frequency during the period, hertz.
+    frequency_hz: int = 0
+
+    def rates(self) -> Dict[str, float]:
+        """Counter deltas converted to events per second."""
+        return {event: count / self.period_s
+                for event, count in self.counters.items()}
+
+
+@dataclass(frozen=True)
+class ProcFsReport(SensorReport):
+    """CPU-time accounting for one process over one period."""
+
+    #: CPU seconds consumed by the pid during the period.
+    cpu_time_delta_s: float = 0.0
+    #: Machine-wide load in [0, 1] during the period.
+    machine_load: float = 0.0
+
+
+@dataclass(frozen=True)
+class PowerMeterReport(SensorReport):
+    """A physical power-meter reading (machine-wide; pid is -1)."""
+
+    power_w: float = 0.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """A Formula's power estimation for one process and period."""
+
+    time_s: float
+    period_s: float
+    pid: int
+    #: Estimated *active* power attributable to the pid, watts.
+    power_w: float
+    #: Name of the formula that produced the estimate.
+    formula: str
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ConfigurationError("estimated power cannot be negative")
+
+
+@dataclass(frozen=True)
+class AggregatedPowerReport:
+    """Aggregator output: per-pid and total power for one timestamp."""
+
+    time_s: float
+    period_s: float
+    #: pid -> active watts.
+    by_pid: Mapping[int, float]
+    #: Idle power added to the total, watts.
+    idle_w: float
+    formula: str
+
+    @property
+    def active_w(self) -> float:
+        """Sum of per-process active power."""
+        return sum(self.by_pid.values())
+
+    @property
+    def total_w(self) -> float:
+        """Machine estimate: idle + per-process active power."""
+        return self.idle_w + self.active_w
+
+    def pids(self) -> Tuple[int, ...]:
+        """Monitored pids present in this report, ascending."""
+        return tuple(sorted(self.by_pid))

@@ -1,0 +1,81 @@
+"""Error metrics for comparing estimated against measured power.
+
+The paper reports a *median* error of 15 % on SPECjbb2013 and cites mean
+errors for the related work (4.63 % for Bertran et al., 7.5 % for HAPPY),
+so both medians and means of the absolute percentage error are first-class
+here, alongside the usual regression diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _validate(measured: Sequence[float], estimated: Sequence[float]
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(measured, dtype=float)
+    x = np.asarray(estimated, dtype=float)
+    if y.shape != x.shape or y.ndim != 1:
+        raise ConfigurationError("measured/estimated must be equal-length 1-D")
+    if y.size == 0:
+        raise ConfigurationError("at least one sample required")
+    return y, x
+
+
+def absolute_percentage_errors(measured: Sequence[float],
+                               estimated: Sequence[float]) -> np.ndarray:
+    """Per-sample |estimated - measured| / measured, as fractions.
+
+    Samples with zero measured power are rejected (the error is undefined).
+    """
+    y, x = _validate(measured, estimated)
+    if np.any(y == 0):
+        raise ConfigurationError("measured power contains zeros")
+    return np.abs(x - y) / np.abs(y)
+
+
+def median_ape(measured: Sequence[float], estimated: Sequence[float]) -> float:
+    """Median absolute percentage error (the paper's headline metric)."""
+    return float(np.median(absolute_percentage_errors(measured, estimated)))
+
+
+def mean_ape(measured: Sequence[float], estimated: Sequence[float]) -> float:
+    """Mean absolute percentage error (used by the cited related work)."""
+    return float(np.mean(absolute_percentage_errors(measured, estimated)))
+
+
+def rmse(measured: Sequence[float], estimated: Sequence[float]) -> float:
+    """Root-mean-square error in watts."""
+    y, x = _validate(measured, estimated)
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+def max_ape(measured: Sequence[float], estimated: Sequence[float]) -> float:
+    """Worst-case absolute percentage error."""
+    return float(np.max(absolute_percentage_errors(measured, estimated)))
+
+
+def r_squared(measured: Sequence[float], estimated: Sequence[float]) -> float:
+    """Coefficient of determination of the estimates against measurements."""
+    y, x = _validate(measured, estimated)
+    ss_res = float(np.sum((y - x) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def error_summary(measured: Sequence[float], estimated: Sequence[float]) -> dict:
+    """All metrics in one dict (percentages as fractions)."""
+    return {
+        "median_ape": median_ape(measured, estimated),
+        "mean_ape": mean_ape(measured, estimated),
+        "max_ape": max_ape(measured, estimated),
+        "rmse_w": rmse(measured, estimated),
+        "r2": r_squared(measured, estimated),
+        "samples": len(list(measured)),
+    }

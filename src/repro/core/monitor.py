@@ -1,0 +1,202 @@
+"""The PowerAPI facade: assembling and driving a monitoring pipeline.
+
+This is the toolkit's public entry point.  It wires the Figure 2
+architecture — clock, Sensor(s), Formula, Aggregator(s), Reporter(s) — on
+one actor system, and co-drives the simulated kernel and the actors:
+
+    kernel = SimKernel(intel_i3_2120())
+    pid = kernel.spawn(SpecJbbWorkload(), name="specjbb")
+    api = PowerAPI(kernel, model)
+    handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+    api.run(duration_s=120)
+    print(handle.reporter.total_series())
+
+The fluent builder mirrors PowerAPI's published DSL.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.actors.actor import Actor, ActorRef
+from repro.actors.clock import VirtualClock
+from repro.actors.system import ActorSystem
+from repro.core.aggregators import (FlushAggregates, PidAggregator,
+                                    TimestampAggregator)
+from repro.core.formula import CpuLoadFormula, HpcFormula
+from repro.core.model import PowerModel
+from repro.core.reporters import InMemoryReporter
+from repro.core.sensors import HpcSensor, PowerMeterSensor, ProcFsSensor
+from repro.errors import ConfigurationError
+from repro.os.kernel import SimKernel
+from repro.perf.counting import PerfSession
+from repro.powermeter.base import PowerMeter
+from repro.simcpu.counters import GENERIC_TRIO
+
+
+class MonitorHandle:
+    """A running pipeline: its actors and its primary reporter."""
+
+    def __init__(self, pids: Sequence[int], reporter: Actor,
+                 actor_refs: Sequence[ActorRef],
+                 pid_aggregator: Optional[PidAggregator]) -> None:
+        self.pids = tuple(pids)
+        self.reporter = reporter
+        self._refs = list(actor_refs)
+        self.pid_aggregator = pid_aggregator
+        self._system: Optional[ActorSystem] = None
+
+    def _attach(self, system: ActorSystem) -> None:
+        self._system = system
+
+    def stop(self) -> None:
+        """Tear the pipeline down (remaining mailbox messages are dropped)."""
+        if self._system is None:
+            return
+        for ref in self._refs:
+            self._system.stop(ref)
+        self._refs.clear()
+
+
+class MonitorBuilder:
+    """Fluent configuration of one monitoring pipeline."""
+
+    def __init__(self, api: "PowerAPI", pids: Sequence[int]) -> None:
+        if not pids:
+            raise ConfigurationError("monitor() needs at least one pid")
+        self._api = api
+        self._pids = tuple(pids)
+        self._period_s: Optional[float] = None
+        self._formula = "hpc"
+        self._events = GENERIC_TRIO
+
+    def every(self, period_s: float) -> "MonitorBuilder":
+        """Set the monitoring period (seconds)."""
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        self._period_s = period_s
+        return self
+
+    def with_formula(self, formula: str) -> "MonitorBuilder":
+        """Choose the estimation formula: ``"hpc"`` or ``"cpu-load"``."""
+        if formula not in ("hpc", "cpu-load"):
+            raise ConfigurationError(
+                f"unknown formula {formula!r}; use 'hpc' or 'cpu-load'")
+        self._formula = formula
+        return self
+
+    def with_events(self, events: Sequence[str]) -> "MonitorBuilder":
+        """Override the HPC events the sensor collects."""
+        if not events:
+            raise ConfigurationError("at least one event required")
+        self._events = tuple(events)
+        return self
+
+    def to(self, reporter: Actor) -> MonitorHandle:
+        """Attach *reporter* and start the pipeline."""
+        return self._api._start_pipeline(
+            pids=self._pids,
+            period_s=self._period_s,
+            formula=self._formula,
+            events=self._events,
+            reporter=reporter,
+        )
+
+
+class PowerAPI:
+    """The middleware toolkit: owns the actor system and the clock."""
+
+    def __init__(self, kernel: SimKernel, model: PowerModel,
+                 period_s: float = 1.0) -> None:
+        self.kernel = kernel
+        self.model = model
+        self.system = ActorSystem("powerapi")
+        self.clock = VirtualClock(self.system.event_bus, period_s=period_s)
+        self.perf = PerfSession(kernel.machine)
+        self._meters: List[PowerMeter] = []
+
+    # -- pipeline assembly ---------------------------------------------
+
+    def monitor(self, *pids: int) -> MonitorBuilder:
+        """Begin configuring a pipeline for *pids*."""
+        return MonitorBuilder(self, pids)
+
+    def attach_meter(self, meter: PowerMeter,
+                     name: Optional[str] = None) -> ActorRef:
+        """Also publish a physical meter's samples on the bus."""
+        meter.connect()
+        self._meters.append(meter)
+        return self.system.spawn(PowerMeterSensor(meter), name=name)
+
+    def _start_pipeline(self, pids: Sequence[int], period_s: Optional[float],
+                        formula: str, events: Sequence[str],
+                        reporter: Actor) -> MonitorHandle:
+        if period_s is not None and abs(period_s - self.clock.period_s) > 1e-12:
+            # One clock per API instance: pipelines share its period.
+            self.clock.period_s = period_s
+
+        refs: List[ActorRef] = []
+        if formula == "hpc":
+            sensor: Actor = HpcSensor(self.kernel.machine, self.perf,
+                                      pids, events=events)
+            formula_actor: Actor = HpcFormula(self.model)
+        else:
+            active_range = max(0.0, self._full_load_estimate() - self.model.idle_w)
+            sensor = ProcFsSensor(self.kernel.procfs, pids,
+                                  num_cpus=len(self.kernel.machine.topology))
+            formula_actor = CpuLoadFormula(
+                active_range_w=active_range,
+                num_cpus=len(self.kernel.machine.topology))
+
+        pid_aggregator = PidAggregator()
+        refs.append(self.system.spawn(sensor))
+        refs.append(self.system.spawn(formula_actor))
+        refs.append(self.system.spawn(
+            TimestampAggregator(idle_w=self.model.idle_w)))
+        refs.append(self.system.spawn(pid_aggregator))
+        reporter_ref = self.system.spawn(reporter)
+        refs.append(reporter_ref)
+
+        handle = MonitorHandle(pids, reporter, refs, pid_aggregator)
+        handle._attach(self.system)
+        return handle
+
+    def _full_load_estimate(self) -> float:
+        """Rough all-cores-busy power for the CPU-load formula's slope.
+
+        Estimated from the model itself: idle plus the TDP envelope is the
+        best architecture-independent guess a load-based model has.
+        """
+        return self.model.idle_w + self.kernel.machine.spec.power.tdp_w * 0.5
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self, duration_s: float) -> None:
+        """Advance kernel, clock and actors together for *duration_s*."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be >= 0")
+        steps = int(round(duration_s / self.kernel.quantum_s))
+        for _step in range(steps):
+            self.kernel.tick()
+            self.clock.advance(self.kernel.quantum_s)
+            self.system.dispatch()
+
+    def run_until_idle(self, max_duration_s: float = 3600.0) -> None:
+        """Run until every monitored process exits."""
+        while self.kernel.live_pids and self.kernel.time_s < max_duration_s:
+            self.kernel.tick()
+            self.clock.advance(self.kernel.quantum_s)
+            self.system.dispatch()
+
+    def flush(self) -> None:
+        """Force aggregators to emit partial/summary reports."""
+        self.system.event_bus.publish(FlushAggregates())
+        self.system.dispatch()
+
+    def shutdown(self) -> None:
+        """Stop all actors and disconnect meters."""
+        self.flush()
+        self.system.shutdown()
+        self.perf.close()
+        for meter in self._meters:
+            meter.disconnect()

@@ -1,0 +1,120 @@
+"""Offline estimation: replay recorded counter logs through a model.
+
+The powerapi-ng deployment style separates acquisition from estimation:
+sensors write counter reports to a log/queue, and the formula runs
+elsewhere (possibly much later) against a stored power model.  This
+module implements that workflow:
+
+* :class:`CounterLogWriter` — records per-period counter deltas of a
+  live run into the interchange CSV
+  (:func:`repro.perf.parsing.parse_counter_log` reads it back),
+* :func:`estimate_from_log` — replays a parsed log through a
+  :class:`~repro.core.model.PowerModel`, producing the same power series
+  the live pipeline would have produced,
+* :func:`estimate_from_csv` — convenience: path in, power trace out.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.traces import PowerTrace
+from repro.core.model import PowerModel
+from repro.errors import ConfigurationError
+from repro.perf.counting import PerfSession
+from repro.perf.parsing import parse_counter_log
+from repro.simcpu.machine import Machine
+
+
+class CounterLogWriter:
+    """Records machine-wide counter deltas per period into CSV.
+
+    Attach to a machine, then call :meth:`sample` once per monitoring
+    period (or use :meth:`observe_duration` to drive a kernel run); the
+    resulting text is the counter-log interchange format.
+    """
+
+    def __init__(self, machine: Machine, events: Sequence[str],
+                 frequency_hz: Optional[int] = None) -> None:
+        if not events:
+            raise ConfigurationError("at least one event required")
+        self.machine = machine
+        self.events = tuple(events)
+        self.frequency_hz = frequency_hz
+        self._perf = PerfSession(machine)
+        self._counters = self._perf.open_group(self.events)
+        self._previous = {counter.event: counter.read().scaled
+                          for counter in self._counters}
+        self._buffer = io.StringIO()
+        self._buffer.write("time_s," + ",".join(self.events) + "\n")
+        self.rows_written = 0
+
+    def sample(self) -> Dict[str, float]:
+        """Record the deltas since the previous sample; returns them."""
+        current = {counter.event: counter.read().scaled
+                   for counter in self._counters}
+        deltas = {event: max(0.0, current[event] - self._previous[event])
+                  for event in current}
+        self._previous = current
+        row = [f"{self.machine.time_s:.6f}"]
+        row.extend(f"{deltas[event]:.6f}" for event in self.events)
+        self._buffer.write(",".join(row) + "\n")
+        self.rows_written += 1
+        return deltas
+
+    def text(self) -> str:
+        """The CSV written so far."""
+        return self._buffer.getvalue()
+
+    def write_to(self, path: Union[str, Path]) -> None:
+        """Persist the log."""
+        Path(path).write_text(self.text())
+
+    def close(self) -> None:
+        """Release the perf counters."""
+        self._perf.close()
+
+
+def estimate_from_log(model: PowerModel,
+                      rows: Sequence[Tuple[float, Dict[str, float]]],
+                      frequency_hz: Optional[int] = None) -> PowerTrace:
+    """Replay parsed counter-log rows through *model*.
+
+    Periods are inferred from consecutive timestamps (the first row's
+    period from the gap to the second; a single row is rejected).  The
+    formula for *frequency_hz* is used — offline logs carry no frequency
+    column, so the recording frequency must be supplied (defaults to the
+    model's highest known frequency, matching a performance-governor
+    recording).
+    """
+    if len(rows) < 2:
+        raise ConfigurationError("need at least two log rows to infer "
+                                 "the monitoring period")
+    if frequency_hz is None:
+        frequency_hz = model.frequencies_hz[-1]
+
+    times: List[float] = []
+    powers: List[float] = []
+    previous_time: Optional[float] = None
+    first_period = rows[1][0] - rows[0][0]
+    if first_period <= 0:
+        raise ConfigurationError("log timestamps must be increasing")
+    for time_s, deltas in rows:
+        period = (time_s - previous_time if previous_time is not None
+                  else first_period)
+        if period <= 0:
+            raise ConfigurationError("log timestamps must be increasing")
+        rates = {event: delta / period for event, delta in deltas.items()}
+        times.append(time_s)
+        powers.append(model.predict_total(frequency_hz, rates))
+        previous_time = time_s
+    return PowerTrace.from_series(model.name, times, powers)
+
+
+def estimate_from_csv(model: PowerModel, path: Union[str, Path],
+                      frequency_hz: Optional[int] = None) -> PowerTrace:
+    """Parse a counter-log CSV file and replay it through *model*."""
+    rows = parse_counter_log(Path(path).read_text())
+    return estimate_from_log(model, rows, frequency_hz=frequency_hz)

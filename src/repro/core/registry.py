@@ -1,0 +1,96 @@
+"""Power-model registry: learn once per machine, reuse forever.
+
+Profiling a machine takes minutes (Figure 1 runs the whole stress x
+frequency grid), so a deployed tool keeps learned models on disk and
+matches them to the hardware at startup.  The registry keys models by a
+*machine signature* — vendor, model and the exact frequency ladder —
+because a model learned for one DVFS ladder is meaningless on another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.model import PowerModel
+from repro.errors import ConfigurationError, ModelError
+from repro.simcpu.spec import CpuSpec
+
+
+def machine_signature(spec: CpuSpec) -> str:
+    """A stable identifier for 'the same machine, power-wise'."""
+    payload = json.dumps({
+        "vendor": spec.vendor,
+        "model": spec.model,
+        "frequencies_hz": list(spec.all_frequencies_hz),
+        "threads": spec.num_threads,
+    }, sort_keys=True)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    slug = f"{spec.vendor}-{spec.model}".lower().replace(" ", "-")
+    return f"{slug}-{digest}"
+
+
+class ModelRegistry:
+    """A directory of model JSONs keyed by machine signature."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, signature: str) -> Path:
+        if not signature or "/" in signature:
+            raise ConfigurationError(f"invalid signature {signature!r}")
+        return self.root / f"{signature}.json"
+
+    # -- writes ------------------------------------------------------------
+
+    def save(self, spec: CpuSpec, model: PowerModel) -> str:
+        """Store *model* for machines matching *spec*; returns the key."""
+        signature = machine_signature(spec)
+        self._path(signature).write_text(model.to_json())
+        return signature
+
+    def delete(self, spec: CpuSpec) -> bool:
+        """Drop the stored model for *spec*; True if one existed."""
+        path = self._path(machine_signature(spec))
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    # -- reads --------------------------------------------------------------
+
+    def load(self, spec: CpuSpec) -> Optional[PowerModel]:
+        """The stored model for *spec*, or None when never learned."""
+        path = self._path(machine_signature(spec))
+        if not path.exists():
+            return None
+        try:
+            return PowerModel.from_json(path.read_text())
+        except ModelError as error:
+            raise ModelError(
+                f"corrupt model for {machine_signature(spec)}: {error}"
+            ) from error
+
+    def entries(self) -> List[str]:
+        """All stored signatures, sorted."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def load_or_learn(self, spec: CpuSpec, learner=None) -> PowerModel:
+        """Return the stored model, learning and storing one if absent.
+
+        *learner* is a callable ``spec -> PowerModel`` (defaults to the
+        full Figure 1 pipeline).
+        """
+        model = self.load(spec)
+        if model is not None:
+            return model
+        if learner is None:
+            from repro.core.sampling import learn_power_model
+            model = learn_power_model(spec).model
+        else:
+            model = learner(spec)
+        self.save(spec, model)
+        return model

@@ -1,0 +1,208 @@
+"""Reporter actors: rendering power estimations for consumers.
+
+A Reporter "converts the power estimations produced by the library into a
+suitable format" (paper, Section 3).  All reporters subscribe to
+:class:`AggregatedPowerReport` (machine-level, per period) and
+:class:`PidEnergyReport` (per-run energy summaries).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.actors.actor import Actor
+from repro.core.aggregators import PidEnergyReport
+from repro.core.messages import AggregatedPowerReport
+
+
+class InMemoryReporter(Actor):
+    """Collects every report in lists — the test/benchmark reporter."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.aggregated: List[AggregatedPowerReport] = []
+        self.energy_reports: List[PidEnergyReport] = []
+
+    def pre_start(self) -> None:
+        bus = self.context.system.event_bus
+        bus.subscribe(AggregatedPowerReport, self.self_ref)
+        bus.subscribe(PidEnergyReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if isinstance(message, AggregatedPowerReport):
+            self.aggregated.append(message)
+        elif isinstance(message, PidEnergyReport):
+            self.energy_reports.append(message)
+
+    # -- queries ------------------------------------------------------------
+
+    def total_series(self) -> List[float]:
+        """Machine power estimate per period, watts."""
+        return [report.total_w for report in self.aggregated]
+
+    def time_series(self) -> List[float]:
+        """Timestamps of the aggregated reports, seconds."""
+        return [report.time_s for report in self.aggregated]
+
+    def pid_series(self, pid: int) -> List[float]:
+        """Active power attributed to one pid per period, watts."""
+        return [report.by_pid.get(pid, 0.0) for report in self.aggregated]
+
+
+class ConsoleReporter(Actor):
+    """Human-readable one-line-per-period output."""
+
+    def __init__(self, stream: Optional[io.TextIOBase] = None) -> None:
+        super().__init__()
+        self.stream = stream
+        self.lines_written = 0
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            AggregatedPowerReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if not isinstance(message, AggregatedPowerReport):
+            return
+        parts = [f"t={message.time_s:8.1f}s",
+                 f"total={message.total_w:6.2f}W",
+                 f"idle={message.idle_w:5.2f}W"]
+        for pid in message.pids():
+            parts.append(f"pid{pid}={message.by_pid[pid]:5.2f}W")
+        line = "  ".join(parts)
+        if self.stream is not None:
+            self.stream.write(line + "\n")
+        else:
+            print(line)
+        self.lines_written += 1
+
+
+class CsvReporter(Actor):
+    """Writes one CSV row per aggregated report.
+
+    Columns: time_s, total_w, idle_w, then one ``pid_<n>_w`` column per
+    monitored pid (the set of pids is fixed at construction so the header
+    is stable).
+    """
+
+    def __init__(self, path: Union[str, Path], pids) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.pids = tuple(sorted(pids))
+        self._file = None
+        self._writer = None
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            AggregatedPowerReport, self.self_ref)
+        self._file = self.path.open("w", newline="")
+        self._writer = csv.writer(self._file)
+        header = ["time_s", "total_w", "idle_w"]
+        header.extend(f"pid_{pid}_w" for pid in self.pids)
+        self._writer.writerow(header)
+
+    def post_stop(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def receive(self, message) -> None:
+        if not isinstance(message, AggregatedPowerReport):
+            return
+        row = [f"{message.time_s:.3f}", f"{message.total_w:.4f}",
+               f"{message.idle_w:.4f}"]
+        row.extend(f"{message.by_pid.get(pid, 0.0):.4f}" for pid in self.pids)
+        self._writer.writerow(row)
+        self._file.flush()
+
+
+class CallbackReporter(Actor):
+    """Invokes a user callback for every aggregated report."""
+
+    def __init__(self, callback: Callable[[AggregatedPowerReport], None]) -> None:
+        super().__init__()
+        self.callback = callback
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            AggregatedPowerReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if isinstance(message, AggregatedPowerReport):
+            self.callback(message)
+
+
+class JsonlReporter(Actor):
+    """Writes one JSON object per aggregated report (machine-readable log)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._file = None
+        self.records_written = 0
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            AggregatedPowerReport, self.self_ref)
+        self._file = self.path.open("w")
+
+    def post_stop(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def receive(self, message) -> None:
+        if not isinstance(message, AggregatedPowerReport):
+            return
+        import json
+
+        record = {
+            "time_s": message.time_s,
+            "period_s": message.period_s,
+            "total_w": message.total_w,
+            "idle_w": message.idle_w,
+            "formula": message.formula,
+            "by_pid": {str(pid): watts
+                       for pid, watts in message.by_pid.items()},
+        }
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        self.records_written += 1
+
+
+class PrometheusReporter(Actor):
+    """Maintains a Prometheus text-format exposition of the latest state.
+
+    Every aggregated report rewrites *path* with ``powerapi_machine_watts``
+    and one ``powerapi_process_watts{pid="..."}`` sample per process —
+    the node-exporter "textfile collector" integration pattern.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(
+            AggregatedPowerReport, self.self_ref)
+
+    def receive(self, message) -> None:
+        if not isinstance(message, AggregatedPowerReport):
+            return
+        lines = [
+            "# HELP powerapi_machine_watts Estimated machine power.",
+            "# TYPE powerapi_machine_watts gauge",
+            f"powerapi_machine_watts {message.total_w:.4f}",
+            "# HELP powerapi_idle_watts Calibrated idle power.",
+            "# TYPE powerapi_idle_watts gauge",
+            f"powerapi_idle_watts {message.idle_w:.4f}",
+            "# HELP powerapi_process_watts Estimated active power per process.",
+            "# TYPE powerapi_process_watts gauge",
+        ]
+        for pid in message.pids():
+            lines.append(f'powerapi_process_watts{{pid="{pid}"}} '
+                         f"{message.by_pid[pid]:.4f}")
+        self.path.write_text("\n".join(lines) + "\n")

@@ -1,0 +1,218 @@
+"""The power-model learning pipeline (Figure 1 of the paper).
+
+The process, exactly as the paper describes it:
+
+1. *Workloads* — CPU- and memory-intensive stressors cover the space of
+   processor activities (step 1 in the figure),
+2. they are *executed for each frequency* made available by the processor
+   (including turbo bins when present), pinned there with the userspace
+   governor,
+3. during each run the *PowerSpy* meter records wall power while the
+   *HPCs* are read through the perf layer (steps 2–3),
+4. samples are fed to a *multivariate regression*, one model per
+   frequency (step 4), with the idle constant coming from a separate
+   calibration run.
+
+The result is a :class:`~repro.core.model.PowerModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.calibration import calibrate_idle_power
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.regression import RegressionResult, fit
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.os.governor import UserspaceGovernor
+from repro.os.kernel import SimKernel
+from repro.perf.counting import PerfSession
+from repro.powermeter.powerspy import PowerSpy
+from repro.simcpu.counters import GENERIC_TRIO
+from repro.simcpu.spec import CpuSpec
+from repro.workloads.base import Workload
+from repro.workloads.stress import stress_matrix
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One (counter rates, power) observation at a pinned frequency."""
+
+    frequency_hz: int
+    workload: str
+    #: Machine-wide counter rates, events/second.
+    rates: Dict[str, float]
+    #: Mean wall power over the window, watts.
+    power_w: float
+
+
+class SamplingDataset:
+    """All sample points of one campaign."""
+
+    def __init__(self, points: Sequence[SamplePoint],
+                 events: Sequence[str]) -> None:
+        self.points: List[SamplePoint] = list(points)
+        self.events: Tuple[str, ...] = tuple(events)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def frequencies_hz(self) -> Tuple[int, ...]:
+        """Distinct frequencies present, ascending."""
+        return tuple(sorted({point.frequency_hz for point in self.points}))
+
+    def at_frequency(self, frequency_hz: int) -> List[SamplePoint]:
+        """Points sampled at one frequency."""
+        return [point for point in self.points
+                if point.frequency_hz == frequency_hz]
+
+    def feature_matrix(self, frequency_hz: Optional[int] = None
+                       ) -> Tuple[List[Dict[str, float]], List[float]]:
+        """(feature dicts, power targets) for regression."""
+        points = (self.points if frequency_hz is None
+                  else self.at_frequency(frequency_hz))
+        return ([point.rates for point in points],
+                [point.power_w for point in points])
+
+
+class SamplingCampaign:
+    """Runs the Figure 1 grid: workloads x frequencies x windows."""
+
+    def __init__(self, spec: CpuSpec,
+                 events: Sequence[str] = GENERIC_TRIO,
+                 workloads: Optional[Sequence[Workload]] = None,
+                 frequencies_hz: Optional[Sequence[int]] = None,
+                 thread_counts: Optional[Sequence[int]] = None,
+                 window_s: float = 1.0,
+                 windows_per_run: int = 4,
+                 settle_s: float = 0.5,
+                 quantum_s: float = 0.05,
+                 meter_seed: int = 1234) -> None:
+        if window_s <= 0 or settle_s < 0 or windows_per_run < 1:
+            raise ConfigurationError("invalid campaign timing parameters")
+        self.spec = spec
+        self.events = tuple(events)
+        self._explicit_workloads = list(workloads) if workloads else None
+        self.frequencies_hz = tuple(frequencies_hz if frequencies_hz
+                                    else spec.all_frequencies_hz)
+        for frequency in self.frequencies_hz:
+            spec.validate_frequency(frequency)
+        if thread_counts is None:
+            thread_counts = sorted({1, spec.num_cores, spec.num_threads})
+        self.thread_counts = tuple(thread_counts)
+        self.window_s = window_s
+        self.windows_per_run = windows_per_run
+        self.settle_s = settle_s
+        self.quantum_s = quantum_s
+        self.meter_seed = meter_seed
+
+    def _workloads(self) -> List[Tuple[Workload, int]]:
+        """(workload, thread count) pairs forming the grid."""
+        if self._explicit_workloads is not None:
+            return [(workload, 1) for workload in self._explicit_workloads]
+        grid: List[Tuple[Workload, int]] = []
+        for threads in self.thread_counts:
+            for workload in stress_matrix(threads=threads):
+                grid.append((workload, threads))
+        return grid
+
+    def run(self) -> SamplingDataset:
+        """Execute the whole grid; returns every collected sample point."""
+        points: List[SamplePoint] = []
+        run_index = 0
+        for frequency_hz in self.frequencies_hz:
+            for workload, _threads in self._workloads():
+                run_index += 1
+                points.extend(self._one_run(frequency_hz, workload, run_index))
+        return SamplingDataset(points, self.events)
+
+    def _one_run(self, frequency_hz: int, workload: Workload,
+                 run_index: int) -> List[SamplePoint]:
+        """One workload pinned at one frequency; one point per window."""
+        kernel = SimKernel(
+            self.spec,
+            governor_factory=lambda spec, topo, domain: UserspaceGovernor(
+                spec, topo, domain, frequency_hz),
+            quantum_s=self.quantum_s,
+        )
+        meter = PowerSpy(kernel.machine, sample_rate_hz=1.0 / self.window_s,
+                         seed=self.meter_seed + run_index)
+        perf = PerfSession(kernel.machine)
+        counters = perf.open_group(self.events)
+        kernel.spawn(workload, name=workload.name)
+
+        points: List[SamplePoint] = []
+        with meter:
+            if self.settle_s > 0:
+                kernel.run(self.settle_s)
+            meter.clear()
+            previous = {counter.event: counter.read().scaled
+                        for counter in counters}
+            for _window in range(self.windows_per_run):
+                kernel.run(self.window_s)
+                sample = meter.last_sample()
+                if sample is None:
+                    continue
+                current = {counter.event: counter.read().scaled
+                           for counter in counters}
+                rates = {event: (current[event] - previous[event]) / self.window_s
+                         for event in previous}
+                previous = current
+                points.append(SamplePoint(
+                    frequency_hz=frequency_hz,
+                    workload=workload.name,
+                    rates=rates,
+                    power_w=sample.power_w,
+                ))
+        perf.close()
+        return points
+
+
+@dataclass(frozen=True)
+class LearningReport:
+    """Everything produced by :func:`learn_power_model`."""
+
+    model: PowerModel
+    dataset: SamplingDataset
+    idle_w: float
+    #: Per-frequency regression diagnostics.
+    regressions: Dict[int, RegressionResult] = field(default_factory=dict)
+
+
+def learn_power_model(spec: CpuSpec,
+                      events: Sequence[str] = GENERIC_TRIO,
+                      method: str = "nnls",
+                      campaign: Optional[SamplingCampaign] = None,
+                      idle_duration_s: float = 20.0,
+                      name: str = "powerapi-learned") -> LearningReport:
+    """The full Figure 1 pipeline: sample, calibrate idle, regress.
+
+    One regression per frequency over (counter rates -> power - idle);
+    the default NNLS backend keeps coefficients physically non-negative,
+    matching the published formula's shape.
+    """
+    if campaign is None:
+        campaign = SamplingCampaign(spec, events=events)
+    dataset = campaign.run()
+    idle_w = calibrate_idle_power(spec, duration_s=idle_duration_s)
+
+    formulas: List[FrequencyFormula] = []
+    regressions: Dict[int, RegressionResult] = {}
+    for frequency_hz in dataset.frequencies_hz:
+        features, targets = dataset.feature_matrix(frequency_hz)
+        if len(features) < len(events) + 1:
+            raise InsufficientDataError(
+                f"only {len(features)} samples at {frequency_hz} Hz")
+        active = [max(0.0, power - idle_w) for power in targets]
+        result = fit(features, active, list(events), method=method,
+                     fit_intercept=False)
+        regressions[frequency_hz] = result
+        formulas.append(FrequencyFormula(
+            frequency_hz=frequency_hz,
+            coefficients=dict(result.coefficients),
+        ))
+    model = PowerModel(idle_w=idle_w, formulas=formulas, name=name)
+    return LearningReport(model=model, dataset=dataset, idle_w=idle_w,
+                          regressions=regressions)

@@ -1,0 +1,140 @@
+"""Counter selection by correlation ranking.
+
+Section 3 of the paper fixes ``instructions``, ``cache-references`` and
+``cache-misses`` as "the most correlated with the power consumption"; the
+conclusion then proposes, as future work, "the Spearman rank correlation
+for finding automatically the most correlated" counters.  This module
+implements both: Pearson and Spearman ranking over a sampling dataset,
+with the paper's two selection criteria — portability across vendors and
+collection overhead — applied as filters and tie-breakers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.core.sampling import SamplingDataset
+from repro.errors import ConfigurationError
+from repro.perf.events import event_def, portable_events
+
+
+@dataclass(frozen=True)
+class CounterRanking:
+    """Correlation of every candidate event with measured power."""
+
+    #: (event, |correlation|) pairs, strongest first.
+    ranked: Tuple[Tuple[str, float], ...]
+    method: str
+
+    def top(self, k: int) -> Tuple[str, ...]:
+        """The *k* strongest events."""
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        return tuple(event for event, _score in self.ranked[:k])
+
+    def score(self, event: str) -> float:
+        """|correlation| of one event (0.0 when absent)."""
+        for name, value in self.ranked:
+            if name == event:
+                return value
+        return 0.0
+
+
+def _collect_columns(dataset: SamplingDataset, events: Sequence[str]
+                     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    power = np.array([point.power_w for point in dataset.points])
+    columns = {
+        event: np.array([point.rates.get(event, 0.0)
+                         for point in dataset.points])
+        for event in events
+    }
+    return columns, power
+
+
+def rank_counters(dataset: SamplingDataset,
+                  events: Optional[Sequence[str]] = None,
+                  method: str = "spearman",
+                  portable_only: bool = True) -> CounterRanking:
+    """Rank candidate events by |correlation| with measured power.
+
+    ``method`` is ``"spearman"`` (rank correlation, robust to the
+    non-linearities of real power curves — the paper's proposed upgrade)
+    or ``"pearson"`` (plain linear correlation).  With *portable_only*,
+    events missing from any vendor's PMU are excluded up front, mirroring
+    the paper's availability criterion.  Ties break toward the event with
+    lower collection overhead (the paper's second criterion).
+    """
+    if len(dataset) < 3:
+        raise ConfigurationError("need at least 3 samples to correlate")
+    if events is None:
+        events = dataset.events
+    if portable_only:
+        portable = set(portable_events())
+        events = [event for event in events if event in portable]
+    if not events:
+        raise ConfigurationError("no candidate events after filtering")
+
+    columns, power = _collect_columns(dataset, events)
+    scores: List[Tuple[str, float]] = []
+    for event, values in columns.items():
+        if np.allclose(values, values[0]):
+            correlation = 0.0  # constant column carries no information
+        elif method == "spearman":
+            correlation, _p = stats.spearmanr(values, power)
+        elif method == "pearson":
+            correlation, _p = stats.pearsonr(values, power)
+        else:
+            raise ConfigurationError(
+                f"unknown correlation method {method!r}")
+        if np.isnan(correlation):
+            correlation = 0.0
+        scores.append((event, abs(float(correlation))))
+
+    scores.sort(key=lambda item: (-item[1], event_def(item[0]).overhead,
+                                  item[0]))
+    return CounterRanking(ranked=tuple(scores), method=method)
+
+
+def select_counters(dataset: SamplingDataset, k: int = 3,
+                    method: str = "spearman",
+                    events: Optional[Sequence[str]] = None,
+                    portable_only: bool = True,
+                    max_redundancy: Optional[float] = 0.95
+                    ) -> Tuple[str, ...]:
+    """The top-*k* events for power modelling on this machine.
+
+    With *max_redundancy* set (the default), selection is greedy with a
+    diversity constraint: a candidate whose |Spearman correlation| with an
+    already-selected event exceeds the threshold is skipped, so the model
+    does not spend two of its few counters on near-duplicates (e.g.
+    ``cache-references`` and ``LLC-loads``).  Pass ``None`` for the naive
+    top-k.
+    """
+    ranking = rank_counters(dataset, events=events, method=method,
+                            portable_only=portable_only)
+    if max_redundancy is None:
+        return ranking.top(k)
+    if not 0.0 < max_redundancy <= 1.0:
+        raise ConfigurationError("max_redundancy must be within (0, 1]")
+
+    candidates = [event for event, _score in ranking.ranked]
+    columns, _power = _collect_columns(dataset, candidates)
+    selected: List[str] = []
+    for event in candidates:
+        if len(selected) >= k:
+            break
+        redundant = False
+        for chosen in selected:
+            correlation, _p = stats.spearmanr(columns[event], columns[chosen])
+            if np.isnan(correlation):
+                continue
+            if abs(float(correlation)) > max_redundancy:
+                redundant = True
+                break
+        if not redundant:
+            selected.append(event)
+    return tuple(selected)

@@ -1,0 +1,237 @@
+"""Sensor actors: the data-acquisition stage of the PowerAPI pipeline.
+
+A Sensor "monitors the metrics of a given process and then publishes a
+sensor message to the event bus" (paper, Section 3).  Sensors subscribe to
+the monitoring clock (:class:`~repro.actors.clock.ClockTick`) and publish
+one report per monitored process per period:
+
+* :class:`HpcSensor` — hardware performance counters through the perf
+  layer (the paper's primary metric source),
+* :class:`ProcFsSensor` — CPU-time accounting from procfs (feeds the
+  CPU-load baseline),
+* :class:`PowerMeterSensor` — readings of a physical power meter (used
+  during evaluation to compare estimates against ground truth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.actors.actor import Actor
+from repro.actors.clock import ClockTick
+from repro.core.messages import HpcReport, PowerMeterReport, ProcFsReport
+from repro.errors import ConfigurationError
+from repro.os.procfs import ProcFs
+from repro.perf.counting import PerfCounter, PerfSession
+from repro.powermeter.base import PowerMeter
+from repro.simcpu.counters import GENERIC_TRIO
+from repro.simcpu.machine import Machine
+
+
+class HpcSensor(Actor):
+    """Publishes per-process HPC deltas on every clock tick."""
+
+    def __init__(self, machine: Machine, perf: PerfSession,
+                 pids: Sequence[int],
+                 events: Sequence[str] = GENERIC_TRIO) -> None:
+        super().__init__()
+        if not pids:
+            raise ConfigurationError("HpcSensor needs at least one pid")
+        self.machine = machine
+        self.perf = perf
+        self.pids = tuple(pids)
+        self.events = tuple(events)
+        self._counters: Dict[int, Tuple[PerfCounter, ...]] = {}
+        self._previous: Dict[int, Dict[str, float]] = {}
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+        for pid in self.pids:
+            counters = tuple(self.perf.open(event, pid=pid)
+                             for event in self.events)
+            self._counters[pid] = counters
+            self._previous[pid] = {counter.event: counter.read().scaled
+                                   for counter in counters}
+
+    def post_stop(self) -> None:
+        for counters in self._counters.values():
+            for counter in counters:
+                counter.close()
+        self._counters.clear()
+
+    def receive(self, message) -> None:
+        if not isinstance(message, ClockTick):
+            return
+        frequency_hz = self.machine.dominant_frequency_hz()
+        for pid in self.pids:
+            current = {counter.event: counter.read().scaled
+                       for counter in self._counters[pid]}
+            deltas = {event: max(0.0, current[event] - self._previous[pid][event])
+                      for event in current}
+            self._previous[pid] = current
+            self.publish(HpcReport(
+                time_s=message.time_s,
+                period_s=message.period_s,
+                pid=pid,
+                counters=deltas,
+                frequency_hz=frequency_hz,
+            ))
+
+
+class MachineHpcSensor(Actor):
+    """Publishes machine-wide HPC deltas (pid -1) on every clock tick.
+
+    Supports the hyperthread-aware models: with *with_smt_overlap* the
+    report's counters include the :data:`SMT_OVERLAP_EVENT` pseudo-event
+    (cycles during which both hyperthreads of a core were busy), computed
+    from per-logical-CPU cycle counters exactly like the learning
+    harness does.
+    """
+
+    #: Pseudo-event name carrying the SMT-overlap cycle count.
+    SMT_OVERLAP_EVENT = "smt-overlap-cycles"
+
+    def __init__(self, machine: Machine, perf: PerfSession,
+                 events: Sequence[str] = GENERIC_TRIO,
+                 with_smt_overlap: bool = False) -> None:
+        super().__init__()
+        self.machine = machine
+        self.perf = perf
+        self.events = tuple(events)
+        self.with_smt_overlap = with_smt_overlap
+        self._counters: Tuple[PerfCounter, ...] = ()
+        self._previous: Dict[str, float] = {}
+        self._cycle_counters: Dict[int, PerfCounter] = {}
+        self._previous_cycles: Dict[int, float] = {}
+        self._sibling_groups = [
+            machine.topology.core_cpus(package_id, core_id)
+            for package_id, core_id in machine.topology.cores()]
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+        self._counters = tuple(self.perf.open(event)
+                               for event in self.events)
+        self._previous = {counter.event: counter.read().scaled
+                          for counter in self._counters}
+        if self.with_smt_overlap:
+            self._cycle_counters = {
+                cpu_id: self.perf.open("cycles", cpu=cpu_id)
+                for cpu_id in self.machine.topology.cpu_ids}
+            self._previous_cycles = {
+                cpu_id: counter.read().scaled
+                for cpu_id, counter in self._cycle_counters.items()}
+
+    def post_stop(self) -> None:
+        for counter in self._counters:
+            counter.close()
+        for counter in self._cycle_counters.values():
+            counter.close()
+        self._counters = ()
+        self._cycle_counters = {}
+
+    def _overlap_delta(self) -> float:
+        current = {cpu_id: counter.read().scaled
+                   for cpu_id, counter in self._cycle_counters.items()}
+        deltas = {cpu_id: current[cpu_id] - self._previous_cycles[cpu_id]
+                  for cpu_id in current}
+        self._previous_cycles = current
+        overlap = 0.0
+        for group in self._sibling_groups:
+            counts = [max(0.0, deltas.get(cpu_id, 0.0))
+                      for cpu_id in group]
+            if len(counts) > 1:
+                overlap += min(counts)
+        return overlap
+
+    def receive(self, message) -> None:
+        if not isinstance(message, ClockTick):
+            return
+        current = {counter.event: counter.read().scaled
+                   for counter in self._counters}
+        deltas = {event: max(0.0, current[event] - self._previous[event])
+                  for event in current}
+        self._previous = current
+        if self.with_smt_overlap:
+            deltas[self.SMT_OVERLAP_EVENT] = self._overlap_delta()
+        self.publish(HpcReport(
+            time_s=message.time_s,
+            period_s=message.period_s,
+            pid=-1,
+            counters=deltas,
+            frequency_hz=self.machine.dominant_frequency_hz(),
+        ))
+
+
+class ProcFsSensor(Actor):
+    """Publishes per-process CPU-time deltas on every clock tick."""
+
+    def __init__(self, procfs: ProcFs, pids: Sequence[int],
+                 num_cpus: int) -> None:
+        super().__init__()
+        if not pids:
+            raise ConfigurationError("ProcFsSensor needs at least one pid")
+        if num_cpus < 1:
+            raise ConfigurationError("num_cpus must be >= 1")
+        self.procfs = procfs
+        self.pids = tuple(pids)
+        self.num_cpus = num_cpus
+        self._previous_cpu_s: Dict[int, float] = {}
+        self._previous_busy_s: Optional[float] = None
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+
+    def _pid_cpu_time(self, pid: int) -> float:
+        try:
+            return self.procfs.process_cpu_time_s(pid)
+        except Exception:  # process has not run yet
+            return 0.0
+
+    def receive(self, message) -> None:
+        if not isinstance(message, ClockTick):
+            return
+        total_busy = sum(self.procfs.cpu_busy_time_s(cpu)
+                         for cpu in range(self.num_cpus))
+        if self._previous_busy_s is None:
+            busy_delta = total_busy
+        else:
+            busy_delta = total_busy - self._previous_busy_s
+        self._previous_busy_s = total_busy
+        machine_load = min(1.0, max(
+            0.0, busy_delta / (self.num_cpus * message.period_s)))
+
+        for pid in self.pids:
+            now = self._pid_cpu_time(pid)
+            delta = max(0.0, now - self._previous_cpu_s.get(pid, 0.0))
+            self._previous_cpu_s[pid] = now
+            self.publish(ProcFsReport(
+                time_s=message.time_s,
+                period_s=message.period_s,
+                pid=pid,
+                cpu_time_delta_s=delta,
+                machine_load=machine_load,
+            ))
+
+
+class PowerMeterSensor(Actor):
+    """Publishes the latest physical meter reading on every clock tick."""
+
+    def __init__(self, meter: PowerMeter) -> None:
+        super().__init__()
+        self.meter = meter
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+
+    def receive(self, message) -> None:
+        if not isinstance(message, ClockTick):
+            return
+        sample = self.meter.last_sample()
+        if sample is None:
+            return
+        self.publish(PowerMeterReport(
+            time_s=message.time_s,
+            period_s=message.period_s,
+            pid=-1,
+            power_w=sample.power_w,
+        ))

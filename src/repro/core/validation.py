@@ -1,0 +1,102 @@
+"""Cross-validation of learned power models.
+
+The training R² the regression reports flatters the model: with a
+handful of stress workloads, a formula can fit the grid and still
+generalise poorly.  Leave-one-workload-out cross-validation answers the
+right question — *how well does the model predict workloads it never
+sampled?* — using only the campaign's own dataset, no extra simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import mean_ape, median_ape
+from repro.core.regression import fit
+from repro.core.sampling import SamplingDataset
+from repro.errors import ConfigurationError, InsufficientDataError
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """One held-out workload's out-of-sample errors."""
+
+    workload: str
+    samples: int
+    median_ape: float
+    mean_ape: float
+
+
+@dataclass(frozen=True)
+class CrossValidationReport:
+    """All folds plus the pooled out-of-sample error."""
+
+    folds: Tuple[FoldResult, ...]
+    pooled_median_ape: float
+    pooled_mean_ape: float
+    method: str
+    events: Tuple[str, ...]
+
+    def worst_fold(self) -> FoldResult:
+        """The workload the model generalises to worst."""
+        return max(self.folds, key=lambda fold: fold.median_ape)
+
+
+def cross_validate(dataset: SamplingDataset, idle_w: float,
+                   frequency_hz: int,
+                   events: Sequence[str] = None,
+                   method: str = "nnls") -> CrossValidationReport:
+    """Leave-one-workload-out validation at one frequency.
+
+    For each workload in the dataset: fit on every *other* workload's
+    samples, predict the held-out one, score against its measured power.
+    Folding by workload (not by sample) is what makes the estimate
+    honest — random sample folds would leak near-identical neighbours
+    into training.
+    """
+    if idle_w < 0:
+        raise ConfigurationError("idle_w must be >= 0")
+    points = dataset.at_frequency(frequency_hz)
+    if not points:
+        raise ConfigurationError(f"no samples at {frequency_hz} Hz")
+    if events is None:
+        events = dataset.events
+    workloads = sorted({point.workload for point in points})
+    if len(workloads) < 2:
+        raise InsufficientDataError(
+            "need at least two distinct workloads to cross-validate")
+
+    folds: List[FoldResult] = []
+    all_measured: List[float] = []
+    all_estimated: List[float] = []
+    for held_out in workloads:
+        train = [p for p in points if p.workload != held_out]
+        test = [p for p in points if p.workload == held_out]
+        if len(train) < len(events) + 1:
+            raise InsufficientDataError(
+                f"fold {held_out!r}: only {len(train)} training samples")
+        targets = [max(0.0, p.power_w - idle_w) for p in train]
+        result = fit([p.rates for p in train], targets, list(events),
+                     method=method, fit_intercept=False)
+        measured = [p.power_w for p in test]
+        estimated = [idle_w + max(0.0, result.predict(p.rates))
+                     for p in test]
+        folds.append(FoldResult(
+            workload=held_out,
+            samples=len(test),
+            median_ape=median_ape(measured, estimated),
+            mean_ape=mean_ape(measured, estimated),
+        ))
+        all_measured.extend(measured)
+        all_estimated.extend(estimated)
+
+    return CrossValidationReport(
+        folds=tuple(folds),
+        pooled_median_ape=median_ape(all_measured, all_estimated),
+        pooled_mean_ape=mean_ape(all_measured, all_estimated),
+        method=method,
+        events=tuple(events),
+    )

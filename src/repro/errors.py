@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: simulation errors, perf-interface errors, power-meter errors, actor
+errors and modelling errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the hardware/OS simulation."""
+
+
+class TopologyError(SimulationError):
+    """An invalid logical CPU, core or package was referenced."""
+
+
+class FrequencyError(SimulationError):
+    """An unsupported P-state or frequency was requested."""
+
+
+class SchedulerError(SimulationError):
+    """The OS scheduler was driven into an invalid state."""
+
+
+class ProcessError(SimulationError):
+    """An invalid process id or process state transition."""
+
+
+class PerfError(ReproError):
+    """Base class for perf-event interface errors."""
+
+
+class UnknownEventError(PerfError):
+    """An event name could not be resolved to an encoding."""
+
+
+class CounterStateError(PerfError):
+    """A counter was read/enabled/disabled in the wrong state."""
+
+
+class PowerMeterError(ReproError):
+    """Base class for power-meter errors."""
+
+
+class MeterConnectionError(PowerMeterError):
+    """The (simulated) meter is not connected or was disconnected."""
+
+
+class ActorError(ReproError):
+    """Base class for actor-runtime errors."""
+
+
+class ActorStoppedError(ActorError):
+    """A message was sent to a stopped actor."""
+
+
+class MailboxOverflowError(ActorError):
+    """An actor's bounded mailbox overflowed."""
+
+
+class ModelError(ReproError):
+    """Base class for power-model errors."""
+
+
+class NotFittedError(ModelError):
+    """A model was used for prediction before being fitted."""
+
+
+class InsufficientDataError(ModelError):
+    """Too few samples were provided to fit a model."""

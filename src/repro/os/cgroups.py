@@ -1,0 +1,81 @@
+"""Control groups: container-level grouping of processes.
+
+Modern deployments of counter-based power estimation (powerapi-ng,
+Kepler) attribute power to *containers*, i.e. cgroups, not bare pids.
+This module adds the grouping layer: a :class:`CgroupTree` maps
+processes into named groups, and the monitoring pipeline can aggregate
+per-process estimates per group
+(:class:`repro.core.cgroup_monitor.CgroupAggregator`).
+
+Semantics follow cgroup v2: a process belongs to exactly one group;
+moving a process re-homes all its future accounting; removing a group
+re-homes its members to the root group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.errors import ConfigurationError, ProcessError
+
+#: Name of the implicit root group every process starts in.
+ROOT = "/"
+
+
+class CgroupTree:
+    """Flat cgroup-v2-style membership: pid -> group name."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Set[int]] = {ROOT: set()}
+        self._membership: Dict[int, str] = {}
+
+    # -- group management ---------------------------------------------
+
+    def create(self, name: str) -> None:
+        """Create an empty group (idempotent for existing names)."""
+        if not name or name == ROOT:
+            raise ConfigurationError(f"invalid cgroup name {name!r}")
+        self._groups.setdefault(name, set())
+
+    def remove(self, name: str) -> None:
+        """Remove a group; members fall back to the root group."""
+        if name == ROOT:
+            raise ConfigurationError("cannot remove the root cgroup")
+        members = self._groups.pop(name, set())
+        for pid in members:
+            self._membership[pid] = ROOT
+            self._groups[ROOT].add(pid)
+
+    def groups(self) -> Tuple[str, ...]:
+        """All group names, root first, rest sorted."""
+        rest = sorted(group for group in self._groups if group != ROOT)
+        return (ROOT, *rest)
+
+    # -- membership ------------------------------------------------------
+
+    def attach(self, pid: int, group: str) -> None:
+        """Put *pid* into *group* (creating the group implicitly)."""
+        if pid < 0:
+            raise ProcessError("pid must be >= 0")
+        if group != ROOT:
+            self.create(group)
+        previous = self._membership.get(pid)
+        if previous is not None:
+            self._groups[previous].discard(pid)
+        self._membership[pid] = group
+        self._groups[group].add(pid)
+
+    def group_of(self, pid: int) -> str:
+        """The group containing *pid* (root if never attached)."""
+        return self._membership.get(pid, ROOT)
+
+    def members(self, group: str) -> Tuple[int, ...]:
+        """Pids in *group*, ascending."""
+        try:
+            return tuple(sorted(self._groups[group]))
+        except KeyError:
+            raise ConfigurationError(f"no such cgroup {group!r}") from None
+
+    def detach(self, pid: int) -> None:
+        """Remove *pid* from its group (back to root)."""
+        self.attach(pid, ROOT)

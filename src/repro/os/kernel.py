@@ -1,0 +1,119 @@
+"""The simulated kernel: process table, scheduling loop and time base.
+
+:class:`SimKernel` glues the OS layer to the machine.  Its :meth:`tick`
+performs one quantum: poll every live process for its demand, let the
+governor adjust P-states from the previous quantum's utilisation, let the
+scheduler produce assignments, step the machine, and update process
+accounting.  :meth:`run` loops that for a duration; :meth:`run_until_idle`
+loops until every process exits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, ProcessError
+from repro.os.governor import Governor, PerformanceGovernor
+from repro.os.process import Demand, Program, ProcessState, SimProcess
+from repro.os.procfs import ProcFs
+from repro.os.scheduler import Scheduler, SpreadScheduler
+from repro.simcpu.machine import Machine, TickRecord
+from repro.simcpu.spec import CpuSpec
+
+#: Default scheduling quantum, seconds (10 ms, a typical kernel tick).
+DEFAULT_QUANTUM_S = 0.01
+
+
+class SimKernel:
+    """Owns the machine, the process table and the scheduling loop."""
+
+    def __init__(self, spec: CpuSpec,
+                 scheduler_factory: Callable[..., Scheduler] = SpreadScheduler,
+                 governor_factory: Callable[..., Governor] = PerformanceGovernor,
+                 quantum_s: float = DEFAULT_QUANTUM_S) -> None:
+        if quantum_s <= 0:
+            raise ConfigurationError("quantum must be positive")
+        self.machine = Machine(spec)
+        self.scheduler = scheduler_factory(self.machine.topology)
+        self.governor = governor_factory(
+            spec, self.machine.topology, self.machine.frequency)
+        self.procfs = ProcFs(self.machine)
+        self.quantum_s = quantum_s
+        self._processes: Dict[int, SimProcess] = {}
+        self._next_pid = itertools.count(1000)
+        self._last_busy: Dict[int, float] = {
+            cpu_id: 0.0 for cpu_id in self.machine.topology.cpu_ids}
+
+    # -- process management ---------------------------------------------
+
+    def spawn(self, program: Program, name: str = "task",
+              affinity: Optional[Set[int]] = None, nice: int = 0) -> int:
+        """Create a process executing *program*; returns its pid."""
+        pid = next(self._next_pid)
+        self._processes[pid] = SimProcess(
+            pid=pid, name=name, program=program, affinity=affinity, nice=nice)
+        return pid
+
+    def process(self, pid: int) -> SimProcess:
+        """Look up a process by pid."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise ProcessError(f"no such pid {pid}") from None
+
+    def kill(self, pid: int) -> None:
+        """Force a process to exit immediately."""
+        self.process(pid).state = ProcessState.EXITED
+
+    @property
+    def live_pids(self) -> Tuple[int, ...]:
+        """Pids of processes that have not exited, ascending."""
+        return tuple(sorted(pid for pid, proc in self._processes.items()
+                            if proc.alive))
+
+    # -- time base --------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Current simulated time."""
+        return self.machine.time_s
+
+    def tick(self) -> TickRecord:
+        """Run one scheduling quantum."""
+        demands: List[Tuple[SimProcess, Demand]] = []
+        for process in self._processes.values():
+            if not process.alive:
+                continue
+            demand = process.poll_demand()
+            if demand is not None:
+                demands.append((process, demand))
+
+        self.governor.update(self._last_busy)
+        assignments = self.scheduler.assign(demands)
+        record = self.machine.step(assignments, self.quantum_s)
+        self._last_busy = dict(record.cpu_busy)
+
+        granted: Dict[int, float] = {}
+        for assignment in assignments:
+            granted[assignment.pid] = (granted.get(assignment.pid, 0.0)
+                                       + assignment.busy_fraction)
+        for process, _demand in demands:
+            process.account(
+                granted.get(process.pid, 0.0) * self.quantum_s, self.quantum_s)
+        return record
+
+    def run(self, duration_s: float) -> List[TickRecord]:
+        """Run for *duration_s* of simulated time."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be >= 0")
+        steps = int(round(duration_s / self.quantum_s))
+        return [self.tick() for _ in range(steps)]
+
+    def run_until_idle(self, max_duration_s: float = 3600.0) -> List[TickRecord]:
+        """Run until every process has exited (bounded by *max_duration_s*)."""
+        records: List[TickRecord] = []
+        deadline = self.time_s + max_duration_s
+        while self.live_pids and self.time_s < deadline:
+            records.append(self.tick())
+        return records

@@ -1,0 +1,69 @@
+"""A ``/proc``-like statistics view over the simulated machine.
+
+This is the interface the CPU-load baseline (Versick et al.) and the
+PowerAPI ``ProcFsSensor`` read: cumulative per-process CPU time (as
+``/proc/<pid>/stat`` utime) and per-CPU busy/idle time (as ``/proc/stat``).
+It observes the machine's tick stream, so it sees exactly what the
+simulated kernel sees — no access to the hidden power model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from repro.errors import ProcessError
+from repro.simcpu.machine import Machine, TickRecord
+
+
+class ProcFs:
+    """Cumulative CPU accounting, per process and per logical CPU."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+        self._pid_cpu_time_s: Dict[int, float] = defaultdict(float)
+        self._cpu_busy_s: Dict[int, float] = defaultdict(float)
+        self._total_time_s = 0.0
+        machine.add_observer(self._on_tick)
+
+    def _on_tick(self, record: TickRecord) -> None:
+        self._total_time_s += record.dt_s
+        for cpu_id, busy in record.cpu_busy.items():
+            self._cpu_busy_s[cpu_id] += busy * record.dt_s
+        # Per-pid CPU time is busy_fraction * dt; recover it from retired
+        # cycles at the core's granted frequency.
+        for (pid, cpu_id), delta in record.events.items():
+            core = self._machine.topology.cpu(cpu_id)
+            frequency = record.core_frequencies_hz[(core.package_id, core.core_id)]
+            if frequency > 0:
+                self._pid_cpu_time_s[pid] += delta.get("cycles", 0.0) / frequency
+
+    # -- /proc/<pid>/stat ----------------------------------------------------
+
+    def process_cpu_time_s(self, pid: int) -> float:
+        """Cumulative CPU seconds consumed by *pid*."""
+        if pid not in self._pid_cpu_time_s:
+            raise ProcessError(f"pid {pid} has no recorded CPU time")
+        return self._pid_cpu_time_s[pid]
+
+    def known_pids(self) -> Tuple[int, ...]:
+        """Pids with any recorded CPU time, ascending."""
+        return tuple(sorted(self._pid_cpu_time_s))
+
+    # -- /proc/stat ----------------------------------------------------------
+
+    def cpu_busy_time_s(self, cpu_id: int) -> float:
+        """Cumulative busy (non-idle) seconds of one logical CPU."""
+        return self._cpu_busy_s[cpu_id]
+
+    def uptime_s(self) -> float:
+        """Seconds of simulated time observed."""
+        return self._total_time_s
+
+    def machine_load(self) -> float:
+        """Machine-wide CPU load in [0, 1] since boot."""
+        if self._total_time_s == 0.0:
+            return 0.0
+        cpus = len(self._machine.topology)
+        busy = sum(self._cpu_busy_s.values())
+        return busy / (cpus * self._total_time_s)

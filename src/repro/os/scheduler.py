@@ -1,0 +1,169 @@
+"""CPU schedulers: mapping runnable processes onto logical CPUs.
+
+Each scheduler implements one placement policy over a single quantum:
+
+* :class:`SpreadScheduler` — the Linux-like default: spread load across
+  physical cores before doubling up on SMT siblings (best throughput),
+* :class:`PackScheduler` — consolidate load onto as few physical cores as
+  possible so the rest can sink into deep C-states (best energy at low
+  load; the kind of energy-aware decision the paper motivates),
+* :class:`PinnedScheduler` — honour explicit affinities only, used by the
+  sampling pipeline to pin stress workloads.
+
+Schedulers are stateless policies; fairness inside one CPU is proportional
+to demand (weighted by nice level) and capped so a CPU is never
+oversubscribed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulerError
+from repro.os.process import Demand, ProcessState, SimProcess
+from repro.simcpu.machine import ThreadAssignment
+from repro.simcpu.topology import Topology
+
+
+def _nice_weight(nice: int) -> float:
+    """Linux-style weight: every nice step is ~1.25x."""
+    return 1.25 ** (-nice)
+
+
+class Scheduler:
+    """Base class: turns (process, demand) pairs into thread assignments."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    # -- policy hook --------------------------------------------------------
+
+    def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        """CPU ids in the order this policy prefers to fill them."""
+        raise NotImplementedError
+
+    # -- common machinery ---------------------------------------------------
+
+    def assign(self, demands: Sequence[Tuple[SimProcess, Demand]]
+               ) -> List[ThreadAssignment]:
+        """Produce the quantum's assignments for all runnable processes."""
+        busy: Dict[int, float] = {cpu_id: 0.0 for cpu_id in self.topology.cpu_ids}
+        assignments: List[ThreadAssignment] = []
+
+        # Heaviest demands first gives better bin-packing.
+        work: List[Tuple[SimProcess, Demand]] = sorted(
+            (item for item in demands
+             if item[0].state is ProcessState.RUNNABLE),
+            key=lambda item: -item[1].utilization * item[1].threads)
+
+        for process, demand in work:
+            for _thread in range(demand.threads):
+                placed = self._place(process, demand, busy)
+                if placed is not None:
+                    assignments.append(placed)
+        return assignments
+
+    def _place(self, process: SimProcess, demand: Demand,
+               busy: Dict[int, float]) -> Optional[ThreadAssignment]:
+        """Place one thread of *process*, preferring this policy's order."""
+        candidates = [cpu_id for cpu_id in self.cpu_preference(busy)
+                      if process.allowed_on(cpu_id)]
+        if not candidates:
+            raise SchedulerError(
+                f"pid {process.pid} has an affinity excluding every CPU")
+        # First CPU with enough headroom for the full demand, else the one
+        # with most headroom (the thread runs slowed down).
+        for cpu_id in candidates:
+            if busy[cpu_id] + demand.utilization <= 1.0 + 1e-12:
+                granted = demand.utilization
+                break
+        else:
+            cpu_id = max(candidates, key=lambda c: 1.0 - busy[c])
+            granted = max(0.0, 1.0 - busy[cpu_id])
+            if granted <= 1e-12:
+                return None  # machine saturated; thread starves this quantum
+        weight = _nice_weight(process.nice)
+        granted = min(1.0 - busy[cpu_id], granted * min(1.0, weight))
+        if granted <= 0.0:
+            return None
+        busy[cpu_id] += granted
+        return ThreadAssignment(
+            pid=process.pid,
+            cpu_id=cpu_id,
+            busy_fraction=granted,
+            mix=demand.mix,
+            memory=demand.memory,
+        )
+
+
+class SpreadScheduler(Scheduler):
+    """Spread across physical cores first, SMT siblings last."""
+
+    def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        def key(cpu_id: int) -> Tuple[float, float, int]:
+            siblings = self.topology.siblings(cpu_id)
+            core_busy = sum(busy[s] for s in siblings)
+            return (busy[cpu_id], core_busy, cpu_id)
+        return sorted(self.topology.cpu_ids, key=key)
+
+
+class PackScheduler(Scheduler):
+    """Fill one core (and its siblings) completely before waking the next."""
+
+    def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        def key(cpu_id: int) -> Tuple[float, float, int]:
+            siblings = self.topology.siblings(cpu_id)
+            core_busy = sum(busy[s] for s in siblings)
+            # Prefer cores already awake (negative busy sorts busiest first).
+            return (-core_busy, busy[cpu_id], cpu_id)
+        return sorted(self.topology.cpu_ids, key=key)
+
+
+class PinnedScheduler(Scheduler):
+    """Place threads only on their affinity CPUs, lowest id first.
+
+    Processes without affinity fall back to spread placement.
+    """
+
+    def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        return sorted(self.topology.cpu_ids, key=lambda c: (busy[c], c))
+
+
+class EnergyAwareScheduler(Scheduler):
+    """Adaptive policy: consolidate at low load, spread at high load.
+
+    Packing lets idle cores sink into deep C-states (saving power) but
+    costs SMT contention throughput; spreading does the opposite.  This
+    scheduler measures the quantum's total demand up front and packs
+    whenever it fits within ``pack_threshold`` of the machine's capacity,
+    otherwise spreads — approximating the energy/performance sweet spot
+    without a power model in the loop.
+    """
+
+    def __init__(self, topology: Topology,
+                 pack_threshold: float = 0.5) -> None:
+        super().__init__(topology)
+        if not 0.0 < pack_threshold <= 1.0:
+            raise SchedulerError("pack_threshold must be within (0, 1]")
+        self.pack_threshold = pack_threshold
+        self._spread = SpreadScheduler(topology)
+        self._pack = PackScheduler(topology)
+        self._delegate: Scheduler = self._spread
+
+    def assign(self, demands):
+        capacity = float(len(self.topology))
+        wanted = sum(demand.utilization * demand.threads
+                     for process, demand in demands
+                     if process.state.value == "runnable")
+        self._delegate = (self._pack
+                          if wanted <= capacity * self.pack_threshold
+                          else self._spread)
+        return self._delegate.assign(demands)
+
+    def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        return self._delegate.cpu_preference(busy)
+
+    @property
+    def mode(self) -> str:
+        """The policy used for the most recent quantum."""
+        return "pack" if self._delegate is self._pack else "spread"

@@ -1,0 +1,123 @@
+"""A sysfs-like introspection view of the simulated machine.
+
+Real tooling discovers the machine through ``/sys``: cpufreq exposes the
+current/available frequencies and governor, cpuidle the C-state
+residencies, and the thermal zone the package temperature.  :class:`SysFs`
+renders the same virtual files from the simulator's state, so examples
+and diagnostics can "read the machine" the way a Linux tool would —
+including watching the package heat up during a long run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.simcpu.machine import Machine
+
+
+class SysFs:
+    """Read-only virtual-file view over a machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # -- cpufreq ----------------------------------------------------------
+
+    def scaling_available_frequencies(self, cpu_id: int) -> str:
+        """Contents of ``cpufreq/scaling_available_frequencies`` (kHz)."""
+        self.machine.topology.cpu(cpu_id)
+        return " ".join(str(f // 1000)
+                        for f in self.machine.spec.all_frequencies_hz)
+
+    def scaling_cur_freq(self, cpu_id: int) -> str:
+        """Contents of ``cpufreq/scaling_cur_freq`` (kHz)."""
+        cpu = self.machine.topology.cpu(cpu_id)
+        record = self.machine.last_record
+        if record is not None:
+            frequency = record.core_frequencies_hz[
+                (cpu.package_id, cpu.core_id)]
+        else:
+            frequency = self.machine.frequency.target(cpu.package_id,
+                                                      cpu.core_id)
+        return str(frequency // 1000)
+
+    def scaling_min_freq(self, cpu_id: int) -> str:
+        """Contents of ``cpufreq/scaling_min_freq`` (kHz)."""
+        self.machine.topology.cpu(cpu_id)
+        return str(self.machine.spec.min_frequency_hz // 1000)
+
+    def scaling_max_freq(self, cpu_id: int) -> str:
+        """Contents of ``cpufreq/scaling_max_freq`` (kHz)."""
+        self.machine.topology.cpu(cpu_id)
+        return str(self.machine.spec.max_frequency_hz // 1000)
+
+    # -- cpuidle ------------------------------------------------------------
+
+    def cpuidle_state_names(self, cpu_id: int) -> List[str]:
+        """Names of the cpuidle states, shallow to deep."""
+        self.machine.topology.cpu(cpu_id)
+        return [state.name for state in self.machine.cstates.states]
+
+    def cpuidle_residency_us(self, cpu_id: int) -> Dict[str, int]:
+        """Per-state residency in microseconds (``state*/time``)."""
+        self.machine.topology.cpu(cpu_id)
+        return {
+            state.name: int(self.machine.cstates.residency(
+                cpu_id, state.name) * 1e6)
+            for state in self.machine.cstates.states
+        }
+
+    # -- thermal ----------------------------------------------------------
+
+    def thermal_zone_temp(self) -> str:
+        """Contents of ``thermal_zone0/temp`` (millidegrees C)."""
+        return str(int(self.machine.thermal.temperature_c * 1000))
+
+    # -- topology ------------------------------------------------------------
+
+    def thread_siblings_list(self, cpu_id: int) -> str:
+        """Contents of ``topology/thread_siblings_list``."""
+        siblings = self.machine.topology.siblings(cpu_id)
+        return ",".join(str(s) for s in siblings)
+
+    def online(self) -> str:
+        """Contents of ``/sys/devices/system/cpu/online``."""
+        count = len(self.machine.topology)
+        return f"0-{count - 1}" if count > 1 else "0"
+
+    # -- directory-style access ------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a virtual file by its sysfs-like path.
+
+        Supported paths (cpuN = logical cpu id):
+
+        * ``cpu/cpuN/cpufreq/scaling_cur_freq`` (and min/max/available)
+        * ``cpu/cpuN/topology/thread_siblings_list``
+        * ``cpu/online``
+        * ``thermal/thermal_zone0/temp``
+        """
+        parts = path.strip("/").split("/")
+        try:
+            if parts == ["cpu", "online"]:
+                return self.online()
+            if parts[0] == "thermal":
+                if parts[1:] == ["thermal_zone0", "temp"]:
+                    return self.thermal_zone_temp()
+            elif parts[0] == "cpu" and parts[1].startswith("cpu"):
+                cpu_id = int(parts[1][3:])
+                if parts[2] == "cpufreq":
+                    handlers = {
+                        "scaling_cur_freq": self.scaling_cur_freq,
+                        "scaling_min_freq": self.scaling_min_freq,
+                        "scaling_max_freq": self.scaling_max_freq,
+                        "scaling_available_frequencies":
+                            self.scaling_available_frequencies,
+                    }
+                    return handlers[parts[3]](cpu_id)
+                if parts[2:] == ["topology", "thread_siblings_list"]:
+                    return self.thread_siblings_list(cpu_id)
+        except (IndexError, KeyError, ValueError):
+            pass
+        raise ConfigurationError(f"no such sysfs path {path!r}")

@@ -1,0 +1,163 @@
+"""Virtualisation: per-VM and per-guest power estimation.
+
+The paper's conclusion singles out virtual machines as the next target:
+"they are more and more used and a lot of work still remains to optimize
+their power consumptions".  This module models the estimation problem
+virtualisation creates:
+
+* a :class:`VirtualMachine` is a host *process* executing a guest
+  scheduler: its guests' demands are multiplexed onto a fixed number of
+  vCPUs, and the blend of their instruction mixes / memory profiles is
+  what the host (and its HPCs) actually observes,
+* the host-side PowerAPI pipeline therefore estimates the *VM's* power
+  exactly like any process — per-guest attribution inside the VM has to
+  fall back to guest-local accounting (:func:`split_vm_power`), because
+  the host cannot read guest-level hardware counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.os.process import Demand
+from repro.simcpu.caches import MemoryProfile
+from repro.simcpu.pipeline import InstructionMix
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class GuestUsage:
+    """One guest's share of its VM during a quantum."""
+
+    name: str
+    utilization: float
+
+
+class VirtualMachine(Workload):
+    """A VM as a host workload: guests multiplexed onto vCPUs.
+
+    ``vcpus`` bounds the host threads the VM can occupy.  When guest
+    demand exceeds vCPU capacity, guests are throttled proportionally —
+    the classic steal-time effect.
+    """
+
+    def __init__(self, name: str, vcpus: int,
+                 guests: Sequence[Workload]) -> None:
+        if vcpus < 1:
+            raise ConfigurationError("a VM needs at least one vCPU")
+        if not guests:
+            raise ConfigurationError("a VM needs at least one guest")
+        self.name = name
+        self.vcpus = vcpus
+        self.guests = list(guests)
+        self._last_usage: List[GuestUsage] = []
+
+    # -- guest multiplexing ----------------------------------------------
+
+    def _poll_guests(self, local_time_s: float
+                     ) -> List[Tuple[Workload, Demand]]:
+        demands = []
+        for guest in self.guests:
+            demand = guest.demand(local_time_s)
+            if demand is not None and demand.utilization > 0:
+                demands.append((guest, demand))
+        return demands
+
+    def demand(self, local_time_s: float) -> Optional[Demand]:
+        demands = self._poll_guests(local_time_s)
+        if not demands:
+            finished = all(guest.demand(local_time_s) is None
+                           for guest in self.guests)
+            if finished:
+                return None
+            self._last_usage = []
+            return Demand(utilization=0.0)
+
+        wanted = sum(demand.utilization * demand.threads
+                     for _guest, demand in demands)
+        capacity = float(self.vcpus)
+        scale = min(1.0, capacity / wanted) if wanted > 0 else 1.0
+        granted = wanted * scale
+
+        # Blend what the host's counters will actually observe.
+        weights = [demand.utilization * demand.threads * scale
+                   for _guest, demand in demands]
+        total_weight = sum(weights)
+        mix = _blend_mixes([d.mix for _g, d in demands], weights)
+        memory = _blend_memory([d.memory for _g, d in demands], weights)
+
+        self._last_usage = [
+            GuestUsage(name=guest.name, utilization=weight)
+            for (guest, _demand), weight in zip(demands, weights)]
+        del total_weight
+
+        threads = min(self.vcpus, max(1, round(granted + 0.49)))
+        per_thread = min(1.0, granted / threads)
+        return Demand(utilization=per_thread, mix=mix, memory=memory,
+                      threads=threads)
+
+    def guest_usage(self) -> Tuple[GuestUsage, ...]:
+        """Per-guest vCPU usage during the most recent quantum."""
+        return tuple(self._last_usage)
+
+    def total_duration_s(self) -> Optional[float]:
+        durations = [guest.total_duration_s() for guest in self.guests]
+        if any(duration is None for duration in durations):
+            return None
+        return max(durations)
+
+
+def _blend_mixes(mixes: Sequence[InstructionMix],
+                 weights: Sequence[float]) -> InstructionMix:
+    total = sum(weights)
+    if total <= 0:
+        return InstructionMix()
+
+    def avg(attribute: str) -> float:
+        return sum(getattr(mix, attribute) * weight
+                   for mix, weight in zip(mixes, weights)) / total
+
+    return InstructionMix(
+        fp_fraction=avg("fp_fraction"),
+        simd_fraction=avg("simd_fraction"),
+        branch_fraction=avg("branch_fraction"),
+        branch_miss_rate=avg("branch_miss_rate"),
+    )
+
+
+def _blend_memory(profiles: Sequence[MemoryProfile],
+                  weights: Sequence[float]) -> MemoryProfile:
+    total = sum(weights)
+    if total <= 0:
+        return MemoryProfile()
+    mem_ops = sum(profile.mem_ops_per_instruction * weight
+                  for profile, weight in zip(profiles, weights)) / total
+    locality = sum(profile.locality * weight
+                   for profile, weight in zip(profiles, weights)) / total
+    # Co-resident guests sum their working sets (they share the VM's
+    # address space footprint on the host caches).
+    working_set = sum(profile.working_set_bytes for profile in profiles)
+    return MemoryProfile(mem_ops_per_instruction=mem_ops,
+                         working_set_bytes=working_set,
+                         locality=locality)
+
+
+def split_vm_power(vm: VirtualMachine, vm_active_power_w: float
+                   ) -> Dict[str, float]:
+    """Attribute a VM's estimated active power to its guests.
+
+    The host cannot read guest HPCs, so the split uses the VM's own
+    vCPU-time accounting (a guest-level Versick split) — the best any
+    hypervisor-side tool can do, and the precision limit the paper's
+    future work on VMs would have to push past.
+    """
+    if vm_active_power_w < 0:
+        raise ConfigurationError("active power must be >= 0")
+    usage = vm.guest_usage()
+    total = sum(entry.utilization for entry in usage)
+    if total <= 0:
+        return {entry.name: 0.0 for entry in usage}
+    return {entry.name: vm_active_power_w * entry.utilization / total
+            for entry in usage}

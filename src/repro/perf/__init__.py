@@ -1,0 +1,16 @@
+"""Simulated perf-event interface (the libpfm4 / perf_event_open layer)."""
+
+from repro.perf.counting import CounterValue, PerfCounter, PerfSession
+from repro.perf.events import (EventDef, EventType, all_events, available_on,
+                               event_def, portable_events)
+from repro.perf.multiplex import MultiplexScheduler
+from repro.perf.parsing import (parse_counter_log, parse_perf_stat_csv,
+                                parse_perf_stat_text)
+from repro.perf.pfm import resolve, resolve_many
+
+__all__ = [
+    "CounterValue", "EventDef", "EventType", "MultiplexScheduler",
+    "PerfCounter", "PerfSession", "all_events", "available_on", "event_def",
+    "parse_counter_log", "parse_perf_stat_csv", "parse_perf_stat_text",
+    "portable_events", "resolve", "resolve_many",
+]

@@ -1,0 +1,168 @@
+"""Counting interface: the simulated ``perf_event_open`` + ``read``.
+
+A :class:`PerfSession` attaches to a :class:`~repro.simcpu.machine.Machine`
+and exposes :meth:`~PerfSession.open` with the familiar (event, pid, cpu)
+triple, where ``pid=-1`` means every process and ``cpu=-1`` every CPU.
+Counters follow the kernel lifecycle — open → enable → read → disable —
+and report ``time_enabled`` / ``time_running`` so multiplexed values can be
+scaled exactly like perf does.
+
+Multiplexing lives in :mod:`repro.perf.multiplex`; the session delegates
+per-tick scheduling decisions to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CounterStateError
+from repro.perf import pfm
+from repro.perf.multiplex import MultiplexScheduler
+from repro.simcpu.machine import Machine, TickRecord
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    """One read of a counter, perf-style."""
+
+    #: Raw counted value while the event was scheduled on the PMU.
+    raw: float
+    time_enabled_s: float
+    time_running_s: float
+
+    @property
+    def scaled(self) -> float:
+        """Multiplex-corrected estimate: ``raw * enabled / running``."""
+        if self.time_running_s == 0.0:
+            return 0.0
+        return self.raw * (self.time_enabled_s / self.time_running_s)
+
+    @property
+    def multiplexed(self) -> bool:
+        """Whether the event ever lost its PMU slot."""
+        return self.time_running_s < self.time_enabled_s - 1e-12
+
+
+class PerfCounter:
+    """One opened event; mirrors a perf_event file descriptor."""
+
+    def __init__(self, session: "PerfSession", counter_id: int, event: str,
+                 pid: int, cpu: int) -> None:
+        self._session = session
+        self.counter_id = counter_id
+        self.event = event
+        self.pid = pid
+        self.cpu = cpu
+        self.enabled = False
+        self.closed = False
+        self.raw = 0.0
+        self.time_enabled_s = 0.0
+        self.time_running_s = 0.0
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise CounterStateError(f"counter {self.counter_id} is closed")
+
+    def enable(self) -> None:
+        """Start counting (PERF_EVENT_IOC_ENABLE)."""
+        self._check_open()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop counting (PERF_EVENT_IOC_DISABLE)."""
+        self._check_open()
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero the counter (PERF_EVENT_IOC_RESET)."""
+        self._check_open()
+        self.raw = 0.0
+        self.time_enabled_s = 0.0
+        self.time_running_s = 0.0
+
+    def read(self) -> CounterValue:
+        """Current value with scaling metadata."""
+        self._check_open()
+        return CounterValue(
+            raw=self.raw,
+            time_enabled_s=self.time_enabled_s,
+            time_running_s=self.time_running_s,
+        )
+
+    def close(self) -> None:
+        """Release the counter; further operations raise."""
+        if not self.closed:
+            self.closed = True
+            self._session._release(self)
+
+    # -- session internals ---------------------------------------------
+
+    def _matches(self, pid: int, cpu: int) -> bool:
+        """Whether a (pid, cpu) event-delta applies to this counter."""
+        if self.pid >= 0 and self.pid != pid:
+            return False
+        if self.cpu >= 0 and self.cpu != cpu:
+            return False
+        return True
+
+    def _accumulate(self, record: TickRecord, scheduled: bool) -> None:
+        """Fold one machine tick into the counter."""
+        if not self.enabled:
+            return
+        self.time_enabled_s += record.dt_s
+        if not scheduled:
+            return
+        self.time_running_s += record.dt_s
+        for (pid, cpu), delta in record.events.items():
+            if self._matches(pid, cpu):
+                self.raw += delta.get(self.event, 0.0)
+
+
+class PerfSession:
+    """All counters opened against one machine; handles multiplexing."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._counters: Dict[int, PerfCounter] = {}
+        self._ids = itertools.count(3)  # fds start above stdio
+        self._mux = MultiplexScheduler(slots=machine.spec.counter_slots)
+        machine.add_observer(self._on_tick)
+
+    def open(self, event: str, pid: int = -1, cpu: int = -1,
+             enabled: bool = True) -> PerfCounter:
+        """Open a counter for *event* on (pid, cpu); -1 wildcards both."""
+        canonical = pfm.resolve(event)
+        counter = PerfCounter(self, next(self._ids), canonical, pid, cpu)
+        self._counters[counter.counter_id] = counter
+        if enabled:
+            counter.enable()
+        return counter
+
+    def open_group(self, events, pid: int = -1, cpu: int = -1
+                   ) -> List[PerfCounter]:
+        """Open several events on the same target at once."""
+        return [self.open(event, pid=pid, cpu=cpu) for event in events]
+
+    def close(self) -> None:
+        """Close every counter and detach from the machine."""
+        for counter in list(self._counters.values()):
+            counter.close()
+        self.machine.remove_observer(self._on_tick)
+
+    def _release(self, counter: PerfCounter) -> None:
+        self._counters.pop(counter.counter_id, None)
+
+    def _on_tick(self, record: TickRecord) -> None:
+        active = [counter for counter in self._counters.values()
+                  if counter.enabled]
+        scheduled_ids = self._mux.schedule(active, record.dt_s)
+        for counter in active:
+            counter._accumulate(record, counter.counter_id in scheduled_ids)
+
+    def __enter__(self) -> "PerfSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,104 @@
+"""Generic performance-event definitions, mirroring ``perf_event_open``.
+
+The paper selects counters by "their availability on a large family of
+architectures": the *generic* events the kernel maps onto each vendor's
+PMU.  This module declares those events, their types and their per-vendor
+availability, so the selection logic of :mod:`repro.core.selection` can
+reason about portability the same way the authors did (via the
+perf_event_open man page they cite).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import UnknownEventError
+from repro.simcpu import counters as ev
+
+
+class EventType(enum.Enum):
+    """perf_event_open attr.type values we model."""
+
+    HARDWARE = "PERF_TYPE_HARDWARE"
+    HW_CACHE = "PERF_TYPE_HW_CACHE"
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """Static description of one generic event."""
+
+    name: str
+    type: EventType
+    #: Symbolic perf constant, e.g. ``PERF_COUNT_HW_INSTRUCTIONS``.
+    perf_constant: str
+    #: Vendors whose PMUs expose the event ("intel", "amd").
+    vendors: Tuple[str, ...] = ("intel", "amd")
+    #: Relative collection overhead (1 = cheapest); the paper's second
+    #: selection criterion.
+    overhead: int = 1
+
+
+_DEFS: Dict[str, EventDef] = {}
+
+
+def _define(name: str, type_: EventType, constant: str,
+            vendors: Tuple[str, ...] = ("intel", "amd"),
+            overhead: int = 1) -> None:
+    _DEFS[name] = EventDef(name=name, type=type_, perf_constant=constant,
+                           vendors=vendors, overhead=overhead)
+
+
+_define(ev.CYCLES, EventType.HARDWARE, "PERF_COUNT_HW_CPU_CYCLES")
+_define(ev.INSTRUCTIONS, EventType.HARDWARE, "PERF_COUNT_HW_INSTRUCTIONS")
+_define(ev.CACHE_REFERENCES, EventType.HARDWARE,
+        "PERF_COUNT_HW_CACHE_REFERENCES")
+_define(ev.CACHE_MISSES, EventType.HARDWARE, "PERF_COUNT_HW_CACHE_MISSES")
+_define(ev.BRANCHES, EventType.HARDWARE,
+        "PERF_COUNT_HW_BRANCH_INSTRUCTIONS")
+_define(ev.BRANCH_MISSES, EventType.HARDWARE, "PERF_COUNT_HW_BRANCH_MISSES")
+_define(ev.BUS_CYCLES, EventType.HARDWARE, "PERF_COUNT_HW_BUS_CYCLES",
+        vendors=("intel",))
+_define(ev.STALLED_CYCLES_FRONTEND, EventType.HARDWARE,
+        "PERF_COUNT_HW_STALLED_CYCLES_FRONTEND", overhead=2)
+_define(ev.STALLED_CYCLES_BACKEND, EventType.HARDWARE,
+        "PERF_COUNT_HW_STALLED_CYCLES_BACKEND", overhead=2)
+_define(ev.REF_CYCLES, EventType.HARDWARE, "PERF_COUNT_HW_REF_CPU_CYCLES",
+        vendors=("intel",))
+_define(ev.L1_DCACHE_LOADS, EventType.HW_CACHE,
+        "PERF_COUNT_HW_CACHE_L1D:READ:ACCESS", overhead=2)
+_define(ev.L1_DCACHE_LOAD_MISSES, EventType.HW_CACHE,
+        "PERF_COUNT_HW_CACHE_L1D:READ:MISS", overhead=2)
+_define(ev.LLC_LOADS, EventType.HW_CACHE,
+        "PERF_COUNT_HW_CACHE_LL:READ:ACCESS", overhead=2)
+_define(ev.LLC_LOAD_MISSES, EventType.HW_CACHE,
+        "PERF_COUNT_HW_CACHE_LL:READ:MISS", overhead=2)
+
+
+def event_def(name: str) -> EventDef:
+    """Look up an event definition by canonical name."""
+    try:
+        return _DEFS[name]
+    except KeyError:
+        raise UnknownEventError(
+            f"unknown event {name!r}; known: {sorted(_DEFS)}") from None
+
+
+def all_events() -> Tuple[str, ...]:
+    """All canonical event names."""
+    return tuple(_DEFS)
+
+
+def available_on(vendor: str) -> Tuple[str, ...]:
+    """Events exposed by *vendor*'s PMU ('intel' or 'amd')."""
+    vendor = vendor.lower()
+    return tuple(name for name, definition in _DEFS.items()
+                 if vendor in definition.vendors)
+
+
+def portable_events() -> Tuple[str, ...]:
+    """Events available on every modelled vendor — the paper's criterion."""
+    vendors = {"intel", "amd"}
+    return tuple(name for name, definition in _DEFS.items()
+                 if vendors.issubset(set(definition.vendors)))

@@ -1,0 +1,62 @@
+"""PMU counter-slot multiplexing.
+
+Real PMUs have a handful of programmable counters per logical CPU; when
+more events are requested than slots exist, the kernel time-multiplexes
+them and consumers scale the raw counts by ``time_enabled/time_running``.
+The paper's overhead criterion for choosing events exists precisely because
+of this pressure.
+
+The scheduler here groups active counters by their (pid, cpu) target —
+counters on the same target compete for the same slots — and rotates which
+ones count each tick, giving every event an equal share of PMU time over
+any window longer than a few ticks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class MultiplexScheduler:
+    """Round-robin rotation of counters over limited PMU slots."""
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ConfigurationError("need at least one PMU slot")
+        self.slots = slots
+        self._rotation: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def schedule(self, counters: Sequence, dt_s: float) -> Set[int]:
+        """Pick which of *counters* get a PMU slot for this tick.
+
+        Returns the ``counter_id`` set of the scheduled ones.  Counters are
+        grouped by (pid, cpu) target; each group independently rotates
+        through its members ``slots`` at a time.
+        """
+        groups: Dict[Tuple[int, int], List] = defaultdict(list)
+        for counter in counters:
+            groups[(counter.pid, counter.cpu)].append(counter)
+
+        scheduled: Set[int] = set()
+        for target, members in groups.items():
+            members.sort(key=lambda c: c.counter_id)
+            if len(members) <= self.slots:
+                scheduled.update(c.counter_id for c in members)
+                continue
+            start = self._rotation[target] % len(members)
+            for offset in range(self.slots):
+                scheduled.add(members[(start + offset) % len(members)].counter_id)
+            self._rotation[target] = (start + self.slots) % len(members)
+        return scheduled
+
+    def pressure(self, counters: Sequence) -> float:
+        """Worst-case events-per-slot ratio across targets (1.0 = no mux)."""
+        groups: Dict[Tuple[int, int], int] = defaultdict(int)
+        for counter in counters:
+            groups[(counter.pid, counter.cpu)] += 1
+        if not groups:
+            return 0.0
+        return max(count / self.slots for count in groups.values())

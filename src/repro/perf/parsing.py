@@ -1,0 +1,156 @@
+"""Parsers for textual perf-counter output.
+
+Real deployments of counter-based power models rarely link against the
+kernel API directly; they parse the output of ``perf stat`` or read
+pre-recorded counter logs (the powerapi-ng workflow).  This module
+parses the two common formats into the event dictionaries the rest of
+the library consumes:
+
+* :func:`parse_perf_stat_csv` — ``perf stat -x,`` machine-readable CSV
+  (one line per event: ``value,unit,event,runtime,percentage,...``),
+* :func:`parse_perf_stat_text` — the default human-readable ``perf
+  stat`` table,
+* :func:`parse_counter_log` — a simple timestamped CSV of counter
+  deltas, the interchange format produced by
+  :class:`repro.core.offline.CounterLogWriter`.
+
+All parsers resolve event spellings through the libpfm-style resolver,
+so ``INST_RETIRED:ANY_P`` and ``instructions`` land in the same bucket,
+and tolerate the ``<not counted>`` / ``<not supported>`` markers perf
+emits for unscheduled events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PerfError, UnknownEventError
+from repro.perf import pfm
+
+#: Markers perf prints instead of a value.
+NOT_COUNTED_MARKERS = ("<not counted>", "<not supported>")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    """Parse one perf value field; None for not-counted markers."""
+    stripped = text.strip()
+    if stripped in NOT_COUNTED_MARKERS:
+        return None
+    # perf localises thousands separators; accept ',' and ' ' grouping.
+    cleaned = stripped.replace(",", "").replace(" ", "")
+    try:
+        return float(cleaned)
+    except ValueError:
+        raise PerfError(f"unparseable counter value {text!r}") from None
+
+
+def parse_perf_stat_csv(text: str, strict: bool = False
+                        ) -> Dict[str, Optional[float]]:
+    """Parse ``perf stat -x,`` output into {canonical event: value}.
+
+    Unknown event names are skipped unless *strict*; not-counted events
+    map to ``None`` so callers can distinguish zero from unscheduled.
+    """
+    results: Dict[str, Optional[float]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        fields = stripped.split(",")
+        if len(fields) < 3:
+            if strict:
+                raise PerfError(
+                    f"line {line_number}: expected >=3 CSV fields")
+            continue
+        raw_value, _unit, event_name = fields[0], fields[1], fields[2]
+        try:
+            event = pfm.resolve(event_name)
+        except UnknownEventError:
+            if strict:
+                raise
+            continue
+        if raw_value.strip() in NOT_COUNTED_MARKERS:
+            results[event] = None
+        else:
+            results[event] = _parse_value(raw_value)
+    return results
+
+
+def parse_perf_stat_text(text: str) -> Dict[str, Optional[float]]:
+    """Parse the default human-readable ``perf stat`` table.
+
+    Lines look like ``  1,234,567,890      instructions   # 1.02 insn``;
+    everything after ``#`` is commentary.  Unknown events are skipped.
+    """
+    results: Dict[str, Optional[float]] = {}
+    for line in text.splitlines():
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        for marker in NOT_COUNTED_MARKERS:
+            if body.startswith(marker):
+                remainder = body[len(marker):].strip()
+                if remainder:
+                    try:
+                        results[pfm.resolve(remainder.split()[0])] = None
+                    except UnknownEventError:
+                        pass
+                break
+        else:
+            parts = body.split()
+            if len(parts) < 2:
+                continue
+            try:
+                value = _parse_value(parts[0])
+            except PerfError:
+                continue  # header/footer lines ("Performance counter stats")
+            try:
+                event = pfm.resolve(parts[1])
+            except UnknownEventError:
+                continue
+            results[event] = value
+    return results
+
+
+def parse_counter_log(text: str, strict: bool = True
+                      ) -> List[Tuple[float, Dict[str, float]]]:
+    """Parse a timestamped counter-delta CSV.
+
+    Format: a header ``time_s,<event>,<event>,...`` then one row per
+    monitoring period with the counter *deltas* of that period.  Returns
+    [(time_s, {event: delta})], suitable for
+    :func:`repro.core.offline.estimate_from_log`.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise PerfError("empty counter log")
+    header = lines[0].split(",")
+    if header[0] != "time_s":
+        raise PerfError("counter log must start with a 'time_s' column")
+    events: List[Optional[str]] = []
+    for name in header[1:]:
+        try:
+            events.append(pfm.resolve(name))
+        except UnknownEventError:
+            if strict:
+                raise
+            events.append(None)
+
+    rows: List[Tuple[float, Dict[str, float]]] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        fields = line.split(",")
+        if len(fields) != len(header):
+            raise PerfError(
+                f"line {line_number}: {len(fields)} fields, "
+                f"expected {len(header)}")
+        time_s = float(fields[0])
+        deltas = {}
+        for event, field in zip(events, fields[1:]):
+            if event is None:
+                continue
+            value = _parse_value(field)
+            deltas[event] = value if value is not None else 0.0
+        rows.append((time_s, deltas))
+    if rows and [r[0] for r in rows] != sorted(r[0] for r in rows):
+        raise PerfError("counter log timestamps must be ascending")
+    return rows

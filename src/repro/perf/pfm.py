@@ -1,0 +1,77 @@
+"""libpfm4-style event-name resolution.
+
+The paper accesses HPCs through libpfm4, which resolves human-friendly and
+vendor-specific mnemonics to PMU encodings.  :func:`resolve` accepts the
+canonical generic names (``instructions``), the perf symbolic constants
+(``PERF_COUNT_HW_INSTRUCTIONS``) and the common Intel/AMD mnemonics
+(``INST_RETIRED:ANY_P``, ``RETIRED_INSTRUCTIONS``), normalising case and
+the ``:`` / ``.`` / ``-`` separator variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import UnknownEventError
+from repro.perf.events import all_events, event_def
+from repro.simcpu import counters as ev
+
+#: Vendor mnemonics -> canonical generic name.
+_ALIASES: Dict[str, str] = {
+    # Intel mnemonics.
+    "INST_RETIRED:ANY_P": ev.INSTRUCTIONS,
+    "CPU_CLK_UNHALTED:THREAD_P": ev.CYCLES,
+    "CPU_CLK_UNHALTED:REF_P": ev.REF_CYCLES,
+    "LONGEST_LAT_CACHE:REFERENCE": ev.CACHE_REFERENCES,
+    "LONGEST_LAT_CACHE:MISS": ev.CACHE_MISSES,
+    "BR_INST_RETIRED:ALL_BRANCHES": ev.BRANCHES,
+    "BR_MISP_RETIRED:ALL_BRANCHES": ev.BRANCH_MISSES,
+    "MEM_LOAD_UOPS_RETIRED:L1_HIT": ev.L1_DCACHE_LOADS,
+    # AMD mnemonics.
+    "RETIRED_INSTRUCTIONS": ev.INSTRUCTIONS,
+    "CPU_CLK_UNHALTED": ev.CYCLES,
+    "REQUESTS_TO_L2:ALL": ev.CACHE_REFERENCES,
+    "L2_CACHE_MISS:ALL": ev.CACHE_MISSES,
+    "RETIRED_BRANCH_INSTRUCTIONS": ev.BRANCHES,
+    "RETIRED_MISPREDICTED_BRANCH_INSTRUCTIONS": ev.BRANCH_MISSES,
+}
+
+
+def _normalise(name: str) -> str:
+    """Uppercase and unify separators so lookups are forgiving."""
+    return name.strip().upper().replace(".", ":").replace("-", "_")
+
+
+def resolve(name: str) -> str:
+    """Resolve any accepted spelling of an event to its canonical name.
+
+    Raises :class:`~repro.errors.UnknownEventError` when nothing matches.
+    """
+    stripped = name.strip()
+    # Exact canonical name (the generic perf spelling, lowercase-dashed).
+    if stripped in all_events():
+        return stripped
+
+    normalised = _normalise(stripped)
+    # Generic name with different separators/case (``Cache_Misses``).
+    for canonical in all_events():
+        if _normalise(canonical) == normalised:
+            return canonical
+    # perf symbolic constant (``PERF_COUNT_HW_INSTRUCTIONS``).
+    for canonical in all_events():
+        if _normalise(event_def(canonical).perf_constant) == normalised:
+            return canonical
+    # Vendor mnemonic.
+    if normalised in _ALIASES:
+        return _ALIASES[normalised]
+    raise UnknownEventError(f"cannot resolve event name {name!r}")
+
+
+def resolve_many(names) -> Tuple[str, ...]:
+    """Resolve a sequence of names, preserving order, dropping duplicates."""
+    seen = []
+    for name in names:
+        canonical = resolve(name)
+        if canonical not in seen:
+            seen.append(canonical)
+    return tuple(seen)

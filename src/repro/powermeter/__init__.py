@@ -1,0 +1,15 @@
+"""Simulated power-measurement equipment: PowerSpy, RAPL, ACPI battery."""
+
+from repro.powermeter.acpi import AcpiBatteryMeter
+from repro.powermeter.base import PowerMeter, PowerSample
+from repro.powermeter.powerspy import PowerSpy
+from repro.powermeter.protocol import (FrameDecoder, PowerSpyLink,
+                                       decode_frame, encode_frame)
+from repro.powermeter.rapl import (RaplDomain, RaplEnergyReader,
+                                   RaplInterface, RaplPowerMeter)
+
+__all__ = [
+    "AcpiBatteryMeter", "FrameDecoder", "PowerMeter", "PowerSample",
+    "PowerSpy", "PowerSpyLink", "RaplDomain", "RaplEnergyReader",
+    "RaplInterface", "RaplPowerMeter", "decode_frame", "encode_frame",
+]

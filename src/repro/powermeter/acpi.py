@@ -1,0 +1,43 @@
+"""ACPI battery power meter: the coarse, free alternative.
+
+Laptops expose the battery discharge rate through ACPI.  It costs nothing,
+but updates slowly and with coarse quantization — included to show why the
+paper dismisses "hardware-free" metering for fine-grained work.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.powermeter.base import PowerMeter
+from repro.simcpu.machine import Machine
+
+#: Typical ACPI battery reporting resolution, watts.
+DEFAULT_RESOLUTION_W = 0.5
+
+#: Smoothing factor: batteries report a heavily filtered discharge rate.
+DEFAULT_SMOOTHING = 0.3
+
+
+class AcpiBatteryMeter(PowerMeter):
+    """Slow, heavily smoothed, coarsely quantized wall-power readings."""
+
+    def __init__(self, machine: Machine, sample_rate_hz: float = 0.25,
+                 resolution_w: float = DEFAULT_RESOLUTION_W,
+                 smoothing: float = DEFAULT_SMOOTHING) -> None:
+        super().__init__(machine, sample_rate_hz=sample_rate_hz)
+        if resolution_w <= 0:
+            raise ConfigurationError("resolution must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be within (0, 1]")
+        self.resolution_w = resolution_w
+        self.smoothing = smoothing
+        self._filtered_w: float = 0.0
+        self._primed = False
+
+    def _postprocess(self, power_w: float) -> float:
+        if not self._primed:
+            self._filtered_w = power_w
+            self._primed = True
+        else:
+            self._filtered_w += self.smoothing * (power_w - self._filtered_w)
+        return round(self._filtered_w / self.resolution_w) * self.resolution_w

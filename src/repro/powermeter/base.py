@@ -1,0 +1,121 @@
+"""Power-meter abstractions.
+
+Meters attach to a machine's tick stream and integrate true wall power
+into periodic :class:`PowerSample` readings, each subclass adding its own
+imperfections (noise, quantization, latency, restricted measurement
+domain).  The learning pipeline and the evaluation figures consume the
+common :class:`PowerMeter` interface only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, MeterConnectionError
+from repro.simcpu.machine import Machine, TickRecord
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One meter reading: average power over the preceding interval."""
+
+    #: Timestamp at the *end* of the integration interval, seconds.
+    time_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ConfigurationError("power sample cannot be negative")
+
+
+class PowerMeter:
+    """Base meter: integrates machine energy into periodic samples."""
+
+    def __init__(self, machine: Machine, sample_rate_hz: float = 1.0) -> None:
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        self.machine = machine
+        self.sample_interval_s = 1.0 / sample_rate_hz
+        self._samples: List[PowerSample] = []
+        self._interval_energy_j = 0.0
+        self._interval_elapsed_s = 0.0
+        self._connected = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def connect(self) -> None:
+        """Attach to the machine and start sampling."""
+        if self._connected:
+            return
+        self.machine.add_observer(self._on_tick)
+        self._connected = True
+
+    def disconnect(self) -> None:
+        """Detach; accumulated samples remain readable."""
+        if not self._connected:
+            return
+        self.machine.remove_observer(self._on_tick)
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        """Whether the meter is currently attached to the machine."""
+        return self._connected
+
+    def _require_connected(self) -> None:
+        if not self._connected:
+            raise MeterConnectionError(
+                f"{type(self).__name__} is not connected")
+
+    def __enter__(self) -> "PowerMeter":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disconnect()
+
+    # -- sampling ---------------------------------------------------------
+
+    def _on_tick(self, record: TickRecord) -> None:
+        self._interval_energy_j += self._measured_power(record) * record.dt_s
+        self._interval_elapsed_s += record.dt_s
+        while self._interval_elapsed_s >= self.sample_interval_s - 1e-12:
+            average = self._interval_energy_j / self._interval_elapsed_s
+            self._samples.append(PowerSample(
+                time_s=record.time_s,
+                power_w=self._postprocess(average),
+            ))
+            self._interval_energy_j = 0.0
+            self._interval_elapsed_s = 0.0
+
+    def _measured_power(self, record: TickRecord) -> float:
+        """What part of the machine's power this meter sees (default: wall)."""
+        return record.wall_power_w
+
+    def _postprocess(self, power_w: float) -> float:
+        """Apply the meter's imperfections to a clean average (default: none)."""
+        return power_w
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def samples(self) -> List[PowerSample]:
+        """All samples collected so far."""
+        return list(self._samples)
+
+    def last_sample(self) -> Optional[PowerSample]:
+        """The most recent sample, or None before the first interval ends."""
+        return self._samples[-1] if self._samples else None
+
+    def clear(self) -> None:
+        """Drop collected samples (keeps the connection)."""
+        self._samples.clear()
+        self._interval_energy_j = 0.0
+        self._interval_elapsed_s = 0.0
+
+    def mean_power_w(self) -> float:
+        """Mean of all collected samples."""
+        if not self._samples:
+            raise MeterConnectionError("no samples collected yet")
+        return sum(sample.power_w for sample in self._samples) / len(self._samples)

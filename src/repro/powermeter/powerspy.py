@@ -1,0 +1,53 @@
+"""Simulated PowerSpy bluetooth wall-power meter.
+
+The PowerSpy2 the paper uses plugs between the wall and the machine and
+streams instantaneous power over bluetooth.  This simulation reproduces
+its externally visible behaviour:
+
+* it measures *wall* power — the whole system, not just the CPU,
+* readings carry multiplicative gaussian noise (a percent-of-reading
+  accuracy figure, as specified for the real device),
+* values are quantized to the device's resolution,
+* the bluetooth link can be connected/disconnected, and samples are lost
+  while disconnected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.powermeter.base import PowerMeter
+from repro.simcpu.machine import Machine
+
+#: Percent-of-reading accuracy of the PowerSpy2 (spec sheet: < 1 %).
+DEFAULT_NOISE_FRACTION = 0.008
+
+#: Device resolution, watts.
+DEFAULT_RESOLUTION_W = 0.1
+
+
+class PowerSpy(PowerMeter):
+    """Wall-power meter with noise and quantization."""
+
+    def __init__(self, machine: Machine, sample_rate_hz: float = 1.0,
+                 noise_fraction: float = DEFAULT_NOISE_FRACTION,
+                 resolution_w: float = DEFAULT_RESOLUTION_W,
+                 seed: Optional[int] = 1234) -> None:
+        super().__init__(machine, sample_rate_hz=sample_rate_hz)
+        if noise_fraction < 0 or noise_fraction >= 0.5:
+            raise ConfigurationError("noise_fraction must be within [0, 0.5)")
+        if resolution_w < 0:
+            raise ConfigurationError("resolution must be >= 0")
+        self.noise_fraction = noise_fraction
+        self.resolution_w = resolution_w
+        self._rng = np.random.default_rng(seed)
+
+    def _postprocess(self, power_w: float) -> float:
+        noisy = power_w * (1.0 + self.noise_fraction
+                           * float(self._rng.standard_normal()))
+        if self.resolution_w > 0:
+            noisy = round(noisy / self.resolution_w) * self.resolution_w
+        return max(0.0, noisy)

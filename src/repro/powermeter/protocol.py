@@ -1,0 +1,146 @@
+"""The PowerSpy wire protocol (simulated bluetooth serial link).
+
+The real PowerSpy2 streams ASCII frames over an RFCOMM serial link; a
+client must frame, parse, checksum-verify and survive corrupted frames.
+This module models that layer so the acquisition stack is exercised
+end-to-end, wire format included:
+
+frame   := '<' TIMESTAMP ' ' POWER ' ' CHECKSUM '>' CRLF
+TIMESTAMP := 8 uppercase hex digits, milliseconds since link-up
+POWER     := 8 uppercase hex digits, milliwatts
+CHECKSUM  := 2 uppercase hex digits, XOR of the payload bytes
+
+:class:`PowerSpyLink` encodes meter samples into frames (optionally
+injecting corruption with a seeded RNG); :func:`decode_frame` /
+:class:`FrameDecoder` implement the tolerant client side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PowerMeterError
+from repro.powermeter.base import PowerSample
+
+FRAME_START = "<"
+FRAME_END = ">"
+CRLF = "\r\n"
+
+
+def _checksum(payload: str) -> int:
+    value = 0
+    for char in payload:
+        value ^= ord(char)
+    return value
+
+
+def encode_frame(sample: PowerSample) -> str:
+    """Encode one sample as a wire frame (including CRLF)."""
+    timestamp_ms = int(round(sample.time_s * 1000.0))
+    power_mw = int(round(sample.power_w * 1000.0))
+    if not 0 <= timestamp_ms <= 0xFFFFFFFF:
+        raise PowerMeterError(f"timestamp {timestamp_ms} ms out of range")
+    if not 0 <= power_mw <= 0xFFFFFFFF:
+        raise PowerMeterError(f"power {power_mw} mW out of range")
+    payload = f"{timestamp_ms:08X} {power_mw:08X}"
+    return f"{FRAME_START}{payload} {_checksum(payload):02X}{FRAME_END}{CRLF}"
+
+
+def decode_frame(frame: str) -> PowerSample:
+    """Decode one frame; raises :class:`PowerMeterError` on corruption."""
+    stripped = frame.strip()
+    if not (stripped.startswith(FRAME_START)
+            and stripped.endswith(FRAME_END)):
+        raise PowerMeterError("missing frame delimiters")
+    body = stripped[1:-1]
+    parts = body.split(" ")
+    if len(parts) != 3:
+        raise PowerMeterError(f"expected 3 fields, got {len(parts)}")
+    timestamp_hex, power_hex, checksum_hex = parts
+    payload = f"{timestamp_hex} {power_hex}"
+    try:
+        declared = int(checksum_hex, 16)
+        timestamp_ms = int(timestamp_hex, 16)
+        power_mw = int(power_hex, 16)
+    except ValueError:
+        raise PowerMeterError("non-hex field in frame") from None
+    if len(timestamp_hex) != 8 or len(power_hex) != 8:
+        raise PowerMeterError("field width violation")
+    if _checksum(payload) != declared:
+        raise PowerMeterError("checksum mismatch")
+    return PowerSample(time_s=timestamp_ms / 1000.0,
+                       power_w=power_mw / 1000.0)
+
+
+class FrameDecoder:
+    """Incremental, corruption-tolerant stream decoder.
+
+    Feed arbitrary chunks; complete frames come out, corrupted ones are
+    counted and dropped (the real meter keeps streaming, so must the
+    client).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = ""
+        self.frames_decoded = 0
+        self.frames_dropped = 0
+
+    def feed(self, chunk: str) -> List[PowerSample]:
+        """Consume *chunk*; returns samples completed by it."""
+        self._buffer += chunk
+        samples: List[PowerSample] = []
+        while True:
+            end = self._buffer.find(CRLF)
+            if end < 0:
+                # Bound the buffer: garbage with no CRLF must not grow it
+                # without limit.
+                if len(self._buffer) > 1024:
+                    self._buffer = self._buffer[-64:]
+                break
+            line, self._buffer = (self._buffer[:end],
+                                  self._buffer[end + len(CRLF):])
+            if not line.strip():
+                continue
+            try:
+                samples.append(decode_frame(line))
+                self.frames_decoded += 1
+            except PowerMeterError:
+                self.frames_dropped += 1
+        return samples
+
+
+class PowerSpyLink:
+    """Server side: turns meter samples into a (lossy) frame stream."""
+
+    def __init__(self, corruption_rate: float = 0.0,
+                 seed: Optional[int] = 7) -> None:
+        if not 0.0 <= corruption_rate < 1.0:
+            raise PowerMeterError("corruption_rate must be within [0, 1)")
+        self.corruption_rate = corruption_rate
+        self._rng = np.random.default_rng(seed)
+
+    def transmit(self, samples: Sequence[PowerSample]) -> str:
+        """Encode *samples*; a fraction of frames get a flipped byte."""
+        frames: List[str] = []
+        for sample in samples:
+            frame = encode_frame(sample)
+            if (self.corruption_rate > 0.0
+                    and self._rng.random() < self.corruption_rate):
+                position = int(self._rng.integers(1, len(frame) - 3))
+                original = frame[position]
+                replacement = "X" if original != "X" else "Y"
+                frame = frame[:position] + replacement + frame[position + 1:]
+            frames.append(frame)
+        return "".join(frames)
+
+
+def roundtrip(samples: Sequence[PowerSample],
+              corruption_rate: float = 0.0,
+              seed: Optional[int] = 7) -> Tuple[List[PowerSample], int]:
+    """Transmit and decode; returns (survivors, dropped count)."""
+    link = PowerSpyLink(corruption_rate=corruption_rate, seed=seed)
+    decoder = FrameDecoder()
+    survivors = decoder.feed(link.transmit(samples))
+    return survivors, decoder.frames_dropped

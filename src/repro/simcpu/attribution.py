@@ -1,0 +1,171 @@
+"""Ground-truth per-process power attribution.
+
+The paper's tool estimates *per-process* power but can only be validated
+against a wall meter, which sees the whole machine.  The simulator can do
+better: it knows exactly which process caused which component of the
+ground-truth power, so it can attribute true active power to each pid.
+
+Attribution policy (active power only — the idle baseline and the
+temperature-driven leakage are machine-level states no single process
+owns):
+
+* **core dynamic power** — within a physical core, the busiest hardware
+  thread pays full rate and SMT siblings pay the second-thread factor
+  (matching :mod:`repro.simcpu.power`); processes sharing one thread
+  split its cost in proportion to their busy fractions,
+* **wakeup power** — split across the core's processes by busy fraction,
+* **uncore power** — the activity part by busy share, the traffic part
+  by LLC-reference share,
+* **DRAM power** — by LLC-miss share.
+
+This module is part of the *hidden* substrate: estimation code must not
+import it.  Tests and benchmarks use it as the per-process oracle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.simcpu import counters as ev
+from repro.simcpu.counters import EventDelta
+from repro.simcpu.power import SMT_SECOND_THREAD_FACTOR, PowerBreakdown
+
+
+def _thread_weights(thread_busy: Mapping[int, float]) -> Dict[int, float]:
+    """Per-thread share weights within one core (SMT discount applied)."""
+    ordered = sorted(thread_busy.items(), key=lambda item: -item[1])
+    weights: Dict[int, float] = {}
+    for index, (cpu_id, busy) in enumerate(ordered):
+        factor = 1.0 if index == 0 else SMT_SECOND_THREAD_FACTOR
+        weights[cpu_id] = factor * busy
+    return weights
+
+
+def attribute_power(
+        breakdown: PowerBreakdown,
+        events: Mapping[Tuple[int, int], EventDelta],
+        cpu_busy: Mapping[int, float],
+        core_groups: Sequence[Tuple[int, ...]],
+) -> Dict[int, float]:
+    """Split one step's active power across pids.
+
+    ``events`` maps (pid, cpu_id) to the step's event deltas;
+    ``core_groups`` lists each physical core's logical CPU ids.  Returns
+    pid -> active watts during the step.  The attributed total equals the
+    breakdown's cores + wakeup + uncore + dram (idle and leakage stay
+    machine-level).
+    """
+    attributed: Dict[int, float] = defaultdict(float)
+    if not events:
+        return dict(attributed)
+
+    # Per-(pid, cpu) busy share: processes on one thread split by their
+    # contribution to that thread's busy fraction.
+    pid_cpu_busy: Dict[Tuple[int, int], float] = {}
+    cpu_total_cycles: Dict[int, float] = defaultdict(float)
+    for (pid, cpu_id), delta in events.items():
+        cpu_total_cycles[cpu_id] += delta.get(ev.CYCLES, 0.0)
+    for (pid, cpu_id), delta in events.items():
+        total = cpu_total_cycles[cpu_id]
+        share = delta.get(ev.CYCLES, 0.0) / total if total > 0 else 0.0
+        pid_cpu_busy[(pid, cpu_id)] = share * cpu_busy.get(cpu_id, 0.0)
+
+    # -- cores + wakeup, per physical core ------------------------------
+    core_power_total = breakdown.cores + breakdown.wakeup
+    core_weight_sum = 0.0
+    core_weights: List[Tuple[Tuple[int, ...], Dict[int, float]]] = []
+    for group in core_groups:
+        thread_busy = {cpu_id: cpu_busy.get(cpu_id, 0.0) for cpu_id in group}
+        weights = _thread_weights(thread_busy)
+        core_weights.append((group, weights))
+        core_weight_sum += sum(weights.values())
+
+    if core_weight_sum > 0:
+        watt_per_weight = core_power_total / core_weight_sum
+        for group, weights in core_weights:
+            for cpu_id, weight in weights.items():
+                if weight <= 0.0:
+                    continue
+                cpu_watts = weight * watt_per_weight
+                busy = cpu_busy.get(cpu_id, 0.0)
+                if busy <= 0.0:
+                    continue
+                for (pid, event_cpu), share in pid_cpu_busy.items():
+                    if event_cpu == cpu_id:
+                        attributed[pid] += cpu_watts * (share / busy)
+
+    # -- uncore: half by busy share, half by LLC-reference share --------
+    total_busy = sum(pid_cpu_busy.values())
+    pid_refs: Dict[int, float] = defaultdict(float)
+    pid_misses: Dict[int, float] = defaultdict(float)
+    pid_busy: Dict[int, float] = defaultdict(float)
+    for (pid, _cpu_id), delta in events.items():
+        pid_refs[pid] += delta.get(ev.CACHE_REFERENCES, 0.0)
+        pid_misses[pid] += delta.get(ev.CACHE_MISSES, 0.0)
+    for (pid, cpu_id), share in pid_cpu_busy.items():
+        pid_busy[pid] += share
+
+    total_refs = sum(pid_refs.values())
+    for pid in pid_busy:
+        busy_part = (pid_busy[pid] / total_busy) if total_busy > 0 else 0.0
+        ref_part = (pid_refs[pid] / total_refs) if total_refs > 0 else busy_part
+        attributed[pid] += breakdown.uncore * 0.5 * (busy_part + ref_part)
+
+    # -- DRAM: by LLC-miss share -----------------------------------------
+    total_misses = sum(pid_misses.values())
+    if total_misses > 0:
+        for pid, misses in pid_misses.items():
+            attributed[pid] += breakdown.dram * misses / total_misses
+    elif total_busy > 0:
+        for pid, busy in pid_busy.items():
+            attributed[pid] += breakdown.dram * busy / total_busy
+
+    return dict(attributed)
+
+
+class TrueProcessPower:
+    """Oracle observer: integrates ground-truth active energy per pid.
+
+    Attach to a machine (or pass to ``Machine.add_observer``); read
+    :meth:`energy_j` / :meth:`mean_power_w` afterwards.  For validation
+    only — the estimation pipeline never sees these numbers.
+    """
+
+    def __init__(self, machine) -> None:
+        self._machine = machine
+        self._core_groups = [machine.topology.core_cpus(p, c)
+                             for p, c in machine.topology.cores()]
+        self._energy_j: Dict[int, float] = defaultdict(float)
+        self._duration_s = 0.0
+        machine.add_observer(self._on_tick)
+
+    def _on_tick(self, record) -> None:
+        shares = attribute_power(record.power, record.events,
+                                 record.cpu_busy, self._core_groups)
+        for pid, watts in shares.items():
+            self._energy_j[pid] += watts * record.dt_s
+        self._duration_s += record.dt_s
+
+    def detach(self) -> None:
+        """Stop observing."""
+        self._machine.remove_observer(self._on_tick)
+
+    @property
+    def duration_s(self) -> float:
+        """Observed simulated time."""
+        return self._duration_s
+
+    def energy_j(self, pid: int) -> float:
+        """True active energy attributed to *pid* so far, joules."""
+        return self._energy_j[pid]
+
+    def mean_power_w(self, pid: int) -> float:
+        """True mean active power of *pid* over the observation, watts."""
+        if self._duration_s == 0.0:
+            return 0.0
+        return self._energy_j[pid] / self._duration_s
+
+    def pids(self) -> Tuple[int, ...]:
+        """Pids with attributed energy, ascending."""
+        return tuple(sorted(self._energy_j))

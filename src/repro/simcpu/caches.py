@@ -1,0 +1,154 @@
+"""Analytic cache-hierarchy model.
+
+The simulator does not replay individual addresses; instead each workload
+describes its memory behaviour with a :class:`MemoryProfile` (memory
+operations per instruction, working-set size, temporal locality) and this
+module converts that into per-level hit rates, the event counts behind the
+``cache-references`` / ``cache-misses`` HPCs, and an average memory stall
+penalty that feeds the IPC model.
+
+Hit rates follow a capacity model: a working set that fits in a level hits
+with probability close to the workload's locality; beyond that, the hit rate
+decays with the ratio of effective capacity to working-set size.  The shared
+last-level cache divides its capacity among co-resident working sets, which
+is how cache contention between processes emerges.
+
+Following Linux/Intel convention, ``cache-references`` counts accesses that
+reach the last-level cache and ``cache-misses`` the ones that miss it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.simcpu.spec import CpuSpec
+
+#: Cycles to reach DRAM on a last-level miss.
+DRAM_LATENCY_CYCLES = 200
+
+#: Fraction of cache-hit latency the out-of-order window fails to hide
+#: (L1 hits are fully pipelined and cost nothing extra).
+HIT_LATENCY_EXPOSED = 0.5
+
+#: Fraction of DRAM latency exposed after memory-level parallelism.
+DRAM_LATENCY_EXPOSED = 0.7
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """How a workload exercises the memory hierarchy.
+
+    ``mem_ops_per_instruction`` — loads+stores per retired instruction
+    (typically 0.2–0.4).  ``working_set_bytes`` — bytes touched with reuse.
+    ``locality`` — probability in (0, 1] that an access to a level whose
+    capacity covers the working set actually hits (captures streaming vs
+    pointer-chasing behaviour).
+    """
+
+    mem_ops_per_instruction: float = 0.25
+    working_set_bytes: int = 16 * 1024
+    locality: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_ops_per_instruction <= 1.0:
+            raise ConfigurationError(
+                "mem_ops_per_instruction must be within [0, 1]")
+        if self.working_set_bytes < 0:
+            raise ConfigurationError("working_set_bytes must be >= 0")
+        if not 0.0 < self.locality <= 1.0:
+            raise ConfigurationError("locality must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class CacheBehaviour:
+    """Derived per-instruction cache behaviour of one process.
+
+    All rates are events per retired instruction.
+    """
+
+    l1_references: float
+    l1_misses: float
+    llc_references: float
+    llc_misses: float
+    #: Average memory stall cycles per instruction.
+    stall_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.llc_misses > self.llc_references + 1e-12:
+            raise ConfigurationError("LLC misses cannot exceed LLC references")
+
+
+class CacheModel:
+    """Computes :class:`CacheBehaviour` for processes sharing a hierarchy."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+        self._levels = spec.caches
+
+    @staticmethod
+    def _hit_rate(working_set: int, capacity: float, locality: float) -> float:
+        """Hit probability of one level under the capacity model."""
+        if working_set <= 0:
+            return locality
+        if capacity <= 0:
+            return 0.0
+        if working_set <= capacity:
+            return locality
+        return locality * (capacity / working_set)
+
+    def behaviour(self, profile: MemoryProfile,
+                  coresident_sets: Sequence[int] = ()) -> CacheBehaviour:
+        """Cache behaviour of one process.
+
+        *coresident_sets* lists the working-set sizes (bytes) of the other
+        processes simultaneously scheduled on the same package; they shrink
+        this process's share of every shared level.
+        """
+        mem_ops = profile.mem_ops_per_instruction
+        if mem_ops == 0.0:
+            return CacheBehaviour(0.0, 0.0, 0.0, 0.0, 0.0)
+
+        total_ws = profile.working_set_bytes + sum(coresident_sets)
+        remaining = mem_ops  # accesses per instruction still in flight
+        stall = 0.0
+        l1_refs = mem_ops
+        l1_miss = mem_ops
+        llc_refs = 0.0
+        llc_miss = 0.0
+        last_level = self._levels[-1].level if self._levels else 0
+
+        for cache in self._levels:
+            capacity = float(cache.size_bytes)
+            if cache.shared and total_ws > 0:
+                share = profile.working_set_bytes / total_ws if total_ws else 1.0
+                # A co-resident process never squeezes you below an equal
+                # share of the cache.
+                share = max(share, 1.0 / (1 + len(coresident_sets)))
+                capacity *= share
+            hit = self._hit_rate(profile.working_set_bytes, capacity,
+                                 profile.locality)
+            if cache.level == last_level:
+                llc_refs = remaining
+                llc_miss = remaining * (1.0 - hit)
+            if cache.level == 1:
+                l1_miss = remaining * (1.0 - hit)
+            if cache.level > 1:
+                stall += (remaining * hit * cache.latency_cycles
+                          * HIT_LATENCY_EXPOSED)
+            remaining *= (1.0 - hit)
+
+        stall += remaining * DRAM_LATENCY_CYCLES * DRAM_LATENCY_EXPOSED
+        return CacheBehaviour(
+            l1_references=l1_refs,
+            l1_misses=l1_miss,
+            llc_references=llc_refs,
+            llc_misses=llc_miss,
+            stall_cycles=stall,
+        )
+
+    def dram_bytes_per_instruction(self, behaviour: CacheBehaviour) -> float:
+        """DRAM traffic implied by the LLC miss rate (one line per miss)."""
+        line = self._levels[-1].line_bytes if self._levels else 64
+        return behaviour.llc_misses * line

@@ -1,0 +1,129 @@
+"""Hardware performance counter (HPC) bookkeeping.
+
+The simulated silicon exposes the *generic* events of ``perf_event_open`` —
+the ones the paper selects for portability across Intel and AMD parts
+(``instructions``, ``cache-references``, ``cache-misses``) plus the rest of
+the generic set for baselines and ablations.
+
+The machine emits one :class:`EventDelta` per (process, logical CPU) per
+simulation step; the :class:`CounterBank` accumulates those into the
+per-process, per-CPU and machine-wide totals that the perf layer
+(:mod:`repro.perf`) reads through its counter abstraction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+# Generic hardware events (perf_event_open PERF_TYPE_HARDWARE).
+CYCLES = "cycles"
+INSTRUCTIONS = "instructions"
+CACHE_REFERENCES = "cache-references"
+CACHE_MISSES = "cache-misses"
+BRANCHES = "branches"
+BRANCH_MISSES = "branch-misses"
+BUS_CYCLES = "bus-cycles"
+STALLED_CYCLES_FRONTEND = "stalled-cycles-frontend"
+STALLED_CYCLES_BACKEND = "stalled-cycles-backend"
+REF_CYCLES = "ref-cycles"
+
+# Generic cache events (PERF_TYPE_HW_CACHE), the subset we model.
+L1_DCACHE_LOADS = "L1-dcache-loads"
+L1_DCACHE_LOAD_MISSES = "L1-dcache-load-misses"
+LLC_LOADS = "LLC-loads"
+LLC_LOAD_MISSES = "LLC-load-misses"
+
+#: Every event the simulated PMU can produce.
+ALL_EVENTS: Tuple[str, ...] = (
+    CYCLES, INSTRUCTIONS, CACHE_REFERENCES, CACHE_MISSES, BRANCHES,
+    BRANCH_MISSES, BUS_CYCLES, STALLED_CYCLES_FRONTEND,
+    STALLED_CYCLES_BACKEND, REF_CYCLES, L1_DCACHE_LOADS,
+    L1_DCACHE_LOAD_MISSES, LLC_LOADS, LLC_LOAD_MISSES,
+)
+
+#: The trio the paper identifies as most correlated with power on
+#: multi-core systems (Section 3).
+GENERIC_TRIO: Tuple[str, ...] = (INSTRUCTIONS, CACHE_REFERENCES, CACHE_MISSES)
+
+#: Events counted per logical CPU even with no process attached.
+PER_CPU_EVENTS: Tuple[str, ...] = (CYCLES, REF_CYCLES, BUS_CYCLES)
+
+
+class EventDelta(Dict[str, float]):
+    """Event counts produced by one (process, cpu) during one step."""
+
+    def add(self, event: str, count: float) -> None:
+        """Accumulate *count* occurrences of *event* (must be >= 0)."""
+        if count < 0:
+            raise ConfigurationError(f"negative event count for {event}: {count}")
+        self[event] = self.get(event, 0.0) + count
+
+    def merged_with(self, other: Mapping[str, float]) -> "EventDelta":
+        """Return a new delta that is the sum of this one and *other*."""
+        merged = EventDelta(self)
+        for event, count in other.items():
+            merged.add(event, count)
+        return merged
+
+
+class CounterBank:
+    """Accumulated HPC totals, indexed three ways.
+
+    * per (pid, cpu, event) — what a per-process, per-CPU perf counter reads,
+    * per (cpu, event)      — what a CPU-wide counter reads,
+    * per (pid, event)      — what an inherit-style per-process counter reads,
+    * machine-wide (event)  — what a system-wide counter reads.
+    """
+
+    def __init__(self) -> None:
+        self._by_pid_cpu: Dict[Tuple[int, int, str], float] = defaultdict(float)
+        self._by_cpu: Dict[Tuple[int, str], float] = defaultdict(float)
+        self._by_pid: Dict[Tuple[int, str], float] = defaultdict(float)
+        self._machine: Dict[str, float] = defaultdict(float)
+
+    def record(self, pid: int, cpu_id: int, delta: Mapping[str, float]) -> None:
+        """Fold one (process, cpu) step delta into all indexes."""
+        for event, count in delta.items():
+            if event not in ALL_EVENTS:
+                raise ConfigurationError(f"unknown HPC event {event!r}")
+            self._by_pid_cpu[(pid, cpu_id, event)] += count
+            self._by_cpu[(cpu_id, event)] += count
+            self._by_pid[(pid, event)] += count
+            self._machine[event] += count
+
+    def record_cpu_only(self, cpu_id: int, delta: Mapping[str, float]) -> None:
+        """Fold CPU-level activity not attributable to any process."""
+        for event, count in delta.items():
+            if event not in ALL_EVENTS:
+                raise ConfigurationError(f"unknown HPC event {event!r}")
+            self._by_cpu[(cpu_id, event)] += count
+            self._machine[event] += count
+
+    # -- reads ---------------------------------------------------------
+
+    def read(self, event: str, pid: int = -1, cpu_id: int = -1) -> float:
+        """Read a counter the way perf does.
+
+        ``pid == -1`` means "any process" and ``cpu_id == -1`` means "any
+        CPU"; the four combinations map onto the four indexes.
+        """
+        if event not in ALL_EVENTS:
+            raise ConfigurationError(f"unknown HPC event {event!r}")
+        if pid >= 0 and cpu_id >= 0:
+            return self._by_pid_cpu[(pid, cpu_id, event)]
+        if pid >= 0:
+            return self._by_pid[(pid, event)]
+        if cpu_id >= 0:
+            return self._by_cpu[(cpu_id, event)]
+        return self._machine[event]
+
+    def machine_totals(self, events: Iterable[str] = ALL_EVENTS) -> Dict[str, float]:
+        """Machine-wide totals for *events* as a plain dict."""
+        return {event: self.read(event) for event in events}
+
+    def pids(self) -> Tuple[int, ...]:
+        """All process ids that ever recorded activity, ascending."""
+        return tuple(sorted({pid for (pid, _event) in self._by_pid}))

@@ -1,0 +1,336 @@
+"""The simulated machine: clocking, execution, counters and wall power.
+
+:class:`Machine` is the integration point of the ``simcpu`` package.  A
+driver (normally the OS layer, :mod:`repro.os`) advances simulated time in
+discrete steps: it hands the machine a list of :class:`ThreadAssignment`
+records — which process runs on which logical CPU, how busy, with what
+instruction mix and memory profile — and the machine
+
+1. arbitrates effective core frequencies (DVFS/turbo),
+2. runs the cache and pipeline models to retire instructions,
+3. accumulates hardware performance counters,
+4. accounts C-state residencies,
+5. evaluates the hidden ground-truth power model.
+
+Every step produces a :class:`TickRecord`; observers (power meters, perf
+counters, trace recorders) subscribe to the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.simcpu import counters as ev
+from repro.simcpu.caches import CacheModel, MemoryProfile
+from repro.simcpu.counters import CounterBank, EventDelta
+from repro.simcpu.cstates import CStateController
+from repro.simcpu.frequency import FrequencyDomain
+from repro.simcpu.pipeline import InstructionMix, PipelineModel
+from repro.simcpu.power import (CoreActivity, GroundTruthPower,
+                                PowerBreakdown, ThermalModel)
+from repro.simcpu.spec import CpuSpec
+from repro.simcpu.topology import Topology
+
+#: Bus cycles tick at roughly one tenth of the core clock.
+BUS_CYCLE_RATIO = 0.1
+
+
+@dataclass(frozen=True)
+class ThreadAssignment:
+    """One process occupying (part of) one logical CPU for one step."""
+
+    pid: int
+    cpu_id: int
+    busy_fraction: float
+    mix: InstructionMix
+    memory: MemoryProfile
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ConfigurationError("pid must be >= 0")
+        if not 0.0 <= self.busy_fraction <= 1.0:
+            raise ConfigurationError(
+                f"busy_fraction must be within [0, 1], got {self.busy_fraction}")
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """Everything that happened during one simulation step."""
+
+    #: Simulated time at the *end* of the step, seconds.
+    time_s: float
+    dt_s: float
+    power: PowerBreakdown
+    #: Per-(pid, cpu_id) event deltas for the step.
+    events: Mapping[Tuple[int, int], EventDelta]
+    #: Per-logical-CPU busy (C0) fraction.
+    cpu_busy: Mapping[int, float]
+    #: Effective frequency per (package_id, core_id).
+    core_frequencies_hz: Mapping[Tuple[int, int], int]
+
+    @property
+    def wall_power_w(self) -> float:
+        """Total wall power during the step, watts."""
+        return self.power.total
+
+    def machine_events(self) -> EventDelta:
+        """Machine-wide event delta (sum over all processes and CPUs)."""
+        total = EventDelta()
+        for delta in self.events.values():
+            for event, count in delta.items():
+                total.add(event, count)
+        return total
+
+
+TickObserver = Callable[[TickRecord], None]
+
+
+class Machine:
+    """A complete simulated multi-core machine."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+        self.topology = Topology(spec)
+        self.frequency = FrequencyDomain(spec)
+        self.cstates = CStateController(spec)
+        self.caches = CacheModel(spec)
+        self.pipeline = PipelineModel(spec)
+        self.power_model = GroundTruthPower(spec, self.frequency)
+        self.thermal = ThermalModel()
+        self.counters = CounterBank()
+        self._time_s = 0.0
+        self._energy_j = 0.0
+        self._observers: List[TickObserver] = []
+        #: The most recent tick record (None before the first step).
+        self.last_record: Optional[TickRecord] = None
+
+    # -- observers -----------------------------------------------------
+
+    def add_observer(self, observer: TickObserver) -> None:
+        """Subscribe *observer* to the stream of tick records."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: TickObserver) -> None:
+        """Unsubscribe a previously added observer."""
+        self._observers.remove(observer)
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Simulated wall-clock time, seconds."""
+        return self._time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total wall energy consumed since construction, joules."""
+        return self._energy_j
+
+    def set_frequency(self, frequency_hz: int) -> None:
+        """Pin every core to *frequency_hz* (the userspace-governor path)."""
+        self.frequency.set_all_targets(frequency_hz)
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, assignments: Sequence[ThreadAssignment], dt_s: float) -> TickRecord:
+        """Advance simulated time by *dt_s* with the given CPU occupancy."""
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt_s must be positive, got {dt_s}")
+        cpu_busy = self._validate_occupancy(assignments)
+        self._current_assignments = assignments
+        core_freqs = self._effective_frequencies(cpu_busy)
+
+        events: Dict[Tuple[int, int], EventDelta] = {}
+        llc_refs = 0.0
+        dram_bytes = 0.0
+        core_weights: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+
+        for assignment in assignments:
+            if assignment.busy_fraction == 0.0:
+                continue
+            cpu = self.topology.cpu(assignment.cpu_id)
+            core_key = (cpu.package_id, cpu.core_id)
+            frequency_hz = core_freqs[core_key]
+            delta = self._execute(assignment, cpu_busy, frequency_hz, dt_s)
+            key = (assignment.pid, assignment.cpu_id)
+            events[key] = events.get(key, EventDelta()).merged_with(delta)
+            self.counters.record(assignment.pid, assignment.cpu_id, delta)
+            llc_refs += delta.get(ev.CACHE_REFERENCES, 0.0)
+            dram_bytes += delta.get(ev.CACHE_MISSES, 0.0) * self._line_bytes()
+            core_weights.setdefault(core_key, []).append(
+                (assignment.busy_fraction, assignment.mix.power_weight()))
+
+        activities = self._core_activities(cpu_busy, core_freqs, core_weights, dt_s)
+        breakdown = self.power_model.wall_power(
+            activities,
+            llc_references_per_s=llc_refs / dt_s,
+            dram_bytes_per_s=dram_bytes / dt_s,
+            thermal=self.thermal,
+            dt_s=dt_s,
+        )
+
+        self._current_assignments = ()
+        self._time_s += dt_s
+        self._energy_j += breakdown.total * dt_s
+        record = TickRecord(
+            time_s=self._time_s,
+            dt_s=dt_s,
+            power=breakdown,
+            events=events,
+            cpu_busy=cpu_busy,
+            core_frequencies_hz=core_freqs,
+        )
+        self.last_record = record
+        for observer in self._observers:
+            observer(record)
+        return record
+
+    def dominant_frequency_hz(self) -> int:
+        """Busy-weighted dominant core frequency of the last step.
+
+        Before any step (or on a fully idle step) this is the frequency
+        targeted on core 0, which is what a frequency-aware formula should
+        assume for an idle machine.
+        """
+        record = self.last_record
+        if record is None:
+            return self.frequency.target(0, 0)
+        weights: Dict[int, float] = {}
+        for package_id, core_id in self.topology.cores():
+            frequency = record.core_frequencies_hz[(package_id, core_id)]
+            busy = max(record.cpu_busy[cpu_id] for cpu_id in
+                       self.topology.core_cpus(package_id, core_id))
+            weights[frequency] = weights.get(frequency, 0.0) + busy
+        if not weights or max(weights.values()) == 0.0:
+            return self.frequency.target(0, 0)
+        return max(weights, key=lambda frequency: weights[frequency])
+
+    # -- internals --------------------------------------------------------
+
+    def _line_bytes(self) -> int:
+        """Cache-line size of the last-level cache (DRAM transfer unit)."""
+        if self.spec.caches:
+            return self.spec.caches[-1].line_bytes
+        return 64
+
+    def _validate_occupancy(
+            self, assignments: Sequence[ThreadAssignment]) -> Dict[int, float]:
+        """Total busy fraction per logical CPU; reject oversubscription."""
+        busy: Dict[int, float] = {cpu_id: 0.0 for cpu_id in self.topology.cpu_ids}
+        for assignment in assignments:
+            if assignment.cpu_id not in busy:
+                raise TopologyError(f"cpu{assignment.cpu_id} does not exist")
+            busy[assignment.cpu_id] += assignment.busy_fraction
+            if busy[assignment.cpu_id] > 1.0 + 1e-9:
+                raise ConfigurationError(
+                    f"cpu{assignment.cpu_id} oversubscribed: "
+                    f"{busy[assignment.cpu_id]:.3f} > 1")
+        return {cpu_id: min(1.0, value) for cpu_id, value in busy.items()}
+
+    def _effective_frequencies(
+            self, cpu_busy: Mapping[int, float]) -> Dict[Tuple[int, int], int]:
+        """Granted frequency per core, after turbo arbitration."""
+        active_per_package: Dict[int, int] = {}
+        for package_id, core_id in self.topology.cores():
+            core_cpus = self.topology.core_cpus(package_id, core_id)
+            if any(cpu_busy[cpu_id] > 0.0 for cpu_id in core_cpus):
+                active_per_package[package_id] = (
+                    active_per_package.get(package_id, 0) + 1)
+        frequencies: Dict[Tuple[int, int], int] = {}
+        for package_id, core_id in self.topology.cores():
+            frequencies[(package_id, core_id)] = self.frequency.effective(
+                package_id, core_id,
+                active_cores_in_package=active_per_package.get(package_id, 0))
+        return frequencies
+
+    def _execute(self, assignment: ThreadAssignment,
+                 cpu_busy: Mapping[int, float], frequency_hz: int,
+                 dt_s: float) -> EventDelta:
+        """Run one assignment through the cache and pipeline models."""
+        cpu = self.topology.cpu(assignment.cpu_id)
+        siblings = [cpu_id for cpu_id in self.topology.siblings(assignment.cpu_id)
+                    if cpu_id != assignment.cpu_id]
+        sibling_busy = max((cpu_busy[cpu_id] for cpu_id in siblings), default=0.0)
+
+        coresident_sets = self._coresident_working_sets(assignment, cpu.package_id)
+        behaviour = self.caches.behaviour(assignment.memory, coresident_sets)
+        rates = self.pipeline.rates(assignment.mix, behaviour, sibling_busy)
+
+        busy_seconds = assignment.busy_fraction * dt_s
+        instructions = self.pipeline.instructions_in(rates, frequency_hz, busy_seconds)
+        cycles = frequency_hz * busy_seconds
+
+        delta = EventDelta()
+        delta.add(ev.INSTRUCTIONS, instructions)
+        delta.add(ev.CYCLES, cycles)
+        delta.add(ev.REF_CYCLES, self.spec.max_frequency_hz * busy_seconds)
+        delta.add(ev.BUS_CYCLES, cycles * BUS_CYCLE_RATIO)
+        delta.add(ev.BRANCHES, instructions * rates.branches_per_instruction)
+        delta.add(ev.BRANCH_MISSES,
+                  instructions * rates.branch_misses_per_instruction)
+        delta.add(ev.CACHE_REFERENCES, instructions * behaviour.llc_references)
+        delta.add(ev.CACHE_MISSES, instructions * behaviour.llc_misses)
+        delta.add(ev.LLC_LOADS, instructions * behaviour.llc_references)
+        delta.add(ev.LLC_LOAD_MISSES, instructions * behaviour.llc_misses)
+        delta.add(ev.L1_DCACHE_LOADS, instructions * behaviour.l1_references)
+        delta.add(ev.L1_DCACHE_LOAD_MISSES, instructions * behaviour.l1_misses)
+        delta.add(ev.STALLED_CYCLES_BACKEND, cycles * rates.backend_stall_fraction)
+        delta.add(ev.STALLED_CYCLES_FRONTEND, cycles * rates.frontend_stall_fraction)
+        return delta
+
+    def _coresident_working_sets(self, assignment: ThreadAssignment,
+                                 package_id: int) -> List[int]:
+        """Working sets of the other assignments on the same package."""
+        sets: List[int] = []
+        for other in self._current_assignments:
+            if other is assignment:
+                continue
+            other_cpu = self.topology.cpu(other.cpu_id)
+            if other_cpu.package_id == package_id and other.busy_fraction > 0.0:
+                sets.append(other.memory.working_set_bytes)
+        return sets
+
+    def _core_activities(self, cpu_busy: Mapping[int, float],
+                         core_freqs: Mapping[Tuple[int, int], int],
+                         core_weights: Mapping[Tuple[int, int],
+                                               List[Tuple[float, float]]],
+                         dt_s: float) -> List[CoreActivity]:
+        """Build the per-core activity records for the power model."""
+        activities: List[CoreActivity] = []
+        for package_id, core_id in self.topology.cores():
+            core_cpus = self.topology.core_cpus(package_id, core_id)
+            thread_busy = tuple(cpu_busy[cpu_id] for cpu_id in core_cpus)
+            weights = core_weights.get((package_id, core_id), [])
+            total_busy = sum(busy for busy, _weight in weights)
+            if total_busy > 0:
+                weight = sum(busy * w for busy, w in weights) / total_busy
+            else:
+                weight = 1.0
+            busiest = max(thread_busy, default=0.0)
+            expected_idle_s = (1.0 - busiest) * dt_s
+            idle_fraction = self.cstates.idle_power_fraction(expected_idle_s)
+            for cpu_id in core_cpus:
+                self.cstates.account(cpu_id, cpu_busy[cpu_id], dt_s,
+                                     expected_idle_s)
+            activities.append(CoreActivity(
+                frequency_hz=core_freqs[(package_id, core_id)],
+                thread_busy=thread_busy,
+                power_weight=weight,
+                idle_power_fraction=idle_fraction,
+            ))
+        return activities
+
+    # step() needs the full assignment list while executing each one (for
+    # cache co-residency); stash it for the duration of the call.
+    _current_assignments: Sequence[ThreadAssignment] = ()
+
+    def run(self, assignments: Sequence[ThreadAssignment], duration_s: float,
+            dt_s: float = 0.01) -> List[TickRecord]:
+        """Step a fixed occupancy for *duration_s*; returns all tick records."""
+        records: List[TickRecord] = []
+        steps = max(1, int(round(duration_s / dt_s)))
+        for _ in range(steps):
+            records.append(self.step(assignments, dt_s))
+        return records

@@ -1,0 +1,105 @@
+"""Processor topology: packages, cores and logical CPUs.
+
+Logical CPUs are numbered the way Linux numbers them on Intel parts: first
+one thread of every core (0..num_cores-1), then the SMT siblings
+(num_cores..2*num_cores-1).  This matters for schedulers that prefer to
+spread load across physical cores before doubling up on hyperthreads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+from repro.simcpu.spec import CpuSpec
+
+
+@dataclass(frozen=True)
+class LogicalCpu:
+    """One hardware thread: its id and physical placement."""
+
+    cpu_id: int
+    package_id: int
+    core_id: int
+    thread_id: int
+
+    def __str__(self) -> str:
+        return (f"cpu{self.cpu_id}(pkg{self.package_id}/"
+                f"core{self.core_id}/smt{self.thread_id})")
+
+
+class Topology:
+    """Enumerates logical CPUs and sibling relationships for a CpuSpec."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+        self._cpus: List[LogicalCpu] = []
+        num_cores = spec.num_cores
+        for cpu_id in range(spec.num_threads):
+            thread_id, flat_core = divmod(cpu_id, num_cores)
+            package_id, core_id = divmod(flat_core, spec.cores_per_package)
+            self._cpus.append(LogicalCpu(
+                cpu_id=cpu_id,
+                package_id=package_id,
+                core_id=core_id,
+                thread_id=thread_id,
+            ))
+
+    def __len__(self) -> int:
+        return len(self._cpus)
+
+    def __iter__(self):
+        return iter(self._cpus)
+
+    def cpu(self, cpu_id: int) -> LogicalCpu:
+        """Return the logical CPU with id *cpu_id*."""
+        if not 0 <= cpu_id < len(self._cpus):
+            raise TopologyError(
+                f"cpu{cpu_id} out of range (0..{len(self._cpus) - 1})")
+        return self._cpus[cpu_id]
+
+    @property
+    def cpu_ids(self) -> Tuple[int, ...]:
+        """All logical CPU ids, ascending."""
+        return tuple(cpu.cpu_id for cpu in self._cpus)
+
+    def siblings(self, cpu_id: int) -> Tuple[int, ...]:
+        """Logical CPU ids sharing the same physical core as *cpu_id*.
+
+        Includes *cpu_id* itself; on a non-SMT part this is a 1-tuple.
+        """
+        me = self.cpu(cpu_id)
+        return tuple(
+            other.cpu_id for other in self._cpus
+            if other.package_id == me.package_id and other.core_id == me.core_id)
+
+    def core_cpus(self, package_id: int, core_id: int) -> Tuple[int, ...]:
+        """Logical CPU ids belonging to a given physical core."""
+        cpus = tuple(
+            cpu.cpu_id for cpu in self._cpus
+            if cpu.package_id == package_id and cpu.core_id == core_id)
+        if not cpus:
+            raise TopologyError(f"no such core pkg{package_id}/core{core_id}")
+        return cpus
+
+    def package_cpus(self, package_id: int) -> Tuple[int, ...]:
+        """Logical CPU ids belonging to a given package."""
+        cpus = tuple(cpu.cpu_id for cpu in self._cpus
+                     if cpu.package_id == package_id)
+        if not cpus:
+            raise TopologyError(f"no such package {package_id}")
+        return cpus
+
+    def cores(self) -> List[Tuple[int, int]]:
+        """All (package_id, core_id) pairs, in order."""
+        seen: List[Tuple[int, int]] = []
+        for cpu in self._cpus:
+            key = (cpu.package_id, cpu.core_id)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def primary_thread(self, cpu_id: int) -> bool:
+        """Whether *cpu_id* is the first (SMT-0) thread of its core."""
+        return self.cpu(cpu_id).thread_id == 0

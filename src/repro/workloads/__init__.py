@@ -1,0 +1,23 @@
+"""Workload library: stress utilities, synthetic benchmarks and mixes."""
+
+from repro.workloads.base import (ConstantWorkload, Phase, PhasedWorkload,
+                                  Workload, cpu_demand, memory_demand)
+from repro.workloads.idle import BackgroundNoise, IdleWorkload
+from repro.workloads.mix import RandomWorkload, colocated_pair
+from repro.workloads.speccpu import (APP_NAMES, SpecCpuApp, spec_cpu_app,
+                                     spec_cpu_suite)
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.stress import (DEFAULT_LEVELS, DEFAULT_WORKING_SETS,
+                                    CpuStress, MemoryStress, MixedStress,
+                                    stress_matrix)
+from repro.workloads.webserver import WebServerWorkload
+
+__all__ = [
+    "APP_NAMES", "BackgroundNoise", "ConstantWorkload", "CpuStress",
+    "DEFAULT_LEVELS", "DEFAULT_WORKING_SETS", "IdleWorkload",
+    "MemoryStress", "MixedStress", "Phase", "PhasedWorkload",
+    "RandomWorkload", "SpecCpuApp", "SpecJbbWorkload", "WebServerWorkload",
+    "Workload",
+    "colocated_pair", "cpu_demand", "memory_demand", "spec_cpu_app",
+    "spec_cpu_suite", "stress_matrix",
+]

@@ -1,0 +1,129 @@
+"""Workload base classes.
+
+A workload is a :class:`~repro.os.process.Program`: the simulated kernel
+polls ``demand(local_time_s)`` every quantum.  :class:`PhasedWorkload`
+builds workloads from a list of timed :class:`Phase` records, which covers
+everything from a constant stress loop to a multi-phase benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.os.process import Demand
+from repro.simcpu.caches import MemoryProfile
+from repro.simcpu.pipeline import InstructionMix
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A constant demand sustained for a duration.
+
+    ``region`` optionally names the code region (function, request
+    handler, GC, ...) the phase models; the code-level energy profiler
+    (:mod:`repro.core.codelevel`) attributes energy per region name.
+    """
+
+    duration_s: float
+    demand: Demand
+    region: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("phase duration must be positive")
+
+
+class Workload:
+    """Abstract workload; subclasses implement :meth:`demand`."""
+
+    #: Human-readable name, used as the default process name.
+    name = "workload"
+
+    def demand(self, local_time_s: float) -> Optional[Demand]:
+        """Demand at *local_time_s*, or None once finished."""
+        raise NotImplementedError
+
+    def total_duration_s(self) -> Optional[float]:
+        """Known runtime in seconds, or None for open-ended workloads."""
+        return None
+
+    def region(self, local_time_s: float) -> str:
+        """Name of the code region active at *local_time_s* ("" = none)."""
+        return ""
+
+
+class PhasedWorkload(Workload):
+    """A workload defined by a fixed sequence of phases."""
+
+    def __init__(self, phases: Sequence[Phase], name: str = "phased",
+                 repeat: bool = False) -> None:
+        if not phases:
+            raise ConfigurationError("at least one phase required")
+        self.name = name
+        self.phases: List[Phase] = list(phases)
+        self.repeat = repeat
+        self._cycle_s = sum(phase.duration_s for phase in self.phases)
+
+    def total_duration_s(self) -> Optional[float]:
+        return None if self.repeat else self._cycle_s
+
+    def _phase_at(self, local_time_s: float) -> Optional[Phase]:
+        time = local_time_s
+        if self.repeat:
+            time = time % self._cycle_s
+        elif time >= self._cycle_s - 1e-12:
+            return None
+        for phase in self.phases:
+            if time < phase.duration_s:
+                return phase
+            time -= phase.duration_s
+        return self.phases[-1]
+
+    def demand(self, local_time_s: float) -> Optional[Demand]:
+        phase = self._phase_at(local_time_s)
+        return phase.demand if phase is not None else None
+
+    def region(self, local_time_s: float) -> str:
+        phase = self._phase_at(local_time_s)
+        return phase.region if phase is not None else ""
+
+
+class ConstantWorkload(PhasedWorkload):
+    """A single constant demand, optionally time-limited."""
+
+    def __init__(self, demand: Demand, duration_s: Optional[float] = None,
+                 name: str = "constant") -> None:
+        open_ended = duration_s is None
+        super().__init__(
+            phases=[Phase(duration_s if duration_s else 1.0, demand)],
+            name=name,
+            repeat=open_ended,
+        )
+
+
+def cpu_demand(utilization: float = 1.0, threads: int = 1) -> Demand:
+    """A CPU-bound demand: tiny working set, integer-dominated mix."""
+    return Demand(
+        utilization=utilization,
+        mix=InstructionMix(fp_fraction=0.05, branch_fraction=0.15,
+                           branch_miss_rate=0.02),
+        memory=MemoryProfile(mem_ops_per_instruction=0.15,
+                             working_set_bytes=8 * 1024, locality=0.99),
+        threads=threads,
+    )
+
+
+def memory_demand(utilization: float = 1.0, working_set_bytes: int = 32 * 1024 * 1024,
+                  locality: float = 0.75, threads: int = 1) -> Demand:
+    """A memory-bound demand: large working set, load/store heavy mix."""
+    return Demand(
+        utilization=utilization,
+        mix=InstructionMix(fp_fraction=0.0, branch_fraction=0.10,
+                           branch_miss_rate=0.02),
+        memory=MemoryProfile(mem_ops_per_instruction=0.40,
+                             working_set_bytes=working_set_bytes,
+                             locality=locality),
+        threads=threads,
+    )

@@ -1,0 +1,112 @@
+"""Stress workloads — the "Stress Utility" box of the paper's Figure 1.
+
+The sampling pipeline stresses the processor "in several dimensions" with
+CPU- and memory-intensive loops at controlled utilisation levels, one run
+per available frequency.  :func:`stress_matrix` produces the standard grid
+the learning pipeline iterates over: for each dimension (cpu / memory /
+mixed) a ramp of utilisation levels and, for the memory dimension, several
+working-set sizes so the cache-reference and cache-miss counters span
+their realistic ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.os.process import Demand
+from repro.simcpu.caches import MemoryProfile
+from repro.simcpu.pipeline import InstructionMix
+from repro.workloads.base import ConstantWorkload, Workload, cpu_demand, memory_demand
+
+#: Working-set sizes (bytes) the memory stressor sweeps: L1-resident,
+#: L2-resident, L3-resident, and two DRAM-bound sizes.
+DEFAULT_WORKING_SETS = (16 * 1024, 192 * 1024, 2 * 1024 * 1024,
+                        16 * 1024 * 1024, 64 * 1024 * 1024)
+
+#: Utilisation levels the stressors ramp through.
+DEFAULT_LEVELS = (0.25, 0.5, 0.75, 1.0)
+
+
+class CpuStress(ConstantWorkload):
+    """A CPU-bound spin loop at a fixed utilisation (stress-ng ``--cpu``)."""
+
+    def __init__(self, utilization: float = 1.0, threads: int = 1,
+                 duration_s: Optional[float] = None) -> None:
+        super().__init__(
+            demand=cpu_demand(utilization=utilization, threads=threads),
+            duration_s=duration_s,
+            name=f"stress-cpu-{int(utilization * 100)}",
+        )
+
+
+class MemoryStress(ConstantWorkload):
+    """A memory-walking loop over a configurable working set."""
+
+    def __init__(self, utilization: float = 1.0,
+                 working_set_bytes: int = 32 * 1024 * 1024,
+                 locality: float = 0.75, threads: int = 1,
+                 duration_s: Optional[float] = None) -> None:
+        super().__init__(
+            demand=memory_demand(
+                utilization=utilization,
+                working_set_bytes=working_set_bytes,
+                locality=locality,
+                threads=threads,
+            ),
+            duration_s=duration_s,
+            name=f"stress-mem-{working_set_bytes // 1024}k",
+        )
+
+
+class MixedStress(ConstantWorkload):
+    """Interleaved compute and memory work (FP-flavoured)."""
+
+    def __init__(self, utilization: float = 1.0,
+                 working_set_bytes: int = 4 * 1024 * 1024,
+                 fp_fraction: float = 0.25, threads: int = 1,
+                 duration_s: Optional[float] = None) -> None:
+        if not 0.0 <= fp_fraction <= 0.6:
+            raise ConfigurationError("fp_fraction must be within [0, 0.6]")
+        demand = Demand(
+            utilization=utilization,
+            mix=InstructionMix(fp_fraction=fp_fraction, simd_fraction=0.1,
+                               branch_fraction=0.12, branch_miss_rate=0.03),
+            memory=MemoryProfile(mem_ops_per_instruction=0.30,
+                                 working_set_bytes=working_set_bytes,
+                                 locality=0.85),
+            threads=threads,
+        )
+        super().__init__(demand=demand, duration_s=duration_s,
+                         name=f"stress-mixed-{int(utilization * 100)}")
+
+
+def stress_matrix(levels: Sequence[float] = DEFAULT_LEVELS,
+                  working_sets: Sequence[int] = DEFAULT_WORKING_SETS,
+                  threads: int = 1) -> List[Workload]:
+    """The standard sampling grid of Figure 1.
+
+    Covers the CPU dimension at each utilisation level, the memory
+    dimension at each (level, working set) pair, and a mixed dimension, so
+    the regression sees the full dynamic range of every counter.
+    """
+    for level in levels:
+        if not 0.0 < level <= 1.0:
+            raise ConfigurationError(f"invalid utilisation level {level}")
+    workloads: List[Workload] = []
+    for level in levels:
+        workloads.append(CpuStress(utilization=level, threads=threads))
+    for working_set in working_sets:
+        for level in levels:
+            workloads.append(MemoryStress(
+                utilization=level, working_set_bytes=working_set,
+                threads=threads))
+    for level in levels:
+        workloads.append(MixedStress(utilization=level, threads=threads))
+    return workloads
+
+
+def iter_stress_names(workloads: Sequence[Workload]) -> Iterator[str]:
+    """Names of the workloads in a matrix (handy for progress reporting)."""
+    for workload in workloads:
+        yield workload.name

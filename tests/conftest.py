@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Simulation fixtures are deliberately small (few frequencies, coarse
+quanta, short durations): unit tests must stay fast.  The benchmark
+harness, not the test suite, runs paper-scale campaigns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simcpu import (InstructionMix, Machine, MemoryProfile,
+                          ThreadAssignment, intel_core2duo_e6600,
+                          intel_i3_2120, intel_xeon_smt)
+
+
+@pytest.fixture
+def i3_spec():
+    """The paper's Table 1 machine."""
+    return intel_i3_2120()
+
+
+@pytest.fixture
+def core2_spec():
+    """Simple architecture: 2 cores, no SMT, no turbo."""
+    return intel_core2duo_e6600()
+
+
+@pytest.fixture
+def xeon_spec():
+    """SMT server part with a turbo ladder."""
+    return intel_xeon_smt()
+
+
+@pytest.fixture
+def machine(i3_spec):
+    """A fresh i3-2120 machine."""
+    return Machine(i3_spec)
+
+
+@pytest.fixture
+def cpu_bound_assignment():
+    """A fully busy CPU-bound thread on cpu0."""
+    return ThreadAssignment(
+        pid=100, cpu_id=0, busy_fraction=1.0,
+        mix=InstructionMix(fp_fraction=0.05),
+        memory=MemoryProfile(mem_ops_per_instruction=0.15,
+                             working_set_bytes=8 * 1024, locality=0.99),
+    )
+
+
+@pytest.fixture
+def memory_bound_assignment():
+    """A fully busy memory-bound thread on cpu1 (other physical core)."""
+    return ThreadAssignment(
+        pid=101, cpu_id=1, busy_fraction=1.0,
+        mix=InstructionMix(),
+        memory=MemoryProfile(mem_ops_per_instruction=0.4,
+                             working_set_bytes=64 * 1024 * 1024,
+                             locality=0.7),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration scenario")

@@ -1,0 +1,339 @@
+"""Unit tests for the actor runtime: actors, bus, system, clock, supervision."""
+
+import pytest
+
+from repro.actors.actor import Actor, Mailbox, Envelope
+from repro.actors.clock import ClockTick, VirtualClock
+from repro.actors.eventbus import EventBus
+from repro.actors.supervision import (Directive, EscalateStrategy,
+                                      RestartStrategy, ResumeStrategy,
+                                      StopStrategy)
+from repro.actors.system import ActorSystem
+from repro.errors import (ActorError, ActorStoppedError, ConfigurationError,
+                          MailboxOverflowError)
+
+
+class Recorder(Actor):
+    """Collects everything it receives."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+class Exploder(Actor):
+    """Raises on a trigger message, records the rest."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def receive(self, message):
+        if message == "boom":
+            raise ValueError("boom")
+        self.received.append(message)
+
+
+class TestMailbox:
+    def test_fifo(self):
+        mailbox = Mailbox()
+        mailbox.put(Envelope("a", None))
+        mailbox.put(Envelope("b", None))
+        assert mailbox.get().message == "a"
+        assert mailbox.get().message == "b"
+
+    def test_empty_returns_none(self):
+        assert Mailbox().get() is None
+
+    def test_overflow(self):
+        mailbox = Mailbox(capacity=2)
+        mailbox.put(Envelope(1, None))
+        mailbox.put(Envelope(2, None))
+        with pytest.raises(MailboxOverflowError):
+            mailbox.put(Envelope(3, None))
+
+
+class TestBasicDelivery:
+    def test_tell_then_dispatch(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        ref = system.spawn(recorder, "rec")
+        ref.tell("hello")
+        assert recorder.received == []  # not yet dispatched
+        system.dispatch()
+        assert recorder.received == ["hello"]
+
+    def test_fifo_across_actors(self):
+        system = ActorSystem()
+        a, b = Recorder(), Recorder()
+        ref_a = system.spawn(a, "a")
+        ref_b = system.spawn(b, "b")
+        ref_a.tell(1)
+        ref_b.tell(2)
+        ref_a.tell(3)
+        system.dispatch()
+        assert a.received == [1, 3]
+        assert b.received == [2]
+
+    def test_sender_available_in_context(self):
+        system = ActorSystem()
+
+        class Replier(Actor):
+            def receive(self, message):
+                self.context.sender.tell("pong")
+
+        recorder = Recorder()
+        recorder_ref = system.spawn(recorder, "rec")
+        replier_ref = system.spawn(Replier(), "rep")
+        replier_ref.tell("ping", sender=recorder_ref)
+        system.dispatch()
+        assert recorder.received == ["pong"]
+
+    def test_tell_to_stopped_actor_raises(self):
+        system = ActorSystem()
+        ref = system.spawn(Recorder(), "rec")
+        system.stop(ref)
+        with pytest.raises(ActorStoppedError):
+            ref.tell("late")
+
+    def test_duplicate_name_rejected(self):
+        system = ActorSystem()
+        system.spawn(Recorder(), "dup")
+        with pytest.raises(ActorError):
+            system.spawn(Recorder(), "dup")
+
+    def test_auto_names_unique(self):
+        system = ActorSystem()
+        ref_a = system.spawn(Recorder())
+        ref_b = system.spawn(Recorder())
+        assert ref_a.name != ref_b.name
+
+    def test_dispatch_loop_guard(self):
+        system = ActorSystem()
+
+        class Pinger(Actor):
+            def receive(self, message):
+                self.self_ref.tell(message)  # infinite self-send
+
+        ref = system.spawn(Pinger(), "loop")
+        ref.tell("go")
+        with pytest.raises(ActorError):
+            system.dispatch(max_messages=100)
+
+    def test_shutdown_stops_everything(self):
+        system = ActorSystem()
+        system.spawn(Recorder(), "a")
+        system.spawn(Recorder(), "b")
+        system.shutdown()
+        assert system.actor_names() == ()
+
+    def test_factory_must_build_actor(self):
+        system = ActorSystem()
+        with pytest.raises(ActorError):
+            system.actor_of(lambda: object(), "bad")
+
+    def test_lifecycle_hooks(self):
+        events = []
+
+        class Hooked(Actor):
+            def pre_start(self):
+                events.append("start")
+
+            def post_stop(self):
+                events.append("stop")
+
+            def receive(self, message):
+                pass
+
+        system = ActorSystem()
+        ref = system.spawn(Hooked(), "hooked")
+        system.stop(ref)
+        assert events == ["start", "stop"]
+
+
+class TestEventBus:
+    def test_publish_to_subscribers(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        ref = system.spawn(recorder, "rec")
+        system.event_bus.subscribe(str, ref)
+        system.event_bus.publish("news")
+        system.dispatch()
+        assert recorder.received == ["news"]
+
+    def test_type_routing(self):
+        system = ActorSystem()
+        strings, numbers = Recorder(), Recorder()
+        system.event_bus.subscribe(str, system.spawn(strings, "s"))
+        system.event_bus.subscribe(int, system.spawn(numbers, "i"))
+        system.event_bus.publish("text")
+        system.event_bus.publish(42)
+        system.dispatch()
+        assert strings.received == ["text"]
+        assert numbers.received == [42]
+
+    def test_base_class_subscription(self):
+        class Base:
+            pass
+
+        class Derived(Base):
+            pass
+
+        system = ActorSystem()
+        recorder = Recorder()
+        system.event_bus.subscribe(Base, system.spawn(recorder, "rec"))
+        message = Derived()
+        system.event_bus.publish(message)
+        system.dispatch()
+        assert recorder.received == [message]
+
+    def test_no_duplicate_delivery_for_mro_overlap(self):
+        class Base:
+            pass
+
+        class Derived(Base):
+            pass
+
+        system = ActorSystem()
+        recorder = Recorder()
+        ref = system.spawn(recorder, "rec")
+        system.event_bus.subscribe(Base, ref)
+        system.event_bus.subscribe(Derived, ref)
+        system.event_bus.publish(Derived())
+        system.dispatch()
+        assert len(recorder.received) == 1
+
+    def test_unsubscribe(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        ref = system.spawn(recorder, "rec")
+        system.event_bus.subscribe(str, ref)
+        system.event_bus.unsubscribe(str, ref)
+        system.event_bus.publish("gone")
+        system.dispatch()
+        assert recorder.received == []
+
+    def test_stop_unsubscribes(self):
+        system = ActorSystem()
+        ref = system.spawn(Recorder(), "rec")
+        system.event_bus.subscribe(str, ref)
+        system.stop(ref)
+        system.event_bus.publish("late")  # must not raise
+        system.dispatch()
+
+    def test_subscriber_count(self):
+        system = ActorSystem()
+        ref = system.spawn(Recorder(), "rec")
+        system.event_bus.subscribe(str, ref)
+        assert system.event_bus.subscriber_count(str) == 1
+        assert system.event_bus.subscriber_count(int) == 0
+
+
+class TestSupervision:
+    def test_stop_strategy(self):
+        system = ActorSystem(strategy=StopStrategy())
+        ref = system.spawn(Exploder(), "exp")
+        ref.tell("boom")
+        system.dispatch()
+        assert not ref.alive
+
+    def test_resume_strategy_keeps_state(self):
+        system = ActorSystem(strategy=ResumeStrategy())
+        exploder = Exploder()
+        ref = system.spawn(exploder, "exp")
+        ref.tell("a")
+        ref.tell("boom")
+        ref.tell("b")
+        system.dispatch()
+        assert exploder.received == ["a", "b"]
+        assert ref.alive
+
+    def test_restart_strategy_rebuilds(self):
+        system = ActorSystem(strategy=RestartStrategy(max_restarts=2))
+        instances = []
+
+        def factory():
+            actor = Exploder()
+            instances.append(actor)
+            return actor
+
+        ref = system.actor_of(factory, "exp")
+        ref.tell("a")
+        ref.tell("boom")
+        ref.tell("b")
+        system.dispatch()
+        assert len(instances) == 2
+        assert instances[0].received == ["a"]
+        assert instances[1].received == ["b"]
+
+    def test_restart_budget_exhaustion_stops(self):
+        system = ActorSystem(strategy=RestartStrategy(max_restarts=1))
+        ref = system.actor_of(Exploder, "exp")
+        ref.tell("boom")
+        ref.tell("boom")
+        system.dispatch()
+        assert not ref.alive
+
+    def test_escalate_strategy_raises(self):
+        system = ActorSystem(strategy=EscalateStrategy())
+        ref = system.spawn(Exploder(), "exp")
+        ref.tell("boom")
+        with pytest.raises(ValueError):
+            system.dispatch()
+
+    def test_spawned_instance_cannot_restart(self):
+        # spawn() wraps an instance: restart decays to reuse of the factory
+        # closure returning the same instance, which is still usable.
+        system = ActorSystem(strategy=RestartStrategy())
+        exploder = Exploder()
+        ref = system.spawn(exploder, "exp")
+        ref.tell("boom")
+        ref.tell("ok")
+        system.dispatch()
+        assert ref.alive
+        assert exploder.received == ["ok"]
+
+
+class TestVirtualClock:
+    def test_one_tick_per_period(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        system.event_bus.subscribe(ClockTick, system.spawn(recorder, "rec"))
+        clock = VirtualClock(system.event_bus, period_s=1.0)
+        for _ in range(10):
+            clock.advance(0.25)
+            system.dispatch()
+        assert len(recorder.received) == 2
+        assert clock.ticks_emitted == 2
+
+    def test_multiple_ticks_in_large_advance(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        system.event_bus.subscribe(ClockTick, system.spawn(recorder, "rec"))
+        clock = VirtualClock(system.event_bus, period_s=0.5)
+        clock.advance(1.7)
+        system.dispatch()
+        assert len(recorder.received) == 3
+
+    def test_tick_carries_time_and_period(self):
+        system = ActorSystem()
+        recorder = Recorder()
+        system.event_bus.subscribe(ClockTick, system.spawn(recorder, "rec"))
+        clock = VirtualClock(system.event_bus, period_s=1.0)
+        clock.advance(1.0)
+        system.dispatch()
+        tick = recorder.received[0]
+        assert tick.time_s == pytest.approx(1.0)
+        assert tick.period_s == 1.0
+
+    def test_rejects_negative_advance(self):
+        clock = VirtualClock(ActorSystem().event_bus, period_s=1.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-0.1)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(ActorSystem().event_bus, period_s=0.0)

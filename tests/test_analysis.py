@@ -1,0 +1,139 @@
+"""Unit tests for repro.analysis (traces, alignment, rendering)."""
+
+import pytest
+
+from repro.analysis.report import (ascii_chart, format_metrics,
+                                   render_comparison, render_grid,
+                                   render_table)
+from repro.analysis.traces import PowerTrace, align, compare
+from repro.errors import ConfigurationError
+from repro.powermeter.base import PowerSample
+
+
+def trace(name, times, powers):
+    return PowerTrace.from_series(name, times, powers)
+
+
+class TestPowerTrace:
+    def test_from_samples(self):
+        samples = [PowerSample(1.0, 30.0), PowerSample(2.0, 32.0)]
+        result = PowerTrace.from_samples("meter", samples)
+        assert result.times_s == (1.0, 2.0)
+        assert result.powers_w == (30.0, 32.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            trace("x", [1.0], [1.0, 2.0])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ConfigurationError):
+            trace("x", [2.0, 1.0], [1.0, 2.0])
+
+    def test_mean(self):
+        assert trace("x", [1, 2], [30, 34]).mean_w() == 32.0
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            trace("x", [], []).mean_w()
+
+    def test_energy_trapezoid(self):
+        result = trace("x", [0.0, 2.0], [10.0, 20.0])
+        assert result.energy_j() == pytest.approx(30.0)
+
+    def test_energy_of_single_point(self):
+        assert trace("x", [1.0], [10.0]).energy_j() == 0.0
+
+    def test_window(self):
+        result = trace("x", [1, 2, 3, 4], [10, 20, 30, 40]).window(2, 4)
+        assert result.times_s == (2, 3)
+
+
+class TestAlign:
+    def test_matches_within_tolerance(self):
+        reference = trace("a", [1.0, 2.0, 3.0], [10, 20, 30])
+        other = trace("b", [1.01, 2.02, 2.98], [11, 21, 29])
+        times, ref, oth = align(reference, other, tolerance_s=0.1)
+        assert len(times) == 3
+        assert list(oth) == [11, 21, 29]
+
+    def test_skips_out_of_tolerance(self):
+        reference = trace("a", [1.0, 5.0], [10, 50])
+        other = trace("b", [1.0], [11])
+        times, _ref, _oth = align(reference, other, tolerance_s=0.5)
+        assert len(times) == 1
+
+    def test_each_sample_used_once(self):
+        reference = trace("a", [1.0, 1.1], [10, 11])
+        other = trace("b", [1.05], [12])
+        times, _ref, _oth = align(reference, other, tolerance_s=0.5)
+        assert len(times) == 1
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            align(trace("a", [1], [1]), trace("b", [1], [1]), tolerance_s=0)
+
+
+class TestCompare:
+    def test_summary_fields(self):
+        measured = trace("m", [1, 2, 3], [30, 35, 40])
+        estimated = trace("e", [1, 2, 3], [33, 35, 36])
+        summary = compare(measured, estimated)
+        assert summary["aligned"] == 3
+        assert summary["median_ape"] > 0
+
+    def test_disjoint_traces_raise(self):
+        with pytest.raises(ConfigurationError):
+            compare(trace("m", [1], [30]), trace("e", [100], [30]))
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table([("Vendor", "Intel"), ("TDP", "65 W")],
+                            title="Table 1")
+        assert "Vendor" in text
+        assert ": Intel" in text
+        assert text.startswith("Table 1")
+
+    def test_render_table_requires_rows(self):
+        with pytest.raises(ConfigurationError):
+            render_table([])
+
+    def test_render_grid_aligns_columns(self):
+        text = render_grid(["model", "error"],
+                           [["powerapi", "15.0%"], ["bertran", "4.6%"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("model")
+        assert len(lines) == 4
+
+    def test_ascii_chart_draws_both_traces(self):
+        a = trace("powerspy", list(range(10)), [30 + i for i in range(10)])
+        b = trace("powerapi", list(range(10)), [31 + i for i in range(10)])
+        chart = ascii_chart([a, b], width=40, height=8)
+        assert "*" in chart and "+" in chart
+        assert "powerspy" in chart and "powerapi" in chart
+
+    def test_ascii_chart_needs_traces(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([])
+
+    def test_ascii_chart_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([trace("a", [1], [1])], width=5, height=2)
+
+    def test_ascii_chart_flat_trace(self):
+        chart = ascii_chart([trace("flat", [0, 1, 2], [30, 30, 30])],
+                            width=30, height=6)
+        assert "flat" in chart
+
+    def test_render_comparison(self):
+        line = render_comparison("F3 median error", "15%", "15.3%",
+                                 "reproduced")
+        assert "paper=15%" in line
+        assert "[reproduced]" in line
+
+    def test_format_metrics(self):
+        text = format_metrics({"median_ape": 0.153, "rmse_w": 3.2,
+                               "r2": 0.9, "aligned": 100})
+        assert "median_ape=15.3%" in text
+        assert "rmse=3.20W" in text
+        assert "n=100" in text

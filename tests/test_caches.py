@@ -1,0 +1,120 @@
+"""Unit tests for repro.simcpu.caches (analytic cache model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu.caches import CacheBehaviour, CacheModel, MemoryProfile
+from repro.simcpu.spec import intel_i3_2120
+from repro.units import kib, mib
+
+
+@pytest.fixture
+def model():
+    return CacheModel(intel_i3_2120())
+
+
+class TestMemoryProfile:
+    def test_defaults_valid(self):
+        profile = MemoryProfile()
+        assert 0 < profile.locality <= 1
+
+    def test_rejects_bad_mem_ops(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(mem_ops_per_instruction=1.5)
+
+    def test_rejects_negative_working_set(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(working_set_bytes=-1)
+
+    def test_rejects_zero_locality(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProfile(locality=0.0)
+
+
+class TestCacheBehaviourInvariants:
+    def test_misses_cannot_exceed_references(self):
+        with pytest.raises(ConfigurationError):
+            CacheBehaviour(l1_references=1, l1_misses=0.5,
+                           llc_references=0.1, llc_misses=0.2,
+                           stall_cycles=1.0)
+
+
+class TestHitRates:
+    def test_l1_resident_produces_few_llc_references(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=kib(16), locality=0.99)
+        behaviour = model.behaviour(profile)
+        assert behaviour.llc_references < 0.01
+
+    def test_dram_bound_produces_many_misses(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.4,
+                                working_set_bytes=256 * mib(1) // mib(1) * mib(1),
+                                locality=0.6)
+        behaviour = model.behaviour(profile)
+        assert behaviour.llc_misses > 0.1
+
+    def test_l3_resident_hits_llc(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=mib(2), locality=0.95)
+        behaviour = model.behaviour(profile)
+        # References reach the LLC (missed L1/L2) but mostly hit there.
+        assert behaviour.llc_references > 0.01
+        assert behaviour.llc_misses < behaviour.llc_references * 0.5
+
+    def test_zero_mem_ops_is_all_zero(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.0)
+        behaviour = model.behaviour(profile)
+        assert behaviour.llc_references == 0.0
+        assert behaviour.stall_cycles == 0.0
+
+    def test_larger_working_set_more_misses(self, model):
+        small = model.behaviour(MemoryProfile(working_set_bytes=mib(1)))
+        large = model.behaviour(MemoryProfile(working_set_bytes=mib(64)))
+        assert large.llc_misses > small.llc_misses
+
+    def test_lower_locality_more_misses(self, model):
+        tight = model.behaviour(MemoryProfile(working_set_bytes=mib(8),
+                                              locality=0.95))
+        loose = model.behaviour(MemoryProfile(working_set_bytes=mib(8),
+                                              locality=0.55))
+        assert loose.llc_misses > tight.llc_misses
+
+    def test_stall_cycles_grow_with_working_set(self, model):
+        small = model.behaviour(MemoryProfile(working_set_bytes=kib(8)))
+        large = model.behaviour(MemoryProfile(working_set_bytes=mib(64)))
+        assert large.stall_cycles > small.stall_cycles
+
+
+class TestSharedCacheContention:
+    def test_coresident_sets_increase_misses(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=mib(2), locality=0.9)
+        alone = model.behaviour(profile)
+        contended = model.behaviour(profile, coresident_sets=[mib(8)])
+        assert contended.llc_misses > alone.llc_misses
+
+    def test_contention_only_affects_shared_levels(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=kib(16), locality=0.99)
+        alone = model.behaviour(profile)
+        contended = model.behaviour(profile, coresident_sets=[mib(64)])
+        # L1-resident working set: private L1 unaffected.
+        assert contended.l1_misses == pytest.approx(alone.l1_misses)
+
+    def test_equal_share_floor(self, model):
+        # One co-resident giant must not squeeze us below a half share.
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=mib(1), locality=0.9)
+        huge = model.behaviour(profile, coresident_sets=[mib(512)])
+        # Half of the 3 MB L3 still covers the 1 MB working set.
+        assert huge.llc_misses < huge.llc_references * 0.5
+
+
+class TestDramTraffic:
+    def test_bytes_per_instruction(self, model):
+        profile = MemoryProfile(mem_ops_per_instruction=0.4,
+                                working_set_bytes=mib(64), locality=0.6)
+        behaviour = model.behaviour(profile)
+        expected = behaviour.llc_misses * 64
+        assert model.dram_bytes_per_instruction(behaviour) == pytest.approx(
+            expected)

@@ -1,0 +1,169 @@
+"""Unit tests for cgroups and container-level power aggregation."""
+
+import pytest
+
+from repro.core.cgroup_monitor import (CgroupAggregator, CgroupPowerReport,
+                                       InMemoryCgroupReporter)
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.errors import ConfigurationError, ProcessError
+from repro.os.cgroups import ROOT, CgroupTree
+from repro.os.kernel import SimKernel
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress
+
+
+class TestCgroupTree:
+    def test_root_exists(self):
+        tree = CgroupTree()
+        assert ROOT in tree.groups()
+
+    def test_create_and_list(self):
+        tree = CgroupTree()
+        tree.create("web")
+        tree.create("batch")
+        assert tree.groups() == (ROOT, "batch", "web")
+
+    def test_create_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CgroupTree().create(ROOT)
+
+    def test_attach_implicitly_creates(self):
+        tree = CgroupTree()
+        tree.attach(100, "web")
+        assert tree.group_of(100) == "web"
+        assert tree.members("web") == (100,)
+
+    def test_unattached_pid_is_root(self):
+        assert CgroupTree().group_of(12345) == ROOT
+
+    def test_move_between_groups(self):
+        tree = CgroupTree()
+        tree.attach(100, "web")
+        tree.attach(100, "batch")
+        assert tree.group_of(100) == "batch"
+        assert tree.members("web") == ()
+
+    def test_detach_returns_to_root(self):
+        tree = CgroupTree()
+        tree.attach(100, "web")
+        tree.detach(100)
+        assert tree.group_of(100) == ROOT
+
+    def test_remove_rehomes_members(self):
+        tree = CgroupTree()
+        tree.attach(100, "web")
+        tree.remove("web")
+        assert tree.group_of(100) == ROOT
+        assert "web" not in tree.groups()
+
+    def test_remove_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CgroupTree().remove(ROOT)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ProcessError):
+            CgroupTree().attach(-1, "web")
+
+    def test_members_of_unknown_group(self):
+        with pytest.raises(ConfigurationError):
+            CgroupTree().members("nope")
+
+
+@pytest.fixture
+def model():
+    spec = intel_i3_2120()
+    return PowerModel(idle_w=31.48, formulas=[
+        FrequencyFormula(f, {"instructions": 3e-9})
+        for f in spec.frequencies_hz])
+
+
+class TestCgroupAggregation:
+    def test_container_view_end_to_end(self, model):
+        spec = intel_i3_2120()
+        kernel = SimKernel(spec, quantum_s=0.02)
+        web_a = kernel.spawn(CpuStress(utilization=0.8, duration_s=100.0))
+        web_b = kernel.spawn(CpuStress(utilization=0.6, duration_s=100.0))
+        batch = kernel.spawn(CpuStress(utilization=0.3, duration_s=100.0))
+
+        tree = CgroupTree()
+        tree.attach(web_a, "web")
+        tree.attach(web_b, "web")
+        tree.attach(batch, "batch")
+
+        api = PowerAPI(kernel, model, period_s=0.5)
+        api.monitor(web_a, web_b, batch).every(0.5).to(InMemoryReporter())
+        aggregator = CgroupAggregator(tree, idle_w=model.idle_w)
+        reporter = InMemoryCgroupReporter()
+        api.system.spawn(aggregator, name="cgroup-agg")
+        api.system.spawn(reporter, name="cgroup-rep")
+        api.run(3.0)
+        api.flush()
+
+        assert reporter.reports
+        last = reporter.reports[-1]
+        assert set(last.groups()) == {"web", "batch"}
+        # web runs 1.4 CPUs worth of work vs batch's 0.3.
+        assert last.by_group["web"] > 2 * last.by_group["batch"]
+        assert last.total_w == pytest.approx(
+            last.idle_w + last.active_w)
+        api.shutdown()
+
+    def test_energy_accumulates_per_group(self, model):
+        spec = intel_i3_2120()
+        kernel = SimKernel(spec, quantum_s=0.02)
+        pid = kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        tree = CgroupTree()
+        tree.attach(pid, "only")
+        api = PowerAPI(kernel, model, period_s=0.5)
+        api.monitor(pid).every(0.5).to(InMemoryReporter())
+        aggregator = CgroupAggregator(tree, idle_w=model.idle_w)
+        api.system.spawn(aggregator, name="cgroup-agg")
+        api.run(2.0)
+        api.flush()
+        assert aggregator.energy_by_group_j["only"] > 1.0
+        api.shutdown()
+
+    def test_unattached_pids_land_in_root(self, model):
+        spec = intel_i3_2120()
+        kernel = SimKernel(spec, quantum_s=0.02)
+        pid = kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        tree = CgroupTree()  # pid never attached
+        api = PowerAPI(kernel, model, period_s=0.5)
+        api.monitor(pid).every(0.5).to(InMemoryReporter())
+        aggregator = CgroupAggregator(tree, idle_w=model.idle_w)
+        reporter = InMemoryCgroupReporter()
+        api.system.spawn(aggregator, name="agg")
+        api.system.spawn(reporter, name="rep")
+        api.run(2.0)
+        api.flush()
+        assert reporter.reports[-1].groups() == (ROOT,)
+        api.shutdown()
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ConfigurationError):
+            CgroupAggregator(CgroupTree(), idle_w=-1.0)
+
+    def test_moving_pid_moves_future_power(self, model):
+        spec = intel_i3_2120()
+        kernel = SimKernel(spec, quantum_s=0.02)
+        pid = kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        tree = CgroupTree()
+        tree.attach(pid, "before")
+        api = PowerAPI(kernel, model, period_s=0.5)
+        api.monitor(pid).every(0.5).to(InMemoryReporter())
+        aggregator = CgroupAggregator(tree, idle_w=model.idle_w)
+        reporter = InMemoryCgroupReporter()
+        api.system.spawn(aggregator, name="agg")
+        api.system.spawn(reporter, name="rep")
+        api.run(1.0)
+        tree.attach(pid, "after")
+        api.run(1.0)
+        api.flush()
+        first = reporter.reports[0]
+        last = reporter.reports[-1]
+        assert "before" in first.by_group
+        assert "after" in last.by_group
+        assert "before" not in last.by_group
+        api.shutdown()

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSpecs:
+    def test_default_preset(self):
+        code, output = run_cli(["specs"])
+        assert code == 0
+        assert "Intel i3 2120" in output
+        assert "3.30 GHz" in output
+        assert "TDP" in output
+
+    def test_other_preset(self):
+        code, output = run_cli(["--cpu", "xeon-e5-1620", "specs"])
+        assert code == 0
+        assert "Xeon" in output
+        assert "8 threads" in output
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["--cpu", "z80", "specs"])
+
+
+class TestLearn:
+    def test_quick_learn_writes_model(self, tmp_path):
+        output_path = tmp_path / "model.json"
+        code, output = run_cli(["learn", "--quick",
+                                "--output", str(output_path)])
+        assert code == 0
+        assert output_path.exists()
+        model = json.loads(output_path.read_text())
+        assert "idle_w" in model
+        assert len(model["formulas"]) == 2  # quick = ladder endpoints
+        assert "Power =" in output
+
+
+class TestMonitor:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.json"
+        run_cli(["learn", "--quick", "--output", str(path)])
+        return path
+
+    def test_monitor_prints_periods(self, model_path):
+        code, output = run_cli(["monitor", "--model", str(model_path),
+                                "--workload", "cpu", "--duration", "3",
+                                "--period", "1"])
+        assert code == 0
+        assert "total=" in output
+        assert "estimated active energy" in output
+
+    def test_monitor_writes_csv(self, model_path, tmp_path):
+        csv_path = tmp_path / "trace.csv"
+        code, _output = run_cli(["monitor", "--model", str(model_path),
+                                 "--workload", "memory", "--duration", "3",
+                                 "--csv", str(csv_path)])
+        assert code == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("time_s,total_w,idle_w,pid_")
+        assert len(lines) >= 3
+
+
+class TestReplay:
+    def test_short_replay_reports_error(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        run_cli(["learn", "--quick", "--output", str(model_path)])
+        code, output = run_cli(["replay", "--model", str(model_path),
+                                "--duration", "30"])
+        assert code == 0
+        assert "median_ape" in output
+        assert "powerspy" in output

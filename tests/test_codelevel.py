@@ -1,0 +1,125 @@
+"""Unit tests for code-level energy: region profiling, energy unit tests."""
+
+import pytest
+
+from repro.core.codelevel import (EnergyBudget, EnergyBudgetExceeded,
+                                  RegionProfiler, assert_energy_within,
+                                  measure_energy)
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.errors import ConfigurationError
+from repro.os.process import Demand
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.base import (Phase, PhasedWorkload, cpu_demand,
+                                  memory_demand)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return intel_i3_2120()
+
+
+@pytest.fixture(scope="module")
+def model(spec):
+    formulas = [FrequencyFormula(f, {"instructions": 3e-9,
+                                     "cache-references": 2e-8,
+                                     "cache-misses": 2e-7})
+                for f in spec.frequencies_hz]
+    return PowerModel(idle_w=31.48, formulas=formulas, name="test-model")
+
+
+def two_region_workload(name="regions"):
+    return PhasedWorkload([
+        Phase(3.0, cpu_demand(utilization=1.0), region="compute_kernel"),
+        Phase(3.0, Demand(utilization=0.1), region="io_wait"),
+        Phase(2.0, memory_demand(utilization=1.0), region="shuffle"),
+    ], name=name)
+
+
+class TestRegions:
+    def test_phase_region_lookup(self):
+        workload = two_region_workload()
+        assert workload.region(1.0) == "compute_kernel"
+        assert workload.region(4.0) == "io_wait"
+        assert workload.region(7.0) == "shuffle"
+        assert workload.region(99.0) == ""
+
+    def test_default_region_empty(self):
+        from repro.workloads.stress import CpuStress
+        assert CpuStress().region(1.0) == ""
+
+
+class TestMeasureEnergy:
+    def test_finishing_workload_measured(self, spec, model):
+        measurement = measure_energy(two_region_workload(), spec, model,
+                                     period_s=0.5, quantum_s=0.02)
+        assert measurement.duration_s == pytest.approx(8.0, abs=0.3)
+        assert measurement.active_energy_j > 10.0
+        assert measurement.mean_active_power_w == pytest.approx(
+            measurement.active_energy_j / measurement.duration_s)
+
+    def test_regions_profiled(self, spec, model):
+        measurement = measure_energy(two_region_workload(), spec, model,
+                                     period_s=0.5, quantum_s=0.02)
+        profile = measurement.by_region_j
+        assert set(profile) >= {"compute_kernel", "io_wait", "shuffle"}
+        # The busy compute region dominates the near-idle wait region.
+        assert profile["compute_kernel"] > 5 * profile["io_wait"]
+
+    def test_nonterminating_workload_rejected(self, spec, model):
+        from repro.workloads.base import ConstantWorkload
+        eternal = ConstantWorkload(cpu_demand())
+        with pytest.raises(ConfigurationError):
+            measure_energy(eternal, spec, model, period_s=0.5,
+                           quantum_s=0.02, max_duration_s=1.0)
+
+
+class TestEnergyBudget:
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBudget(max_active_energy_j=0.0)
+
+    def test_within_budget_passes(self, spec, model):
+        measurement = assert_energy_within(
+            two_region_workload(), EnergyBudget(max_active_energy_j=500.0),
+            spec, model=model, period_s=0.5, quantum_s=0.02)
+        assert measurement.active_energy_j < 500.0
+
+    def test_exceeding_budget_fails(self, spec, model):
+        with pytest.raises(EnergyBudgetExceeded):
+            assert_energy_within(
+                two_region_workload(), EnergyBudget(max_active_energy_j=1.0),
+                spec, model=model, period_s=0.5, quantum_s=0.02)
+
+    def test_power_cap_enforced(self, spec, model):
+        budget = EnergyBudget(max_active_energy_j=500.0,
+                              max_mean_power_w=0.5)
+        with pytest.raises(EnergyBudgetExceeded):
+            assert_energy_within(two_region_workload(), budget, spec,
+                                 model=model, period_s=0.5, quantum_s=0.02)
+
+    def test_regression_catches_energy_bug(self, spec, model):
+        """The ref [7] scenario: a 'library update' doubles the work done
+        per call; the energy unit test must catch it."""
+        lean = PhasedWorkload(
+            [Phase(2.0, cpu_demand(utilization=0.5), region="api_call")],
+            name="lib-v1")
+        bloated = PhasedWorkload(
+            [Phase(4.0, cpu_demand(utilization=1.0), region="api_call")],
+            name="lib-v2")
+        baseline = measure_energy(lean, spec, model, period_s=0.5,
+                                  quantum_s=0.02)
+        budget = EnergyBudget(
+            max_active_energy_j=baseline.active_energy_j * 1.5)
+        assert_energy_within(lean, budget, spec, model=model,
+                             period_s=0.5, quantum_s=0.02)
+        with pytest.raises(EnergyBudgetExceeded):
+            assert_energy_within(bloated, budget, spec, model=model,
+                                 period_s=0.5, quantum_s=0.02)
+
+
+class TestRegionProfilerValidation:
+    def test_requires_workloads(self):
+        from repro.os.kernel import SimKernel
+        kernel = SimKernel(intel_i3_2120())
+        with pytest.raises(ConfigurationError):
+            RegionProfiler(kernel, {})

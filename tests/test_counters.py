@@ -1,0 +1,85 @@
+"""Unit tests for repro.simcpu.counters (HPC bookkeeping)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu import counters as ev
+from repro.simcpu.counters import (ALL_EVENTS, GENERIC_TRIO, CounterBank,
+                                   EventDelta)
+
+
+class TestEventDelta:
+    def test_add_accumulates(self):
+        delta = EventDelta()
+        delta.add(ev.INSTRUCTIONS, 100)
+        delta.add(ev.INSTRUCTIONS, 50)
+        assert delta[ev.INSTRUCTIONS] == 150
+
+    def test_add_rejects_negative(self):
+        delta = EventDelta()
+        with pytest.raises(ConfigurationError):
+            delta.add(ev.CYCLES, -1)
+
+    def test_merged_with(self):
+        a = EventDelta({ev.CYCLES: 10.0})
+        b = {ev.CYCLES: 5.0, ev.INSTRUCTIONS: 3.0}
+        merged = a.merged_with(b)
+        assert merged[ev.CYCLES] == 15.0
+        assert merged[ev.INSTRUCTIONS] == 3.0
+        assert a[ev.CYCLES] == 10.0  # original untouched
+
+
+class TestGenericTrio:
+    def test_trio_contents(self):
+        assert GENERIC_TRIO == (ev.INSTRUCTIONS, ev.CACHE_REFERENCES,
+                                ev.CACHE_MISSES)
+
+    def test_trio_subset_of_all(self):
+        assert set(GENERIC_TRIO) <= set(ALL_EVENTS)
+
+
+class TestCounterBank:
+    @pytest.fixture
+    def bank(self):
+        bank = CounterBank()
+        bank.record(100, 0, {ev.INSTRUCTIONS: 1000.0, ev.CYCLES: 2000.0})
+        bank.record(100, 1, {ev.INSTRUCTIONS: 500.0})
+        bank.record(200, 0, {ev.INSTRUCTIONS: 300.0})
+        return bank
+
+    def test_read_pid_cpu(self, bank):
+        assert bank.read(ev.INSTRUCTIONS, pid=100, cpu_id=0) == 1000.0
+
+    def test_read_pid_wide(self, bank):
+        assert bank.read(ev.INSTRUCTIONS, pid=100) == 1500.0
+
+    def test_read_cpu_wide(self, bank):
+        assert bank.read(ev.INSTRUCTIONS, cpu_id=0) == 1300.0
+
+    def test_read_machine_wide(self, bank):
+        assert bank.read(ev.INSTRUCTIONS) == 1800.0
+
+    def test_unrecorded_reads_zero(self, bank):
+        assert bank.read(ev.CACHE_MISSES, pid=100) == 0.0
+
+    def test_record_rejects_unknown_event(self, bank):
+        with pytest.raises(ConfigurationError):
+            bank.record(1, 0, {"bogus-event": 1.0})
+
+    def test_read_rejects_unknown_event(self, bank):
+        with pytest.raises(ConfigurationError):
+            bank.read("bogus-event")
+
+    def test_cpu_only_recording_skips_pid_index(self):
+        bank = CounterBank()
+        bank.record_cpu_only(0, {ev.REF_CYCLES: 100.0})
+        assert bank.read(ev.REF_CYCLES, cpu_id=0) == 100.0
+        assert bank.read(ev.REF_CYCLES) == 100.0
+        assert bank.pids() == ()
+
+    def test_pids_sorted(self, bank):
+        assert bank.pids() == (100, 200)
+
+    def test_machine_totals(self, bank):
+        totals = bank.machine_totals([ev.INSTRUCTIONS, ev.CYCLES])
+        assert totals == {ev.INSTRUCTIONS: 1800.0, ev.CYCLES: 2000.0}

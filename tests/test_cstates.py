@@ -1,0 +1,114 @@
+"""Unit tests for repro.simcpu.cstates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu.cstates import CSTATE_CATALOG, CStateController
+from repro.simcpu.spec import intel_core2duo_e6600, intel_i3_2120
+
+
+class TestCatalog:
+    def test_c0_full_power(self):
+        assert CSTATE_CATALOG["C0"].power_fraction == 1.0
+
+    def test_deeper_states_draw_less(self):
+        fractions = [CSTATE_CATALOG[name].power_fraction
+                     for name in ("C0", "C1", "C3", "C6")]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_deeper_states_wake_slower(self):
+        latencies = [CSTATE_CATALOG[name].exit_latency_s
+                     for name in ("C0", "C1", "C3", "C6")]
+        assert latencies == sorted(latencies)
+
+
+class TestGovernorChoice:
+    @pytest.fixture
+    def controller(self):
+        return CStateController(intel_i3_2120())
+
+    def test_tiny_window_stays_c0(self, controller):
+        assert controller.deepest_for(1e-7).name == "C0"
+
+    def test_short_window_picks_c1(self, controller):
+        assert controller.deepest_for(10e-6).name == "C1"
+
+    def test_medium_window_picks_c3(self, controller):
+        assert controller.deepest_for(200e-6).name == "C3"
+
+    def test_long_window_picks_c6(self, controller):
+        assert controller.deepest_for(0.01).name == "C6"
+
+    def test_shallow_spec_caps_depth(self):
+        controller = CStateController(intel_core2duo_e6600())
+        assert controller.deepest_for(1.0).name == "C1"
+
+    def test_idle_power_fraction_matches_choice(self, controller):
+        assert controller.idle_power_fraction(0.01) == pytest.approx(
+            CSTATE_CATALOG["C6"].power_fraction)
+
+
+class TestResidencyAccounting:
+    @pytest.fixture
+    def controller(self):
+        return CStateController(intel_i3_2120())
+
+    def test_fully_busy_counts_c0(self, controller):
+        controller.account(0, busy_fraction=1.0, dt_s=0.01,
+                           expected_idle_s=0.0)
+        assert controller.residency(0, "C0") == pytest.approx(0.01)
+        assert controller.residency(0, "C6") == 0.0
+
+    def test_half_busy_splits_time(self, controller):
+        controller.account(0, busy_fraction=0.5, dt_s=0.02,
+                           expected_idle_s=0.01)
+        assert controller.residency(0, "C0") == pytest.approx(0.01)
+        assert controller.residency(0, "C6") == pytest.approx(0.01)
+
+    def test_residency_accumulates(self, controller):
+        for _ in range(5):
+            controller.account(1, busy_fraction=0.0, dt_s=0.01,
+                               expected_idle_s=0.01)
+        assert controller.residency(1, "C6") == pytest.approx(0.05)
+
+    def test_current_state_tracked(self, controller):
+        controller.account(2, busy_fraction=0.0, dt_s=0.01,
+                           expected_idle_s=0.01)
+        assert controller.current_state(2) == "C6"
+        controller.account(2, busy_fraction=1.0, dt_s=0.01,
+                           expected_idle_s=0.0)
+        assert controller.current_state(2) == "C0"
+
+    def test_rejects_bad_busy_fraction(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.account(0, busy_fraction=1.5, dt_s=0.01,
+                               expected_idle_s=0.0)
+
+    def test_rejects_unknown_residency(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.residency(0, "C9")
+
+    def test_per_cpu_isolation(self, controller):
+        controller.account(0, busy_fraction=1.0, dt_s=0.01,
+                           expected_idle_s=0.0)
+        assert controller.residency(1, "C0") == 0.0
+
+    def test_returned_state_is_chosen_idle_state(self, controller):
+        state = controller.account(0, busy_fraction=0.3, dt_s=0.01,
+                                   expected_idle_s=0.0002)
+        assert state.name == "C3"
+
+
+class TestSpecValidation:
+    def test_unknown_cstate_rejected(self):
+        from repro.simcpu.spec import intel_i3_2120
+        import dataclasses
+        spec = dataclasses.replace(intel_i3_2120(), cstates=("C0", "C9"))
+        with pytest.raises(ConfigurationError):
+            CStateController(spec)
+
+    def test_first_state_must_be_c0(self):
+        import dataclasses
+        spec = dataclasses.replace(intel_i3_2120(), cstates=("C1", "C3"))
+        with pytest.raises(ConfigurationError):
+            CStateController(spec)

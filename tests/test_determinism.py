@@ -1,0 +1,119 @@
+"""Determinism and long-run stability guards.
+
+The repository's reproducibility claim is load-bearing (EXPERIMENTS.md
+numbers must be regenerable bit-for-bit), so it gets its own tests: two
+identical runs of every pipeline stage must produce identical outputs,
+and long runs must not accumulate unbounded state.
+"""
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.core.sampling import SamplingCampaign
+from repro.os.kernel import SimKernel
+from repro.powermeter.powerspy import PowerSpy
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.stress import CpuStress, MemoryStress
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return intel_i3_2120()
+
+
+@pytest.fixture(scope="module")
+def model(spec):
+    return PowerModel(idle_w=31.48, formulas=[
+        FrequencyFormula(f, {"instructions": 3e-9, "cache-misses": 2e-7})
+        for f in spec.frequencies_hz])
+
+
+def run_monitoring(spec, model, seconds=10.0):
+    kernel = SimKernel(spec, quantum_s=0.05)
+    meter = PowerSpy(kernel.machine, sample_rate_hz=1.0, seed=99)
+    meter.connect()
+    pid = kernel.spawn(SpecJbbWorkload(duration_s=1000.0, threads=4,
+                                       seed=5))
+    api = PowerAPI(kernel, model, period_s=1.0)
+    handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+    api.run(seconds)
+    series = list(handle.reporter.total_series())
+    measured = [sample.power_w for sample in meter.samples]
+    api.shutdown()
+    return series, measured
+
+
+class TestDeterminism:
+    def test_monitoring_run_bit_identical(self, spec, model):
+        first = run_monitoring(spec, model)
+        second = run_monitoring(spec, model)
+        assert first == second
+
+    def test_sampling_campaign_bit_identical(self, spec):
+        def run():
+            campaign = SamplingCampaign(
+                spec,
+                workloads=[CpuStress(utilization=1.0, threads=4),
+                           MemoryStress(utilization=0.5, threads=2)],
+                frequencies_hz=[spec.max_frequency_hz],
+                window_s=0.5, windows_per_run=3, settle_s=0.25,
+                quantum_s=0.05)
+            return [(point.power_w, tuple(sorted(point.rates.items())))
+                    for point in campaign.run().points]
+
+        assert run() == run()
+
+    def test_different_meter_seed_changes_power_only(self, spec):
+        def run(seed):
+            kernel = SimKernel(spec, quantum_s=0.05)
+            meter = PowerSpy(kernel.machine, sample_rate_hz=1.0, seed=seed)
+            meter.connect()
+            kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+            kernel.run(3.0)
+            return ([s.power_w for s in meter.samples],
+                    kernel.machine.counters.read("instructions"))
+
+        power_a, work_a = run(1)
+        power_b, work_b = run(2)
+        assert power_a != power_b      # noise differs
+        assert work_a == work_b        # simulation itself identical
+
+
+class TestLongRunStability:
+    def test_actor_mailboxes_drain(self, spec, model):
+        kernel = SimKernel(spec, quantum_s=0.05)
+        pid = kernel.spawn(CpuStress(utilization=1.0, duration_s=1000.0))
+        api = PowerAPI(kernel, model, period_s=0.5)
+        api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.run(30.0)
+        # Nothing queues up between driving steps.
+        assert api.system.pending_messages() == 0
+        api.shutdown()
+
+    def test_counters_monotone_over_long_run(self, spec):
+        kernel = SimKernel(spec, quantum_s=0.05)
+        kernel.spawn(CpuStress(utilization=0.7, duration_s=1000.0))
+        previous = 0.0
+        for _chunk in range(20):
+            kernel.run(2.0)
+            current = kernel.machine.counters.read("instructions")
+            assert current >= previous
+            previous = current
+
+    def test_thermal_state_bounded(self, spec):
+        kernel = SimKernel(spec, quantum_s=0.05)
+        kernel.spawn(CpuStress(utilization=1.0, threads=4,
+                               duration_s=1000.0))
+        kernel.run(120.0)
+        # Temperature saturates at the equilibrium, never runs away.
+        assert kernel.machine.thermal.temperature_c < 150.0
+
+    def test_meter_sample_count_exact(self, spec):
+        kernel = SimKernel(spec, quantum_s=0.05)
+        meter = PowerSpy(kernel.machine, sample_rate_hz=2.0, seed=1)
+        meter.connect()
+        kernel.run(60.0)
+        assert len(meter.samples) == 120

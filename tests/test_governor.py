@@ -1,0 +1,99 @@
+"""Unit tests for repro.os.governor (cpufreq policies)."""
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.os.governor import (GOVERNORS, OndemandGovernor,
+                               PerformanceGovernor, PowersaveGovernor,
+                               UserspaceGovernor)
+from repro.simcpu.frequency import FrequencyDomain
+from repro.simcpu.spec import intel_i3_2120, intel_xeon_smt
+from repro.simcpu.topology import Topology
+from repro.units import ghz
+
+
+def make(governor_class, spec=None, **kwargs):
+    spec = spec or intel_i3_2120()
+    topology = Topology(spec)
+    domain = FrequencyDomain(spec)
+    return governor_class(spec, topology, domain, **kwargs), domain, spec
+
+
+class TestPerformanceGovernor:
+    def test_pins_max_frequency(self):
+        governor, domain, spec = make(PerformanceGovernor)
+        governor.update({0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.max_frequency_hz
+
+    def test_uses_turbo_when_available(self):
+        governor, domain, spec = make(PerformanceGovernor,
+                                      spec=intel_xeon_smt())
+        governor.update({cpu: 1.0 for cpu in range(8)})
+        assert domain.target(0, 0) == spec.turbo_frequencies_hz[-1]
+
+
+class TestPowersaveGovernor:
+    def test_pins_min_frequency(self):
+        governor, domain, spec = make(PowersaveGovernor)
+        governor.update({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert domain.target(0, 0) == spec.min_frequency_hz
+
+
+class TestUserspaceGovernor:
+    def test_pins_requested(self):
+        governor, domain, _spec = make(UserspaceGovernor,
+                                       frequency_hz=ghz(2.4))
+        governor.update({0: 0.5, 1: 0.5, 2: 0.5, 3: 0.5})
+        assert domain.target(0, 0) == ghz(2.4)
+        assert domain.target(0, 1) == ghz(2.4)
+
+    def test_set_frequency_changes_pin(self):
+        governor, domain, _spec = make(UserspaceGovernor,
+                                       frequency_hz=ghz(2.4))
+        governor.set_frequency(ghz(1.6))
+        governor.update({})
+        assert domain.target(0, 0) == ghz(1.6)
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(FrequencyError):
+            make(UserspaceGovernor, frequency_hz=ghz(9.9))
+
+
+class TestOndemandGovernor:
+    def test_busy_core_jumps_to_max(self):
+        governor, domain, spec = make(OndemandGovernor)
+        governor.update({0: 0.95, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.max_frequency_hz
+
+    def test_idle_core_drops_to_min(self):
+        governor, domain, spec = make(OndemandGovernor)
+        governor.update({0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.min_frequency_hz
+
+    def test_moderate_load_scales_proportionally(self):
+        governor, domain, spec = make(OndemandGovernor)
+        governor.update({0: 0.4, 1: 0.0, 2: 0.0, 3: 0.0})
+        target = domain.target(0, 0)
+        assert spec.min_frequency_hz < target < spec.max_frequency_hz
+
+    def test_per_core_independence(self):
+        governor, domain, spec = make(OndemandGovernor)
+        governor.update({0: 0.95, 1: 0.0, 2: 0.0, 3: 0.0})
+        # cpu0/cpu2 are core 0; cpu1/cpu3 are core 1.
+        assert domain.target(0, 0) == spec.max_frequency_hz
+        assert domain.target(0, 1) == spec.min_frequency_hz
+
+    def test_smt_sibling_counts_toward_core(self):
+        governor, domain, spec = make(OndemandGovernor)
+        governor.update({0: 0.0, 1: 0.0, 2: 0.9, 3: 0.0})
+        assert domain.target(0, 0) == spec.max_frequency_hz
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(FrequencyError):
+            make(OndemandGovernor, up_threshold=1.5)
+
+
+class TestRegistry:
+    def test_known_governors(self):
+        assert set(GOVERNORS) == {"performance", "powersave", "ondemand",
+                                  "conservative"}

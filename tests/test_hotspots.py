@@ -1,0 +1,120 @@
+"""Unit tests for energy hotspot analysis."""
+
+import pytest
+
+from repro.analysis.hotspots import (SPIN_THRESHOLD_INSTR_PER_J,
+                                     THRASH_THRESHOLD_MPI, diagnose,
+                                     rank_consumers, render_hotspots)
+from repro.core.messages import AggregatedPowerReport
+from repro.errors import ConfigurationError
+
+
+def report(time_s, by_pid, period=1.0):
+    return AggregatedPowerReport(time_s=time_s, period_s=period,
+                                 by_pid=by_pid, idle_w=31.48, formula="f")
+
+
+@pytest.fixture
+def reports():
+    return [
+        report(1.0, {1: 10.0, 2: 5.0, 3: 1.0}),
+        report(2.0, {1: 12.0, 2: 5.0, 3: 1.0}),
+        report(3.0, {1: 8.0, 2: 5.0}),
+    ]
+
+
+class TestRanking:
+    def test_sorted_by_energy(self, reports):
+        hotspots = rank_consumers(reports)
+        assert [h.pid for h in hotspots] == [1, 2, 3]
+
+    def test_energy_integrated(self, reports):
+        hotspots = rank_consumers(reports)
+        assert hotspots[0].active_energy_j == pytest.approx(30.0)
+        assert hotspots[1].active_energy_j == pytest.approx(15.0)
+
+    def test_shares_sum_to_one(self, reports):
+        hotspots = rank_consumers(reports)
+        assert sum(h.share for h in hotspots) == pytest.approx(1.0)
+
+    def test_mean_power_uses_observed_periods(self, reports):
+        hotspots = rank_consumers(reports)
+        by_pid = {h.pid: h for h in hotspots}
+        assert by_pid[3].mean_power_w == pytest.approx(1.0)  # 2 J over 2 s
+
+    def test_top_limits(self, reports):
+        assert len(rank_consumers(reports, top=2)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_consumers([])
+
+
+class TestDiagnosis:
+    def test_spinning_detected(self, reports):
+        hotspots = rank_consumers(reports)
+        # pid 1: 30 J with almost no instructions -> spinning.
+        findings = diagnose(hotspots, instructions_by_pid={1: 1e6, 2: 1e12,
+                                                           3: 1e12})
+        assert any(f.pid == 1 and f.pattern == "busy-spinning"
+                   for f in findings)
+        assert not any(f.pid == 2 for f in findings)
+
+    def test_thrashing_detected(self, reports):
+        hotspots = rank_consumers(reports)
+        instructions = {1: 1e12, 2: 1e10, 3: 1e12}
+        misses = {1: 1e6, 2: 1e10 * THRASH_THRESHOLD_MPI * 2, 3: 0.0}
+        findings = diagnose(hotspots, instructions, misses)
+        assert any(f.pid == 2 and f.pattern == "memory-thrashing"
+                   for f in findings)
+
+    def test_efficient_process_clean(self, reports):
+        hotspots = rank_consumers(reports)
+        instructions = {pid: 1e12 for pid in (1, 2, 3)}
+        misses = {pid: 0.0 for pid in (1, 2, 3)}
+        assert diagnose(hotspots, instructions, misses) == []
+
+    def test_threshold_constants_sane(self):
+        assert SPIN_THRESHOLD_INSTR_PER_J > 0
+        assert 0 < THRASH_THRESHOLD_MPI < 1
+
+
+class TestRendering:
+    def test_render_includes_names_and_shares(self, reports):
+        hotspots = rank_consumers(reports)
+        text = render_hotspots(hotspots, names={1: "specjbb", 2: "nginx"})
+        assert "specjbb" in text
+        assert "nginx" in text
+        assert "pid 3" in text
+        assert "%" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_hotspots([])
+
+
+class TestEndToEnd:
+    def test_hotspots_from_live_pipeline(self):
+        from repro.core.model import FrequencyFormula, PowerModel
+        from repro.core.monitor import PowerAPI
+        from repro.core.reporters import InMemoryReporter
+        from repro.os.kernel import SimKernel
+        from repro.simcpu.spec import intel_i3_2120
+        from repro.workloads.stress import CpuStress
+
+        spec = intel_i3_2120()
+        model = PowerModel(31.48, [
+            FrequencyFormula(f, {"instructions": 3e-9})
+            for f in spec.frequencies_hz])
+        kernel = SimKernel(spec, quantum_s=0.02)
+        hog = kernel.spawn(CpuStress(utilization=1.0, threads=2,
+                                     duration_s=100.0), name="hog")
+        mouse = kernel.spawn(CpuStress(utilization=0.1, duration_s=100.0),
+                             name="mouse")
+        api = PowerAPI(kernel, model, period_s=0.5)
+        handle = api.monitor(hog, mouse).every(0.5).to(InMemoryReporter())
+        api.run(4.0)
+        hotspots = rank_consumers(handle.reporter.aggregated)
+        assert hotspots[0].pid == hog
+        assert hotspots[0].share > 0.8
+        api.shutdown()

@@ -1,0 +1,128 @@
+"""Unit tests for the machine-wide (SMT-aware) HPC sensor."""
+
+import pytest
+
+from repro.actors.clock import VirtualClock
+from repro.actors.system import ActorSystem
+from repro.core.messages import HpcReport
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.sensors import MachineHpcSensor
+from repro.os.kernel import SimKernel
+from repro.perf.counting import PerfSession
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress
+
+
+def drive(kernel, system, clock, seconds):
+    steps = int(round(seconds / kernel.quantum_s))
+    for _ in range(steps):
+        kernel.tick()
+        clock.advance(kernel.quantum_s)
+        system.dispatch()
+
+
+@pytest.fixture
+def setup():
+    kernel = SimKernel(intel_i3_2120(), quantum_s=0.02)
+    system = ActorSystem()
+    clock = VirtualClock(system.event_bus, period_s=0.5)
+    perf = PerfSession(kernel.machine)
+    reports = []
+
+    from repro.actors.actor import Actor
+
+    class Collector(Actor):
+        def pre_start(self):
+            self.context.system.event_bus.subscribe(HpcReport, self.self_ref)
+
+        def receive(self, message):
+            reports.append(message)
+
+    system.spawn(Collector(), "collector")
+    return kernel, system, clock, perf, reports
+
+
+class TestMachineHpcSensor:
+    def test_publishes_machine_wide_reports(self, setup):
+        kernel, system, clock, perf, reports = setup
+        system.spawn(MachineHpcSensor(kernel.machine, perf), "sensor")
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        drive(kernel, system, clock, 2.0)
+        assert len(reports) == 4
+        assert all(report.pid == -1 for report in reports)
+        assert reports[-1].counters["instructions"] > 1e8
+
+    def test_overlap_zero_when_spread(self, setup):
+        kernel, system, clock, perf, reports = setup
+        system.spawn(MachineHpcSensor(kernel.machine, perf,
+                                      with_smt_overlap=True), "sensor")
+        # Two tasks: the spread scheduler puts them on separate cores.
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0))
+        drive(kernel, system, clock, 1.0)
+        assert reports[-1].counters[
+            MachineHpcSensor.SMT_OVERLAP_EVENT] == pytest.approx(0.0)
+
+    def test_overlap_positive_when_colocated(self, setup):
+        kernel, system, clock, perf, reports = setup
+        system.spawn(MachineHpcSensor(kernel.machine, perf,
+                                      with_smt_overlap=True), "sensor")
+        # Pin both tasks to core 0's hyperthreads (cpus 0 and 2).
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0),
+                     affinity={0})
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0),
+                     affinity={2})
+        drive(kernel, system, clock, 1.0)
+        overlap = reports[-1].counters[MachineHpcSensor.SMT_OVERLAP_EVENT]
+        assert overlap > 0.4 * 0.5 * intel_i3_2120().max_frequency_hz
+
+    def test_feeds_hyperthread_aware_formula(self, setup):
+        """A model with a negative overlap weight estimates less power for
+        the co-located placement — live, through the actor pipeline."""
+        from repro.core.formula import HpcFormula
+        from repro.core.messages import PowerReport
+
+        kernel, system, clock, perf, reports = setup
+        spec = intel_i3_2120()
+        model = PowerModel(idle_w=31.48, formulas=[FrequencyFormula(
+            spec.max_frequency_hz,
+            {"cycles": 5e-9,
+             MachineHpcSensor.SMT_OVERLAP_EVENT: -2e-9})])
+        estimates = []
+
+        from repro.actors.actor import Actor
+
+        class PowerCollector(Actor):
+            def pre_start(self):
+                self.context.system.event_bus.subscribe(
+                    PowerReport, self.self_ref)
+
+            def receive(self, message):
+                estimates.append(message.power_w)
+
+        system.spawn(MachineHpcSensor(kernel.machine, perf,
+                                      events=("cycles",),
+                                      with_smt_overlap=True), "sensor")
+        system.spawn(HpcFormula(model), "formula")
+        system.spawn(PowerCollector(), "power-collector")
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0),
+                     affinity={0})
+        kernel.spawn(CpuStress(utilization=1.0, duration_s=100.0),
+                     affinity={2})
+        drive(kernel, system, clock, 1.0)
+        colocated_estimate = estimates[-1]
+        # Same cycles but no overlap -> higher estimate.
+        cycles = 2 * 0.5 * spec.max_frequency_hz
+        no_overlap = model.predict_active(
+            spec.max_frequency_hz, {"cycles": cycles / 0.5})
+        assert colocated_estimate < no_overlap
+
+    def test_counters_closed_on_stop(self, setup):
+        kernel, system, clock, perf, reports = setup
+        sensor = MachineHpcSensor(kernel.machine, perf,
+                                  with_smt_overlap=True)
+        ref = system.spawn(sensor, "sensor")
+        drive(kernel, system, clock, 0.5)
+        system.stop(ref)
+        assert sensor._counters == ()
+        assert sensor._cycle_counters == {}

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (absolute_percentage_errors, error_summary,
+                                max_ape, mean_ape, median_ape, r_squared,
+                                rmse)
+from repro.errors import ConfigurationError
+
+
+class TestApe:
+    def test_perfect_estimate(self):
+        assert median_ape([10, 20], [10, 20]) == 0.0
+
+    def test_known_errors(self):
+        errors = absolute_percentage_errors([100, 100], [110, 80])
+        assert errors == pytest.approx([0.1, 0.2])
+
+    def test_median_vs_mean(self):
+        measured = [100, 100, 100]
+        estimated = [101, 101, 160]
+        assert median_ape(measured, estimated) == pytest.approx(0.01)
+        assert mean_ape(measured, estimated) == pytest.approx(0.62 / 3)
+
+    def test_max(self):
+        assert max_ape([100, 100], [105, 150]) == pytest.approx(0.5)
+
+    def test_symmetric_in_direction(self):
+        # Under- and over-estimation count the same.
+        assert median_ape([100], [90]) == median_ape([100], [110])
+
+    def test_rejects_zero_measured(self):
+        with pytest.raises(ConfigurationError):
+            median_ape([0.0], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            median_ape([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            median_ape([], [])
+
+
+class TestRmse:
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero_for_perfect(self):
+        assert rmse([5, 6], [5, 6]) == 0.0
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        measured = [1.0, 2.0, 3.0]
+        estimated = [2.0, 2.0, 2.0]
+        assert r_squared(measured, estimated) == pytest.approx(0.0)
+
+    def test_constant_measured(self):
+        assert r_squared([2, 2], [2, 2]) == 1.0
+        assert r_squared([2, 2], [3, 3]) == 0.0
+
+    def test_worse_than_mean_is_negative(self):
+        assert r_squared([1, 2, 3], [3, 2, 1]) < 0
+
+
+class TestSummary:
+    def test_contains_all_metrics(self):
+        summary = error_summary([10, 20, 30], [11, 19, 33])
+        assert set(summary) == {"median_ape", "mean_ape", "max_ape",
+                                "rmse_w", "r2", "samples"}
+        assert summary["samples"] == 3

@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.model (PowerModel and the published preset)."""
+
+import pytest
+
+from repro.core.model import (FrequencyFormula, PowerModel,
+                              published_i3_2120_model)
+from repro.errors import ConfigurationError, ModelError
+from repro.units import ghz
+
+
+def trio_formula(frequency, i=2.22e-9, r=2.48e-8, m=1.87e-7):
+    return FrequencyFormula(frequency_hz=frequency, coefficients={
+        "instructions": i, "cache-references": r, "cache-misses": m})
+
+
+@pytest.fixture
+def model():
+    return PowerModel(idle_w=31.48, formulas=[
+        trio_formula(ghz(1.6), i=1e-9, r=1e-8, m=1e-7),
+        trio_formula(ghz(3.3)),
+    ])
+
+
+class TestFrequencyFormula:
+    def test_predict_linear_combination(self):
+        formula = trio_formula(ghz(3.3))
+        rates = {"instructions": 1e9, "cache-references": 1e8,
+                 "cache-misses": 1e7}
+        expected = 2.22 + 2.48 + 1.87
+        assert formula.predict(rates) == pytest.approx(expected)
+
+    def test_missing_rates_are_zero(self):
+        formula = trio_formula(ghz(3.3))
+        assert formula.predict({}) == 0.0
+
+    def test_negative_prediction_clamped(self):
+        formula = FrequencyFormula(ghz(1.0), {"instructions": -1.0})
+        assert formula.predict({"instructions": 5.0}) == 0.0
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyFormula(ghz(1.0), {})
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyFormula(0, {"instructions": 1.0})
+
+
+class TestPowerModel:
+    def test_frequencies_sorted(self, model):
+        assert model.frequencies_hz == (ghz(1.6), ghz(3.3))
+
+    def test_events_union(self, model):
+        assert set(model.events) == {"instructions", "cache-references",
+                                     "cache-misses"}
+
+    def test_exact_formula_lookup(self, model):
+        assert model.formula(ghz(3.3)).frequency_hz == ghz(3.3)
+
+    def test_missing_formula_raises(self, model):
+        with pytest.raises(ModelError):
+            model.formula(ghz(2.0))
+
+    def test_nearest_formula(self, model):
+        assert model.nearest_formula(ghz(3.0)).frequency_hz == ghz(3.3)
+        assert model.nearest_formula(ghz(1.0)).frequency_hz == ghz(1.6)
+
+    def test_predict_total_adds_idle(self, model):
+        rates = {"instructions": 1e9}
+        active = model.predict_active(ghz(3.3), rates)
+        assert model.predict_total(ghz(3.3), rates) == pytest.approx(
+            31.48 + active)
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_w=30, formulas=[trio_formula(ghz(1.6)),
+                                            trio_formula(ghz(1.6))])
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_w=-1, formulas=[trio_formula(ghz(1.6))])
+
+    def test_rejects_no_formulas(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_w=30, formulas=[])
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, model):
+        clone = PowerModel.from_dict(model.to_dict())
+        assert clone.idle_w == model.idle_w
+        assert clone.frequencies_hz == model.frequencies_hz
+        rates = {"instructions": 1e9, "cache-misses": 1e7}
+        assert clone.predict_total(ghz(3.3), rates) == pytest.approx(
+            model.predict_total(ghz(3.3), rates))
+
+    def test_json_roundtrip(self, model):
+        clone = PowerModel.from_json(model.to_json())
+        assert clone.frequencies_hz == model.frequencies_hz
+
+    def test_malformed_dict(self):
+        with pytest.raises(ModelError):
+            PowerModel.from_dict({"idle_w": 1.0})
+
+    def test_malformed_json(self):
+        with pytest.raises(ModelError):
+            PowerModel.from_json("{not json")
+
+    def test_name_preserved(self, model):
+        assert PowerModel.from_json(model.to_json()).name == model.name
+
+
+class TestPublishedModel:
+    """The paper's published i3-2120 equation."""
+
+    @pytest.fixture
+    def published(self):
+        return published_i3_2120_model()
+
+    def test_idle_constant(self, published):
+        assert published.idle_w == pytest.approx(31.48)
+
+    def test_top_frequency_coefficients(self, published):
+        formula = published.formula(ghz(3.3))
+        assert formula.coefficients["instructions"] == pytest.approx(2.22e-9)
+        assert formula.coefficients["cache-references"] == pytest.approx(2.48e-8)
+        assert formula.coefficients["cache-misses"] == pytest.approx(1.87e-7)
+
+    def test_covers_dvfs_ladder(self, published):
+        assert published.frequencies_hz[0] == ghz(1.6)
+        assert published.frequencies_hz[-1] == ghz(3.3)
+        assert len(published.frequencies_hz) == 10
+
+    def test_lower_frequencies_scaled_down(self, published):
+        low = published.formula(ghz(1.6)).coefficients["instructions"]
+        high = published.formula(ghz(3.3)).coefficients["instructions"]
+        assert low < high
+
+    def test_cache_activities_lead_consumption(self, published):
+        # The paper observes cache coefficients dominate per-event cost.
+        formula = published.formula(ghz(3.3))
+        assert (formula.coefficients["cache-misses"]
+                > formula.coefficients["cache-references"]
+                > formula.coefficients["instructions"])
+
+    def test_equation_text_mentions_constant(self, published):
+        text = published.equation_text()
+        assert "31.48" in text
+        assert "Power_3.30" in text

@@ -1,0 +1,179 @@
+"""Unit tests for perf-output parsing and offline estimation."""
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.offline import (CounterLogWriter, estimate_from_csv,
+                                estimate_from_log)
+from repro.errors import ConfigurationError, PerfError, UnknownEventError
+from repro.perf.parsing import (parse_counter_log, parse_perf_stat_csv,
+                                parse_perf_stat_text)
+from repro.simcpu.machine import Machine, ThreadAssignment
+from repro.simcpu.caches import MemoryProfile
+from repro.simcpu.pipeline import InstructionMix
+from repro.simcpu.spec import intel_i3_2120
+from repro.units import ghz
+
+
+PERF_CSV = """\
+# started on Wed Jul  8 10:00:00 2026
+12345678901,,instructions,1000000,100.00,,
+2345678,,cache-references,1000000,100.00,,
+345678,,cache-misses,1000000,100.00,,
+<not counted>,,branches,0,0.00,,
+98765,,some-vendor-thing,1000000,100.00,,
+"""
+
+PERF_TEXT = """\
+ Performance counter stats for 'stress --cpu 4':
+
+     12,345,678,901      instructions              #    1.02  insn per cycle
+          2,345,678      cache-references
+            345,678      cache-misses              #   14.74 % of all cache refs
+     <not counted>       branches
+       1.234567890 seconds time elapsed
+"""
+
+
+class TestPerfStatCsv:
+    def test_parses_values(self):
+        result = parse_perf_stat_csv(PERF_CSV)
+        assert result["instructions"] == 12345678901
+        assert result["cache-references"] == 2345678
+        assert result["cache-misses"] == 345678
+
+    def test_not_counted_maps_to_none(self):
+        result = parse_perf_stat_csv(PERF_CSV)
+        assert result["branches"] is None
+
+    def test_unknown_events_skipped_by_default(self):
+        result = parse_perf_stat_csv(PERF_CSV)
+        assert "some-vendor-thing" not in result
+
+    def test_strict_raises_on_unknown(self):
+        with pytest.raises(UnknownEventError):
+            parse_perf_stat_csv(PERF_CSV, strict=True)
+
+    def test_comments_ignored(self):
+        result = parse_perf_stat_csv("# just a comment\n")
+        assert result == {}
+
+    def test_vendor_spelling_resolved(self):
+        result = parse_perf_stat_csv("1000,,INST_RETIRED:ANY_P,1,100,,\n")
+        assert result["instructions"] == 1000
+
+
+class TestPerfStatText:
+    def test_parses_table(self):
+        result = parse_perf_stat_text(PERF_TEXT)
+        assert result["instructions"] == 12345678901
+        assert result["cache-misses"] == 345678
+
+    def test_commentary_after_hash_ignored(self):
+        result = parse_perf_stat_text(
+            "  100      instructions   # whatever 1,2,3\n")
+        assert result["instructions"] == 100
+
+    def test_not_counted(self):
+        result = parse_perf_stat_text(PERF_TEXT)
+        assert result["branches"] is None
+
+    def test_non_counter_lines_skipped(self):
+        result = parse_perf_stat_text(PERF_TEXT)
+        # "1.234567890 seconds ..." must not be mistaken for an event.
+        assert len(result) == 4
+
+
+class TestCounterLog:
+    def test_roundtrip(self):
+        text = ("time_s,instructions,cache-misses\n"
+                "1.0,1000,10\n"
+                "2.0,2000,20\n")
+        rows = parse_counter_log(text)
+        assert rows == [(1.0, {"instructions": 1000.0,
+                               "cache-misses": 10.0}),
+                        (2.0, {"instructions": 2000.0,
+                               "cache-misses": 20.0})]
+
+    def test_requires_time_column(self):
+        with pytest.raises(PerfError):
+            parse_counter_log("instructions\n100\n")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(PerfError):
+            parse_counter_log("time_s,instructions\n1.0,1,2\n")
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(PerfError):
+            parse_counter_log("time_s,instructions\n2.0,1\n1.0,2\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PerfError):
+            parse_counter_log("")
+
+
+@pytest.fixture
+def model():
+    return PowerModel(idle_w=31.48, formulas=[
+        FrequencyFormula(ghz(3.3), {"instructions": 1e-9,
+                                    "cache-misses": 1e-7}),
+        FrequencyFormula(ghz(1.6), {"instructions": 5e-10,
+                                    "cache-misses": 5e-8}),
+    ])
+
+
+class TestEstimateFromLog:
+    def test_replay_produces_power_trace(self, model):
+        rows = [(1.0, {"instructions": 1e9, "cache-misses": 1e7}),
+                (2.0, {"instructions": 2e9, "cache-misses": 1e7})]
+        trace = estimate_from_log(model, rows, frequency_hz=ghz(3.3))
+        assert len(trace) == 2
+        assert trace.powers_w[0] == pytest.approx(31.48 + 1.0 + 1.0)
+        assert trace.powers_w[1] == pytest.approx(31.48 + 2.0 + 1.0)
+
+    def test_defaults_to_highest_frequency(self, model):
+        rows = [(1.0, {"instructions": 1e9}), (2.0, {"instructions": 1e9})]
+        default = estimate_from_log(model, rows)
+        explicit = estimate_from_log(model, rows, frequency_hz=ghz(3.3))
+        assert default.powers_w == explicit.powers_w
+
+    def test_single_row_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            estimate_from_log(model, [(1.0, {"instructions": 1e9})])
+
+    def test_non_increasing_times_rejected(self, model):
+        rows = [(1.0, {"instructions": 1e9}), (1.0, {"instructions": 1e9})]
+        with pytest.raises(ConfigurationError):
+            estimate_from_log(model, rows)
+
+
+class TestEndToEndOfflineWorkflow:
+    def test_record_then_replay_matches_live(self, model, tmp_path):
+        """The offline replay of a recorded run equals live estimation."""
+        spec = intel_i3_2120()
+        machine = Machine(spec)
+        machine.set_frequency(spec.max_frequency_hz)
+        writer = CounterLogWriter(
+            machine, events=("instructions", "cache-misses"))
+        assignment = ThreadAssignment(
+            pid=1, cpu_id=0, busy_fraction=1.0, mix=InstructionMix(),
+            memory=MemoryProfile(working_set_bytes=8192, locality=0.99))
+        live_powers = []
+        for _second in range(5):
+            machine.run([assignment], 1.0, dt_s=0.05)
+            deltas = writer.sample()
+            rates = {event: delta / 1.0 for event, delta in deltas.items()}
+            live_powers.append(model.predict_total(
+                spec.max_frequency_hz, rates))
+        writer.close()
+
+        path = tmp_path / "counters.csv"
+        writer.write_to(path)
+        trace = estimate_from_csv(model, path,
+                                  frequency_hz=spec.max_frequency_hz)
+        assert list(trace.powers_w) == pytest.approx(live_powers, rel=1e-4)
+
+    def test_writer_requires_events(self):
+        machine = Machine(intel_i3_2120())
+        with pytest.raises(ConfigurationError):
+            CounterLogWriter(machine, events=())

@@ -1,0 +1,134 @@
+"""Unit tests for repro.simcpu.pipeline (IPC and SMT contention)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu.caches import CacheModel, MemoryProfile
+from repro.simcpu.pipeline import (SMT_THROUGHPUT_FACTOR, InstructionMix,
+                                   PipelineModel)
+from repro.simcpu.spec import intel_core2duo_e6600, intel_i3_2120
+
+
+@pytest.fixture
+def pipeline():
+    return PipelineModel(intel_i3_2120())
+
+
+@pytest.fixture
+def cache_behaviour():
+    model = CacheModel(intel_i3_2120())
+    return model.behaviour(MemoryProfile(mem_ops_per_instruction=0.2,
+                                         working_set_bytes=16 * 1024,
+                                         locality=0.98))
+
+
+class TestInstructionMix:
+    def test_int_fraction_is_remainder(self):
+        mix = InstructionMix(fp_fraction=0.2, simd_fraction=0.1,
+                             branch_fraction=0.15)
+        assert mix.int_fraction == pytest.approx(0.55)
+
+    def test_rejects_fractions_over_one(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(fp_fraction=0.5, simd_fraction=0.4,
+                           branch_fraction=0.2)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(fp_fraction=-0.1)
+
+    def test_simd_issues_slower_than_int(self):
+        integer = InstructionMix(branch_fraction=0.0)
+        simd = InstructionMix(simd_fraction=0.5, branch_fraction=0.0)
+        assert simd.issue_ipc_factor() < integer.issue_ipc_factor()
+
+    def test_simd_burns_more_power_per_instruction(self):
+        integer = InstructionMix()
+        simd = InstructionMix(simd_fraction=0.5, branch_fraction=0.1)
+        assert simd.power_weight() > integer.power_weight()
+
+    def test_pure_integer_weight_is_unity(self):
+        assert InstructionMix(branch_fraction=0.0).power_weight() == 1.0
+
+
+class TestIpc:
+    def test_cpu_bound_ipc_reasonable(self, pipeline, cache_behaviour):
+        rates = pipeline.rates(InstructionMix(), cache_behaviour)
+        assert 0.3 < rates.ipc < 2.0
+
+    def test_memory_stalls_reduce_ipc(self, pipeline, cache_behaviour):
+        model = CacheModel(intel_i3_2120())
+        slow = model.behaviour(MemoryProfile(mem_ops_per_instruction=0.4,
+                                             working_set_bytes=64 * 1024 ** 2,
+                                             locality=0.6))
+        fast_rates = pipeline.rates(InstructionMix(), cache_behaviour)
+        slow_rates = pipeline.rates(InstructionMix(), slow)
+        assert slow_rates.ipc < fast_rates.ipc
+
+    def test_branch_misses_reduce_ipc(self, pipeline, cache_behaviour):
+        clean = pipeline.rates(
+            InstructionMix(branch_fraction=0.2, branch_miss_rate=0.0),
+            cache_behaviour)
+        flushy = pipeline.rates(
+            InstructionMix(branch_fraction=0.2, branch_miss_rate=0.15),
+            cache_behaviour)
+        assert flushy.ipc < clean.ipc
+
+    def test_branch_rates_propagate(self, pipeline, cache_behaviour):
+        mix = InstructionMix(branch_fraction=0.2, branch_miss_rate=0.1)
+        rates = pipeline.rates(mix, cache_behaviour)
+        assert rates.branches_per_instruction == pytest.approx(0.2)
+        assert rates.branch_misses_per_instruction == pytest.approx(0.02)
+
+
+class TestSmtContention:
+    def test_busy_sibling_reduces_throughput(self, pipeline, cache_behaviour):
+        alone = pipeline.rates(InstructionMix(), cache_behaviour,
+                               sibling_busy_fraction=0.0)
+        contended = pipeline.rates(InstructionMix(), cache_behaviour,
+                                   sibling_busy_fraction=1.0)
+        assert contended.ipc < alone.ipc
+
+    def test_core_throughput_rises_with_smt(self, pipeline, cache_behaviour):
+        # Two contended threads together must beat one thread alone.
+        alone = pipeline.rates(InstructionMix(), cache_behaviour, 0.0)
+        contended = pipeline.rates(InstructionMix(), cache_behaviour, 1.0)
+        assert 2 * contended.ipc > alone.ipc
+
+    def test_contention_interpolates(self, pipeline, cache_behaviour):
+        half = pipeline.rates(InstructionMix(), cache_behaviour, 0.5)
+        full = pipeline.rates(InstructionMix(), cache_behaviour, 1.0)
+        alone = pipeline.rates(InstructionMix(), cache_behaviour, 0.0)
+        assert full.ipc < half.ipc < alone.ipc
+
+    def test_no_smt_spec_ignores_sibling(self, cache_behaviour):
+        pipeline = PipelineModel(intel_core2duo_e6600())
+        alone = pipeline.rates(InstructionMix(), cache_behaviour, 0.0)
+        contended = pipeline.rates(InstructionMix(), cache_behaviour, 1.0)
+        assert contended.ipc == pytest.approx(alone.ipc)
+
+    def test_rejects_bad_sibling_fraction(self, pipeline, cache_behaviour):
+        with pytest.raises(ConfigurationError):
+            pipeline.rates(InstructionMix(), cache_behaviour, 1.5)
+
+    def test_smt_factor_in_sane_range(self):
+        assert 0.5 < SMT_THROUGHPUT_FACTOR < 1.0
+
+
+class TestInstructionCounting:
+    def test_instructions_scale_with_time(self, pipeline, cache_behaviour):
+        rates = pipeline.rates(InstructionMix(), cache_behaviour)
+        one = pipeline.instructions_in(rates, 3_300_000_000, 1.0)
+        two = pipeline.instructions_in(rates, 3_300_000_000, 2.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_instructions_scale_with_frequency(self, pipeline, cache_behaviour):
+        rates = pipeline.rates(InstructionMix(), cache_behaviour)
+        slow = pipeline.instructions_in(rates, 1_600_000_000, 1.0)
+        fast = pipeline.instructions_in(rates, 3_300_000_000, 1.0)
+        assert fast > slow
+
+    def test_rejects_negative_time(self, pipeline, cache_behaviour):
+        rates = pipeline.rates(InstructionMix(), cache_behaviour)
+        with pytest.raises(ConfigurationError):
+            pipeline.instructions_in(rates, 3_300_000_000, -1.0)

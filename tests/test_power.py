@@ -1,0 +1,142 @@
+"""Unit tests for repro.simcpu.power (the hidden ground-truth model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu.frequency import FrequencyDomain
+from repro.simcpu.power import (LEAKAGE_EQUILIBRIUM_FRACTION,
+                                SMT_SECOND_THREAD_FACTOR, CoreActivity,
+                                GroundTruthPower, PowerBreakdown,
+                                ThermalModel)
+from repro.simcpu.spec import intel_i3_2120
+from repro.units import ghz
+
+
+@pytest.fixture
+def truth():
+    spec = intel_i3_2120()
+    return GroundTruthPower(spec, FrequencyDomain(spec))
+
+
+def activity(busy, frequency=ghz(3.3), weight=1.0):
+    return CoreActivity(frequency_hz=frequency, thread_busy=busy,
+                        power_weight=weight, idle_power_fraction=0.03)
+
+
+class TestCorePower:
+    def test_idle_core_draws_little(self, truth):
+        idle = truth.core_power(activity((0.0, 0.0)))
+        busy = truth.core_power(activity((1.0, 0.0)))
+        assert idle < busy * 0.1
+
+    def test_smt_second_thread_cheaper(self, truth):
+        one = truth.core_power(activity((1.0, 0.0)))
+        two = truth.core_power(activity((1.0, 1.0)))
+        # Second thread adds only the SMT factor, far below double.
+        assert one < two < 1.5 * one
+
+    def test_smt_factor_applied_exactly(self, truth):
+        one = truth.core_power(activity((1.0, 0.0)))
+        two = truth.core_power(activity((1.0, 1.0)))
+        idle_part = truth.core_power(activity((0.0, 0.0)))
+        active_one = one - 0.0  # busiest=1.0 -> no idle component
+        assert (two - one) / active_one == pytest.approx(
+            SMT_SECOND_THREAD_FACTOR, rel=0.05)
+
+    def test_frequency_scaling_superlinear(self, truth):
+        slow = truth.core_power(activity((1.0, 0.0), frequency=ghz(1.6)))
+        fast = truth.core_power(activity((1.0, 0.0), frequency=ghz(3.3)))
+        assert fast / slow > 3.3 / 1.6
+
+    def test_power_weight_scales_active_power(self, truth):
+        light = truth.core_power(activity((1.0, 0.0), weight=1.0))
+        heavy = truth.core_power(activity((1.0, 0.0), weight=1.5))
+        assert heavy == pytest.approx(1.5 * light)
+
+    def test_rejects_bad_busy(self):
+        with pytest.raises(ConfigurationError):
+            CoreActivity(frequency_hz=ghz(3.3), thread_busy=(1.5,))
+
+
+class TestWakeupPower:
+    def test_zero_at_idle_and_full(self, truth):
+        assert truth.wakeup_power(activity((0.0, 0.0))) == 0.0
+        assert truth.wakeup_power(activity((1.0, 0.0))) == 0.0
+
+    def test_peaks_at_half_load(self, truth):
+        half = truth.wakeup_power(activity((0.5, 0.0)))
+        quarter = truth.wakeup_power(activity((0.25, 0.0)))
+        assert half > quarter > 0.0
+
+
+class TestWallPower:
+    def test_idle_machine_draws_idle_constant(self, truth):
+        breakdown = truth.wall_power(
+            [activity((0.0, 0.0)), activity((0.0, 0.0))],
+            llc_references_per_s=0.0, dram_bytes_per_s=0.0)
+        assert breakdown.total == pytest.approx(
+            intel_i3_2120().power.idle_w, rel=0.02)
+
+    def test_traffic_adds_uncore_and_dram(self, truth):
+        quiet = truth.wall_power([activity((1.0, 0.0))], 0.0, 0.0)
+        loud = truth.wall_power([activity((1.0, 0.0))], 5e8, 3e9)
+        assert loud.uncore > quiet.uncore
+        assert loud.dram > quiet.dram
+
+    def test_dram_power_sublinear(self, truth):
+        low = truth.wall_power([activity((1.0, 0.0))], 0.0, 1e9).dram
+        high = truth.wall_power([activity((1.0, 0.0))], 0.0, 4e9).dram
+        assert high < 4 * low
+
+    def test_rejects_negative_traffic(self, truth):
+        with pytest.raises(ConfigurationError):
+            truth.wall_power([], -1.0, 0.0)
+
+    def test_breakdown_total_is_sum(self):
+        breakdown = PowerBreakdown(idle=30, cores=10, uncore=2, dram=1,
+                                   leakage=3, wakeup=0.5)
+        assert breakdown.total == pytest.approx(46.5)
+
+
+class TestThermalModel:
+    def test_cold_start_no_leakage(self):
+        thermal = ThermalModel()
+        assert thermal.step(20.0, 0.01) < 0.05
+
+    def test_sustained_load_reaches_equilibrium(self):
+        thermal = ThermalModel()
+        leak = 0.0
+        for _ in range(3000):  # 300 s at 0.1 s steps
+            leak = thermal.step(20.0, 0.1)
+        assert leak == pytest.approx(LEAKAGE_EQUILIBRIUM_FRACTION * 20.0,
+                                     rel=0.02)
+
+    def test_cooldown_reduces_leakage(self):
+        thermal = ThermalModel()
+        for _ in range(2000):
+            hot = thermal.step(20.0, 0.1)
+        for _ in range(2000):
+            cold = thermal.step(0.0, 0.1)
+        assert cold < hot * 0.05
+
+    def test_monotone_warming(self):
+        thermal = ThermalModel()
+        leaks = [thermal.step(15.0, 1.0) for _ in range(30)]
+        assert leaks == sorted(leaks)
+
+    def test_rejects_negative_inputs(self):
+        thermal = ThermalModel()
+        with pytest.raises(ConfigurationError):
+            thermal.step(-1.0, 0.1)
+
+    def test_leakage_in_wall_power(self):
+        spec = intel_i3_2120()
+        truth = GroundTruthPower(spec, FrequencyDomain(spec))
+        thermal = ThermalModel()
+        # Preheat.
+        for _ in range(500):
+            truth.wall_power([activity((1.0, 1.0)), activity((1.0, 1.0))],
+                             1e8, 1e9, thermal=thermal, dt_s=1.0)
+        hot = truth.wall_power([activity((1.0, 1.0)), activity((1.0, 1.0))],
+                               1e8, 1e9, thermal=thermal, dt_s=1.0)
+        assert hot.leakage > 3.0

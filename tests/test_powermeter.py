@@ -1,0 +1,219 @@
+"""Unit tests for the power meters: base, PowerSpy, RAPL, ACPI."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeterConnectionError, PowerMeterError
+from repro.powermeter.acpi import AcpiBatteryMeter
+from repro.powermeter.base import PowerMeter, PowerSample
+from repro.powermeter.powerspy import PowerSpy
+from repro.powermeter.rapl import (COUNTER_WRAP, ENERGY_UNIT_J,
+                                   MSR_PKG_ENERGY_STATUS,
+                                   MSR_RAPL_POWER_UNIT, RaplDomain,
+                                   RaplEnergyReader, RaplInterface,
+                                   RaplPowerMeter)
+from repro.simcpu.caches import MemoryProfile
+from repro.simcpu.machine import Machine, ThreadAssignment
+from repro.simcpu.pipeline import InstructionMix
+from repro.simcpu.spec import intel_i3_2120
+
+
+def busy_assignment(pid=100, cpu=0):
+    return ThreadAssignment(
+        pid=pid, cpu_id=cpu, busy_fraction=1.0,
+        mix=InstructionMix(),
+        memory=MemoryProfile(working_set_bytes=8192, locality=0.99))
+
+
+@pytest.fixture
+def machine():
+    machine = Machine(intel_i3_2120())
+    machine.set_frequency(machine.spec.max_frequency_hz)
+    return machine
+
+
+class TestPowerSample:
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            PowerSample(time_s=0.0, power_w=-1.0)
+
+
+class TestBaseMeter:
+    def test_one_sample_per_interval(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=10.0)
+        with meter:
+            machine.run([], 1.0, dt_s=0.01)
+        assert len(meter.samples) == 10
+
+    def test_sample_is_interval_average(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=1.0)
+        with meter:
+            machine.run([], 1.0, dt_s=0.1)
+        sample = meter.samples[0]
+        assert sample.power_w == pytest.approx(
+            machine.spec.power.idle_w, rel=0.05)
+
+    def test_disconnect_stops_sampling(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=10.0)
+        meter.connect()
+        machine.run([], 0.5, dt_s=0.01)
+        meter.disconnect()
+        machine.run([], 0.5, dt_s=0.01)
+        assert len(meter.samples) == 5
+
+    def test_double_connect_is_idempotent(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=10.0)
+        meter.connect()
+        meter.connect()
+        machine.run([], 0.1, dt_s=0.01)
+        assert len(meter.samples) == 1
+
+    def test_mean_requires_samples(self, machine):
+        meter = PowerMeter(machine)
+        with pytest.raises(MeterConnectionError):
+            meter.mean_power_w()
+
+    def test_clear_drops_samples(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=10.0)
+        with meter:
+            machine.run([], 0.5, dt_s=0.01)
+            meter.clear()
+            machine.run([], 0.2, dt_s=0.01)
+        assert len(meter.samples) == 2
+
+    def test_last_sample_none_before_first_interval(self, machine):
+        meter = PowerMeter(machine, sample_rate_hz=1.0)
+        with meter:
+            machine.run([], 0.5, dt_s=0.1)
+            assert meter.last_sample() is None
+
+    def test_rejects_bad_rate(self, machine):
+        with pytest.raises(ConfigurationError):
+            PowerMeter(machine, sample_rate_hz=0.0)
+
+
+class TestPowerSpy:
+    def test_noise_is_reproducible_per_seed(self, machine):
+        meter_a = PowerSpy(machine, seed=1)
+        meter_b = PowerSpy(Machine(intel_i3_2120()), seed=1)
+        with meter_a:
+            machine.run([], 5.0, dt_s=0.1)
+        other = meter_b.machine
+        with meter_b:
+            other.run([], 5.0, dt_s=0.1)
+        assert [s.power_w for s in meter_a.samples] == pytest.approx(
+            [s.power_w for s in meter_b.samples])
+
+    def test_noise_magnitude(self, machine):
+        meter = PowerSpy(machine, noise_fraction=0.01, resolution_w=0.0,
+                         seed=3)
+        with meter:
+            machine.run([], 60.0, dt_s=0.1)
+        import numpy as np
+        powers = np.array([s.power_w for s in meter.samples])
+        spread = powers.std() / powers.mean()
+        assert 0.003 < spread < 0.03
+
+    def test_quantization(self, machine):
+        meter = PowerSpy(machine, noise_fraction=0.0, resolution_w=0.5,
+                         seed=4)
+        with meter:
+            machine.run([], 3.0, dt_s=0.1)
+        for sample in meter.samples:
+            assert sample.power_w == pytest.approx(
+                round(sample.power_w / 0.5) * 0.5)
+
+    def test_rejects_huge_noise(self, machine):
+        with pytest.raises(ConfigurationError):
+            PowerSpy(machine, noise_fraction=0.7)
+
+    def test_tracks_load_changes(self, machine):
+        meter = PowerSpy(machine, seed=5)
+        with meter:
+            machine.run([], 2.0, dt_s=0.1)
+            machine.run([busy_assignment(cpu=0),
+                         busy_assignment(pid=101, cpu=1)], 2.0, dt_s=0.1)
+        idle = meter.samples[1].power_w
+        loaded = meter.samples[-1].power_w
+        assert loaded > idle + 10
+
+
+class TestRapl:
+    def test_rejects_non_intel(self):
+        import dataclasses
+        spec = dataclasses.replace(intel_i3_2120(), vendor="AMD")
+        with pytest.raises(PowerMeterError):
+            RaplInterface(Machine(spec))
+
+    def test_energy_unit_decoding(self, machine):
+        rapl = RaplInterface(machine)
+        assert rapl.energy_unit_j() == pytest.approx(ENERGY_UNIT_J)
+
+    def test_unknown_msr_raises(self, machine):
+        rapl = RaplInterface(machine)
+        with pytest.raises(PowerMeterError):
+            rapl.read_msr(0x123)
+
+    def test_package_energy_accumulates(self, machine):
+        rapl = RaplInterface(machine)
+        machine.run([busy_assignment()], 1.0, dt_s=0.1)
+        assert rapl.energy_j(RaplDomain.PACKAGE) > 1.0
+
+    def test_package_excludes_idle_baseline(self, machine):
+        rapl = RaplInterface(machine)
+        machine.run([], 1.0, dt_s=0.1)
+        # Idle machine: package energy far below wall energy.
+        assert rapl.energy_j(RaplDomain.PACKAGE) < machine.energy_j * 0.2
+
+    def test_pp0_below_package(self, machine):
+        rapl = RaplInterface(machine)
+        machine.run([busy_assignment()], 1.0, dt_s=0.1)
+        assert (rapl.energy_j(RaplDomain.PP0)
+                <= rapl.energy_j(RaplDomain.PACKAGE))
+
+    def test_counter_is_32bit(self, machine):
+        rapl = RaplInterface(machine)
+        machine.run([busy_assignment()], 0.5, dt_s=0.1)
+        raw = rapl.read_msr(MSR_PKG_ENERGY_STATUS)
+        assert 0 <= raw < COUNTER_WRAP
+
+    def test_wrap_corrected_reader(self, machine):
+        rapl = RaplInterface(machine)
+        reader = RaplEnergyReader(rapl, RaplDomain.PACKAGE)
+        # Force a wrap by injecting energy beyond the 32-bit range.
+        rapl._energy_j[RaplDomain.PACKAGE] += (COUNTER_WRAP - 10) * ENERGY_UNIT_J
+        first = reader.total_energy_j()
+        rapl._energy_j[RaplDomain.PACKAGE] += 20 * ENERGY_UNIT_J
+        second = reader.total_energy_j()
+        assert second > first  # monotonic across the wrap
+
+    def test_power_meter_view(self, machine):
+        rapl = RaplInterface(machine)
+        meter = RaplPowerMeter(rapl)
+        machine.run([busy_assignment()], 1.0, dt_s=0.1)
+        power = meter.average_power_w()
+        # Package power of one busy core: positive but far below wall power.
+        assert 5.0 < power < machine.spec.power.tdp_w
+
+
+class TestAcpi:
+    def test_coarse_quantization(self, machine):
+        meter = AcpiBatteryMeter(machine, sample_rate_hz=1.0)
+        with meter:
+            machine.run([], 5.0, dt_s=0.1)
+        for sample in meter.samples:
+            assert sample.power_w % 0.5 == pytest.approx(0.0, abs=1e-9)
+
+    def test_smoothing_lags_step_change(self, machine):
+        meter = AcpiBatteryMeter(machine, sample_rate_hz=1.0, smoothing=0.3)
+        direct = PowerSpy(machine, noise_fraction=0.0, resolution_w=0.0,
+                          seed=9)
+        with meter, direct:
+            machine.run([], 3.0, dt_s=0.1)
+            machine.run([busy_assignment(cpu=0),
+                         busy_assignment(pid=101, cpu=1)], 2.0, dt_s=0.1)
+        # One sample after the step, the battery lags the true meter.
+        assert meter.samples[3].power_w < direct.samples[3].power_w
+
+    def test_rejects_bad_smoothing(self, machine):
+        with pytest.raises(ConfigurationError):
+            AcpiBatteryMeter(machine, smoothing=0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.os.process."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProcessError
+from repro.os.process import Demand, ProcessState, SimProcess
+from repro.workloads.base import ConstantWorkload, cpu_demand
+
+
+class TestDemand:
+    def test_valid(self):
+        demand = Demand(utilization=0.5)
+        assert demand.threads == 1
+
+    def test_rejects_negative_utilization(self):
+        with pytest.raises(ConfigurationError):
+            Demand(utilization=-0.1)
+
+    def test_rejects_over_one(self):
+        with pytest.raises(ConfigurationError):
+            Demand(utilization=1.1)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            Demand(utilization=0.5, threads=0)
+
+
+class _ScriptedProgram:
+    """Program returning a fixed list of demands, then None."""
+
+    def __init__(self, demands):
+        self._demands = list(demands)
+        self.calls = 0
+
+    def demand(self, local_time_s):
+        self.calls += 1
+        if not self._demands:
+            return None
+        return self._demands.pop(0)
+
+
+class TestSimProcess:
+    def test_rejects_negative_pid(self):
+        with pytest.raises(ConfigurationError):
+            SimProcess(pid=-1, name="x", program=_ScriptedProgram([]))
+
+    def test_rejects_extreme_nice(self):
+        with pytest.raises(ConfigurationError):
+            SimProcess(pid=1, name="x", program=_ScriptedProgram([]), nice=25)
+
+    def test_starts_runnable(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]))
+        assert process.state is ProcessState.RUNNABLE
+
+    def test_poll_demand_passes_through(self):
+        demand = Demand(utilization=0.7)
+        process = SimProcess(1, "x", _ScriptedProgram([demand]))
+        assert process.poll_demand() is demand
+
+    def test_zero_utilization_sleeps(self):
+        process = SimProcess(1, "x", _ScriptedProgram([Demand(0.0)]))
+        process.poll_demand()
+        assert process.state is ProcessState.SLEEPING
+
+    def test_none_exits(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]))
+        assert process.poll_demand() is None
+        assert process.state is ProcessState.EXITED
+        assert not process.alive
+
+    def test_poll_after_exit_raises(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]))
+        process.poll_demand()
+        with pytest.raises(ProcessError):
+            process.poll_demand()
+
+    def test_accounting(self):
+        process = SimProcess(1, "x", _ScriptedProgram([Demand(1.0)] * 3))
+        process.account(0.01, 0.01)
+        process.account(0.005, 0.01)
+        assert process.cpu_time_s == pytest.approx(0.015)
+        assert process.wall_time_s == pytest.approx(0.02)
+
+    def test_accounting_rejects_negative(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]))
+        with pytest.raises(ConfigurationError):
+            process.account(-0.01, 0.01)
+
+    def test_affinity_allows(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]), affinity={1, 2})
+        assert process.allowed_on(1)
+        assert not process.allowed_on(0)
+
+    def test_no_affinity_allows_all(self):
+        process = SimProcess(1, "x", _ScriptedProgram([]))
+        assert process.allowed_on(99)
+
+    def test_workload_is_a_program(self):
+        workload = ConstantWorkload(cpu_demand(), duration_s=1.0)
+        process = SimProcess(1, "stress", workload)
+        assert process.poll_demand().utilization == 1.0
+
+    def test_repr(self):
+        process = SimProcess(7, "jbb", _ScriptedProgram([]))
+        assert "pid=7" in repr(process)
+        assert "jbb" in repr(process)

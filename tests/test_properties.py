@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (absolute_percentage_errors, median_ape,
+                                r_squared, rmse)
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.regression import fit_nnls, fit_ols
+from repro.perf.multiplex import MultiplexScheduler
+from repro.simcpu.caches import CacheModel, MemoryProfile
+from repro.simcpu.counters import EventDelta
+from repro.simcpu.frequency import FrequencyDomain
+from repro.simcpu.machine import Machine, ThreadAssignment
+from repro.simcpu.pipeline import InstructionMix, PipelineModel
+from repro.simcpu.spec import intel_i3_2120
+from repro.units import ghz
+
+SPEC = intel_i3_2120()
+
+utilization = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+working_sets = st.integers(min_value=0, max_value=512 * 1024 ** 2)
+localities = st.floats(min_value=0.01, max_value=1.0,
+                       allow_nan=False, allow_infinity=False)
+mem_ops = st.floats(min_value=0.0, max_value=1.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+class TestCacheProperties:
+    @given(ws=working_sets, locality=localities, ops=mem_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_misses_bounded_by_references(self, ws, locality, ops):
+        model = CacheModel(SPEC)
+        behaviour = model.behaviour(MemoryProfile(
+            mem_ops_per_instruction=ops, working_set_bytes=ws,
+            locality=locality))
+        assert 0.0 <= behaviour.llc_misses <= behaviour.llc_references + 1e-12
+        assert behaviour.llc_references <= behaviour.l1_references + 1e-12
+        assert behaviour.stall_cycles >= 0.0
+
+    @given(ws=working_sets, locality=localities)
+    @settings(max_examples=40, deadline=None)
+    def test_contention_never_reduces_misses(self, ws, locality):
+        model = CacheModel(SPEC)
+        profile = MemoryProfile(mem_ops_per_instruction=0.3,
+                                working_set_bytes=ws, locality=locality)
+        alone = model.behaviour(profile)
+        contended = model.behaviour(profile,
+                                    coresident_sets=[16 * 1024 ** 2])
+        assert contended.llc_misses >= alone.llc_misses - 1e-12
+
+
+class TestPipelineProperties:
+    @given(fp=st.floats(0, 0.5, allow_nan=False),
+           branch=st.floats(0, 0.4, allow_nan=False),
+           sibling=utilization)
+    @settings(max_examples=80, deadline=None)
+    def test_ipc_positive_and_bounded(self, fp, branch, sibling):
+        assume(fp + branch <= 1.0)
+        pipeline = PipelineModel(SPEC)
+        cache = CacheModel(SPEC).behaviour(MemoryProfile())
+        rates = pipeline.rates(
+            InstructionMix(fp_fraction=fp, branch_fraction=branch),
+            cache, sibling_busy_fraction=sibling)
+        assert 0.0 < rates.ipc <= SPEC.base_ipc
+
+    @given(sibling=utilization)
+    @settings(max_examples=40, deadline=None)
+    def test_contention_monotone_in_sibling_load(self, sibling):
+        pipeline = PipelineModel(SPEC)
+        cache = CacheModel(SPEC).behaviour(MemoryProfile())
+        mix = InstructionMix()
+        base = pipeline.rates(mix, cache, 0.0).ipc
+        contended = pipeline.rates(mix, cache, sibling).ipc
+        assert contended <= base + 1e-12
+
+
+class TestMachineProperties:
+    @given(busy=st.lists(utilization, min_size=4, max_size=4),
+           dt=st.floats(0.001, 0.1, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_power_within_physical_envelope(self, busy, dt):
+        machine = Machine(SPEC)
+        machine.set_frequency(SPEC.max_frequency_hz)
+        assignments = [
+            ThreadAssignment(pid=100 + cpu, cpu_id=cpu, busy_fraction=b,
+                             mix=InstructionMix(),
+                             memory=MemoryProfile())
+            for cpu, b in enumerate(busy)]
+        record = machine.step(assignments, dt)
+        assert record.wall_power_w >= SPEC.power.idle_w - 1e-9
+        assert record.wall_power_w <= SPEC.power.idle_w + SPEC.power.tdp_w * 1.6
+
+    @given(busy=utilization, dt=st.floats(0.001, 0.1, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_counters_monotone(self, busy, dt):
+        machine = Machine(SPEC)
+        assignment = ThreadAssignment(
+            pid=1, cpu_id=0, busy_fraction=busy,
+            mix=InstructionMix(), memory=MemoryProfile())
+        machine.step([assignment], dt)
+        first = machine.counters.read("instructions")
+        machine.step([assignment], dt)
+        second = machine.counters.read("instructions")
+        assert second >= first
+
+    @given(dt=st.floats(0.001, 0.5, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_equals_power_times_time(self, dt):
+        machine = Machine(SPEC)
+        record = machine.step([], dt)
+        assert machine.energy_j == pytest.approx(
+            record.wall_power_w * dt, rel=1e-9)
+
+
+class TestEventDeltaProperties:
+    @given(counts=st.lists(st.floats(0, 1e12, allow_nan=False), min_size=1,
+                           max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_preserves_totals(self, counts):
+        a = EventDelta()
+        b = EventDelta()
+        for index, count in enumerate(counts):
+            target = a if index % 2 == 0 else b
+            target.add("instructions", count)
+        merged = a.merged_with(b)
+        assert merged["instructions"] == pytest.approx(sum(counts), rel=1e-9)
+
+
+class TestRegressionProperties:
+    @given(coefficient=st.floats(0.1, 100, allow_nan=False),
+           intercept=st.floats(0, 100, allow_nan=False),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_ols_recovers_noiseless_models(self, coefficient, intercept,
+                                           seed):
+        rng = np.random.default_rng(seed)
+        samples = [{"x": float(rng.uniform(0, 10))} for _ in range(10)]
+        targets = [intercept + coefficient * s["x"] for s in samples]
+        assume(len({s["x"] for s in samples}) > 2)
+        result = fit_ols(samples, targets, ["x"])
+        assert result.coefficients["x"] == pytest.approx(coefficient,
+                                                         rel=1e-6)
+        assert result.intercept == pytest.approx(intercept, abs=1e-6 * max(
+            1.0, intercept))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_nnls_never_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = [{"a": float(rng.uniform(0, 10)),
+                    "b": float(rng.uniform(0, 10))} for _ in range(12)]
+        targets = [float(rng.uniform(-5, 5)) for _ in range(12)]
+        result = fit_nnls(samples, targets, ["a", "b"])
+        assert result.intercept >= 0.0
+        assert all(value >= 0.0 for value in result.coefficients.values())
+
+
+class TestModelProperties:
+    @given(rates=st.dictionaries(
+        st.sampled_from(["instructions", "cache-references",
+                         "cache-misses"]),
+        st.floats(0, 1e11, allow_nan=False), max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_at_least_idle(self, rates):
+        model = PowerModel(idle_w=31.48, formulas=[
+            FrequencyFormula(ghz(3.3), {"instructions": 2.22e-9,
+                                        "cache-references": 2.48e-8,
+                                        "cache-misses": 1.87e-7})])
+        assert model.predict_total(ghz(3.3), rates) >= model.idle_w
+
+    @given(idle=st.floats(0, 100, allow_nan=False),
+           weight=st.floats(0, 1e-6, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip(self, idle, weight):
+        model = PowerModel(idle_w=idle, formulas=[
+            FrequencyFormula(ghz(2.0), {"instructions": weight})])
+        clone = PowerModel.from_json(model.to_json())
+        rates = {"instructions": 1e9}
+        assert clone.predict_total(ghz(2.0), rates) == pytest.approx(
+            model.predict_total(ghz(2.0), rates))
+
+
+class TestMetricProperties:
+    @given(values=st.lists(st.floats(1, 1000, allow_nan=False), min_size=1,
+                           max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_estimates_score_zero(self, values):
+        assert median_ape(values, values) == 0.0
+        assert rmse(values, values) == 0.0
+        assert r_squared(values, values) == 1.0
+
+    @given(measured=st.lists(st.floats(1, 1000, allow_nan=False),
+                             min_size=2, max_size=30),
+           scale=st.floats(0.5, 2.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_scaling_gives_uniform_ape(self, measured, scale):
+        estimated = [value * scale for value in measured]
+        errors = absolute_percentage_errors(measured, estimated)
+        assert np.allclose(errors, abs(scale - 1.0))
+
+
+class TestMultiplexProperties:
+    @given(n_counters=st.integers(1, 12), slots=st.integers(1, 6),
+           rounds=st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_respects_slots_and_fairness(self, n_counters, slots,
+                                                  rounds):
+        class FakeCounter:
+            def __init__(self, cid):
+                self.counter_id = cid
+                self.pid = -1
+                self.cpu = -1
+
+        scheduler = MultiplexScheduler(slots=slots)
+        counters = [FakeCounter(i) for i in range(n_counters)]
+        scheduled_counts = {c.counter_id: 0 for c in counters}
+        for _ in range(rounds):
+            chosen = scheduler.schedule(counters, 0.01)
+            assert len(chosen) <= max(slots, min(n_counters, slots))
+            for cid in chosen:
+                scheduled_counts[cid] += 1
+        if n_counters <= slots:
+            assert all(count == rounds
+                       for count in scheduled_counts.values())
+        elif rounds >= n_counters:
+            # Over enough rounds everyone gets PMU time.
+            assert all(count > 0 for count in scheduled_counts.values())
+
+
+class TestFrequencyProperties:
+    @given(index=st.integers(0, len(SPEC.frequencies_hz) - 1),
+           active=st.integers(1, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_effective_frequency_is_supported(self, index, active):
+        domain = FrequencyDomain(SPEC)
+        frequency = SPEC.frequencies_hz[index]
+        domain.set_all_targets(frequency)
+        granted = domain.effective(0, 0, active_cores_in_package=active)
+        assert granted in SPEC.all_frequencies_hz
+        assert granted == frequency  # sustained states granted exactly

@@ -1,0 +1,117 @@
+"""Unit tests for the PowerSpy wire protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PowerMeterError
+from repro.powermeter.base import PowerSample
+from repro.powermeter.protocol import (FrameDecoder, PowerSpyLink,
+                                       decode_frame, encode_frame,
+                                       roundtrip)
+
+
+class TestEncoding:
+    def test_frame_shape(self):
+        frame = encode_frame(PowerSample(time_s=1.234, power_w=31.48))
+        assert frame.startswith("<")
+        assert frame.endswith(">\r\n")
+        body = frame[1:-3]
+        assert len(body.split(" ")) == 3
+
+    def test_roundtrip_exact(self):
+        sample = PowerSample(time_s=12.345, power_w=56.789)
+        decoded = decode_frame(encode_frame(sample))
+        assert decoded.time_s == pytest.approx(sample.time_s, abs=1e-3)
+        assert decoded.power_w == pytest.approx(sample.power_w, abs=1e-3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PowerMeterError):
+            encode_frame(PowerSample(time_s=2 ** 33, power_w=1.0))
+
+
+class TestDecoding:
+    def test_missing_delimiters(self):
+        with pytest.raises(PowerMeterError):
+            decode_frame("00000001 00000002 03")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(PowerMeterError):
+            decode_frame("<0000000100000002 03>")
+
+    def test_checksum_mismatch(self):
+        frame = encode_frame(PowerSample(time_s=1.0, power_w=30.0))
+        corrupted = frame.replace(frame[2], "F", 1)
+        with pytest.raises(PowerMeterError):
+            decode_frame(corrupted)
+
+    def test_non_hex_rejected(self):
+        with pytest.raises(PowerMeterError):
+            decode_frame("<0000000Z 00000002 XX>")
+
+    def test_field_width_enforced(self):
+        with pytest.raises(PowerMeterError):
+            decode_frame("<001 00000002 32>")
+
+
+class TestFrameDecoder:
+    def test_split_chunks_reassembled(self):
+        frame = encode_frame(PowerSample(time_s=1.0, power_w=30.0))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:7]) == []
+        samples = decoder.feed(frame[7:])
+        assert len(samples) == 1
+        assert decoder.frames_decoded == 1
+
+    def test_corrupted_frames_dropped_not_fatal(self):
+        good = encode_frame(PowerSample(time_s=1.0, power_w=30.0))
+        bad = "<DEADBEEF GARBAGE! 00>\r\n"
+        decoder = FrameDecoder()
+        samples = decoder.feed(bad + good)
+        assert len(samples) == 1
+        assert decoder.frames_dropped == 1
+
+    def test_garbage_without_crlf_bounded(self):
+        decoder = FrameDecoder()
+        decoder.feed("x" * 5000)
+        assert len(decoder._buffer) <= 1024
+
+    def test_multiple_frames_one_chunk(self):
+        samples_in = [PowerSample(time_s=float(i), power_w=30.0 + i)
+                      for i in range(5)]
+        text = "".join(encode_frame(s) for s in samples_in)
+        decoder = FrameDecoder()
+        samples_out = decoder.feed(text)
+        assert [s.power_w for s in samples_out] == pytest.approx(
+            [s.power_w for s in samples_in])
+
+
+class TestLink:
+    def test_lossless_at_zero_corruption(self):
+        samples = [PowerSample(time_s=float(i), power_w=30.0 + i)
+                   for i in range(50)]
+        survivors, dropped = roundtrip(samples, corruption_rate=0.0)
+        assert dropped == 0
+        assert len(survivors) == 50
+
+    def test_corruption_drops_but_stream_survives(self):
+        samples = [PowerSample(time_s=float(i), power_w=30.0)
+                   for i in range(200)]
+        survivors, dropped = roundtrip(samples, corruption_rate=0.1,
+                                       seed=3)
+        assert dropped > 0
+        assert len(survivors) + dropped == 200
+        assert len(survivors) > 150
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(PowerMeterError):
+            PowerSpyLink(corruption_rate=1.0)
+
+    @given(time_s=st.floats(0, 4_000_000, allow_nan=False),
+           power_w=st.floats(0, 4_000_000, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, time_s, power_w):
+        sample = PowerSample(time_s=time_s, power_w=power_w)
+        decoded = decode_frame(encode_frame(sample))
+        assert decoded.time_s == pytest.approx(sample.time_s, abs=1e-3)
+        assert decoded.power_w == pytest.approx(sample.power_w, abs=1e-3)

@@ -1,0 +1,100 @@
+"""Unit tests for the power-model registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.registry import ModelRegistry, machine_signature
+from repro.errors import ModelError
+from repro.simcpu.spec import intel_core2duo_e6600, intel_i3_2120
+from repro.units import ghz
+
+
+@pytest.fixture
+def model():
+    return PowerModel(idle_w=31.48, formulas=[
+        FrequencyFormula(ghz(3.3), {"instructions": 2.22e-9})],
+        name="registry-test")
+
+
+class TestSignature:
+    def test_stable_across_instances(self):
+        assert machine_signature(intel_i3_2120()) == machine_signature(
+            intel_i3_2120())
+
+    def test_different_machines_differ(self):
+        assert machine_signature(intel_i3_2120()) != machine_signature(
+            intel_core2duo_e6600())
+
+    def test_frequency_ladder_part_of_identity(self):
+        spec = intel_i3_2120()
+        clipped = dataclasses.replace(
+            spec, frequencies_hz=spec.frequencies_hz[:-1])
+        assert machine_signature(spec) != machine_signature(clipped)
+
+    def test_signature_is_filesystem_safe(self):
+        signature = machine_signature(intel_i3_2120())
+        assert "/" not in signature
+        assert " " not in signature
+
+
+class TestRegistry:
+    def test_save_then_load(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        spec = intel_i3_2120()
+        registry.save(spec, model)
+        loaded = registry.load(spec)
+        assert loaded is not None
+        assert loaded.name == "registry-test"
+        assert loaded.idle_w == pytest.approx(31.48)
+
+    def test_load_missing_returns_none(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.load(intel_i3_2120()) is None
+
+    def test_models_keyed_per_machine(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        registry.save(intel_i3_2120(), model)
+        assert registry.load(intel_core2duo_e6600()) is None
+
+    def test_entries_listed(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        registry.save(intel_i3_2120(), model)
+        registry.save(intel_core2duo_e6600(), model)
+        assert len(registry.entries()) == 2
+
+    def test_delete(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        spec = intel_i3_2120()
+        registry.save(spec, model)
+        assert registry.delete(spec)
+        assert not registry.delete(spec)
+        assert registry.load(spec) is None
+
+    def test_corrupt_model_raises(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        spec = intel_i3_2120()
+        key = registry.save(spec, model)
+        (tmp_path / f"{key}.json").write_text("{broken")
+        with pytest.raises(ModelError):
+            registry.load(spec)
+
+    def test_load_or_learn_uses_cache(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path)
+        spec = intel_i3_2120()
+        calls = []
+
+        def learner(the_spec):
+            calls.append(the_spec)
+            return model
+
+        first = registry.load_or_learn(spec, learner=learner)
+        second = registry.load_or_learn(spec, learner=learner)
+        assert len(calls) == 1
+        assert first.name == second.name
+
+    def test_creates_root_directory(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "nested" / "models")
+        registry.save(intel_i3_2120(), model)
+        assert registry.entries()

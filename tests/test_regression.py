@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import (METHODS, fit, fit_nnls, fit_ols,
+                                   fit_ridge)
+from repro.errors import ConfigurationError, InsufficientDataError
+
+
+def make_linear_data(coefficients, intercept, n=50, seed=0, noise=0.0):
+    """Samples drawn from a known linear model."""
+    rng = np.random.default_rng(seed)
+    features = sorted(coefficients)
+    samples = []
+    targets = []
+    for _ in range(n):
+        row = {name: float(rng.uniform(0, 10)) for name in features}
+        value = intercept + sum(coefficients[k] * row[k] for k in features)
+        value += noise * float(rng.standard_normal())
+        samples.append(row)
+        targets.append(value)
+    return samples, targets, features
+
+
+class TestOls:
+    def test_recovers_exact_model(self):
+        truth = {"a": 2.0, "b": -1.5}
+        samples, targets, features = make_linear_data(truth, 4.0)
+        result = fit_ols(samples, targets, features)
+        assert result.coefficients["a"] == pytest.approx(2.0)
+        assert result.coefficients["b"] == pytest.approx(-1.5)
+        assert result.intercept == pytest.approx(4.0)
+        assert result.r2 == pytest.approx(1.0)
+
+    def test_noise_degrades_r2(self):
+        truth = {"a": 2.0}
+        samples, targets, features = make_linear_data(truth, 0.0, noise=3.0)
+        result = fit_ols(samples, targets, features)
+        assert result.r2 < 1.0
+
+    def test_without_intercept(self):
+        truth = {"a": 3.0}
+        samples, targets, features = make_linear_data(truth, 0.0)
+        result = fit_ols(samples, targets, features, fit_intercept=False)
+        assert result.intercept == 0.0
+        assert result.coefficients["a"] == pytest.approx(3.0)
+
+    def test_predict(self):
+        truth = {"a": 2.0}
+        samples, targets, features = make_linear_data(truth, 1.0)
+        result = fit_ols(samples, targets, features)
+        assert result.predict({"a": 5.0}) == pytest.approx(11.0)
+
+    def test_predict_missing_feature_treated_as_zero(self):
+        truth = {"a": 2.0}
+        samples, targets, features = make_linear_data(truth, 1.0)
+        result = fit_ols(samples, targets, features)
+        assert result.predict({}) == pytest.approx(1.0)
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self):
+        truth = {"a": 2.0, "b": 0.5}
+        samples, targets, features = make_linear_data(truth, 1.0)
+        ols = fit_ols(samples, targets, features)
+        ridge = fit_ridge(samples, targets, features, alpha=0.0)
+        assert ridge.coefficients["a"] == pytest.approx(
+            ols.coefficients["a"], rel=1e-6)
+
+    def test_alpha_shrinks_coefficients(self):
+        truth = {"a": 5.0}
+        samples, targets, features = make_linear_data(truth, 0.0)
+        free = fit_ridge(samples, targets, features, alpha=0.0)
+        shrunk = fit_ridge(samples, targets, features, alpha=1000.0)
+        assert abs(shrunk.coefficients["a"]) < abs(free.coefficients["a"])
+
+    def test_intercept_not_penalised(self):
+        truth = {"a": 0.001}
+        samples, targets, features = make_linear_data(truth, 50.0)
+        result = fit_ridge(samples, targets, features, alpha=100.0)
+        assert result.intercept == pytest.approx(50.0, rel=0.05)
+
+    def test_rejects_negative_alpha(self):
+        samples, targets, features = make_linear_data({"a": 1.0}, 0.0)
+        with pytest.raises(ConfigurationError):
+            fit_ridge(samples, targets, features, alpha=-1.0)
+
+
+class TestNnls:
+    def test_recovers_nonnegative_model(self):
+        truth = {"a": 2.0, "b": 0.5}
+        samples, targets, features = make_linear_data(truth, 3.0)
+        result = fit_nnls(samples, targets, features)
+        assert result.coefficients["a"] == pytest.approx(2.0, rel=1e-4)
+        assert result.intercept == pytest.approx(3.0, rel=1e-3)
+
+    def test_clamps_negative_truth_to_zero(self):
+        truth = {"a": 2.0, "b": -1.0}
+        samples, targets, features = make_linear_data(truth, 10.0)
+        result = fit_nnls(samples, targets, features)
+        assert result.coefficients["b"] == 0.0
+
+    def test_all_coefficients_nonnegative(self):
+        rng = np.random.default_rng(3)
+        samples = [{"a": float(rng.uniform()), "b": float(rng.uniform())}
+                   for _ in range(30)]
+        targets = [float(rng.uniform()) for _ in range(30)]
+        result = fit_nnls(samples, targets, ["a", "b"])
+        assert all(v >= 0 for v in result.coefficients.values())
+        assert result.intercept >= 0
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(InsufficientDataError):
+            fit_ols([{"a": 1.0}], [1.0], ["a"])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fit_ols([{"a": 1.0}] * 3, [1.0] * 2, ["a"])
+
+    def test_no_features(self):
+        with pytest.raises(ConfigurationError):
+            fit_ols([{"a": 1.0}] * 3, [1.0] * 3, [])
+
+    def test_registry_dispatch(self):
+        truth = {"a": 1.0}
+        samples, targets, features = make_linear_data(truth, 0.0)
+        for method in METHODS:
+            result = fit(samples, targets, features, method=method)
+            assert result.method == method
+
+    def test_unknown_method(self):
+        samples, targets, features = make_linear_data({"a": 1.0}, 0.0)
+        with pytest.raises(ConfigurationError):
+            fit(samples, targets, features, method="deep-learning")

@@ -1,0 +1,73 @@
+"""Unit tests for the JSONL and Prometheus reporters."""
+
+import json
+
+import pytest
+
+from repro.actors.system import ActorSystem
+from repro.core.messages import AggregatedPowerReport
+from repro.core.reporters import JsonlReporter, PrometheusReporter
+
+
+def publish(system, time_s=1.0, by_pid=None):
+    system.event_bus.publish(AggregatedPowerReport(
+        time_s=time_s, period_s=1.0,
+        by_pid=by_pid if by_pid is not None else {100: 5.5},
+        idle_w=31.48, formula="test"))
+    system.dispatch()
+
+
+class TestJsonlReporter:
+    def test_one_record_per_report(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        system = ActorSystem()
+        reporter = JsonlReporter(path)
+        ref = system.spawn(reporter, "jsonl")
+        publish(system, time_s=1.0)
+        publish(system, time_s=2.0)
+        system.stop(ref)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert reporter.records_written == 2
+
+    def test_records_parse_and_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        system = ActorSystem()
+        ref = system.spawn(JsonlReporter(path), "jsonl")
+        publish(system, time_s=1.0, by_pid={7: 2.25, 9: 1.0})
+        system.stop(ref)
+        record = json.loads(path.read_text().strip())
+        assert record["time_s"] == 1.0
+        assert record["total_w"] == pytest.approx(31.48 + 3.25)
+        assert record["by_pid"] == {"7": 2.25, "9": 1.0}
+
+    def test_file_closed_on_stop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        system = ActorSystem()
+        reporter = JsonlReporter(path)
+        ref = system.spawn(reporter, "jsonl")
+        system.stop(ref)
+        assert reporter._file is None
+
+
+class TestPrometheusReporter:
+    def test_exposition_format(self, tmp_path):
+        path = tmp_path / "powerapi.prom"
+        system = ActorSystem()
+        system.spawn(PrometheusReporter(path), "prom")
+        publish(system, by_pid={100: 5.5, 200: 1.25})
+        text = path.read_text()
+        assert "# TYPE powerapi_machine_watts gauge" in text
+        assert "powerapi_machine_watts 38.2300" in text
+        assert 'powerapi_process_watts{pid="100"} 5.5000' in text
+        assert 'powerapi_process_watts{pid="200"} 1.2500' in text
+
+    def test_latest_report_wins(self, tmp_path):
+        path = tmp_path / "powerapi.prom"
+        system = ActorSystem()
+        system.spawn(PrometheusReporter(path), "prom")
+        publish(system, time_s=1.0, by_pid={100: 5.0})
+        publish(system, time_s=2.0, by_pid={100: 9.0})
+        text = path.read_text()
+        assert 'powerapi_process_watts{pid="100"} 9.0000' in text
+        assert "5.0000" not in text

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.selection (counter ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplePoint, SamplingDataset
+from repro.core.selection import rank_counters, select_counters
+from repro.errors import ConfigurationError
+from repro.simcpu import counters as ev
+
+
+def make_dataset(n=200, seed=1):
+    """Synthetic dataset where power = f(instructions) strongly,
+    cache-misses weakly, branches not at all."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for _ in range(n):
+        instructions = float(rng.uniform(1e8, 1e10))
+        misses = float(rng.uniform(1e5, 1e7))
+        branches = float(rng.uniform(1e6, 1e8))
+        # Monotone but non-linear in instructions: Spearman-friendly.
+        power = 30 + (instructions / 1e9) ** 1.7 + 1.0 * misses / 1e6
+        points.append(SamplePoint(
+            frequency_hz=3_300_000_000, workload="synthetic",
+            rates={ev.INSTRUCTIONS: instructions, ev.CACHE_MISSES: misses,
+                   ev.BRANCHES: branches},
+            power_w=power))
+    return SamplingDataset(points, (ev.INSTRUCTIONS, ev.CACHE_MISSES,
+                                    ev.BRANCHES))
+
+
+class TestRanking:
+    def test_strongest_event_first(self):
+        ranking = rank_counters(make_dataset(), method="spearman")
+        assert ranking.ranked[0][0] == ev.INSTRUCTIONS
+
+    def test_uncorrelated_event_last(self):
+        ranking = rank_counters(make_dataset(), method="spearman")
+        assert ranking.ranked[-1][0] == ev.BRANCHES
+
+    def test_scores_within_unit_interval(self):
+        ranking = rank_counters(make_dataset())
+        for _event, score in ranking.ranked:
+            assert 0.0 <= score <= 1.0
+
+    def test_spearman_beats_pearson_on_monotone_nonlinear(self):
+        dataset = make_dataset()
+        spearman = rank_counters(dataset, method="spearman")
+        pearson = rank_counters(dataset, method="pearson")
+        assert (spearman.score(ev.INSTRUCTIONS)
+                >= pearson.score(ev.INSTRUCTIONS))
+
+    def test_constant_column_scores_zero(self):
+        points = [SamplePoint(
+            frequency_hz=1, workload="w",
+            rates={ev.INSTRUCTIONS: 5.0, ev.CACHE_MISSES: float(i)},
+            power_w=30.0 + i) for i in range(10)]
+        dataset = SamplingDataset(points, (ev.INSTRUCTIONS, ev.CACHE_MISSES))
+        ranking = rank_counters(dataset)
+        assert ranking.score(ev.INSTRUCTIONS) == 0.0
+        assert ranking.score(ev.CACHE_MISSES) > 0.9
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            rank_counters(make_dataset(), method="kendall")
+
+    def test_too_few_samples(self):
+        dataset = make_dataset(n=2)
+        with pytest.raises(ConfigurationError):
+            rank_counters(dataset)
+
+    def test_portable_filter_drops_intel_only(self):
+        points = [SamplePoint(
+            frequency_hz=1, workload="w",
+            rates={ev.REF_CYCLES: float(i), ev.INSTRUCTIONS: float(i)},
+            power_w=30.0 + i) for i in range(10)]
+        dataset = SamplingDataset(points, (ev.REF_CYCLES, ev.INSTRUCTIONS))
+        ranking = rank_counters(dataset, portable_only=True)
+        names = [name for name, _score in ranking.ranked]
+        assert ev.REF_CYCLES not in names
+        unrestricted = rank_counters(dataset, portable_only=False)
+        assert ev.REF_CYCLES in [n for n, _s in unrestricted.ranked]
+
+    def test_score_of_absent_event(self):
+        ranking = rank_counters(make_dataset())
+        assert ranking.score(ev.BUS_CYCLES) == 0.0
+
+
+class TestSelection:
+    def test_top_k(self):
+        selected = select_counters(make_dataset(), k=2)
+        assert len(selected) == 2
+        assert selected[0] == ev.INSTRUCTIONS
+
+    def test_k_must_be_positive(self):
+        ranking = rank_counters(make_dataset())
+        with pytest.raises(ConfigurationError):
+            ranking.top(0)

@@ -1,0 +1,220 @@
+"""Unit tests for repro.simcpu.spec (CPU specifications and presets)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.simcpu.spec import (PRESETS, CacheSpec, CpuSpec, PowerEnvelope,
+                               intel_core2duo_e6600, intel_i3_2120,
+                               intel_xeon_smt, preset)
+from repro.units import ghz, kib, mib
+
+
+class TestCacheSpec:
+    def test_lines(self):
+        cache = CacheSpec(level=1, size_bytes=kib(64), line_bytes=64)
+        assert cache.lines == 1024
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=0, size_bytes=kib(64))
+
+    def test_rejects_level_above_3(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=4, size_bytes=kib(64))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=1, size_bytes=0)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=1, size_bytes=100, line_bytes=64)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(level=1, size_bytes=kib(64), latency_cycles=0)
+
+
+class TestPowerEnvelope:
+    def test_rejects_negative_tdp(self):
+        with pytest.raises(ConfigurationError):
+            PowerEnvelope(tdp_w=-1, idle_w=30, core_active_w=10,
+                          uncore_active_w=2, dram_w_per_gtps=15)
+
+    def test_accepts_valid(self):
+        envelope = PowerEnvelope(tdp_w=65, idle_w=31.48, core_active_w=11,
+                                 uncore_active_w=3.5, dram_w_per_gtps=18)
+        assert envelope.idle_w == 31.48
+
+
+class TestTable1Specification:
+    """The i3-2120 preset must match the paper's Table 1 exactly."""
+
+    @pytest.fixture
+    def spec(self):
+        return intel_i3_2120()
+
+    def test_vendor(self, spec):
+        assert spec.vendor == "Intel"
+
+    def test_design_4_threads(self, spec):
+        assert spec.num_threads == 4
+
+    def test_two_physical_cores(self, spec):
+        assert spec.num_cores == 2
+
+    def test_max_frequency_3_30_ghz(self, spec):
+        assert spec.max_frequency_hz == ghz(3.3)
+
+    def test_tdp_65w(self, spec):
+        assert spec.power.tdp_w == 65.0
+
+    def test_idle_power_is_published_constant(self, spec):
+        assert spec.power.idle_w == pytest.approx(31.48)
+
+    def test_speedstep_present(self, spec):
+        assert spec.dvfs_enabled
+
+    def test_hyperthreading_present(self, spec):
+        assert spec.smt_enabled
+
+    def test_turboboost_absent(self, spec):
+        assert not spec.turbo_enabled
+
+    def test_cstates_present(self, spec):
+        assert len(spec.cstates) > 1
+
+    def test_l1_cache_64kb(self, spec):
+        assert spec.cache(1).size_bytes == kib(64)
+        assert not spec.cache(1).shared
+
+    def test_l2_cache_256kb(self, spec):
+        assert spec.cache(2).size_bytes == kib(256)
+
+    def test_l3_cache_3mb_shared(self, spec):
+        assert spec.cache(3).size_bytes == mib(3)
+        assert spec.cache(3).shared
+
+    def test_specification_table_rows(self, spec):
+        rows = dict(spec.specification_table())
+        assert rows["Vendor"] == "Intel"
+        assert rows["Design"] == "4 threads"
+        assert rows["Frequency"] == "3.30 GHz"
+        assert rows["TDP"] == "65 W"
+        assert rows["SpeedStep (DVFS)"] == "yes"
+        assert rows["HyperThreading (SMT)"] == "yes"
+        assert rows["TurboBoost (Overclocking)"] == "no"
+        assert rows["C-states (Idle states)"] == "yes"
+        assert rows["L1 cache"] == "64 KB / core"
+        assert rows["L3 cache"] == "3 MB"
+
+    def test_frequency_ladder_1_6_to_3_3(self, spec):
+        assert spec.min_frequency_hz == ghz(1.6)
+        assert spec.max_frequency_hz == ghz(3.3)
+        assert len(spec.frequencies_hz) >= 5
+
+
+class TestOtherPresets:
+    def test_core2duo_is_simple_architecture(self):
+        spec = intel_core2duo_e6600()
+        assert not spec.smt_enabled
+        assert not spec.turbo_enabled
+        assert spec.num_cores == 2
+
+    def test_xeon_has_smt_and_turbo(self):
+        spec = intel_xeon_smt()
+        assert spec.smt_enabled
+        assert spec.turbo_enabled
+        assert spec.num_threads == 8
+
+    def test_xeon_turbo_above_sustained(self):
+        spec = intel_xeon_smt()
+        assert spec.turbo_frequencies_hz[0] > spec.max_frequency_hz
+
+    def test_preset_registry(self):
+        assert "i3-2120" in PRESETS
+        assert preset("i3-2120").model == "i3 2120"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            preset("pentium-ii")
+
+
+class TestSpecValidation:
+    def _base_kwargs(self):
+        return dict(
+            vendor="Intel", model="test 1", packages=1,
+            cores_per_package=2, threads_per_core=2,
+            frequencies_hz=(ghz(1.0), ghz(2.0)),
+            turbo_frequencies_hz=(),
+            caches=(CacheSpec(level=1, size_bytes=kib(32)),),
+            power=PowerEnvelope(tdp_w=65, idle_w=30, core_active_w=10,
+                                uncore_active_w=2, dram_w_per_gtps=15),
+        )
+
+    def test_valid_spec(self):
+        assert CpuSpec(**self._base_kwargs()).num_threads == 4
+
+    def test_rejects_zero_cores(self):
+        kwargs = self._base_kwargs()
+        kwargs["cores_per_package"] = 0
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_odd_smt(self):
+        kwargs = self._base_kwargs()
+        kwargs["threads_per_core"] = 3
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_descending_frequencies(self):
+        kwargs = self._base_kwargs()
+        kwargs["frequencies_hz"] = (ghz(2.0), ghz(1.0))
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_duplicate_frequencies(self):
+        kwargs = self._base_kwargs()
+        kwargs["frequencies_hz"] = (ghz(1.0), ghz(1.0))
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_turbo_below_sustained(self):
+        kwargs = self._base_kwargs()
+        kwargs["turbo_frequencies_hz"] = (ghz(1.5),)
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_empty_frequency_ladder(self):
+        kwargs = self._base_kwargs()
+        kwargs["frequencies_hz"] = ()
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_rejects_unordered_caches(self):
+        kwargs = self._base_kwargs()
+        kwargs["caches"] = (CacheSpec(level=2, size_bytes=kib(256)),
+                            CacheSpec(level=1, size_bytes=kib(32)))
+        with pytest.raises(ConfigurationError):
+            CpuSpec(**kwargs)
+
+    def test_validate_frequency_accepts_supported(self):
+        spec = CpuSpec(**self._base_kwargs())
+        assert spec.validate_frequency(ghz(2.0)) == ghz(2.0)
+
+    def test_validate_frequency_rejects_unsupported(self):
+        spec = CpuSpec(**self._base_kwargs())
+        with pytest.raises(FrequencyError):
+            spec.validate_frequency(ghz(2.5))
+
+    def test_cache_lookup_missing_level(self):
+        spec = CpuSpec(**self._base_kwargs())
+        with pytest.raises(ConfigurationError):
+            spec.cache(3)
+
+    def test_all_frequencies_includes_turbo(self):
+        kwargs = self._base_kwargs()
+        kwargs["turbo_frequencies_hz"] = (ghz(2.2), ghz(2.4))
+        spec = CpuSpec(**kwargs)
+        assert spec.all_frequencies_hz == (ghz(1.0), ghz(2.0), ghz(2.2),
+                                           ghz(2.4))

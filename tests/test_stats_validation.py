@@ -1,0 +1,144 @@
+"""Unit tests for bootstrap statistics and model cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (BootstrapResult, bootstrap,
+                                  median_ape_interval)
+from repro.core.sampling import SamplePoint, SamplingDataset
+from repro.core.validation import cross_validate
+from repro.errors import ConfigurationError, InsufficientDataError
+
+
+class TestBootstrap:
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 1.0, size=200)
+        result = bootstrap(values)
+        assert result.low <= result.estimate <= result.high
+        assert result.contains(result.estimate)
+
+    def test_interval_narrows_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap(rng.normal(10, 1, size=20), seed=3)
+        large = bootstrap(rng.normal(10, 1, size=2000), seed=3)
+        assert large.width < small.width
+
+    def test_deterministic_per_seed(self):
+        values = list(range(50))
+        a = bootstrap(values, seed=7)
+        b = bootstrap(values, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        mean_result = bootstrap(values, statistic=np.mean, seed=1)
+        median_result = bootstrap(values, statistic=np.median, seed=1)
+        assert mean_result.estimate > median_result.estimate
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap([1.0, 2.0], confidence=1.5)
+
+    def test_rejects_too_few_resamples(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap([1.0, 2.0], resamples=10)
+
+    def test_str_rendering(self):
+        result = BootstrapResult(estimate=0.15, low=0.14, high=0.17,
+                                 confidence=0.95, resamples=2000)
+        assert "[0.14, 0.17]" in str(result)
+
+    def test_median_ape_interval(self):
+        measured = [100.0] * 50
+        estimated = [110.0] * 25 + [95.0] * 25
+        result = median_ape_interval(measured, estimated, seed=4)
+        assert 0.05 <= result.estimate <= 0.10
+        assert result.low <= result.estimate <= result.high
+
+
+def make_dataset(noise=0.0, n_per_workload=8, seed=0):
+    """Synthetic dataset: power = 30 + 2e-9*i + 1e-7*m (+ noise)."""
+    rng = np.random.default_rng(seed)
+    points = []
+    profiles = {
+        "cpu": (8e9, 1e5),
+        "mem": (1e9, 5e7),
+        "mixed": (4e9, 2e7),
+        "light": (5e8, 1e4),
+    }
+    for workload, (instructions, misses) in profiles.items():
+        for _ in range(n_per_workload):
+            i = instructions * float(rng.uniform(0.8, 1.2))
+            m = misses * float(rng.uniform(0.8, 1.2))
+            power = 30.0 + 2e-9 * i + 1e-7 * m
+            power += noise * float(rng.standard_normal())
+            points.append(SamplePoint(
+                frequency_hz=1_000_000_000, workload=workload,
+                rates={"instructions": i, "cache-misses": m},
+                power_w=power))
+    return SamplingDataset(points, ("instructions", "cache-misses"))
+
+
+class TestCrossValidation:
+    def test_learnable_model_validates_well(self):
+        report = cross_validate(make_dataset(noise=0.1), idle_w=30.0,
+                                frequency_hz=1_000_000_000)
+        assert report.pooled_median_ape < 0.05
+        assert len(report.folds) == 4
+
+    def test_folds_cover_all_workloads(self):
+        report = cross_validate(make_dataset(), idle_w=30.0,
+                                frequency_hz=1_000_000_000)
+        assert {fold.workload for fold in report.folds} == {
+            "cpu", "mem", "mixed", "light"}
+
+    def test_worst_fold_identified(self):
+        report = cross_validate(make_dataset(noise=0.5), idle_w=30.0,
+                                frequency_hz=1_000_000_000)
+        worst = report.worst_fold()
+        assert worst.median_ape == max(f.median_ape for f in report.folds)
+
+    def test_noise_raises_error(self):
+        clean = cross_validate(make_dataset(noise=0.0), idle_w=30.0,
+                               frequency_hz=1_000_000_000)
+        noisy = cross_validate(make_dataset(noise=3.0), idle_w=30.0,
+                               frequency_hz=1_000_000_000)
+        assert noisy.pooled_median_ape > clean.pooled_median_ape
+
+    def test_single_workload_rejected(self):
+        points = [SamplePoint(1_000_000_000, "only",
+                              {"instructions": float(i)}, 30.0 + i)
+                  for i in range(10)]
+        dataset = SamplingDataset(points, ("instructions",))
+        with pytest.raises(InsufficientDataError):
+            cross_validate(dataset, idle_w=30.0,
+                           frequency_hz=1_000_000_000)
+
+    def test_wrong_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cross_validate(make_dataset(), idle_w=30.0, frequency_hz=42)
+
+    def test_real_campaign_generalisation(self):
+        """On the real simulator, out-of-sample error exceeds training fit
+        but stays in a usable range."""
+        from repro.core.sampling import SamplingCampaign
+        from repro.simcpu.spec import intel_i3_2120
+        from repro.workloads.stress import stress_matrix
+
+        spec = intel_i3_2120()
+        campaign = SamplingCampaign(
+            spec, workloads=stress_matrix(
+                levels=(0.5, 1.0),
+                working_sets=(2 * 1024 ** 2, 64 * 1024 ** 2),
+                threads=4),
+            frequencies_hz=[spec.max_frequency_hz],
+            window_s=0.5, windows_per_run=3, settle_s=0.25, quantum_s=0.05)
+        dataset = campaign.run()
+        report = cross_validate(dataset, idle_w=31.48,
+                                frequency_hz=spec.max_frequency_hz)
+        assert 0.0 < report.pooled_median_ape < 0.35

@@ -1,0 +1,98 @@
+"""Unit tests for repro.simcpu.topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simcpu.spec import intel_core2duo_e6600, intel_i3_2120, intel_xeon_smt
+from repro.simcpu.topology import Topology
+
+
+class TestLinuxNumbering:
+    """Logical CPUs follow Linux convention: cores first, then siblings."""
+
+    @pytest.fixture
+    def topo(self):
+        return Topology(intel_i3_2120())
+
+    def test_length(self, topo):
+        assert len(topo) == 4
+
+    def test_cpu0_is_core0_thread0(self, topo):
+        cpu = topo.cpu(0)
+        assert (cpu.core_id, cpu.thread_id) == (0, 0)
+
+    def test_cpu1_is_core1_thread0(self, topo):
+        cpu = topo.cpu(1)
+        assert (cpu.core_id, cpu.thread_id) == (1, 0)
+
+    def test_cpu2_is_core0_thread1(self, topo):
+        cpu = topo.cpu(2)
+        assert (cpu.core_id, cpu.thread_id) == (0, 1)
+
+    def test_cpu3_is_core1_thread1(self, topo):
+        cpu = topo.cpu(3)
+        assert (cpu.core_id, cpu.thread_id) == (1, 1)
+
+    def test_siblings_of_cpu0(self, topo):
+        assert topo.siblings(0) == (0, 2)
+
+    def test_siblings_of_cpu3(self, topo):
+        assert topo.siblings(3) == (1, 3)
+
+    def test_cpu_ids(self, topo):
+        assert topo.cpu_ids == (0, 1, 2, 3)
+
+    def test_str_rendering(self, topo):
+        assert str(topo.cpu(2)) == "cpu2(pkg0/core0/smt1)"
+
+
+class TestNoSmt:
+    def test_siblings_are_singletons(self):
+        topo = Topology(intel_core2duo_e6600())
+        assert topo.siblings(0) == (0,)
+        assert topo.siblings(1) == (1,)
+
+    def test_all_primary_threads(self):
+        topo = Topology(intel_core2duo_e6600())
+        assert all(topo.primary_thread(cpu_id) for cpu_id in topo.cpu_ids)
+
+
+class TestLookups:
+    @pytest.fixture
+    def topo(self):
+        return Topology(intel_xeon_smt())
+
+    def test_out_of_range_cpu(self, topo):
+        with pytest.raises(TopologyError):
+            topo.cpu(99)
+
+    def test_negative_cpu(self, topo):
+        with pytest.raises(TopologyError):
+            topo.cpu(-1)
+
+    def test_core_cpus(self, topo):
+        assert topo.core_cpus(0, 0) == (0, 4)
+
+    def test_core_cpus_missing(self, topo):
+        with pytest.raises(TopologyError):
+            topo.core_cpus(0, 99)
+
+    def test_package_cpus(self, topo):
+        assert topo.package_cpus(0) == tuple(range(8))
+
+    def test_package_cpus_missing(self, topo):
+        with pytest.raises(TopologyError):
+            topo.package_cpus(3)
+
+    def test_cores_enumeration(self, topo):
+        assert topo.cores() == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_primary_thread(self, topo):
+        assert topo.primary_thread(0)
+        assert not topo.primary_thread(4)
+
+    def test_every_cpu_in_exactly_one_core_group(self, topo):
+        seen = []
+        for package_id, core_id in topo.cores():
+            seen.extend(topo.core_cpus(package_id, core_id))
+        assert sorted(seen) == list(topo.cpu_ids)

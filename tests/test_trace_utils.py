@@ -1,0 +1,66 @@
+"""Unit tests for trace smoothing, downsampling and percentiles."""
+
+import pytest
+
+from repro.analysis.traces import PowerTrace
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def noisy():
+    times = [float(i) for i in range(11)]
+    powers = [30.0 if i % 2 == 0 else 40.0 for i in range(11)]
+    return PowerTrace.from_series("noisy", times, powers)
+
+
+class TestSmoothing:
+    def test_window_one_is_identity(self, noisy):
+        assert noisy.smoothed(1) is noisy
+
+    def test_smoothing_reduces_spread(self, noisy):
+        import numpy as np
+        smooth = noisy.smoothed(5)
+        assert np.std(smooth.powers_w) < np.std(noisy.powers_w)
+
+    def test_length_and_times_preserved(self, noisy):
+        smooth = noisy.smoothed(3)
+        assert smooth.times_s == noisy.times_s
+        assert len(smooth) == len(noisy)
+
+    def test_mean_roughly_preserved(self, noisy):
+        smooth = noisy.smoothed(3)
+        assert smooth.mean_w() == pytest.approx(noisy.mean_w(), abs=1.0)
+
+    def test_even_window_rejected(self, noisy):
+        with pytest.raises(ConfigurationError):
+            noisy.smoothed(4)
+
+    def test_constant_trace_unchanged(self):
+        trace = PowerTrace.from_series("flat", [0, 1, 2], [30, 30, 30])
+        assert list(trace.smoothed(3).powers_w) == [30, 30, 30]
+
+
+class TestDownsampling:
+    def test_keeps_every_nth(self, noisy):
+        down = noisy.downsampled(2)
+        assert down.times_s == noisy.times_s[::2]
+
+    def test_factor_one_identity(self, noisy):
+        assert noisy.downsampled(1).times_s == noisy.times_s
+
+    def test_bad_factor_rejected(self, noisy):
+        with pytest.raises(ConfigurationError):
+            noisy.downsampled(0)
+
+
+class TestPercentiles:
+    def test_median_between_extremes(self, noisy):
+        percentiles = noisy.percentiles((0, 50, 100))
+        assert percentiles[0] == 30.0
+        assert percentiles[100] == 40.0
+        assert 30.0 <= percentiles[50] <= 40.0
+
+    def test_empty_rejected(self):
+        trace = PowerTrace.from_series("empty", [], [])
+        with pytest.raises(ConfigurationError):
+            trace.percentiles()

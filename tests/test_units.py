@@ -1,0 +1,107 @@
+"""Unit tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TestFrequencyHelpers:
+    def test_khz(self):
+        assert units.khz(1) == 1_000
+
+    def test_mhz(self):
+        assert units.mhz(1600) == 1_600_000_000
+
+    def test_ghz(self):
+        assert units.ghz(3.3) == 3_300_000_000
+
+    def test_ghz_rounds_to_int(self):
+        assert isinstance(units.ghz(1.7), int)
+
+    def test_to_ghz_roundtrip(self):
+        assert units.to_ghz(units.ghz(2.4)) == pytest.approx(2.4)
+
+    def test_to_mhz(self):
+        assert units.to_mhz(units.mhz(800)) == pytest.approx(800)
+
+
+class TestValidation:
+    def test_watts_accepts_zero(self):
+        assert units.watts(0.0) == 0.0
+
+    def test_watts_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.watts(-1.0)
+
+    def test_watts_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            units.watts(float("nan"))
+
+    def test_watts_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            units.watts(math.inf)
+
+    def test_joules_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.joules(-0.1)
+
+    def test_seconds_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.seconds(-5)
+
+
+class TestEnergyConversions:
+    def test_energy(self):
+        assert units.energy(10.0, 2.0) == 20.0
+
+    def test_average_power(self):
+        assert units.average_power(20.0, 2.0) == 10.0
+
+    def test_average_power_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            units.average_power(20.0, 0.0)
+
+    def test_energy_power_roundtrip(self):
+        power, duration = 31.48, 7.5
+        assert units.average_power(units.energy(power, duration),
+                                   duration) == pytest.approx(power)
+
+
+class TestByteSizes:
+    def test_kib(self):
+        assert units.kib(64) == 65536
+
+    def test_mib(self):
+        assert units.mib(3) == 3 * 1024 * 1024
+
+
+class TestFormatting:
+    def test_format_frequency_ghz(self):
+        assert units.format_frequency(units.ghz(3.3)) == "3.30 GHz"
+
+    def test_format_frequency_mhz(self):
+        assert units.format_frequency(units.mhz(800)) == "800 MHz"
+
+    def test_format_frequency_khz(self):
+        assert units.format_frequency(units.khz(32)) == "32 kHz"
+
+    def test_format_frequency_hz(self):
+        assert units.format_frequency(50) == "50 Hz"
+
+    def test_format_power(self):
+        assert units.format_power(31.48) == "31.48 W"
+
+    def test_format_bytes_kb(self):
+        assert units.format_bytes(units.kib(64)) == "64 KB"
+
+    def test_format_bytes_mb(self):
+        assert units.format_bytes(units.mib(3)) == "3 MB"
+
+    def test_format_bytes_gb(self):
+        assert units.format_bytes(2 * 1024 ** 3) == "2 GB"
+
+    def test_format_bytes_plain(self):
+        assert units.format_bytes(100) == "100 B"

@@ -1,0 +1,142 @@
+"""Unit tests for VM power estimation (repro.os.virt)."""
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.errors import ConfigurationError
+from repro.os.kernel import SimKernel
+from repro.os.virt import VirtualMachine, split_vm_power
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.base import ConstantWorkload, cpu_demand, memory_demand
+from repro.workloads.stress import CpuStress, MemoryStress
+
+
+@pytest.fixture
+def spec():
+    return intel_i3_2120()
+
+
+@pytest.fixture
+def model(spec):
+    formulas = [FrequencyFormula(f, {"instructions": 3e-9,
+                                     "cache-references": 2e-8,
+                                     "cache-misses": 2e-7})
+                for f in spec.frequencies_hz]
+    return PowerModel(idle_w=31.48, formulas=formulas)
+
+
+class TestVirtualMachineDemand:
+    def test_requires_vcpus_and_guests(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine("vm", vcpus=0, guests=[CpuStress()])
+        with pytest.raises(ConfigurationError):
+            VirtualMachine("vm", vcpus=2, guests=[])
+
+    def test_single_guest_passthrough(self):
+        vm = VirtualMachine("vm", vcpus=2, guests=[CpuStress(utilization=0.5)])
+        demand = vm.demand(0.0)
+        assert demand.threads == 1
+        assert demand.utilization == pytest.approx(0.5)
+
+    def test_guests_aggregate_onto_vcpus(self):
+        vm = VirtualMachine("vm", vcpus=2,
+                            guests=[CpuStress(utilization=1.0),
+                                    CpuStress(utilization=1.0)])
+        demand = vm.demand(0.0)
+        assert demand.threads == 2
+        assert demand.utilization == pytest.approx(1.0)
+
+    def test_oversubscription_throttles(self):
+        vm = VirtualMachine("vm", vcpus=1,
+                            guests=[CpuStress(utilization=1.0),
+                                    CpuStress(utilization=1.0)])
+        demand = vm.demand(0.0)
+        # Two full guests on one vCPU: the VM itself demands one thread.
+        assert demand.threads == 1
+        assert demand.utilization == pytest.approx(1.0)
+        usage = vm.guest_usage()
+        assert sum(entry.utilization for entry in usage) == pytest.approx(1.0)
+
+    def test_blended_mix_reflects_guests(self):
+        fp_guest = ConstantWorkload(cpu_demand(), name="int")
+        mem_guest = ConstantWorkload(memory_demand(), name="mem")
+        vm = VirtualMachine("vm", vcpus=2, guests=[fp_guest, mem_guest])
+        demand = vm.demand(0.0)
+        # Blend sits between the two guests' mem intensity.
+        low = cpu_demand().memory.mem_ops_per_instruction
+        high = memory_demand().memory.mem_ops_per_instruction
+        assert low < demand.memory.mem_ops_per_instruction < high
+
+    def test_finishes_when_all_guests_finish(self):
+        vm = VirtualMachine("vm", vcpus=2,
+                            guests=[CpuStress(duration_s=1.0),
+                                    CpuStress(duration_s=2.0)])
+        assert vm.demand(0.5) is not None
+        assert vm.demand(1.5) is not None  # one guest still alive
+        assert vm.demand(2.5) is None
+        assert vm.total_duration_s() == 2.0
+
+    def test_sleeping_guests_keep_vm_alive(self):
+        from repro.workloads.idle import IdleWorkload
+        vm = VirtualMachine("vm", vcpus=1, guests=[IdleWorkload()])
+        demand = vm.demand(10.0)
+        assert demand is not None
+        assert demand.utilization == 0.0
+
+
+class TestVmPowerEstimation:
+    def test_vm_estimated_like_a_process(self, spec, model):
+        kernel = SimKernel(spec, quantum_s=0.02)
+        vm = VirtualMachine("webapp-vm", vcpus=2,
+                            guests=[CpuStress(utilization=1.0,
+                                              duration_s=100.0)])
+        pid = kernel.spawn(vm, name=vm.name)
+        api = PowerAPI(kernel, model, period_s=0.5)
+        handle = api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.run(4.0)
+        vm_power = handle.reporter.pid_series(pid)
+        assert all(power > 1.0 for power in vm_power)
+        api.shutdown()
+
+    def test_two_vms_ranked_by_load(self, spec, model):
+        kernel = SimKernel(spec, quantum_s=0.02)
+        busy_vm = VirtualMachine("busy", vcpus=2,
+                                 guests=[CpuStress(utilization=1.0,
+                                                   duration_s=100.0)] * 2)
+        lazy_vm = VirtualMachine("lazy", vcpus=2,
+                                 guests=[CpuStress(utilization=0.2,
+                                                   duration_s=100.0)])
+        busy = kernel.spawn(busy_vm, name="busy")
+        lazy = kernel.spawn(lazy_vm, name="lazy")
+        api = PowerAPI(kernel, model, period_s=0.5)
+        handle = api.monitor(busy, lazy).every(0.5).to(InMemoryReporter())
+        api.run(4.0)
+        busy_mean = sum(handle.reporter.pid_series(busy)) / 8
+        lazy_mean = sum(handle.reporter.pid_series(lazy)) / 8
+        assert busy_mean > 3 * lazy_mean
+        api.shutdown()
+
+
+class TestGuestSplit:
+    def test_split_proportional_to_usage(self):
+        vm = VirtualMachine("vm", vcpus=4,
+                            guests=[CpuStress(utilization=1.0),
+                                    CpuStress(utilization=0.25)])
+        vm.demand(0.0)
+        shares = split_vm_power(vm, vm_active_power_w=10.0)
+        names = [guest.name for guest in vm.guests]
+        assert shares[names[0]] == pytest.approx(8.0)
+        assert shares[names[1]] == pytest.approx(2.0)
+
+    def test_split_of_idle_vm_is_zero(self):
+        from repro.workloads.idle import IdleWorkload
+        vm = VirtualMachine("vm", vcpus=1, guests=[IdleWorkload()])
+        vm.demand(0.0)
+        assert split_vm_power(vm, 0.0) == {}
+
+    def test_rejects_negative_power(self):
+        vm = VirtualMachine("vm", vcpus=1, guests=[CpuStress()])
+        with pytest.raises(ConfigurationError):
+            split_vm_power(vm, -1.0)
