@@ -1,0 +1,93 @@
+"""Simulator performance microbenchmark.
+
+Records the two numbers the ROADMAP's "as fast as the hardware allows"
+goal is tracked by:
+
+* ``ticks_per_sec`` — single-process :meth:`Machine.step` throughput on
+  a fully loaded i3-2120 (the hot path under every campaign and monitor),
+* ``campaign_wall_s`` — wall time of the default Figure 1 sampling
+  campaign (840 runs), serial and with a 4-worker process pool.
+
+Results are written to ``BENCH_sim.json`` at the repository root so
+future PRs can diff the perf trajectory.  Marked ``perf``: the tier-1
+suite (``testpaths = ["tests"]``) never collects it; run it explicitly
+with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_sim.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.sampling import SamplingCampaign
+from repro.simcpu import (InstructionMix, Machine, MemoryProfile,
+                          ThreadAssignment, intel_i3_2120)
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: Steps for the Machine.step throughput measurement.
+STEP_TICKS = 4000
+
+
+def _full_load_assignments(spec):
+    """One busy thread per logical CPU with mixed cpu/memory profiles."""
+    assignments = []
+    for cpu_id in range(spec.num_threads):
+        memory_bound = cpu_id % 2 == 1
+        assignments.append(ThreadAssignment(
+            pid=100 + cpu_id, cpu_id=cpu_id, busy_fraction=0.9,
+            mix=InstructionMix(fp_fraction=0.1 if memory_bound else 0.05),
+            memory=MemoryProfile(
+                mem_ops_per_instruction=0.4 if memory_bound else 0.15,
+                working_set_bytes=(32 * 1024 * 1024 if memory_bound
+                                   else 8 * 1024),
+                locality=0.75 if memory_bound else 0.99),
+        ))
+    return assignments
+
+
+def test_perf_sim_microbench():
+    spec = intel_i3_2120()
+
+    # -- Machine.step throughput -------------------------------------
+    machine = Machine(spec)
+    assignments = _full_load_assignments(spec)
+    for _ in range(200):  # warm every memo cache before timing
+        machine.step(assignments, dt_s=0.01)
+    start = time.perf_counter()
+    for _ in range(STEP_TICKS):
+        machine.step(assignments, dt_s=0.01)
+    step_elapsed = time.perf_counter() - start
+    ticks_per_sec = STEP_TICKS / step_elapsed
+
+    # -- default campaign wall time -----------------------------------
+    campaign = SamplingCampaign(spec, window_s=1.0, windows_per_run=2)
+    start = time.perf_counter()
+    serial_dataset = campaign.run(workers=1)
+    serial_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_dataset = campaign.run(workers=4)
+    parallel_wall_s = time.perf_counter() - start
+
+    assert len(serial_dataset) == len(parallel_dataset) > 0
+    assert ticks_per_sec > 0
+
+    results = {
+        "ticks_per_sec": round(ticks_per_sec, 1),
+        "campaign_wall_s": round(parallel_wall_s, 3),
+        "campaign_wall_serial_s": round(serial_wall_s, 3),
+        "campaign_workers": 4,
+        "campaign_runs": len(campaign.run_plan()),
+        "step_ticks_timed": STEP_TICKS,
+        "python": platform.python_version(),
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nticks/sec: {ticks_per_sec:,.0f}  "
+          f"campaign serial: {serial_wall_s:.2f}s  "
+          f"workers=4: {parallel_wall_s:.2f}s  -> {BENCH_PATH.name}")

@@ -59,6 +59,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="where to write the model JSON")
     learn.add_argument("--quick", action="store_true",
                        help="sample only the ladder endpoints (faster)")
+    learn.add_argument("--workers", type=int, default=1,
+                       help="processes for the sampling campaign "
+                            "(1 = serial, 0 = one per CPU); the learned "
+                            "model is identical for any value")
 
     monitor = commands.add_parser("monitor",
                                   help="monitor a workload's power")
@@ -127,7 +131,8 @@ def cmd_learn(args, out=sys.stdout) -> int:
     print(f"sampling {args.cpu} "
           f"({len(campaign.frequencies_hz)} frequencies) ...", file=out)
     report = learn_power_model(spec, campaign=campaign,
-                               idle_duration_s=15.0)
+                               idle_duration_s=15.0,
+                               workers=getattr(args, "workers", 1))
     args.output.write_text(report.model.to_json())
     print(report.model.equation_text(), file=out)
     print(f"model written to {args.output}", file=out)

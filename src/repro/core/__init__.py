@@ -39,6 +39,8 @@ from repro.core.reporters import (CallbackReporter, ConsoleReporter,
 from repro.core.sampling import (LearningReport, SamplePoint,
                                  SamplingCampaign, SamplingDataset,
                                  learn_power_model)
+from repro.core.parallel import (default_worker_count, pool_available,
+                                 resolve_workers, run_tasks)
 from repro.core.selection import CounterRanking, rank_counters, select_counters
 from repro.core.validation import (CrossValidationReport, FoldResult,
                                    cross_validate)
@@ -60,10 +62,11 @@ __all__ = [
     "RegionProfiler", "RegressionResult", "SamplePoint", "SamplingCampaign",
     "SamplingDataset", "SensorReport", "TimestampAggregator",
     "absolute_percentage_errors", "assert_energy_within",
-    "calibrate_idle_power", "cross_validate", "error_summary",
-    "estimate_from_csv", "estimate_from_log", "fit", "fit_nnls", "fit_ols",
-    "fit_ridge", "learn_power_model", "machine_signature", "max_ape",
-    "mean_ape", "measure_energy", "median_ape", "published_i3_2120_model",
-    "r_squared", "rank_counters", "rmse", "run_capped", "select_counters",
-    "solar_budget",
+    "calibrate_idle_power", "cross_validate", "default_worker_count",
+    "error_summary", "estimate_from_csv", "estimate_from_log", "fit",
+    "fit_nnls", "fit_ols", "fit_ridge", "learn_power_model",
+    "machine_signature", "max_ape", "mean_ape", "measure_energy",
+    "median_ape", "pool_available", "published_i3_2120_model", "r_squared",
+    "rank_counters", "resolve_workers", "rmse", "run_capped", "run_tasks",
+    "select_counters", "solar_budget",
 ]

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.calibration import calibrate_idle_power
 from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.parallel import run_tasks
 from repro.core.regression import RegressionResult, fit
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.os.governor import UserspaceGovernor
@@ -108,24 +109,57 @@ class SamplingCampaign:
         self.quantum_s = quantum_s
         self.meter_seed = meter_seed
 
+    @staticmethod
+    def _workload_threads(workload: Workload) -> int:
+        """Thread count a workload actually demands (grid metadata)."""
+        try:
+            demand = workload.demand(0.0)
+        except Exception:
+            return 1
+        return demand.threads if demand is not None else 1
+
     def _workloads(self) -> List[Tuple[Workload, int]]:
         """(workload, thread count) pairs forming the grid."""
         if self._explicit_workloads is not None:
-            return [(workload, 1) for workload in self._explicit_workloads]
+            return [(workload, self._workload_threads(workload))
+                    for workload in self._explicit_workloads]
         grid: List[Tuple[Workload, int]] = []
         for threads in self.thread_counts:
             for workload in stress_matrix(threads=threads):
                 grid.append((workload, threads))
         return grid
 
-    def run(self) -> SamplingDataset:
-        """Execute the whole grid; returns every collected sample point."""
-        points: List[SamplePoint] = []
+    def run_plan(self) -> List[Tuple[int, Workload, int]]:
+        """The grid as (frequency_hz, workload, run_index) tuples.
+
+        ``run_index`` is the 1-based position in grid order; it seeds the
+        run's meter, so the plan fully determines every run's result.
+        """
+        plan: List[Tuple[int, Workload, int]] = []
         run_index = 0
+        grid = self._workloads()
         for frequency_hz in self.frequencies_hz:
-            for workload, _threads in self._workloads():
+            for workload, _threads in grid:
                 run_index += 1
-                points.extend(self._one_run(frequency_hz, workload, run_index))
+                plan.append((frequency_hz, workload, run_index))
+        return plan
+
+    def run(self, workers: int = 1) -> SamplingDataset:
+        """Execute the whole grid; returns every collected sample point.
+
+        ``workers > 1`` fans the independent (frequency, workload) runs
+        out across a process pool (``0``/``None`` = one per CPU).  Every
+        run builds its own kernel and meter seeded from its grid index,
+        and results are reassembled in grid order, so the dataset is
+        identical for any worker count; when the pool is unavailable the
+        campaign silently degrades to the serial loop.
+        """
+        tasks = [(self, frequency_hz, workload, run_index)
+                 for frequency_hz, workload, run_index in self.run_plan()]
+        results = run_tasks(_execute_campaign_run, tasks, workers=workers)
+        points: List[SamplePoint] = []
+        for run_points in results:
+            points.extend(run_points)
         return SamplingDataset(points, self.events)
 
     def _one_run(self, frequency_hz: int, workload: Workload,
@@ -170,6 +204,17 @@ class SamplingCampaign:
         return points
 
 
+def _execute_campaign_run(task: Tuple["SamplingCampaign", int, Workload, int]
+                          ) -> List[SamplePoint]:
+    """Worker entry point: one (frequency, workload) run of a campaign.
+
+    Module-level so it pickles cleanly into pool workers; the campaign
+    itself travels with the task (it is a small value object).
+    """
+    campaign, frequency_hz, workload, run_index = task
+    return campaign._one_run(frequency_hz, workload, run_index)
+
+
 @dataclass(frozen=True)
 class LearningReport:
     """Everything produced by :func:`learn_power_model`."""
@@ -186,16 +231,19 @@ def learn_power_model(spec: CpuSpec,
                       method: str = "nnls",
                       campaign: Optional[SamplingCampaign] = None,
                       idle_duration_s: float = 20.0,
-                      name: str = "powerapi-learned") -> LearningReport:
+                      name: str = "powerapi-learned",
+                      workers: int = 1) -> LearningReport:
     """The full Figure 1 pipeline: sample, calibrate idle, regress.
 
     One regression per frequency over (counter rates -> power - idle);
     the default NNLS backend keeps coefficients physically non-negative,
-    matching the published formula's shape.
+    matching the published formula's shape.  ``workers`` parallelises
+    the sampling campaign (see :meth:`SamplingCampaign.run`) without
+    changing the dataset or the learned coefficients.
     """
     if campaign is None:
         campaign = SamplingCampaign(spec, events=events)
-    dataset = campaign.run()
+    dataset = campaign.run(workers=workers)
     idle_w = calibrate_idle_power(spec, duration_s=idle_duration_s)
 
     formulas: List[FrequencyFormula] = []

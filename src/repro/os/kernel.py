@@ -92,7 +92,9 @@ class SimKernel:
         self.governor.update(self._last_busy)
         assignments = self.scheduler.assign(demands)
         record = self.machine.step(assignments, self.quantum_s)
-        self._last_busy = dict(record.cpu_busy)
+        # The record owns its busy map and nothing mutates it afterwards;
+        # keep a reference instead of copying it every quantum.
+        self._last_busy = record.cpu_busy
 
         granted: Dict[int, float] = {}
         for assignment in assignments:

@@ -35,6 +35,11 @@ class Scheduler:
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
+        # cpu_preference() runs once per placed thread per quantum; resolve
+        # the (immutable) sibling sets once instead of per call.
+        self._cpu_ids: Tuple[int, ...] = topology.cpu_ids
+        self._siblings: Dict[int, Tuple[int, ...]] = {
+            cpu_id: topology.siblings(cpu_id) for cpu_id in self._cpu_ids}
 
     # -- policy hook --------------------------------------------------------
 
@@ -100,23 +105,23 @@ class SpreadScheduler(Scheduler):
     """Spread across physical cores first, SMT siblings last."""
 
     def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        siblings = self._siblings
         def key(cpu_id: int) -> Tuple[float, float, int]:
-            siblings = self.topology.siblings(cpu_id)
-            core_busy = sum(busy[s] for s in siblings)
+            core_busy = sum(busy[s] for s in siblings[cpu_id])
             return (busy[cpu_id], core_busy, cpu_id)
-        return sorted(self.topology.cpu_ids, key=key)
+        return sorted(self._cpu_ids, key=key)
 
 
 class PackScheduler(Scheduler):
     """Fill one core (and its siblings) completely before waking the next."""
 
     def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
+        siblings = self._siblings
         def key(cpu_id: int) -> Tuple[float, float, int]:
-            siblings = self.topology.siblings(cpu_id)
-            core_busy = sum(busy[s] for s in siblings)
+            core_busy = sum(busy[s] for s in siblings[cpu_id])
             # Prefer cores already awake (negative busy sorts busiest first).
             return (-core_busy, busy[cpu_id], cpu_id)
-        return sorted(self.topology.cpu_ids, key=key)
+        return sorted(self._cpu_ids, key=key)
 
 
 class PinnedScheduler(Scheduler):
@@ -126,7 +131,7 @@ class PinnedScheduler(Scheduler):
     """
 
     def cpu_preference(self, busy: Dict[int, float]) -> List[int]:
-        return sorted(self.topology.cpu_ids, key=lambda c: (busy[c], c))
+        return sorted(self._cpu_ids, key=lambda c: (busy[c], c))
 
 
 class EnergyAwareScheduler(Scheduler):

@@ -83,9 +83,14 @@ class CacheBehaviour:
 class CacheModel:
     """Computes :class:`CacheBehaviour` for processes sharing a hierarchy."""
 
+    #: Cap on memoised (profile, co-residents) combinations; a sampling
+    #: campaign sees a handful, open-ended monitoring should not leak.
+    _CACHE_LIMIT = 4096
+
     def __init__(self, spec: CpuSpec) -> None:
         self.spec = spec
         self._levels = spec.caches
+        self._behaviour_cache: dict = {}
 
     @staticmethod
     def _hit_rate(working_set: int, capacity: float, locality: float) -> float:
@@ -105,7 +110,23 @@ class CacheModel:
         *coresident_sets* lists the working-set sizes (bytes) of the other
         processes simultaneously scheduled on the same package; they shrink
         this process's share of every shared level.
+
+        Results are memoised per (profile, co-resident sets): the inputs
+        are immutable and the same combination recurs every tick for the
+        lifetime of a workload.
         """
+        key = (profile, tuple(coresident_sets))
+        cached = self._behaviour_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._behaviour_uncached(profile, key[1])
+        if len(self._behaviour_cache) >= self._CACHE_LIMIT:
+            self._behaviour_cache.clear()
+        self._behaviour_cache[key] = result
+        return result
+
+    def _behaviour_uncached(self, profile: MemoryProfile,
+                            coresident_sets: Sequence[int]) -> CacheBehaviour:
         mem_ops = profile.mem_ops_per_instruction
         if mem_ops == 0.0:
             return CacheBehaviour(0.0, 0.0, 0.0, 0.0, 0.0)

@@ -48,6 +48,17 @@ ALL_EVENTS: Tuple[str, ...] = (
 #: multi-core systems (Section 3).
 GENERIC_TRIO: Tuple[str, ...] = (INSTRUCTIONS, CACHE_REFERENCES, CACHE_MISSES)
 
+#: Frozen-set view of :data:`ALL_EVENTS` for O(1) membership tests; the
+#: accumulation paths run once per (process, cpu, event) per tick.
+KNOWN_EVENTS = frozenset(ALL_EVENTS)
+
+
+def _check_events(delta: Mapping[str, float]) -> None:
+    """Reject deltas naming events the simulated PMU cannot produce."""
+    if not KNOWN_EVENTS.issuperset(delta):
+        unknown = sorted(set(delta) - KNOWN_EVENTS)[0]
+        raise ConfigurationError(f"unknown HPC event {unknown!r}")
+
 #: Events counted per logical CPU even with no process attached.
 PER_CPU_EVENTS: Tuple[str, ...] = (CYCLES, REF_CYCLES, BUS_CYCLES)
 
@@ -70,37 +81,69 @@ class EventDelta(Dict[str, float]):
 
 
 class CounterBank:
-    """Accumulated HPC totals, indexed three ways.
+    """Accumulated HPC totals, indexed four ways.
 
     * per (pid, cpu, event) — what a per-process, per-CPU perf counter reads,
     * per (cpu, event)      — what a CPU-wide counter reads,
     * per (pid, event)      — what an inherit-style per-process counter reads,
     * machine-wide (event)  — what a system-wide counter reads.
+
+    Writes land once per tick per (process, cpu) on the simulator's hot
+    path, while reads happen at most once per sampling window, so the
+    bank accumulates into per-(pid, cpu) buckets only and materialises
+    the three aggregate indexes lazily on first read after a write.
     """
 
     def __init__(self) -> None:
-        self._by_pid_cpu: Dict[Tuple[int, int, str], float] = defaultdict(float)
+        self._pair_totals: Dict[Tuple[int, int], Dict[str, float]] = {}
+        self._cpu_only: Dict[int, Dict[str, float]] = {}
+        self._by_pid_cpu: Dict[Tuple[int, int, str], float] = {}
         self._by_cpu: Dict[Tuple[int, str], float] = defaultdict(float)
         self._by_pid: Dict[Tuple[int, str], float] = defaultdict(float)
         self._machine: Dict[str, float] = defaultdict(float)
+        self._dirty = False
 
     def record(self, pid: int, cpu_id: int, delta: Mapping[str, float]) -> None:
-        """Fold one (process, cpu) step delta into all indexes."""
+        """Fold one (process, cpu) step delta into the bank."""
+        _check_events(delta)
+        bucket = self._pair_totals.get((pid, cpu_id))
+        if bucket is None:
+            bucket = self._pair_totals[(pid, cpu_id)] = {}
         for event, count in delta.items():
-            if event not in ALL_EVENTS:
-                raise ConfigurationError(f"unknown HPC event {event!r}")
-            self._by_pid_cpu[(pid, cpu_id, event)] += count
-            self._by_cpu[(cpu_id, event)] += count
-            self._by_pid[(pid, event)] += count
-            self._machine[event] += count
+            bucket[event] = bucket.get(event, 0.0) + count
+        self._dirty = True
 
     def record_cpu_only(self, cpu_id: int, delta: Mapping[str, float]) -> None:
         """Fold CPU-level activity not attributable to any process."""
+        _check_events(delta)
+        bucket = self._cpu_only.get(cpu_id)
+        if bucket is None:
+            bucket = self._cpu_only[cpu_id] = {}
         for event, count in delta.items():
-            if event not in ALL_EVENTS:
-                raise ConfigurationError(f"unknown HPC event {event!r}")
-            self._by_cpu[(cpu_id, event)] += count
-            self._machine[event] += count
+            bucket[event] = bucket.get(event, 0.0) + count
+        self._dirty = True
+
+    def _refresh(self) -> None:
+        """Rebuild the aggregate indexes from the accumulation buckets."""
+        by_pid_cpu: Dict[Tuple[int, int, str], float] = {}
+        by_cpu: Dict[Tuple[int, str], float] = defaultdict(float)
+        by_pid: Dict[Tuple[int, str], float] = defaultdict(float)
+        machine: Dict[str, float] = defaultdict(float)
+        for (pid, cpu_id), bucket in self._pair_totals.items():
+            for event, count in bucket.items():
+                by_pid_cpu[(pid, cpu_id, event)] = count
+                by_cpu[(cpu_id, event)] += count
+                by_pid[(pid, event)] += count
+                machine[event] += count
+        for cpu_id, bucket in self._cpu_only.items():
+            for event, count in bucket.items():
+                by_cpu[(cpu_id, event)] += count
+                machine[event] += count
+        self._by_pid_cpu = by_pid_cpu
+        self._by_cpu = by_cpu
+        self._by_pid = by_pid
+        self._machine = machine
+        self._dirty = False
 
     # -- reads ---------------------------------------------------------
 
@@ -110,10 +153,12 @@ class CounterBank:
         ``pid == -1`` means "any process" and ``cpu_id == -1`` means "any
         CPU"; the four combinations map onto the four indexes.
         """
-        if event not in ALL_EVENTS:
+        if event not in KNOWN_EVENTS:
             raise ConfigurationError(f"unknown HPC event {event!r}")
+        if self._dirty:
+            self._refresh()
         if pid >= 0 and cpu_id >= 0:
-            return self._by_pid_cpu[(pid, cpu_id, event)]
+            return self._by_pid_cpu.get((pid, cpu_id, event), 0.0)
         if pid >= 0:
             return self._by_pid[(pid, event)]
         if cpu_id >= 0:
@@ -126,4 +171,4 @@ class CounterBank:
 
     def pids(self) -> Tuple[int, ...]:
         """All process ids that ever recorded activity, ascending."""
-        return tuple(sorted({pid for (pid, _event) in self._by_pid}))
+        return tuple(sorted({pid for (pid, _cpu) in self._pair_totals}))

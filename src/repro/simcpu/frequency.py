@@ -33,6 +33,11 @@ class FrequencyDomain:
         for package_id in range(spec.packages):
             for core_id in range(spec.cores_per_package):
                 self._target_hz[(package_id, core_id)] = spec.min_frequency_hz
+        # The spec (and thus the f -> V and f -> f.V^2 maps) is immutable,
+        # and dynamic_scale() is evaluated per core per tick by the hidden
+        # power model: memoise both per validated frequency.
+        self._voltage_cache: Dict[int, float] = {}
+        self._scale_cache: Dict[int, float] = {}
 
     # -- requests ----------------------------------------------------------
 
@@ -82,16 +87,23 @@ class FrequencyDomain:
 
     def voltage(self, frequency_hz: int) -> float:
         """Core voltage at *frequency_hz* (linear across the DVFS range)."""
+        cached = self._voltage_cache.get(frequency_hz)
+        if cached is not None:
+            return cached
         self.spec.validate_frequency(frequency_hz)
         f_min = self.spec.min_frequency_hz
         f_max = self.spec.max_frequency_hz
         if frequency_hz <= f_max:
             if f_max == f_min:
-                return self.V_MAX
-            ratio = (frequency_hz - f_min) / (f_max - f_min)
-            return self.V_MIN + ratio * (self.V_MAX - self.V_MIN)
-        bin_index = self.spec.turbo_frequencies_hz.index(frequency_hz)
-        return self.V_MAX + (bin_index + 1) * self.V_TURBO_STEP
+                volts = self.V_MAX
+            else:
+                ratio = (frequency_hz - f_min) / (f_max - f_min)
+                volts = self.V_MIN + ratio * (self.V_MAX - self.V_MIN)
+        else:
+            bin_index = self.spec.turbo_frequencies_hz.index(frequency_hz)
+            volts = self.V_MAX + (bin_index + 1) * self.V_TURBO_STEP
+        self._voltage_cache[frequency_hz] = volts
+        return volts
 
     def dynamic_scale(self, frequency_hz: int) -> float:
         """Relative dynamic power factor f·V² normalised to the max P-state.
@@ -99,7 +111,12 @@ class FrequencyDomain:
         This is the superlinearity the hidden ground-truth power model
         applies per frequency.
         """
+        cached = self._scale_cache.get(frequency_hz)
+        if cached is not None:
+            return cached
         f_max = self.spec.max_frequency_hz
         v_max = self.voltage(f_max)
         v = self.voltage(frequency_hz)
-        return (frequency_hz / f_max) * (v / v_max) ** 2
+        scale = (frequency_hz / f_max) * (v / v_max) ** 2
+        self._scale_cache[frequency_hz] = scale
+        return scale

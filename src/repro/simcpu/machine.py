@@ -76,12 +76,21 @@ class TickRecord:
         return self.power.total
 
     def machine_events(self) -> EventDelta:
-        """Machine-wide event delta (sum over all processes and CPUs)."""
-        total = EventDelta()
-        for delta in self.events.values():
-            for event, count in delta.items():
-                total.add(event, count)
-        return total
+        """Machine-wide event delta (sum over all processes and CPUs).
+
+        The merge is computed once and cached: several observers (power
+        meters, system-wide counters) ask for it on every tick.  Treat
+        the returned delta as read-only.
+        """
+        cached = self.__dict__.get("_machine_events")
+        if cached is None:
+            cached = EventDelta()
+            for delta in self.events.values():
+                for event, count in delta.items():
+                    cached[event] = cached.get(event, 0.0) + count
+            # Frozen dataclass: bypass __setattr__ for the private cache.
+            self.__dict__["_machine_events"] = cached
+        return cached
 
 
 TickObserver = Callable[[TickRecord], None]
@@ -105,6 +114,22 @@ class Machine:
         self._observers: List[TickObserver] = []
         #: The most recent tick record (None before the first step).
         self.last_record: Optional[TickRecord] = None
+        # Hot-path lookups resolved once: the topology is immutable, and
+        # step() consults these for every assignment of every tick.
+        topology = self.topology
+        self._cores: Tuple[Tuple[int, int], ...] = tuple(topology.cores())
+        self._core_cpus: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            key: topology.core_cpus(*key) for key in self._cores}
+        self._cpu_core_key: Dict[int, Tuple[int, int]] = {
+            cpu.cpu_id: (cpu.package_id, cpu.core_id) for cpu in topology}
+        self._other_siblings: Dict[int, Tuple[int, ...]] = {
+            cpu.cpu_id: tuple(s for s in topology.siblings(cpu.cpu_id)
+                              if s != cpu.cpu_id)
+            for cpu in topology}
+        self._zero_busy: Dict[int, float] = {
+            cpu_id: 0.0 for cpu_id in topology.cpu_ids}
+        self._line_bytes_cached = (spec.caches[-1].line_bytes
+                                   if spec.caches else 64)
 
     # -- observers -----------------------------------------------------
 
@@ -113,8 +138,16 @@ class Machine:
         self._observers.append(observer)
 
     def remove_observer(self, observer: TickObserver) -> None:
-        """Unsubscribe a previously added observer."""
-        self._observers.remove(observer)
+        """Unsubscribe an observer; a no-op if it is not subscribed.
+
+        Idempotent so that meters and sessions that double-close (or
+        disconnect after an earlier error path already detached them)
+        never crash a run.
+        """
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- state ----------------------------------------------------------
 
@@ -147,18 +180,20 @@ class Machine:
         dram_bytes = 0.0
         core_weights: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
 
+        line_bytes = self._line_bytes_cached
         for assignment in assignments:
             if assignment.busy_fraction == 0.0:
                 continue
-            cpu = self.topology.cpu(assignment.cpu_id)
-            core_key = (cpu.package_id, cpu.core_id)
+            core_key = self._cpu_core_key[assignment.cpu_id]
             frequency_hz = core_freqs[core_key]
             delta = self._execute(assignment, cpu_busy, frequency_hz, dt_s)
             key = (assignment.pid, assignment.cpu_id)
-            events[key] = events.get(key, EventDelta()).merged_with(delta)
+            existing = events.get(key)
+            events[key] = (delta if existing is None
+                           else existing.merged_with(delta))
             self.counters.record(assignment.pid, assignment.cpu_id, delta)
             llc_refs += delta.get(ev.CACHE_REFERENCES, 0.0)
-            dram_bytes += delta.get(ev.CACHE_MISSES, 0.0) * self._line_bytes()
+            dram_bytes += delta.get(ev.CACHE_MISSES, 0.0) * line_bytes
             core_weights.setdefault(core_key, []).append(
                 (assignment.busy_fraction, assignment.mix.power_weight()))
 
@@ -198,10 +233,10 @@ class Machine:
         if record is None:
             return self.frequency.target(0, 0)
         weights: Dict[int, float] = {}
-        for package_id, core_id in self.topology.cores():
-            frequency = record.core_frequencies_hz[(package_id, core_id)]
-            busy = max(record.cpu_busy[cpu_id] for cpu_id in
-                       self.topology.core_cpus(package_id, core_id))
+        for core_key in self._cores:
+            frequency = record.core_frequencies_hz[core_key]
+            busy = max(record.cpu_busy[cpu_id]
+                       for cpu_id in self._core_cpus[core_key])
             weights[frequency] = weights.get(frequency, 0.0) + busy
         if not weights or max(weights.values()) == 0.0:
             return self.frequency.target(0, 0)
@@ -211,14 +246,12 @@ class Machine:
 
     def _line_bytes(self) -> int:
         """Cache-line size of the last-level cache (DRAM transfer unit)."""
-        if self.spec.caches:
-            return self.spec.caches[-1].line_bytes
-        return 64
+        return self._line_bytes_cached
 
     def _validate_occupancy(
             self, assignments: Sequence[ThreadAssignment]) -> Dict[int, float]:
         """Total busy fraction per logical CPU; reject oversubscription."""
-        busy: Dict[int, float] = {cpu_id: 0.0 for cpu_id in self.topology.cpu_ids}
+        busy: Dict[int, float] = dict(self._zero_busy)
         for assignment in assignments:
             if assignment.cpu_id not in busy:
                 raise TopologyError(f"cpu{assignment.cpu_id} does not exist")
@@ -233,13 +266,14 @@ class Machine:
             self, cpu_busy: Mapping[int, float]) -> Dict[Tuple[int, int], int]:
         """Granted frequency per core, after turbo arbitration."""
         active_per_package: Dict[int, int] = {}
-        for package_id, core_id in self.topology.cores():
-            core_cpus = self.topology.core_cpus(package_id, core_id)
-            if any(cpu_busy[cpu_id] > 0.0 for cpu_id in core_cpus):
+        for core_key in self._cores:
+            if any(cpu_busy[cpu_id] > 0.0
+                   for cpu_id in self._core_cpus[core_key]):
+                package_id = core_key[0]
                 active_per_package[package_id] = (
                     active_per_package.get(package_id, 0) + 1)
         frequencies: Dict[Tuple[int, int], int] = {}
-        for package_id, core_id in self.topology.cores():
+        for package_id, core_id in self._cores:
             frequencies[(package_id, core_id)] = self.frequency.effective(
                 package_id, core_id,
                 active_cores_in_package=active_per_package.get(package_id, 0))
@@ -249,12 +283,13 @@ class Machine:
                  cpu_busy: Mapping[int, float], frequency_hz: int,
                  dt_s: float) -> EventDelta:
         """Run one assignment through the cache and pipeline models."""
-        cpu = self.topology.cpu(assignment.cpu_id)
-        siblings = [cpu_id for cpu_id in self.topology.siblings(assignment.cpu_id)
-                    if cpu_id != assignment.cpu_id]
-        sibling_busy = max((cpu_busy[cpu_id] for cpu_id in siblings), default=0.0)
+        cpu_id = assignment.cpu_id
+        sibling_busy = max(
+            (cpu_busy[sibling] for sibling in self._other_siblings[cpu_id]),
+            default=0.0)
 
-        coresident_sets = self._coresident_working_sets(assignment, cpu.package_id)
+        package_id = self._cpu_core_key[cpu_id][0]
+        coresident_sets = self._coresident_working_sets(assignment, package_id)
         behaviour = self.caches.behaviour(assignment.memory, coresident_sets)
         rates = self.pipeline.rates(assignment.mix, behaviour, sibling_busy)
 
@@ -262,23 +297,27 @@ class Machine:
         instructions = self.pipeline.instructions_in(rates, frequency_hz, busy_seconds)
         cycles = frequency_hz * busy_seconds
 
-        delta = EventDelta()
-        delta.add(ev.INSTRUCTIONS, instructions)
-        delta.add(ev.CYCLES, cycles)
-        delta.add(ev.REF_CYCLES, self.spec.max_frequency_hz * busy_seconds)
-        delta.add(ev.BUS_CYCLES, cycles * BUS_CYCLE_RATIO)
-        delta.add(ev.BRANCHES, instructions * rates.branches_per_instruction)
-        delta.add(ev.BRANCH_MISSES,
-                  instructions * rates.branch_misses_per_instruction)
-        delta.add(ev.CACHE_REFERENCES, instructions * behaviour.llc_references)
-        delta.add(ev.CACHE_MISSES, instructions * behaviour.llc_misses)
-        delta.add(ev.LLC_LOADS, instructions * behaviour.llc_references)
-        delta.add(ev.LLC_LOAD_MISSES, instructions * behaviour.llc_misses)
-        delta.add(ev.L1_DCACHE_LOADS, instructions * behaviour.l1_references)
-        delta.add(ev.L1_DCACHE_LOAD_MISSES, instructions * behaviour.l1_misses)
-        delta.add(ev.STALLED_CYCLES_BACKEND, cycles * rates.backend_stall_fraction)
-        delta.add(ev.STALLED_CYCLES_FRONTEND, cycles * rates.frontend_stall_fraction)
-        return delta
+        # Every key is distinct and every count non-negative by
+        # construction, so build the delta in one shot instead of going
+        # through the validating add() path 14 times per assignment.
+        return EventDelta({
+            ev.INSTRUCTIONS: instructions,
+            ev.CYCLES: cycles,
+            ev.REF_CYCLES: self.spec.max_frequency_hz * busy_seconds,
+            ev.BUS_CYCLES: cycles * BUS_CYCLE_RATIO,
+            ev.BRANCHES: instructions * rates.branches_per_instruction,
+            ev.BRANCH_MISSES:
+                instructions * rates.branch_misses_per_instruction,
+            ev.CACHE_REFERENCES: instructions * behaviour.llc_references,
+            ev.CACHE_MISSES: instructions * behaviour.llc_misses,
+            ev.LLC_LOADS: instructions * behaviour.llc_references,
+            ev.LLC_LOAD_MISSES: instructions * behaviour.llc_misses,
+            ev.L1_DCACHE_LOADS: instructions * behaviour.l1_references,
+            ev.L1_DCACHE_LOAD_MISSES: instructions * behaviour.l1_misses,
+            ev.STALLED_CYCLES_BACKEND: cycles * rates.backend_stall_fraction,
+            ev.STALLED_CYCLES_FRONTEND:
+                cycles * rates.frontend_stall_fraction,
+        })
 
     def _coresident_working_sets(self, assignment: ThreadAssignment,
                                  package_id: int) -> List[int]:
@@ -299,10 +338,10 @@ class Machine:
                          dt_s: float) -> List[CoreActivity]:
         """Build the per-core activity records for the power model."""
         activities: List[CoreActivity] = []
-        for package_id, core_id in self.topology.cores():
-            core_cpus = self.topology.core_cpus(package_id, core_id)
+        for core_key in self._cores:
+            core_cpus = self._core_cpus[core_key]
             thread_busy = tuple(cpu_busy[cpu_id] for cpu_id in core_cpus)
-            weights = core_weights.get((package_id, core_id), [])
+            weights = core_weights.get(core_key, [])
             total_busy = sum(busy for busy, _weight in weights)
             if total_busy > 0:
                 weight = sum(busy * w for busy, w in weights) / total_busy
@@ -315,7 +354,7 @@ class Machine:
                 self.cstates.account(cpu_id, cpu_busy[cpu_id], dt_s,
                                      expected_idle_s)
             activities.append(CoreActivity(
-                frequency_hz=core_freqs[(package_id, core_id)],
+                frequency_hz=core_freqs[core_key],
                 thread_busy=thread_busy,
                 power_weight=weight,
                 idle_power_fraction=idle_fraction,

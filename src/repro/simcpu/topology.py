@@ -9,7 +9,7 @@ spread load across physical cores before doubling up on hyperthreads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import TopologyError
 from repro.simcpu.spec import CpuSpec
@@ -30,7 +30,13 @@ class LogicalCpu:
 
 
 class Topology:
-    """Enumerates logical CPUs and sibling relationships for a CpuSpec."""
+    """Enumerates logical CPUs and sibling relationships for a CpuSpec.
+
+    All relationships are precomputed at construction: the topology is
+    immutable and its lookups sit on the simulator's per-tick hot path
+    (schedulers and the machine consult siblings/core membership for
+    every assignment of every step).
+    """
 
     def __init__(self, spec: CpuSpec) -> None:
         self.spec = spec
@@ -45,6 +51,22 @@ class Topology:
                 core_id=core_id,
                 thread_id=thread_id,
             ))
+        self._cpu_ids: Tuple[int, ...] = tuple(
+            cpu.cpu_id for cpu in self._cpus)
+        core_members: Dict[Tuple[int, int], List[int]] = {}
+        package_members: Dict[int, List[int]] = {}
+        for cpu in self._cpus:
+            core_members.setdefault(
+                (cpu.package_id, cpu.core_id), []).append(cpu.cpu_id)
+            package_members.setdefault(cpu.package_id, []).append(cpu.cpu_id)
+        self._core_cpus: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            key: tuple(members) for key, members in core_members.items()}
+        self._package_cpus: Dict[int, Tuple[int, ...]] = {
+            key: tuple(members) for key, members in package_members.items()}
+        self._cores: Tuple[Tuple[int, int], ...] = tuple(core_members)
+        self._siblings: Dict[int, Tuple[int, ...]] = {
+            cpu.cpu_id: self._core_cpus[(cpu.package_id, cpu.core_id)]
+            for cpu in self._cpus}
 
     def __len__(self) -> int:
         return len(self._cpus)
@@ -62,43 +84,38 @@ class Topology:
     @property
     def cpu_ids(self) -> Tuple[int, ...]:
         """All logical CPU ids, ascending."""
-        return tuple(cpu.cpu_id for cpu in self._cpus)
+        return self._cpu_ids
 
     def siblings(self, cpu_id: int) -> Tuple[int, ...]:
         """Logical CPU ids sharing the same physical core as *cpu_id*.
 
         Includes *cpu_id* itself; on a non-SMT part this is a 1-tuple.
         """
-        me = self.cpu(cpu_id)
-        return tuple(
-            other.cpu_id for other in self._cpus
-            if other.package_id == me.package_id and other.core_id == me.core_id)
+        try:
+            return self._siblings[cpu_id]
+        except KeyError:
+            raise TopologyError(
+                f"cpu{cpu_id} out of range (0..{len(self._cpus) - 1})"
+            ) from None
 
     def core_cpus(self, package_id: int, core_id: int) -> Tuple[int, ...]:
         """Logical CPU ids belonging to a given physical core."""
-        cpus = tuple(
-            cpu.cpu_id for cpu in self._cpus
-            if cpu.package_id == package_id and cpu.core_id == core_id)
-        if not cpus:
-            raise TopologyError(f"no such core pkg{package_id}/core{core_id}")
-        return cpus
+        try:
+            return self._core_cpus[(package_id, core_id)]
+        except KeyError:
+            raise TopologyError(
+                f"no such core pkg{package_id}/core{core_id}") from None
 
     def package_cpus(self, package_id: int) -> Tuple[int, ...]:
         """Logical CPU ids belonging to a given package."""
-        cpus = tuple(cpu.cpu_id for cpu in self._cpus
-                     if cpu.package_id == package_id)
-        if not cpus:
-            raise TopologyError(f"no such package {package_id}")
-        return cpus
+        try:
+            return self._package_cpus[package_id]
+        except KeyError:
+            raise TopologyError(f"no such package {package_id}") from None
 
     def cores(self) -> List[Tuple[int, int]]:
         """All (package_id, core_id) pairs, in order."""
-        seen: List[Tuple[int, int]] = []
-        for cpu in self._cpus:
-            key = (cpu.package_id, cpu.core_id)
-            if key not in seen:
-                seen.append(key)
-        return seen
+        return list(self._cores)
 
     def primary_thread(self, cpu_id: int) -> bool:
         """Whether *cpu_id* is the first (SMT-0) thread of its core."""
