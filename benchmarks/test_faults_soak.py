@@ -1,0 +1,112 @@
+"""Long-running fault-injection soak for the monitoring pipeline.
+
+The tier-1 suite covers each fault class with a few seconds of virtual
+time; this soak runs a 10-minute virtual campaign with a dense seeded
+schedule of overlapping faults (meter dropouts, pid churn, slot
+starvation, sample loss, actor crashes) and asserts the pipeline never
+stalls, marks every hole, and stays deterministic across the run.
+
+Marked ``slow`` + ``faults`` and placed outside ``testpaths``, so tier-1
+never collects it.  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_faults_soak.py -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.supervision import RestartStrategy
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.faults import ActorCrash, FaultPlan
+from repro.os.kernel import SimKernel
+from repro.powermeter.powerspy import PowerSpy
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress, MixedStress
+
+pytestmark = [pytest.mark.slow, pytest.mark.faults]
+
+SOAK_DURATION_S = 600.0
+SEED = 20260806
+
+
+def _soak_model():
+    formulas = [FrequencyFormula(f, {"instructions": 3e-9,
+                                     "cache-references": 2e-8,
+                                     "cache-misses": 2e-7})
+                for f in intel_i3_2120().frequencies_hz]
+    return PowerModel(idle_w=31.48, formulas=formulas, name="soak-model")
+
+
+def _soak_plan():
+    """A dense seeded schedule plus periodic formula crashes."""
+    plan = FaultPlan.random(SEED, duration_s=SOAK_DURATION_S,
+                            meter_dropouts=6, pid_exits=2,
+                            starvations=4, sample_losses=5)
+    crashes = [ActorCrash(at_s=at, actor="formula-0")
+               for at in (60.0, 240.0, 420.0)]
+    return FaultPlan(list(plan.events) + crashes, seed=SEED)
+
+
+def _run_soak():
+    kernel = SimKernel(intel_i3_2120(), quantum_s=0.05)
+    pids = [kernel.spawn(CpuStress(duration_s=SOAK_DURATION_S * 2),
+                         name="steady"),
+            kernel.spawn(MixedStress(duration_s=SOAK_DURATION_S * 2),
+                         name="mixed"),
+            kernel.spawn(CpuStress(utilization=0.3,
+                                   duration_s=SOAK_DURATION_S * 2),
+                         name="light")]
+    api = PowerAPI(kernel, _soak_model())
+    api.system.strategy = RestartStrategy(max_restarts=10,
+                                          backoff_base_s=1.0)
+    api.attach_meter(PowerSpy(kernel.machine, seed=SEED), name="meter")
+    handle = api.monitor(*pids).every(1.0).to(InMemoryReporter())
+    injector = api.install_faults(_soak_plan())
+    api.run(SOAK_DURATION_S)
+    api.flush()
+    result = {
+        "signature": handle.health.signature(),
+        "series": handle.reporter.total_series(),
+        "gaps": handle.reporter.gap_count(),
+        "exhausted": injector.exhausted,
+        "health": handle.health,
+    }
+    api.shutdown()
+    return result
+
+
+@pytest.fixture(scope="module")
+def soak():
+    return _run_soak()
+
+
+def test_soak_pipeline_never_stalls(soak):
+    # ~600 one-second periods; every one of them accounted for (power
+    # report or marked gap), never a silent hole or an unhandled crash.
+    assert len(soak["series"]) >= SOAK_DURATION_S * 0.95
+    assert soak["exhausted"]
+
+
+def test_soak_records_every_fault_class(soak, save_result):
+    health = soak["health"]
+    kinds = set(health.kinds())
+    for expected in ("fault-injected", "meter-dropout", "meter-reconnected",
+                     "degraded", "recovered", "pid-lost",
+                     "actor-restart-scheduled", "actor-restarted"):
+        assert expected in kinds, f"missing {expected} in soak health log"
+    assert soak["gaps"] > 0
+    lines = [f"soak: {SOAK_DURATION_S:.0f}s virtual, seed {SEED}",
+             f"periods reported: {len(soak['series'])}",
+             f"marked gap periods: {soak['gaps']}",
+             f"health events: {len(health)}"]
+    for kind in sorted(kinds):
+        lines.append(f"  {kind}: {health.count(kind)}")
+    save_result("faults_soak", "\n".join(lines))
+
+
+def test_soak_is_reproducible():
+    # The full 10-minute campaign replays to a byte-identical health log.
+    assert _run_soak()["signature"] == _run_soak()["signature"]

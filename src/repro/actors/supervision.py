@@ -26,6 +26,16 @@ class SupervisionStrategy:
                failure_count: int) -> Directive:
         raise NotImplementedError
 
+    def backoff_s(self, failure_count: int) -> float:
+        """Delay (virtual-clock seconds) before a RESTART takes effect.
+
+        The default is 0.0: restart immediately.  Strategies with a
+        backoff make the system hold the actor suspended — mail queues
+        up, nothing is processed — until the system clock passes the
+        failure time plus this delay.
+        """
+        return 0.0
+
 
 class StopStrategy(SupervisionStrategy):
     """Stop any actor that fails (fail-fast)."""
@@ -44,16 +54,40 @@ class ResumeStrategy(SupervisionStrategy):
 
 
 class RestartStrategy(SupervisionStrategy):
-    """Restart up to *max_restarts* times, then stop."""
+    """Restart up to *max_restarts* times, then stop.
 
-    def __init__(self, max_restarts: int = 3) -> None:
+    With ``backoff_base_s > 0`` restarts are delayed by an exponential
+    backoff in virtual-clock time: the first restart waits
+    ``backoff_base_s``, each further one multiplies by
+    ``backoff_factor``, capped at ``backoff_max_s``.  The default keeps
+    the historical behaviour (immediate restart).
+    """
+
+    def __init__(self, max_restarts: int = 3,
+                 backoff_base_s: float = 0.0,
+                 backoff_factor: float = 2.0,
+                 backoff_max_s: float = 30.0) -> None:
+        if backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
         self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
 
     def decide(self, actor_name: str, failure: Exception,
                failure_count: int) -> Directive:
         if failure_count <= self.max_restarts:
             return Directive.RESTART
         return Directive.STOP
+
+    def backoff_s(self, failure_count: int) -> float:
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = self.backoff_base_s * (
+            self.backoff_factor ** max(0, failure_count - 1))
+        return min(self.backoff_max_s, delay)
 
 
 class EscalateStrategy(SupervisionStrategy):

@@ -11,7 +11,7 @@ clock tick, which is equivalent to an event loop that always drains.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.actors.actor import (Actor, ActorContext, ActorRef, Envelope,
                                 Mailbox)
@@ -30,6 +30,9 @@ class _Cell:
         self.factory = factory
         self.mailbox = mailbox
         self.failure_count = 0
+        #: Virtual-clock time before which this actor must not run
+        #: (restart backoff); None when the actor is live.
+        self.suspended_until: Optional[float] = None
 
 
 class ActorSystem:
@@ -43,6 +46,15 @@ class ActorSystem:
         self._cells: Dict[str, _Cell] = {}
         self._run_queue: Deque[str] = deque()
         self._counter = 0
+        #: Monotone virtual-clock time; drives restart backoff.  The host
+        #: (PowerAPI) advances it via :meth:`advance_time`.
+        self.clock_s = 0.0
+        #: Optional observer of supervision outcomes, called with
+        #: (actor_name, kind, detail) where kind is "actor-restarted",
+        #: "actor-restart-scheduled" or "actor-stopped".  The host wires
+        #: this to the pipeline health log.
+        self.on_lifecycle_event: Optional[
+            Callable[[str, str, str], None]] = None
 
     # -- spawning -------------------------------------------------------
 
@@ -97,7 +109,10 @@ class ActorSystem:
         if cell is None:
             raise ActorStoppedError(f"actor {ref.name!r} is not running")
         cell.mailbox.put(Envelope(message, sender))
-        self._run_queue.append(ref.name)
+        if cell.suspended_until is None:
+            self._run_queue.append(ref.name)
+        # Suspended cells keep their mail; the run-queue entries are
+        # re-created when the backoff expires (see advance_time).
 
     def _is_alive(self, name: str) -> bool:
         return name in self._cells
@@ -120,6 +135,8 @@ class ActorSystem:
             cell = self._cells.get(name)
             if cell is None:
                 continue  # stopped after the message was queued
+            if cell.suspended_until is not None:
+                continue  # mail stays queued until the backoff expires
             envelope = cell.mailbox.get()
             if envelope is None:
                 continue
@@ -134,25 +151,86 @@ class ActorSystem:
         try:
             actor.receive(envelope.message)
         except Exception as failure:  # noqa: BLE001 - supervision boundary
-            cell.failure_count += 1
-            directive = self.strategy.decide(name, failure, cell.failure_count)
-            if directive is Directive.RESUME:
-                return
-            if directive is Directive.RESTART and cell.factory is not None:
-                actor.pre_restart(failure)
-                context = actor.context
-                actor.context = None
-                fresh = cell.factory()  # may return the same instance
-                fresh.context = context
-                cell.actor = fresh
-                fresh.pre_start()
-                return
-            if directive is Directive.ESCALATE:
-                raise
-            self.stop(ActorRef(name, self))
+            self._handle_failure(name, cell, failure)
         finally:
             if actor.context is not None:
                 actor.context.sender = None
+
+    # -- supervision -------------------------------------------------------
+
+    def _notify(self, name: str, kind: str, detail: str) -> None:
+        if self.on_lifecycle_event is not None:
+            self.on_lifecycle_event(name, kind, detail)
+
+    def _handle_failure(self, name: str, cell: _Cell,
+                        failure: Exception) -> None:
+        cell.failure_count += 1
+        directive = self.strategy.decide(name, failure, cell.failure_count)
+        if directive is Directive.RESUME:
+            return
+        if directive is Directive.RESTART and cell.factory is not None:
+            # Drop the failing instance's subscriptions first so the
+            # fresh instance's pre_start re-subscribes from a clean
+            # slate (no stale topics surviving the restart).
+            ref = ActorRef(name, self)
+            cell.actor.pre_restart(failure)
+            self.event_bus.unsubscribe_all(ref)
+            delay = self.strategy.backoff_s(cell.failure_count)
+            if delay > 0.0:
+                cell.suspended_until = self.clock_s + delay
+                self._notify(name, "actor-restart-scheduled",
+                             f"{type(failure).__name__}: restart in "
+                             f"{delay:g}s")
+                return
+            self._restart_cell(name, cell)
+            return
+        if directive is Directive.ESCALATE:
+            raise failure
+        self.stop(ActorRef(name, self))
+        self._notify(name, "actor-stopped", type(failure).__name__)
+
+    def _restart_cell(self, name: str, cell: _Cell) -> None:
+        """Rebuild a cell's actor from its factory and restart it."""
+        old = cell.actor
+        context = old.context
+        old.context = None
+        if context is None:
+            context = ActorContext(self, ActorRef(name, self))
+        fresh = cell.factory()  # may return the same instance
+        fresh.context = context
+        context.sender = None
+        cell.actor = fresh
+        cell.suspended_until = None
+        fresh.pre_start()
+        self._notify(name, "actor-restarted",
+                     f"after {cell.failure_count} failure(s)")
+
+    def inject_failure(self, name: str, failure: Exception) -> bool:
+        """Run the supervision path as if actor *name* raised *failure*.
+
+        The fault-injection entry point: exercises the same decide /
+        restart / stop machinery as an organic crash in ``receive``.
+        Returns False when no such actor is running.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            return False
+        self._handle_failure(name, cell, failure)
+        return True
+
+    def advance_time(self, now_s: float) -> None:
+        """Advance the virtual clock; resume actors whose backoff expired."""
+        self.clock_s = max(self.clock_s, now_s)
+        due: List[str] = [
+            name for name, cell in self._cells.items()
+            if cell.suspended_until is not None
+            and cell.suspended_until <= self.clock_s + 1e-12]
+        for name in due:
+            cell = self._cells[name]
+            self._restart_cell(name, cell)
+            # Withheld mail becomes runnable again.
+            for _ in range(len(cell.mailbox)):
+                self._run_queue.append(name)
 
     # -- introspection -----------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.core.monitor import PowerAPI
 from repro.core.reporters import ConsoleReporter, CsvReporter, InMemoryReporter
 from repro.core.sampling import SamplingCampaign, learn_power_model
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.os.kernel import SimKernel
 from repro.powermeter.powerspy import PowerSpy
 from repro.simcpu.spec import PRESETS, preset
@@ -74,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--period", type=float, default=1.0)
     monitor.add_argument("--csv", type=Path, default=None,
                          help="also write per-period CSV here")
+    monitor.add_argument("--faults", default=None, metavar="SPEC",
+                         help="inject faults while monitoring; SPEC is "
+                              "';'-separated kind@time[:args] entries "
+                              "(meter-dropout@T:DOWN, pid-exit@T[:IDX], "
+                              "starve@T:DUR[:SLOTS], hpc-loss@T:DUR, "
+                              "crash@T:ACTOR) or random:SEED[:DURATION] "
+                              "for a seeded campaign")
 
     replay = commands.add_parser("replay",
                                  help="the Figure 3 SPECjbb experiment")
@@ -154,12 +162,24 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     api.system.spawn(ConsoleReporter(stream=out), name="console")
     if args.csv is not None:
         api.system.spawn(CsvReporter(args.csv, pids=[pid]), name="csv")
+    faults = getattr(args, "faults", None)
+    if faults:
+        plan = FaultPlan.parse(faults)
+        api.install_faults(plan)
+        print(f"fault plan: {plan.describe() or '(empty)'}", file=out)
     api.run(args.duration)
     api.flush()
 
     energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
     print(f"\n{args.workload}: estimated active energy {energy:.1f} J "
           f"over {args.duration:.0f} s", file=out)
+    if faults:
+        gaps = handle.reporter.gap_count()
+        print(f"gap periods: {gaps}; health log "
+              f"({len(handle.health)} events):", file=out)
+        for event in handle.health:
+            print(f"  t={event.time_s:8.2f}s  {event.component:<18} "
+                  f"{event.kind:<22} {event.detail}", file=out)
     api.shutdown()
     return 0
 

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.actors.actor import Actor
-from repro.core.messages import AggregatedPowerReport, PowerReport
+from repro.core.messages import (AggregatedPowerReport, GapMarker,
+                                 PowerReport)
 from repro.errors import ConfigurationError
 
 
@@ -48,6 +49,11 @@ class TimestampAggregator(Actor):
     timestamp arrives (all of T's reports are then known, because message
     delivery preserves publication order within the single-threaded
     system).
+
+    Periods for which sensors published only :class:`GapMarker`
+    messages (no formula produced an estimate) are emitted as explicit
+    gap reports (``gap=True``, empty ``by_pid``) so the downstream
+    series shows a marked hole instead of a silent one.
     """
 
     def __init__(self, idle_w: float) -> None:
@@ -59,9 +65,11 @@ class TimestampAggregator(Actor):
         self._pending_period: float = 1.0
         self._pending_formula = ""
         self._pending: Dict[int, float] = {}
+        self._pending_gaps: set = set()
 
     def pre_start(self) -> None:
         self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
+        self.context.system.event_bus.subscribe(GapMarker, self.self_ref)
         self.context.system.event_bus.subscribe(FlushAggregates, self.self_ref)
 
     def _flush(self) -> None:
@@ -73,18 +81,36 @@ class TimestampAggregator(Actor):
                 idle_w=self.idle_w,
                 formula=self._pending_formula,
             ))
-            self._pending.clear()
+        elif self._pending_gaps:
+            self.publish(AggregatedPowerReport(
+                time_s=self._pending_time,
+                period_s=self._pending_period,
+                by_pid={},
+                idle_w=self.idle_w,
+                formula="gap:" + "+".join(sorted(self._pending_gaps)),
+                gap=True,
+            ))
+        self._pending.clear()
+        self._pending_gaps.clear()
+
+    def _advance_to(self, time_s: float, period_s: float) -> None:
+        if ((self._pending or self._pending_gaps)
+                and time_s > self._pending_time + 1e-12):
+            self._flush()
+        self._pending_time = time_s
+        self._pending_period = period_s
 
     def receive(self, message) -> None:
         if isinstance(message, FlushAggregates):
             self._flush()
             return
+        if isinstance(message, GapMarker):
+            self._advance_to(message.time_s, message.period_s)
+            self._pending_gaps.add(message.source or "sensor")
+            return
         if not isinstance(message, PowerReport):
             return
-        if self._pending and message.time_s > self._pending_time + 1e-12:
-            self._flush()
-        self._pending_time = message.time_s
-        self._pending_period = message.period_s
+        self._advance_to(message.time_s, message.period_s)
         self._pending_formula = message.formula
         self._pending[message.pid] = (
             self._pending.get(message.pid, 0.0) + message.power_w)

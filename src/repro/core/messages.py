@@ -63,6 +63,37 @@ class PowerMeterReport(SensorReport):
 
 
 @dataclass(frozen=True)
+class GapMarker(SensorReport):
+    """A period for which a sensor had no valid data.
+
+    Sensors publish a marker instead of silently skipping the period, so
+    downstream series show explicit holes and health tooling can count
+    them.  ``source`` names the failing acquisition path ("hpc",
+    "meter", ...).
+    """
+
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """A pipeline health transition (degradation, recovery, fault, ...).
+
+    Published on the event bus by sensors, the supervision layer and the
+    fault injector; collected per pipeline on
+    :class:`~repro.faults.health.HealthLog` (``MonitorHandle.health``).
+    """
+
+    time_s: float
+    #: Component that observed the transition ("hpc-sensor", "meter", ...).
+    component: str
+    #: Machine-readable transition kind ("degraded", "recovered",
+    #: "meter-dropout", "actor-restarted", ...).
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class PowerReport:
     """A Formula's power estimation for one process and period."""
 
@@ -90,6 +121,9 @@ class AggregatedPowerReport:
     #: Idle power added to the total, watts.
     idle_w: float
     formula: str
+    #: True when no formula produced data for this period (sensors only
+    #: published :class:`GapMarker` messages); ``by_pid`` is then empty.
+    gap: bool = False
 
     @property
     def active_w(self) -> float:

@@ -16,7 +16,7 @@ The fluent builder mirrors PowerAPI's published DSL.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.actors.actor import Actor, ActorRef
 from repro.actors.clock import VirtualClock
@@ -24,10 +24,15 @@ from repro.actors.system import ActorSystem
 from repro.core.aggregators import (FlushAggregates, PidAggregator,
                                     TimestampAggregator)
 from repro.core.formula import CpuLoadFormula, HpcFormula
+from repro.core.messages import HealthEvent
 from repro.core.model import PowerModel
 from repro.core.reporters import InMemoryReporter
-from repro.core.sensors import HpcSensor, PowerMeterSensor, ProcFsSensor
+from repro.core.sensors import (DegradationPolicy, HpcSensor, PipelineMode,
+                                PowerMeterSensor, ProcFsSensor)
 from repro.errors import ConfigurationError
+from repro.faults.health import HealthLog, HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.os.kernel import SimKernel
 from repro.perf.counting import PerfSession
 from repro.powermeter.base import PowerMeter
@@ -35,22 +40,34 @@ from repro.simcpu.counters import GENERIC_TRIO
 
 
 class MonitorHandle:
-    """A running pipeline: its actors and its primary reporter."""
+    """A running pipeline: its actors, reporter, health log and mode."""
 
     def __init__(self, pids: Sequence[int], reporter: Actor,
                  actor_refs: Sequence[ActorRef],
-                 pid_aggregator: Optional[PidAggregator]) -> None:
+                 pid_aggregator: Optional[PidAggregator],
+                 health: Optional[HealthLog] = None,
+                 mode: Optional[PipelineMode] = None) -> None:
         self.pids = tuple(pids)
         self.reporter = reporter
         self._refs = list(actor_refs)
         self.pid_aggregator = pid_aggregator
+        #: Record of degradations, recoveries and injected faults.
+        self.health = health if health is not None else HealthLog()
+        #: Current estimation mode ("hpc" or "cpu-load"), when the
+        #: pipeline has a degradation ladder; None otherwise.
+        self.mode = mode
         self._system: Optional[ActorSystem] = None
 
     def _attach(self, system: ActorSystem) -> None:
         self._system = system
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the pipeline currently runs on the fallback formula."""
+        return self.mode is not None and self.mode.degraded
+
     def stop(self) -> None:
-        """Tear the pipeline down (remaining mailbox messages are dropped)."""
+        """Tear the pipeline down (idempotent; queued messages dropped)."""
         if self._system is None:
             return
         for ref in self._refs:
@@ -69,6 +86,7 @@ class MonitorBuilder:
         self._period_s: Optional[float] = None
         self._formula = "hpc"
         self._events = GENERIC_TRIO
+        self._policy: Optional[DegradationPolicy] = DegradationPolicy()
 
     def every(self, period_s: float) -> "MonitorBuilder":
         """Set the monitoring period (seconds)."""
@@ -92,6 +110,17 @@ class MonitorBuilder:
         self._events = tuple(events)
         return self
 
+    def with_degradation(self, degrade_after: int = 3,
+                         recover_after: int = 2) -> "MonitorBuilder":
+        """Tune the HPC → cpu-load fallback thresholds (hpc formula only)."""
+        self._policy = DegradationPolicy(degrade_after, recover_after)
+        return self
+
+    def without_degradation(self) -> "MonitorBuilder":
+        """Disable the cpu-load fallback: missing HPC periods stay gaps."""
+        self._policy = None
+        return self
+
     def to(self, reporter: Actor) -> MonitorHandle:
         """Attach *reporter* and start the pipeline."""
         return self._api._start_pipeline(
@@ -100,6 +129,7 @@ class MonitorBuilder:
             formula=self._formula,
             events=self._events,
             reporter=reporter,
+            policy=self._policy,
         )
 
 
@@ -114,6 +144,17 @@ class PowerAPI:
         self.clock = VirtualClock(self.system.event_bus, period_s=period_s)
         self.perf = PerfSession(kernel.machine)
         self._meters: List[PowerMeter] = []
+        self._handles: List[MonitorHandle] = []
+        self._injector: Optional[FaultInjector] = None
+        self._pipeline_count = 0
+        self._shut_down = False
+        # Supervision outcomes (restarts, stops) land on the health log.
+        self.system.on_lifecycle_event = self._on_actor_lifecycle
+
+    def _on_actor_lifecycle(self, name: str, kind: str, detail: str) -> None:
+        self.system.event_bus.publish(HealthEvent(
+            time_s=self.system.clock_s, component=name, kind=kind,
+            detail=detail))
 
     # -- pipeline assembly ---------------------------------------------
 
@@ -126,39 +167,95 @@ class PowerAPI:
         """Also publish a physical meter's samples on the bus."""
         meter.connect()
         self._meters.append(meter)
-        return self.system.spawn(PowerMeterSensor(meter), name=name)
+        component = name or f"meter-{len(self._meters) - 1}"
+        return self.system.spawn(PowerMeterSensor(meter, component=component),
+                                 name=name)
+
+    @property
+    def meters(self) -> Tuple[PowerMeter, ...]:
+        """Meters attached via :meth:`attach_meter`."""
+        return tuple(self._meters)
+
+    def monitored_pids(self) -> Tuple[int, ...]:
+        """Every pid under monitoring across running pipelines, ascending."""
+        pids = set()
+        for handle in self._handles:
+            if handle._refs:
+                pids.update(handle.pids)
+        return tuple(sorted(pids))
 
     def _start_pipeline(self, pids: Sequence[int], period_s: Optional[float],
                         formula: str, events: Sequence[str],
-                        reporter: Actor) -> MonitorHandle:
-        if period_s is not None and abs(period_s - self.clock.period_s) > 1e-12:
-            # One clock per API instance: pipelines share its period.
+                        reporter: Actor,
+                        policy: Optional[DegradationPolicy] = None
+                        ) -> MonitorHandle:
+        if (period_s is not None
+                and abs(period_s - self.clock.period_s) > 1e-12):
+            # One clock per API instance: every pipeline shares its
+            # period.  Retuning is only legal before the first pipeline
+            # starts; afterwards it would silently change the sampling
+            # rate of every already-running pipeline.
+            running = [h for h in self._handles if h._refs]
+            if running:
+                raise ConfigurationError(
+                    f"cannot set period {period_s}s: this PowerAPI's "
+                    f"clock already drives {len(running)} pipeline(s) "
+                    f"at {self.clock.period_s}s (one clock per API "
+                    "instance; use a separate PowerAPI for a "
+                    "different period)")
             self.clock.period_s = period_s
 
+        n = self._pipeline_count
+        self._pipeline_count += 1
+        num_cpus = len(self.kernel.machine.topology)
+        active_range = max(0.0,
+                           self._full_load_estimate() - self.model.idle_w)
+
         refs: List[ActorRef] = []
+        mode: Optional[PipelineMode] = None
         if formula == "hpc":
+            mode = PipelineMode() if policy is not None else None
             sensor: Actor = HpcSensor(self.kernel.machine, self.perf,
-                                      pids, events=events)
+                                      pids, events=events, mode=mode,
+                                      policy=policy,
+                                      component=f"hpc-sensor-{n}")
             formula_actor: Actor = HpcFormula(self.model)
         else:
-            active_range = max(0.0, self._full_load_estimate() - self.model.idle_w)
             sensor = ProcFsSensor(self.kernel.procfs, pids,
-                                  num_cpus=len(self.kernel.machine.topology))
+                                  num_cpus=num_cpus)
             formula_actor = CpuLoadFormula(
-                active_range_w=active_range,
-                num_cpus=len(self.kernel.machine.topology))
+                active_range_w=active_range, num_cpus=num_cpus)
 
         pid_aggregator = PidAggregator()
-        refs.append(self.system.spawn(sensor))
-        refs.append(self.system.spawn(formula_actor))
+        health = HealthLog()
+        refs.append(self.system.spawn(sensor, name=f"sensor-{n}"))
+        if formula == "hpc" and mode is not None:
+            # The degradation ladder's standby rung: a cpu-load path
+            # that publishes only while the pipeline is degraded.
+            refs.append(self.system.spawn(
+                ProcFsSensor(self.kernel.procfs, pids, num_cpus=num_cpus,
+                             mode=mode),
+                name=f"standby-sensor-{n}"))
+            refs.append(self.system.spawn(
+                CpuLoadFormula(active_range_w=active_range,
+                               num_cpus=num_cpus,
+                               name="cpu-load-fallback"),
+                name=f"standby-formula-{n}"))
+        refs.append(self.system.spawn(formula_actor, name=f"formula-{n}"))
         refs.append(self.system.spawn(
-            TimestampAggregator(idle_w=self.model.idle_w)))
-        refs.append(self.system.spawn(pid_aggregator))
-        reporter_ref = self.system.spawn(reporter)
+            TimestampAggregator(idle_w=self.model.idle_w),
+            name=f"ts-aggregator-{n}"))
+        refs.append(self.system.spawn(pid_aggregator,
+                                      name=f"pid-aggregator-{n}"))
+        refs.append(self.system.spawn(HealthMonitor(health),
+                                      name=f"health-{n}"))
+        reporter_ref = self.system.spawn(reporter, name=f"reporter-{n}")
         refs.append(reporter_ref)
 
-        handle = MonitorHandle(pids, reporter, refs, pid_aggregator)
+        handle = MonitorHandle(pids, reporter, refs, pid_aggregator,
+                               health=health, mode=mode)
         handle._attach(self.system)
+        self._handles.append(handle)
         return handle
 
     def _full_load_estimate(self) -> float:
@@ -169,7 +266,25 @@ class PowerAPI:
         """
         return self.model.idle_w + self.kernel.machine.spec.power.tdp_w * 0.5
 
+    # -- fault injection --------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a fault plan; it fires as :meth:`run` advances virtual time."""
+        self._injector = FaultInjector(plan, self)
+        return self._injector
+
     # -- driving ----------------------------------------------------------
+
+    def _step(self) -> None:
+        self.kernel.tick()
+        # Faults and restart backoffs are resolved against the fresh
+        # kernel time *before* the clock tick reaches the sensors, so a
+        # fault at t is visible to the samples taken at t.
+        self.system.advance_time(self.kernel.time_s)
+        if self._injector is not None:
+            self._injector.advance(self.kernel.time_s)
+        self.clock.advance(self.kernel.quantum_s)
+        self.system.dispatch()
 
     def run(self, duration_s: float) -> None:
         """Advance kernel, clock and actors together for *duration_s*."""
@@ -177,16 +292,12 @@ class PowerAPI:
             raise ConfigurationError("duration must be >= 0")
         steps = int(round(duration_s / self.kernel.quantum_s))
         for _step in range(steps):
-            self.kernel.tick()
-            self.clock.advance(self.kernel.quantum_s)
-            self.system.dispatch()
+            self._step()
 
     def run_until_idle(self, max_duration_s: float = 3600.0) -> None:
         """Run until every monitored process exits."""
         while self.kernel.live_pids and self.kernel.time_s < max_duration_s:
-            self.kernel.tick()
-            self.clock.advance(self.kernel.quantum_s)
-            self.system.dispatch()
+            self._step()
 
     def flush(self) -> None:
         """Force aggregators to emit partial/summary reports."""
@@ -194,7 +305,10 @@ class PowerAPI:
         self.system.dispatch()
 
     def shutdown(self) -> None:
-        """Stop all actors and disconnect meters."""
+        """Stop all actors, close perf, disconnect meters (idempotent)."""
+        if self._shut_down:
+            return
+        self._shut_down = True
         self.flush()
         self.system.shutdown()
         self.perf.close()

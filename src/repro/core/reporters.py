@@ -51,6 +51,14 @@ class InMemoryReporter(Actor):
         """Active power attributed to one pid per period, watts."""
         return [report.by_pid.get(pid, 0.0) for report in self.aggregated]
 
+    def gap_series(self) -> List[bool]:
+        """Per-period gap flags (True where no formula produced data)."""
+        return [report.gap for report in self.aggregated]
+
+    def gap_count(self) -> int:
+        """Number of explicitly marked data-less periods."""
+        return sum(1 for report in self.aggregated if report.gap)
+
 
 class ConsoleReporter(Actor):
     """Human-readable one-line-per-period output."""

@@ -49,6 +49,14 @@ class CounterStateError(PerfError):
     """A counter was read/enabled/disabled in the wrong state."""
 
 
+class CounterInvalidError(PerfError):
+    """The counter's target vanished (ESRCH-style: pid exited)."""
+
+
+class SampleLossError(PerfError):
+    """A counter read was lost (injected or transient acquisition fault)."""
+
+
 class PowerMeterError(ReproError):
     """Base class for power-meter errors."""
 
@@ -67,6 +75,10 @@ class ActorStoppedError(ActorError):
 
 class MailboxOverflowError(ActorError):
     """An actor's bounded mailbox overflowed."""
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault (used as the crash payload for actor faults)."""
 
 
 class ModelError(ReproError):

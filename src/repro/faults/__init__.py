@@ -1,0 +1,31 @@
+"""Fault injection and graceful degradation for the live pipeline.
+
+A monitoring middleware earns its keep when the machine misbehaves
+underneath it: meters drop their link, pids exit mid-sample, PMU
+multiplexing starves events, actors crash.  This package provides
+
+* :class:`~repro.faults.plan.FaultPlan` — a deterministic, seedable
+  schedule of faults (parseable from a ``--faults`` CLI spec),
+* :class:`~repro.faults.injector.FaultInjector` — applies a plan to a
+  running :class:`~repro.core.monitor.PowerAPI` in virtual time,
+* :class:`~repro.faults.health.HealthLog` /
+  :class:`~repro.faults.health.HealthMonitor` — the per-pipeline record
+  of every degradation and recovery (``MonitorHandle.health``).
+"""
+
+from repro.faults.health import HealthLog, HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (ActorCrash, FaultPlan, MeterDropout, PidExit,
+                               SampleLoss, SlotStarvation)
+
+__all__ = [
+    "ActorCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthLog",
+    "HealthMonitor",
+    "MeterDropout",
+    "PidExit",
+    "SampleLoss",
+    "SlotStarvation",
+]

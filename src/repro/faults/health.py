@@ -1,0 +1,61 @@
+"""Pipeline health: the observable log of degradations and recoveries.
+
+Sensors, the supervision layer and the fault injector publish
+:class:`~repro.core.messages.HealthEvent` messages on the event bus; a
+:class:`HealthMonitor` actor collects them onto a :class:`HealthLog`
+exposed as ``MonitorHandle.health``, so reporters and tests can assert
+on the exact sequence of transitions.  The log is deterministic: the
+same seed and workload reproduce it event for event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.actors.actor import Actor
+from repro.core.messages import HealthEvent
+
+
+class HealthLog:
+    """Ordered record of health transitions for one pipeline."""
+
+    def __init__(self) -> None:
+        self.events: List[HealthEvent] = []
+
+    def record(self, event: HealthEvent) -> None:
+        """Append one event (called by the collecting actor)."""
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        """The sequence of event kinds, in arrival order."""
+        return [event.kind for event in self.events]
+
+    def count(self, kind: str) -> int:
+        """How many events of *kind* were recorded."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def signature(self) -> Tuple[Tuple[float, str, str, str], ...]:
+        """Hashable fingerprint of the whole log (determinism checks)."""
+        return tuple((round(event.time_s, 9), event.component, event.kind,
+                      event.detail) for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[HealthEvent]:
+        return iter(self.events)
+
+
+class HealthMonitor(Actor):
+    """Subscribes to :class:`HealthEvent` and appends to a log."""
+
+    def __init__(self, log: HealthLog) -> None:
+        super().__init__()
+        self.log = log
+
+    def pre_start(self) -> None:
+        self.context.system.event_bus.subscribe(HealthEvent, self.self_ref)
+
+    def receive(self, message) -> None:
+        if isinstance(message, HealthEvent):
+            self.log.record(message)

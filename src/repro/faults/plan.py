@@ -1,0 +1,210 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultPlan` is an ordered list of typed fault events, each
+anchored at a virtual-clock time.  Plans come from three places:
+
+* built explicitly in tests (``FaultPlan([MeterDropout(at_s=5.0, ...)])``),
+* parsed from a compact CLI spec (``FaultPlan.parse("meter-dropout@5:3;
+  pid-exit@4")`` — the ``--faults`` flag),
+* generated pseudo-randomly from a seed (``FaultPlan.random(seed=42,
+  duration_s=30)``), which is how campaigns stay reproducible: the same
+  seed always yields the identical schedule.
+
+The plan itself never touches the pipeline; the
+:class:`~repro.faults.injector.FaultInjector` applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeterDropout:
+    """Every attached power meter loses its link for ``down_s`` seconds."""
+
+    at_s: float
+    down_s: float = 2.0
+
+    def describe(self) -> str:
+        return f"meter-dropout@{self.at_s:g}:{self.down_s:g}"
+
+
+@dataclass(frozen=True)
+class PidExit:
+    """The ``index``-th monitored pid is killed (ESRCH for its counters)."""
+
+    at_s: float
+    index: int = 0
+
+    def describe(self) -> str:
+        return f"pid-exit@{self.at_s:g}:{self.index}"
+
+
+@dataclass(frozen=True)
+class SlotStarvation:
+    """PMU slots are capped at ``slots`` for ``duration_s`` seconds."""
+
+    at_s: float
+    duration_s: float = 2.0
+    slots: int = 0
+
+    def describe(self) -> str:
+        return f"starve@{self.at_s:g}:{self.duration_s:g}:{self.slots}"
+
+
+@dataclass(frozen=True)
+class SampleLoss:
+    """Counter reads fail for ``duration_s`` seconds (acquisition loss)."""
+
+    at_s: float
+    duration_s: float = 1.0
+
+    def describe(self) -> str:
+        return f"hpc-loss@{self.at_s:g}:{self.duration_s:g}"
+
+
+@dataclass(frozen=True)
+class ActorCrash:
+    """The named actor fails as if its ``receive`` raised."""
+
+    at_s: float
+    actor: str = "formula-0"
+
+    def describe(self) -> str:
+        return f"crash@{self.at_s:g}:{self.actor}"
+
+
+FaultEvent = Union[MeterDropout, PidExit, SlotStarvation, SampleLoss,
+                   ActorCrash]
+
+
+class FaultPlan:
+    """An immutable, time-ordered schedule of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = (),
+                 seed: Optional[int] = None) -> None:
+        for event in events:
+            if event.at_s < 0:
+                raise ConfigurationError(
+                    f"fault time must be >= 0, got {event.at_s}")
+        # Stable sort: simultaneous events keep their declaration order,
+        # which keeps injection deterministic.
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.at_s))
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        """The plan as a parseable spec string."""
+        return ";".join(event.describe() for event in self.events)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a compact spec: ``kind@time[:arg[:arg]]`` entries.
+
+        Entries are separated by ``;`` (or ``,``).  Kinds:
+
+        * ``meter-dropout@T[:DOWN]`` — drop meters at T for DOWN seconds,
+        * ``pid-exit@T[:INDEX]`` — kill the INDEX-th monitored pid,
+        * ``starve@T[:DUR[:SLOTS]]`` — cap PMU slots for DUR seconds,
+        * ``hpc-loss@T[:DUR]`` — counter reads fail for DUR seconds,
+        * ``crash@T:ACTOR`` — crash the named pipeline actor,
+        * ``random:SEED[:DURATION]`` — a generated campaign
+          (see :meth:`random`); composes with explicit entries.
+        """
+        events: List[FaultEvent] = []
+        seed: Optional[int] = None
+        for chunk in spec.replace(",", ";").split(";"):
+            entry = chunk.strip()
+            if not entry:
+                continue
+            if entry.startswith("random:"):
+                parts = entry.split(":")[1:]
+                try:
+                    seed = int(parts[0])
+                    duration = float(parts[1]) if len(parts) > 1 else 30.0
+                except (ValueError, IndexError):
+                    raise ConfigurationError(
+                        f"bad random fault entry {entry!r}; use "
+                        "random:SEED[:DURATION]") from None
+                events.extend(cls.random(seed, duration_s=duration).events)
+                continue
+            if "@" not in entry:
+                raise ConfigurationError(
+                    f"bad fault entry {entry!r}; expected kind@time[:args]")
+            kind, _, rest = entry.partition("@")
+            args = rest.split(":")
+            try:
+                at_s = float(args[0])
+                if kind == "meter-dropout":
+                    events.append(MeterDropout(
+                        at_s, float(args[1]) if len(args) > 1 else 2.0))
+                elif kind == "pid-exit":
+                    events.append(PidExit(
+                        at_s, int(args[1]) if len(args) > 1 else 0))
+                elif kind == "starve":
+                    events.append(SlotStarvation(
+                        at_s,
+                        float(args[1]) if len(args) > 1 else 2.0,
+                        int(args[2]) if len(args) > 2 else 0))
+                elif kind == "hpc-loss":
+                    events.append(SampleLoss(
+                        at_s, float(args[1]) if len(args) > 1 else 1.0))
+                elif kind == "crash":
+                    if len(args) < 2 or not args[1]:
+                        raise ConfigurationError(
+                            f"crash entry {entry!r} needs an actor name")
+                    events.append(ActorCrash(at_s, args[1]))
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault kind {kind!r} in {entry!r}")
+            except (ValueError, IndexError):
+                raise ConfigurationError(
+                    f"bad fault entry {entry!r}") from None
+        return cls(events, seed=seed)
+
+    @classmethod
+    def random(cls, seed: int, duration_s: float = 30.0,
+               meter_dropouts: int = 2, pid_exits: int = 1,
+               starvations: int = 1, sample_losses: int = 1) -> "FaultPlan":
+        """A reproducible campaign mixing the main fault classes.
+
+        Times are drawn uniformly over the middle 80% of *duration_s*
+        and quantized to 0.1 s so plans stay robust to quantum choices.
+        The same seed always produces the identical plan.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("campaign duration must be positive")
+        rng = np.random.default_rng(seed)
+        lo, hi = 0.1 * duration_s, 0.9 * duration_s
+
+        def when() -> float:
+            return round(float(rng.uniform(lo, hi)), 1)
+
+        events: List[FaultEvent] = []
+        for _ in range(meter_dropouts):
+            events.append(MeterDropout(
+                when(), down_s=round(float(rng.uniform(1.0, 4.0)), 1)))
+        for index in range(pid_exits):
+            events.append(PidExit(when(), index=index))
+        for _ in range(starvations):
+            events.append(SlotStarvation(
+                when(), duration_s=round(float(rng.uniform(2.0, 5.0)), 1),
+                slots=0))
+        for _ in range(sample_losses):
+            events.append(SampleLoss(
+                when(), duration_s=round(float(rng.uniform(1.0, 3.0)), 1)))
+        return cls(events, seed=seed)

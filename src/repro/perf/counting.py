@@ -17,7 +17,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.errors import CounterStateError
+from repro.errors import (CounterInvalidError, CounterStateError,
+                          SampleLossError)
 from repro.perf import pfm
 from repro.perf.multiplex import MultiplexScheduler
 from repro.simcpu.machine import Machine, TickRecord
@@ -57,6 +58,7 @@ class PerfCounter:
         self.cpu = cpu
         self.enabled = False
         self.closed = False
+        self.dead = False
         self.raw = 0.0
         self.time_enabled_s = 0.0
         self.time_running_s = 0.0
@@ -64,6 +66,10 @@ class PerfCounter:
     def _check_open(self) -> None:
         if self.closed:
             raise CounterStateError(f"counter {self.counter_id} is closed")
+        if self.dead:
+            raise CounterInvalidError(
+                f"counter {self.counter_id}: target pid {self.pid} "
+                "no longer exists (ESRCH)")
 
     def enable(self) -> None:
         """Start counting (PERF_EVENT_IOC_ENABLE)."""
@@ -82,9 +88,21 @@ class PerfCounter:
         self.time_enabled_s = 0.0
         self.time_running_s = 0.0
 
+    def invalidate(self) -> None:
+        """Mark the counter's target as gone; reads now raise ESRCH-style.
+
+        Mirrors what the kernel does when a monitored pid exits: the fd
+        stays open but stops producing data.  ``close()`` remains legal.
+        """
+        self.dead = True
+        self.enabled = False
+
     def read(self) -> CounterValue:
         """Current value with scaling metadata."""
         self._check_open()
+        if self._session._sample_loss:
+            raise SampleLossError(
+                f"counter {self.counter_id}: sample lost")
         return CounterValue(
             raw=self.raw,
             time_enabled_s=self.time_enabled_s,
@@ -128,11 +146,24 @@ class PerfSession:
         self._counters: Dict[int, PerfCounter] = {}
         self._ids = itertools.count(3)  # fds start above stdio
         self._mux = MultiplexScheduler(slots=machine.spec.counter_slots)
+        self._dead_pids: set = set()
+        self._sample_loss = False
+        self._closed = False
         machine.add_observer(self._on_tick)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
 
     def open(self, event: str, pid: int = -1, cpu: int = -1,
              enabled: bool = True) -> PerfCounter:
         """Open a counter for *event* on (pid, cpu); -1 wildcards both."""
+        if self._closed:
+            raise CounterStateError("perf session is closed")
+        if pid >= 0 and pid in self._dead_pids:
+            raise CounterInvalidError(
+                f"cannot open counter: pid {pid} no longer exists (ESRCH)")
         canonical = pfm.resolve(event)
         counter = PerfCounter(self, next(self._ids), canonical, pid, cpu)
         self._counters[counter.counter_id] = counter
@@ -146,10 +177,40 @@ class PerfSession:
         return [self.open(event, pid=pid, cpu=cpu) for event in events]
 
     def close(self) -> None:
-        """Close every counter and detach from the machine."""
+        """Close every counter and detach from the machine (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         for counter in list(self._counters.values()):
             counter.close()
         self.machine.remove_observer(self._on_tick)
+
+    # -- fault injection -------------------------------------------------
+
+    def invalidate_pid(self, pid: int) -> int:
+        """ESRCH-style fault: every counter on *pid* goes dead.
+
+        Later :meth:`open` calls for the pid also fail, mirroring the
+        kernel refusing to attach to an exited process.  Returns the
+        number of counters invalidated.
+        """
+        self._dead_pids.add(pid)
+        hit = 0
+        for counter in self._counters.values():
+            if counter.pid == pid and not counter.dead:
+                counter.invalidate()
+                hit += 1
+        return hit
+
+    def set_sample_loss(self, active: bool) -> None:
+        """While active, every counter read raises :class:`SampleLossError`."""
+        self._sample_loss = bool(active)
+
+    def set_slot_override(self, slots) -> None:
+        """Override the usable PMU slots (0 = starvation); None restores."""
+        self._mux.slot_override = slots
+
+    # -- internals -------------------------------------------------------
 
     def _release(self, counter: PerfCounter) -> None:
         self._counters.pop(counter.counter_id, None)
@@ -157,7 +218,7 @@ class PerfSession:
     def _on_tick(self, record: TickRecord) -> None:
         active = [counter for counter in self._counters.values()
                   if counter.enabled]
-        scheduled_ids = self._mux.schedule(active, record.dt_s)
+        scheduled_ids = self._mux.schedule(active)
         for counter in active:
             counter._accumulate(record, counter.counter_id in scheduled_ids)
 

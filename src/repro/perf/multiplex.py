@@ -15,7 +15,7 @@ any window longer than a few ticks.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -27,30 +27,53 @@ class MultiplexScheduler:
         if slots < 1:
             raise ConfigurationError("need at least one PMU slot")
         self.slots = slots
+        #: Fault-injection override of the usable slot count (may be 0 to
+        #: model complete PMU starvation); None means use ``slots``.
+        self.slot_override: Optional[int] = None
         self._rotation: Dict[Tuple[int, int], int] = defaultdict(int)
 
-    def schedule(self, counters: Sequence, dt_s: float) -> Set[int]:
+    @property
+    def effective_slots(self) -> int:
+        """Slots usable this tick (honours a starvation override)."""
+        if self.slot_override is None:
+            return self.slots
+        return max(0, self.slot_override)
+
+    def schedule(self, counters: Sequence) -> Set[int]:
         """Pick which of *counters* get a PMU slot for this tick.
 
         Returns the ``counter_id`` set of the scheduled ones.  Counters are
         grouped by (pid, cpu) target; each group independently rotates
-        through its members ``slots`` at a time.
+        through its members ``slots`` at a time.  Rotation state for
+        targets no longer present (closed counters, exited pids) is pruned
+        here, so long-running sessions under pid churn stay bounded.
         """
         groups: Dict[Tuple[int, int], List] = defaultdict(list)
         for counter in counters:
             groups[(counter.pid, counter.cpu)].append(counter)
 
+        for stale in [target for target in self._rotation
+                      if target not in groups]:
+            del self._rotation[stale]
+
+        slots = self.effective_slots
         scheduled: Set[int] = set()
+        if slots == 0:
+            return scheduled
         for target, members in groups.items():
             members.sort(key=lambda c: c.counter_id)
-            if len(members) <= self.slots:
+            if len(members) <= slots:
                 scheduled.update(c.counter_id for c in members)
                 continue
             start = self._rotation[target] % len(members)
-            for offset in range(self.slots):
+            for offset in range(slots):
                 scheduled.add(members[(start + offset) % len(members)].counter_id)
-            self._rotation[target] = (start + self.slots) % len(members)
+            self._rotation[target] = (start + slots) % len(members)
         return scheduled
+
+    def rotation_targets(self) -> Tuple[Tuple[int, int], ...]:
+        """Targets with live rotation state (introspection for tests)."""
+        return tuple(self._rotation)
 
     def pressure(self, counters: Sequence) -> float:
         """Worst-case events-per-slot ratio across targets (1.0 = no mux)."""

@@ -41,15 +41,39 @@ class PowerMeter:
         self._interval_energy_j = 0.0
         self._interval_elapsed_s = 0.0
         self._connected = False
+        self._link_down_until_s = float("-inf")
 
     # -- lifecycle --------------------------------------------------------
 
     def connect(self) -> None:
-        """Attach to the machine and start sampling."""
+        """Attach to the machine and start sampling.
+
+        Raises :class:`MeterConnectionError` while an injected dropout
+        holds the link down (see :meth:`inject_dropout`).
+        """
+        if self.machine.time_s < self._link_down_until_s - 1e-12:
+            raise MeterConnectionError(
+                f"{type(self).__name__}: link down until "
+                f"t={self._link_down_until_s:.3f}s")
         if self._connected:
             return
         self.machine.add_observer(self._on_tick)
         self._connected = True
+
+    def inject_dropout(self, down_s: float) -> None:
+        """Fault injection: drop the link now, refuse reconnects for *down_s*.
+
+        Models a meter losing its bluetooth/serial link: the meter
+        disconnects immediately and :meth:`connect` raises until the
+        machine's clock passes the reconnect deadline.  Partial-interval
+        energy is discarded, like a real stream cut mid-sample.
+        """
+        if down_s < 0:
+            raise ConfigurationError("dropout duration must be >= 0")
+        self.disconnect()
+        self._interval_energy_j = 0.0
+        self._interval_elapsed_s = 0.0
+        self._link_down_until_s = self.machine.time_s + down_s
 
     def disconnect(self) -> None:
         """Detach; accumulated samples remain readable."""

@@ -64,3 +64,6 @@ def memory_bound_assignment():
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running integration scenario")
+    config.addinivalue_line(
+        "markers", "faults: fault-injection and graceful-degradation "
+                   "scenarios")

@@ -1,0 +1,440 @@
+"""Fault injection and graceful degradation (repro.faults + pipeline).
+
+Covers the fault plan/injector, the degradation ladder
+(HPC → cpu-load → gap markers), supervision restart backoff, and the
+pipeline-lifecycle regressions fixed alongside: the shared-clock period
+conflict, rotation-state pruning under pid churn, idempotent teardown,
+and the exited-pid counter isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors.actor import Actor
+from repro.actors.supervision import RestartStrategy
+from repro.core.messages import GapMarker
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.errors import (ConfigurationError, CounterInvalidError,
+                          SampleLossError)
+from repro.faults import (ActorCrash, FaultPlan, MeterDropout, PidExit,
+                          SampleLoss, SlotStarvation)
+from repro.os.kernel import SimKernel
+from repro.perf.counting import PerfSession
+from repro.perf.multiplex import MultiplexScheduler
+from repro.powermeter.powerspy import PowerSpy
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def model():
+    formulas = [FrequencyFormula(f, {"instructions": 3e-9,
+                                     "cache-references": 2e-8,
+                                     "cache-misses": 2e-7})
+                for f in intel_i3_2120().frequencies_hz]
+    return PowerModel(idle_w=31.48, formulas=formulas, name="fault-model")
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel(intel_i3_2120(), quantum_s=0.02)
+
+
+class GapCollector(Actor):
+    """Subscribes to raw GapMarker messages (pre-aggregation)."""
+
+    def __init__(self):
+        super().__init__()
+        self.markers = []
+
+    def pre_start(self):
+        self.context.system.event_bus.subscribe(GapMarker, self.self_ref)
+
+    def receive(self, message):
+        if isinstance(message, GapMarker):
+            self.markers.append(message)
+
+
+class TestFaultPlan:
+    def test_parse_all_kinds(self):
+        plan = FaultPlan.parse(
+            "meter-dropout@2:1.5; pid-exit@7:1, starve@4:2:0;"
+            "hpc-loss@9; crash@3:formula-0")
+        assert [type(e) for e in plan] == [
+            MeterDropout, ActorCrash, SlotStarvation, PidExit, SampleLoss]
+        assert plan.events[0] == MeterDropout(at_s=2.0, down_s=1.5)
+        assert plan.events[1] == ActorCrash(at_s=3.0, actor="formula-0")
+        assert plan.events[2] == SlotStarvation(at_s=4.0, duration_s=2.0,
+                                                slots=0)
+        assert plan.events[3] == PidExit(at_s=7.0, index=1)
+        assert plan.events[4] == SampleLoss(at_s=9.0, duration_s=1.0)
+
+    def test_describe_roundtrips(self):
+        spec = "meter-dropout@2:1.5;crash@3:formula-0;starve@4:2:0"
+        plan = FaultPlan.parse(spec)
+        again = FaultPlan.parse(plan.describe())
+        assert again.events == plan.events
+
+    def test_events_sorted_stably(self):
+        plan = FaultPlan([SampleLoss(at_s=5.0), MeterDropout(at_s=1.0),
+                          PidExit(at_s=5.0)])
+        assert [type(e) for e in plan] == [MeterDropout, SampleLoss, PidExit]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan([MeterDropout(at_s=-0.1)])
+
+    @pytest.mark.parametrize("bad", [
+        "meter-dropout",          # no @time
+        "warp-core-breach@3",     # unknown kind
+        "meter-dropout@abc",      # unparseable time
+        "crash@3",                # crash needs an actor name
+        "random:notanint",        # bad seed
+    ])
+    def test_rejects_malformed_entries(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(bad)
+
+    def test_random_is_seed_deterministic(self):
+        assert (FaultPlan.random(42).describe()
+                == FaultPlan.random(42).describe())
+        assert (FaultPlan.random(42).describe()
+                != FaultPlan.random(43).describe())
+
+    def test_parse_random_entry(self):
+        plan = FaultPlan.parse("random:7:20")
+        assert plan.seed == 7
+        assert plan.events == FaultPlan.random(7, duration_s=20.0).events
+        assert all(2.0 - 1e-9 <= e.at_s <= 18.0 + 1e-9 for e in plan)
+
+
+class TestMeterDropout:
+    def test_dropout_reconnect_and_gap_markers(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        api.attach_meter(PowerSpy(kernel.machine, seed=1), name="meter")
+        collector = GapCollector()
+        api.system.spawn(collector, name="gap-collector")
+        handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+        api.install_faults(FaultPlan([MeterDropout(at_s=2.0, down_s=1.5)]))
+        api.run(7.0)
+
+        kinds = handle.health.kinds()
+        assert "meter-dropout" in kinds
+        assert "meter-reconnected" in kinds
+        down = next(e for e in handle.health if e.kind == "meter-dropout")
+        up = next(e for e in handle.health if e.kind == "meter-reconnected")
+        # The link stays down for down_s; reconnection happens at the
+        # first backoff-scheduled retry after that.
+        assert up.time_s >= down.time_s + 1.5 - 1e-9
+        meter_gaps = [m for m in collector.markers if m.source == "meter"]
+        assert len(meter_gaps) >= 2
+        # The HPC path stayed healthy, so no aggregated period is a gap.
+        assert handle.reporter.gap_count() == 0
+
+    def test_meter_samples_resume_after_reconnect(self, kernel, model):
+        from repro.core.messages import PowerMeterReport
+
+        seen = []
+
+        class Collector(Actor):
+            def pre_start(self):
+                self.context.system.event_bus.subscribe(
+                    PowerMeterReport, self.self_ref)
+
+            def receive(self, message):
+                seen.append(message)
+
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        api.system.spawn(Collector(), name="collector")
+        api.attach_meter(PowerSpy(kernel.machine, seed=1), name="meter")
+        api.monitor(pid).every(1.0).to(InMemoryReporter())
+        api.install_faults(FaultPlan([MeterDropout(at_s=2.0, down_s=1.0)]))
+        api.run(8.0)
+        assert seen, "meter reports should resume after the dropout"
+        assert max(r.time_s for r in seen) > 4.0
+
+
+class TestPidExit:
+    def test_pid_exit_marks_lost_and_keeps_others(self, kernel, model):
+        doomed = kernel.spawn(CpuStress(duration_s=20.0), name="doomed")
+        steady = kernel.spawn(CpuStress(duration_s=20.0), name="steady")
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(doomed, steady).every(0.5).to(InMemoryReporter())
+        api.install_faults(FaultPlan([PidExit(at_s=2.0, index=0)]))
+        api.run(5.0)
+
+        lost = [e for e in handle.health if e.kind == "pid-lost"]
+        assert len(lost) == 1
+        assert f"pid {doomed}" in lost[0].detail
+        assert doomed not in kernel.live_pids
+        # The surviving pid keeps flowing through the pipeline.
+        late = [r for r in handle.reporter.aggregated if r.time_s > 3.0]
+        assert late
+        assert all(r.by_pid.get(steady, 0.0) > 0 for r in late)
+        assert all(doomed not in r.by_pid for r in late)
+
+    def test_counter_does_not_accumulate_other_pids_after_exit(self, kernel):
+        """Regression: a counter opened on pid A, after A exits, must not
+        pick up pid B's events through the ``-1`` wildcard matching path."""
+        short = kernel.spawn(CpuStress(duration_s=1.0), name="short")
+        kernel.spawn(CpuStress(duration_s=10.0), name="long")
+        perf = PerfSession(kernel.machine)
+        pinned = perf.open("instructions", pid=short)
+        wildcard = perf.open("instructions", pid=-1)
+
+        kernel.run_until_idle(max_duration_s=2.0)  # short exits, long runs on
+        assert short not in kernel.live_pids
+        raw_at_exit = pinned.read().raw
+        wildcard_at_exit = wildcard.read().raw
+        assert raw_at_exit > 0
+
+        kernel.run(2.0)
+        assert pinned.read().raw == pytest.approx(raw_at_exit)
+        assert wildcard.read().raw > wildcard_at_exit  # events did flow
+        perf.close()
+
+    def test_invalidate_pid_is_esrch(self, kernel):
+        pid = kernel.spawn(CpuStress(duration_s=10.0))
+        perf = PerfSession(kernel.machine)
+        counter = perf.open("instructions", pid=pid)
+        kernel.run(0.5)
+        assert perf.invalidate_pid(pid) == 1
+        with pytest.raises(CounterInvalidError):
+            counter.read()
+        with pytest.raises(CounterInvalidError):
+            perf.open("cache-misses", pid=pid)
+        counter.close()  # close stays legal on a dead counter
+        perf.close()
+
+
+class TestSlotStarvation:
+    def test_degrades_to_cpu_load_and_recovers(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.install_faults(FaultPlan(
+            [SlotStarvation(at_s=1.0, duration_s=3.0, slots=0)]))
+
+        api.run(3.0)
+        assert handle.degraded
+        assert handle.mode.mode == "cpu-load"
+        api.run(3.0)
+        assert not handle.degraded
+
+        kinds = handle.health.kinds()
+        assert "degraded" in kinds and "recovered" in kinds
+        degraded = next(e for e in handle.health if e.kind == "degraded")
+        recovered = next(e for e in handle.health if e.kind == "recovered")
+        assert degraded.time_s < recovered.time_s
+        # While degraded the fallback formula keeps estimates coming.
+        during = [r for r in handle.reporter.aggregated
+                  if degraded.time_s <= r.time_s < recovered.time_s
+                  and not r.gap]
+        assert during
+        assert all(r.total_w > model.idle_w for r in during)
+
+    def test_without_degradation_gaps_persist(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = (api.monitor(pid).every(0.5).without_degradation()
+                  .to(InMemoryReporter()))
+        api.install_faults(FaultPlan(
+            [SlotStarvation(at_s=1.0, duration_s=3.0, slots=0)]))
+        api.run(6.0)
+        assert handle.mode is None
+        assert "degraded" not in handle.health.kinds()
+        gaps = [r for r in handle.reporter.aggregated if r.gap]
+        assert len(gaps) >= 4
+        assert all(r.formula.startswith("gap:") for r in gaps)
+        assert all(not r.by_pid for r in gaps)
+
+
+class TestSampleLoss:
+    def test_short_loss_yields_gaps_without_degrading(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.install_faults(FaultPlan([SampleLoss(at_s=1.0, duration_s=1.0)]))
+        api.run(4.0)
+        # Two missing periods: marked gaps, but below degrade_after=3.
+        assert handle.reporter.gap_count() >= 1
+        assert "degraded" not in handle.health.kinds()
+        assert not handle.degraded
+
+    def test_sample_loss_error_at_perf_level(self, kernel):
+        pid = kernel.spawn(CpuStress(duration_s=10.0))
+        perf = PerfSession(kernel.machine)
+        counter = perf.open("instructions", pid=pid)
+        perf.set_sample_loss(True)
+        with pytest.raises(SampleLossError):
+            counter.read()
+        perf.set_sample_loss(False)
+        assert counter.read() is not None
+        perf.close()
+
+
+class TestActorCrash:
+    def test_backoff_schedule_values(self):
+        strategy = RestartStrategy(backoff_base_s=1.0, backoff_factor=2.0,
+                                   backoff_max_s=5.0)
+        assert strategy.backoff_s(1) == 1.0
+        assert strategy.backoff_s(2) == 2.0
+        assert strategy.backoff_s(3) == 4.0
+        assert strategy.backoff_s(4) == 5.0  # capped
+        assert RestartStrategy().backoff_s(3) == 0.0  # default: immediate
+
+    def test_crash_restarts_and_reports_continue(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.install_faults(FaultPlan([ActorCrash(at_s=2.0,
+                                                 actor="formula-0")]))
+        api.run(5.0)
+        kinds = handle.health.kinds()
+        assert "fault-injected" in kinds
+        assert "actor-restarted" in kinds
+        # The restarted formula re-subscribed cleanly: reports keep coming.
+        late = [r for r in handle.reporter.aggregated
+                if r.time_s > 2.5 and not r.gap]
+        assert late
+
+    def test_crash_with_backoff_delays_restart(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        api.system.strategy = RestartStrategy(backoff_base_s=1.0)
+        handle = api.monitor(pid).every(0.5).to(InMemoryReporter())
+        api.install_faults(FaultPlan([ActorCrash(at_s=2.0,
+                                                 actor="formula-0")]))
+        api.run(6.0)
+        scheduled = next(e for e in handle.health
+                         if e.kind == "actor-restart-scheduled")
+        restarted = next(e for e in handle.health
+                         if e.kind == "actor-restarted")
+        assert scheduled.component == "formula-0"
+        assert restarted.time_s >= scheduled.time_s + 1.0 - 1e-9
+        # Mail queued during suspension is replayed: no periods vanish.
+        late = [r for r in handle.reporter.aggregated
+                if r.time_s > restarted.time_s and not r.gap]
+        assert late
+
+    def test_crash_unknown_actor_is_harmless(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        api.monitor(pid).every(1.0).to(InMemoryReporter())
+        injector = api.install_faults(
+            FaultPlan([ActorCrash(at_s=1.0, actor="no-such-actor")]))
+        api.run(3.0)
+        assert injector.exhausted
+
+
+class TestLifecycleRegressions:
+    def test_conflicting_period_raises(self, kernel, model):
+        a = kernel.spawn(CpuStress(duration_s=20.0))
+        b = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        api.monitor(a).every(1.0).to(InMemoryReporter())
+        with pytest.raises(ConfigurationError):
+            api.monitor(b).every(0.5).to(InMemoryReporter())
+        # The shared clock must not have been silently retuned.
+        assert api.clock.period_s == 1.0
+        # The same period is fine.
+        api.monitor(b).every(1.0).to(InMemoryReporter())
+
+    def test_period_retune_allowed_once_pipelines_stop(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+        handle.stop()
+        api.monitor(pid).every(0.25).to(InMemoryReporter())
+        assert api.clock.period_s == 0.25
+
+    def test_shutdown_and_stop_are_idempotent(self, kernel, model):
+        pid = kernel.spawn(CpuStress(duration_s=20.0))
+        api = PowerAPI(kernel, model)
+        handle = api.monitor(pid).every(1.0).to(InMemoryReporter())
+        api.run(2.0)
+        handle.stop()
+        handle.stop()
+        api.shutdown()
+        api.shutdown()
+        handle.stop()  # after shutdown: still a no-op
+        assert api.system.actor_names() == ()
+        assert api.perf.closed
+
+    def test_rotation_state_pruned_under_pid_churn(self):
+        class Stub:
+            def __init__(self, counter_id, pid):
+                self.counter_id = counter_id
+                self.pid = pid
+                self.cpu = -1
+
+        scheduler = MultiplexScheduler(slots=2)
+        fds = iter(range(1000))
+        generations = [[Stub(next(fds), pid) for _ in range(5)]
+                       for pid in range(40)]
+        for counters in generations:  # churn: each pid lives one round
+            scheduler.schedule(counters)
+        assert len(scheduler.rotation_targets()) == 1  # only the last pid
+        scheduler.schedule([])
+        assert scheduler.rotation_targets() == ()
+
+    def test_slot_override_starves_and_restores(self):
+        class Stub:
+            def __init__(self, counter_id):
+                self.counter_id = counter_id
+                self.pid = 1
+                self.cpu = -1
+
+        scheduler = MultiplexScheduler(slots=2)
+        counters = [Stub(i) for i in range(3)]
+        scheduler.slot_override = 0
+        assert scheduler.schedule(counters) == set()
+        scheduler.slot_override = None
+        assert len(scheduler.schedule(counters)) == 2
+
+
+class TestAcceptanceCampaign:
+    SPEC = "meter-dropout@2:1.5;starve@4:2;pid-exit@7:0;hpc-loss@9:1"
+
+    def _run_campaign(self, model):
+        kernel = SimKernel(intel_i3_2120(), quantum_s=0.02)
+        doomed = kernel.spawn(CpuStress(duration_s=30.0), name="doomed")
+        steady = kernel.spawn(CpuStress(duration_s=30.0), name="steady")
+        api = PowerAPI(kernel, model)
+        api.attach_meter(PowerSpy(kernel.machine, seed=9), name="meter")
+        handle = api.monitor(doomed, steady).every(0.5).to(InMemoryReporter())
+        injector = api.install_faults(FaultPlan.parse(self.SPEC))
+        api.run(12.0)
+        api.flush()
+        result = (handle.health.signature(),
+                  handle.reporter.total_series(),
+                  handle.reporter.gap_series(),
+                  injector.exhausted)
+        api.shutdown()
+        return result
+
+    def test_campaign_survives_with_marked_gaps(self, model):
+        signature, series, gaps, exhausted = self._run_campaign(model)
+        assert exhausted
+        assert len(series) >= 20  # the pipeline never stalled
+        assert any(gaps)  # holes are marked, not silent
+        kinds = [entry[2] for entry in signature]
+        assert "fault-injected" in kinds
+        assert "meter-dropout" in kinds
+        assert "meter-reconnected" in kinds
+        assert "degraded" in kinds
+        assert "recovered" in kinds
+        assert "pid-lost" in kinds
+
+    def test_same_seed_reproduces_identical_health_log(self, model):
+        first = self._run_campaign(model)
+        second = self._run_campaign(model)
+        assert first[0] == second[0]  # health signatures byte-identical
+        assert first[1] == second[1]  # and the power series too

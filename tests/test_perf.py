@@ -216,5 +216,5 @@ class TestMultiplexing:
         counters = [FakeCounter(i) for i in range(3)]
         seen = set()
         for _ in range(3):
-            seen |= scheduler.schedule(counters, 0.01)
+            seen |= scheduler.schedule(counters)
         assert seen == {0, 1, 2}

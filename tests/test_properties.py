@@ -219,7 +219,7 @@ class TestMultiplexProperties:
         counters = [FakeCounter(i) for i in range(n_counters)]
         scheduled_counts = {c.counter_id: 0 for c in counters}
         for _ in range(rounds):
-            chosen = scheduler.schedule(counters, 0.01)
+            chosen = scheduler.schedule(counters)
             assert len(chosen) <= max(slots, min(n_counters, slots))
             for cid in chosen:
                 scheduled_counts[cid] += 1
