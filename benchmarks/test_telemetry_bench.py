@@ -1,0 +1,212 @@
+"""Telemetry fan-out benchmark.
+
+Measures the streaming service against the acceptance bar of the
+telemetry subsystem:
+
+* ``fanout`` — aggregate delivered reports/s while one server fans a
+  publish stream out to 1..64 concurrent TCP subscribers, with zero
+  codec errors and a bounded queue high-water mark,
+* ``slow_subscriber`` — per-overflow-policy behaviour with one
+  deliberately slow subscriber in the fan-out: ``drop-oldest`` and
+  ``coalesce`` must never stall the publisher; ``block`` must stall
+  (that is its contract) while losing nothing.
+
+Results are written to ``BENCH_telemetry.json`` at the repository root
+so future PRs can diff the trajectory.  Marked ``slow`` + ``telemetry``:
+the tier-1 suite (``testpaths = ["tests"]``) never collects it; run it
+explicitly with
+``PYTHONPATH=src python -m pytest benchmarks/test_telemetry_bench.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.messages import AggregatedPowerReport
+from repro.telemetry.client import TelemetryClient
+from repro.telemetry.server import OverflowPolicy, TelemetryServer
+from repro.telemetry.wire import ReportEvent
+
+pytestmark = [pytest.mark.slow, pytest.mark.telemetry]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+#: Reports published per fan-out measurement.
+REPORTS = 2000
+#: Subscriber counts swept in the fan-out measurement.
+FANOUT_SWEEP = (1, 8, 64)
+#: Reports published in each slow-subscriber run.
+SLOW_REPORTS = 400
+
+
+def _report(time_s: float) -> AggregatedPowerReport:
+    return AggregatedPowerReport(
+        time_s=time_s, period_s=1.0,
+        by_pid={100: 4.2, 101: 1.9, 102: 0.7},
+        idle_w=31.48, formula="hpc")
+
+
+class _Drainer:
+    """One subscriber connection drained on its own thread.
+
+    The thread exits on its own once *expect* reports arrived, so
+    joining it marks true end-to-end delivery (decoded by the client,
+    not merely handed to the kernel's socket buffer).
+    """
+
+    def __init__(self, port: int, expect: int = 0) -> None:
+        self.client = TelemetryClient("127.0.0.1", port,
+                                      agent="repro-bench-drainer")
+        self.expect = expect
+        self.received = 0
+        self.codec_errors = 0
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.client.connect()
+        self.thread.start()
+
+    def _run(self) -> None:
+        try:
+            for event in self.client:
+                if isinstance(event, ReportEvent):
+                    self.received += 1
+                    if self.expect and self.received >= self.expect:
+                        return
+        except Exception:  # noqa: BLE001 - counted, not raised
+            self.codec_errors += 1
+
+    def stop(self) -> None:
+        self.client.close()
+        self.thread.join(timeout=30.0)
+
+
+def _measure_fanout(subscribers: int) -> dict:
+    server = TelemetryServer(port=0, overflow=OverflowPolicy.BLOCK,
+                             queue_capacity=1024).start()
+    drainers = [_Drainer(server.port, expect=REPORTS)
+                for _ in range(subscribers)]
+    assert server.wait_for_subscribers(subscribers, timeout=30.0)
+    start = time.perf_counter()
+    for index in range(REPORTS):
+        server.publish_report(_report(float(index)))
+    for drainer in drainers:
+        drainer.thread.join(timeout=120.0)
+        assert not drainer.thread.is_alive()
+    elapsed = time.perf_counter() - start
+    stats = server.stats()
+    high_water = max(sub["queue_high_water"] for sub in stats["subscribers"])
+    dropped = sum(sub["frames_dropped"] for sub in stats["subscribers"])
+    for drainer in drainers:
+        drainer.stop()
+    server.stop()
+    received = sum(drainer.received for drainer in drainers)
+    codec_errors = sum(drainer.codec_errors for drainer in drainers)
+    assert codec_errors == 0
+    assert dropped == 0
+    assert received == REPORTS * subscribers
+    return {
+        "subscribers": subscribers,
+        "published": REPORTS,
+        "delivered": received,
+        "delivered_per_sec": round(received / elapsed, 1),
+        "published_per_sec": round(REPORTS / elapsed, 1),
+        "queue_high_water": high_water,
+        "codec_errors": codec_errors,
+    }
+
+
+def _measure_slow_subscriber(policy: str) -> dict:
+    """One paused subscriber (tiny queue) beside one healthy drainer."""
+    server = TelemetryServer(port=0, overflow=policy,
+                             queue_capacity=8).start()
+    healthy = _Drainer(server.port)
+    slow = TelemetryClient("127.0.0.1", server.port,
+                           agent="repro-bench-slow").connect()
+    assert server.wait_for_subscribers(2, timeout=30.0)
+    # The slow subscriber never reads: its server-side queue fills and
+    # the socket buffer backs up, exactly like a wedged consumer.
+    paused = [sub for sub in server.subscribers()
+              if sub.agent == "repro-bench-slow"]
+    assert len(paused) == 1
+    paused[0].queue.pause()
+
+    start = time.perf_counter()
+    unblocker = None
+    if policy == OverflowPolicy.BLOCK:
+        # The publisher will stall by design; resume the consumer once
+        # the first stall is counted so the run completes.
+        def _unblock() -> None:
+            server.wait_for(lambda: server.stalls >= 1, timeout=30.0)
+            paused[0].queue.resume()
+
+        unblocker = threading.Thread(target=_unblock, daemon=True)
+        unblocker.start()
+    for index in range(SLOW_REPORTS):
+        server.publish_report(_report(float(index)))
+    publish_wall_s = time.perf_counter() - start
+    if unblocker is not None:
+        unblocker.join(timeout=30.0)
+    else:
+        paused[0].queue.resume()
+
+    stats = server.stats()
+    slow_stats = next(sub for sub in stats["subscribers"]
+                      if sub["agent"] == "repro-bench-slow")
+    result = {
+        "policy": policy,
+        "published": SLOW_REPORTS,
+        "publish_wall_s": round(publish_wall_s, 4),
+        "stalls": stats["stalls"],
+        "slow_dropped": slow_stats["frames_dropped"],
+        "slow_high_water": slow_stats["queue_high_water"],
+    }
+    slow.close()
+    healthy.stop()
+    server.stop()
+    assert healthy.codec_errors == 0
+    return result
+
+
+def test_telemetry_bench():
+    fanout = [_measure_fanout(count) for count in FANOUT_SWEEP]
+    slow = [_measure_slow_subscriber(policy)
+            for policy in OverflowPolicy.ALL]
+
+    # The acceptance bar: 64 subscribers at >= 5k reports/s aggregate,
+    # zero codec errors, queue memory bounded by the configured cap.
+    widest = fanout[-1]
+    assert widest["subscribers"] == 64
+    assert widest["delivered_per_sec"] >= 5000
+    assert widest["codec_errors"] == 0
+    assert widest["queue_high_water"] <= 1024
+
+    by_policy = {entry["policy"]: entry for entry in slow}
+    assert by_policy[OverflowPolicy.DROP_OLDEST]["stalls"] == 0
+    assert by_policy[OverflowPolicy.COALESCE]["stalls"] == 0
+    assert by_policy[OverflowPolicy.BLOCK]["stalls"] >= 1
+    assert by_policy[OverflowPolicy.BLOCK]["slow_dropped"] == 0
+    for policy in (OverflowPolicy.DROP_OLDEST, OverflowPolicy.COALESCE):
+        assert by_policy[policy]["slow_high_water"] <= 8
+
+    results = {
+        "fanout": fanout,
+        "slow_subscriber": slow,
+        "reports_per_measurement": REPORTS,
+        "python": platform.python_version(),
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+    lines = [f"{entry['subscribers']:3d} subscribers: "
+             f"{entry['delivered_per_sec']:>10,.0f} delivered/s "
+             f"(high-water {entry['queue_high_water']})"
+             for entry in fanout]
+    lines += [f"{entry['policy']:>12s}: stalls={entry['stalls']} "
+              f"dropped={entry['slow_dropped']} "
+              f"wall={entry['publish_wall_s']}s"
+              for entry in slow]
+    print("\n" + "\n".join(lines) + f"\n-> {BENCH_PATH.name}")

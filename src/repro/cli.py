@@ -6,6 +6,9 @@ Commands mirror the library's main flows:
 * ``learn``    — run the Figure 1 pipeline and write the model as JSON,
 * ``monitor``  — run a workload under live monitoring, print per-period
   estimates (optionally CSV/JSONL output),
+* ``serve``    — run a workload under monitoring while streaming the
+  estimates to TCP telemetry subscribers,
+* ``subscribe`` — connect to a telemetry server and print its stream,
 * ``replay``   — the Figure 3 experiment: SPECjbb vs PowerSpy with an
   ASCII chart and the median error.
 """
@@ -14,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -82,6 +86,59 @@ def _build_parser() -> argparse.ArgumentParser:
                               "starve@T:DUR[:SLOTS], hpc-loss@T:DUR, "
                               "crash@T:ACTOR) or random:SEED[:DURATION] "
                               "for a seeded campaign")
+
+    serve = commands.add_parser(
+        "serve", help="monitor a workload and stream the estimates to "
+                      "TCP telemetry subscribers")
+    serve.add_argument("--model", type=Path, default=None,
+                       help="model JSON (learned on the fly if omitted)")
+    serve.add_argument("--workload", default="cpu",
+                       choices=sorted(WORKLOADS))
+    serve.add_argument("--duration", type=float, default=30.0)
+    serve.add_argument("--period", type=float, default=1.0)
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to listen on (0 = ephemeral; the "
+                            "chosen port is printed)")
+    serve.add_argument("--overflow", default="drop-oldest",
+                       choices=("block", "drop-oldest", "coalesce"),
+                       help="what a full subscriber queue does with the "
+                            "next frame")
+    serve.add_argument("--queue-capacity", type=int, default=256,
+                       help="per-subscriber frame queue bound")
+    serve.add_argument("--heartbeat-every", type=int, default=0,
+                       help="emit a heartbeat frame every N reports "
+                            "(0 = off)")
+    serve.add_argument("--host-label", default="",
+                       help="host name stamped on every frame (for "
+                            "fleet aggregation)")
+    serve.add_argument("--await-subscribers", type=int, default=0,
+                       metavar="N",
+                       help="wait for N subscribers before starting the "
+                            "run")
+    serve.add_argument("--await-timeout", type=float, default=30.0,
+                       help="give up waiting for subscribers after this "
+                            "many seconds")
+    serve.add_argument("--pace", type=float, default=0.0,
+                       help="wall-clock seconds slept per virtual "
+                            "second (0 = run as fast as possible)")
+
+    subscribe = commands.add_parser(
+        "subscribe", help="connect to a telemetry server and print its "
+                          "stream")
+    subscribe.add_argument("--host", default="127.0.0.1")
+    subscribe.add_argument("--port", type=int, required=True)
+    subscribe.add_argument("--pids", default=None,
+                           help="comma-separated pid filter")
+    subscribe.add_argument("--kinds", default=None,
+                           help="comma-separated event kinds "
+                                "(report,health,gap,heartbeat)")
+    subscribe.add_argument("--downsample", type=int, default=1,
+                           help="receive every Nth report")
+    subscribe.add_argument("--max-frames", type=int, default=None,
+                           help="exit after this many events")
+    subscribe.add_argument("--reconnect", action="store_true",
+                           help="re-dial with exponential backoff when "
+                                "the server goes away")
 
     replay = commands.add_parser("replay",
                                  help="the Figure 3 SPECjbb experiment")
@@ -184,6 +241,103 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_serve(args, out=sys.stdout) -> int:
+    """Monitor a workload while streaming estimates to subscribers."""
+    spec = preset(args.cpu)
+    model = _load_or_learn_model(spec, args.model, out=out)
+    kernel = SimKernel(spec)
+    workload = WORKLOADS[args.workload](args.duration)
+    pid = kernel.spawn(workload, name=args.workload)
+
+    api = PowerAPI(kernel, model, period_s=args.period)
+    handle = api.monitor(pid).every(args.period).to(InMemoryReporter())
+    server = api.serve_telemetry(
+        port=args.port, pids=handle.pids,
+        overflow=args.overflow, queue_capacity=args.queue_capacity,
+        heartbeat_every=args.heartbeat_every, host_label=args.host_label)
+    print(f"telemetry: serving on {server.host}:{server.port} "
+          f"(overflow={args.overflow}, "
+          f"queue-capacity={args.queue_capacity})", file=out)
+    if args.await_subscribers > 0:
+        print(f"waiting for {args.await_subscribers} subscriber(s) ...",
+              file=out)
+        if not server.wait_for_subscribers(args.await_subscribers,
+                                           timeout=args.await_timeout):
+            print(f"warning: only {server.subscriber_count} subscriber(s) "
+                  f"after {args.await_timeout:.0f}s; starting anyway",
+                  file=out)
+    if args.pace > 0:
+        steps = max(1, int(round(args.duration / args.period)))
+        for _ in range(steps):
+            api.run(args.period)
+            time.sleep(args.period * args.pace)
+    else:
+        api.run(args.duration)
+    api.flush()
+
+    stats = server.stats()
+    print(f"published {stats['reports_published']} reports, "
+          f"{stats['health_published']} health events, "
+          f"{stats['gaps_published']} gaps to "
+          f"{len(stats['subscribers'])} subscriber(s); "
+          f"stalls: {stats['stalls']}", file=out)
+    for sub in stats["subscribers"]:
+        print(f"  subscriber {sub['id']} ({sub['agent'] or sub['peer']}): "
+              f"{sub['frames_sent']} sent, {sub['frames_dropped']} "
+              f"dropped, {sub['bytes_sent']} bytes, queue high-water "
+              f"{sub['queue_high_water']}", file=out)
+    api.shutdown()
+    return 0
+
+
+def cmd_subscribe(args, out=sys.stdout) -> int:
+    """Print a telemetry server's stream, one line per event."""
+    from repro.telemetry.client import ReconnectPolicy, TelemetryClient
+    from repro.telemetry.wire import (GapTelemetry, Heartbeat,
+                                      HealthTelemetry, ReportEvent)
+    pids = (None if args.pids is None
+            else [int(chunk) for chunk in args.pids.split(",") if chunk])
+    kinds = (None if args.kinds is None
+             else [chunk.strip() for chunk in args.kinds.split(",")
+                   if chunk.strip()])
+    client = TelemetryClient(
+        args.host, args.port, pids=pids, kinds=kinds,
+        downsample=args.downsample,
+        reconnect=ReconnectPolicy() if args.reconnect else None,
+        agent="repro-cli-subscribe")
+    try:
+        for event in client.events(max_events=args.max_frames):
+            if isinstance(event, ReportEvent):
+                parts = [f"t={event.report.time_s:8.1f}s",
+                         f"total={event.report.total_w:6.2f}W",
+                         f"idle={event.report.idle_w:5.2f}W"]
+                if event.report.gap:
+                    parts.append("gap=1")
+                for rpid in event.report.pids():
+                    parts.append(
+                        f"pid{rpid}={event.report.by_pid[rpid]:5.2f}W")
+                if event.host:
+                    parts.append(f"host={event.host}")
+                print("  ".join(parts), file=out)
+            elif isinstance(event, HealthTelemetry):
+                print(f"t={event.event.time_s:8.1f}s  health  "
+                      f"{event.event.component:<18} "
+                      f"{event.event.kind:<22} {event.event.detail}",
+                      file=out)
+            elif isinstance(event, GapTelemetry):
+                print(f"t={event.marker.time_s:8.1f}s  gap     "
+                      f"source={event.marker.source} "
+                      f"pid={event.marker.pid}", file=out)
+            elif isinstance(event, Heartbeat):
+                print(f"t={event.time_s:8.1f}s  heartbeat seq={event.seq}",
+                      file=out)
+    finally:
+        client.close()
+    print(f"received {client.frames_received} frame(s); "
+          f"reconnects: {client.reconnects}", file=out)
+    return 0
+
+
 def cmd_replay(args, out=sys.stdout) -> int:
     """Regenerate the Figure 3 SPECjbb experiment."""
     spec = preset(args.cpu)
@@ -216,6 +370,8 @@ COMMANDS = {
     "specs": cmd_specs,
     "learn": cmd_learn,
     "monitor": cmd_monitor,
+    "serve": cmd_serve,
+    "subscribe": cmd_subscribe,
     "replay": cmd_replay,
 }
 

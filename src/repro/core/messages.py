@@ -74,6 +74,19 @@ class GapMarker(SensorReport):
 
     source: str = ""
 
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe dict for the telemetry wire protocol."""
+        return {"time_s": self.time_s, "period_s": self.period_s,
+                "pid": self.pid, "source": self.source}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]) -> "GapMarker":
+        """Rebuild a marker from :meth:`to_wire` output."""
+        return cls(time_s=float(payload["time_s"]),
+                   period_s=float(payload["period_s"]),
+                   pid=int(payload.get("pid", -1)),
+                   source=str(payload.get("source", "")))
+
 
 @dataclass(frozen=True)
 class HealthEvent:
@@ -91,6 +104,19 @@ class HealthEvent:
     #: "meter-dropout", "actor-restarted", ...).
     kind: str
     detail: str = ""
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe dict for the telemetry wire protocol."""
+        return {"time_s": self.time_s, "component": self.component,
+                "kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]) -> "HealthEvent":
+        """Rebuild an event from :meth:`to_wire` output."""
+        return cls(time_s=float(payload["time_s"]),
+                   component=str(payload["component"]),
+                   kind=str(payload["kind"]),
+                   detail=str(payload.get("detail", "")))
 
 
 @dataclass(frozen=True)
@@ -138,3 +164,32 @@ class AggregatedPowerReport:
     def pids(self) -> Tuple[int, ...]:
         """Monitored pids present in this report, ascending."""
         return tuple(sorted(self.by_pid))
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe dict for the telemetry wire protocol.
+
+        ``by_pid`` keys become strings (JSON objects cannot have integer
+        keys); :meth:`from_wire` restores them.
+        """
+        return {
+            "time_s": self.time_s,
+            "period_s": self.period_s,
+            "by_pid": {str(pid): watts for pid, watts in self.by_pid.items()},
+            "idle_w": self.idle_w,
+            "formula": self.formula,
+            "gap": self.gap,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]
+                  ) -> "AggregatedPowerReport":
+        """Rebuild a report from :meth:`to_wire` output."""
+        return cls(
+            time_s=float(payload["time_s"]),
+            period_s=float(payload["period_s"]),
+            by_pid={int(pid): float(watts)
+                    for pid, watts in dict(payload["by_pid"]).items()},
+            idle_w=float(payload["idle_w"]),
+            formula=str(payload["formula"]),
+            gap=bool(payload.get("gap", False)),
+        )

@@ -145,6 +145,7 @@ class PowerAPI:
         self.perf = PerfSession(kernel.machine)
         self._meters: List[PowerMeter] = []
         self._handles: List[MonitorHandle] = []
+        self._telemetry_servers: List = []
         self._injector: Optional[FaultInjector] = None
         self._pipeline_count = 0
         self._shut_down = False
@@ -266,6 +267,39 @@ class PowerAPI:
         """
         return self.model.idle_w + self.kernel.machine.spec.power.tdp_w * 0.5
 
+    # -- telemetry service ------------------------------------------------
+
+    def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0,
+                        pids: Optional[Sequence[int]] = None,
+                        name: Optional[str] = None, **server_kwargs):
+        """Stream this API's live reports to TCP subscribers.
+
+        Starts a :class:`~repro.telemetry.server.TelemetryServer` and
+        spawns the bridge actor forwarding every
+        :class:`~repro.core.messages.AggregatedPowerReport`,
+        :class:`~repro.core.messages.HealthEvent` and
+        :class:`~repro.core.messages.GapMarker` on the bus to it.  Pass
+        ``pids=handle.pids`` to scope the stream to one pipeline.
+        Extra keyword arguments (``overflow``, ``queue_capacity``,
+        ``host_label``, ``heartbeat_every``) configure the server;
+        :meth:`shutdown` stops it.
+        """
+        # Imported here so the socket layer stays an optional part of
+        # the core monitoring path.
+        from repro.telemetry.server import TelemetryBridge, TelemetryServer
+        server = TelemetryServer(host=host, port=port, **server_kwargs)
+        server.start()
+        self._telemetry_servers.append(server)
+        n = len(self._telemetry_servers) - 1
+        self.system.spawn(TelemetryBridge(server, pids=pids),
+                          name=name or f"telemetry-bridge-{n}")
+        return server
+
+    @property
+    def telemetry_servers(self) -> Tuple:
+        """Servers started via :meth:`serve_telemetry`."""
+        return tuple(self._telemetry_servers)
+
     # -- fault injection --------------------------------------------------
 
     def install_faults(self, plan: FaultPlan) -> FaultInjector:
@@ -314,3 +348,5 @@ class PowerAPI:
         self.perf.close()
         for meter in self._meters:
             meter.disconnect()
+        for server in self._telemetry_servers:
+            server.stop()

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import csv
 import io
+import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
 from repro.actors.actor import Actor
 from repro.core.aggregators import PidEnergyReport
 from repro.core.messages import AggregatedPowerReport
+from repro.errors import ConfigurationError
 
 
 class InMemoryReporter(Actor):
@@ -91,15 +95,25 @@ class ConsoleReporter(Actor):
 class CsvReporter(Actor):
     """Writes one CSV row per aggregated report.
 
-    Columns: time_s, total_w, idle_w, then one ``pid_<n>_w`` column per
+    Columns: time_s, total_w, idle_w, one ``pid_<n>_w`` column per
     monitored pid (the set of pids is fixed at construction so the header
-    is stable).
+    is stable), then ``gap`` (1 where the period carried no formula data,
+    0 otherwise).
+
+    ``flush_every=N`` flushes the file once per N rows instead of after
+    every row — per-row flushing dominates the reporter's cost in long
+    runs.  The default of 1 keeps the historical always-current file.
     """
 
-    def __init__(self, path: Union[str, Path], pids) -> None:
+    def __init__(self, path: Union[str, Path], pids,
+                 flush_every: int = 1) -> None:
         super().__init__()
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
         self.pids = tuple(sorted(pids))
+        self.flush_every = flush_every
+        self._rows_since_flush = 0
         self._file = None
         self._writer = None
 
@@ -110,6 +124,7 @@ class CsvReporter(Actor):
         self._writer = csv.writer(self._file)
         header = ["time_s", "total_w", "idle_w"]
         header.extend(f"pid_{pid}_w" for pid in self.pids)
+        header.append("gap")
         self._writer.writerow(header)
 
     def post_stop(self) -> None:
@@ -123,8 +138,12 @@ class CsvReporter(Actor):
         row = [f"{message.time_s:.3f}", f"{message.total_w:.4f}",
                f"{message.idle_w:.4f}"]
         row.extend(f"{message.by_pid.get(pid, 0.0):.4f}" for pid in self.pids)
+        row.append(str(int(message.gap)))
         self._writer.writerow(row)
-        self._file.flush()
+        self._rows_since_flush += 1
+        if self._rows_since_flush >= self.flush_every:
+            self._file.flush()
+            self._rows_since_flush = 0
 
 
 class CallbackReporter(Actor):
@@ -144,11 +163,19 @@ class CallbackReporter(Actor):
 
 
 class JsonlReporter(Actor):
-    """Writes one JSON object per aggregated report (machine-readable log)."""
+    """Writes one JSON object per aggregated report (machine-readable log).
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``flush_every=N`` flushes once per N records (default 1: the file is
+    always current, matching historical behaviour).
+    """
+
+    def __init__(self, path: Union[str, Path], flush_every: int = 1) -> None:
         super().__init__()
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
+        self.flush_every = flush_every
+        self._records_since_flush = 0
         self._file = None
         self.records_written = 0
 
@@ -165,20 +192,22 @@ class JsonlReporter(Actor):
     def receive(self, message) -> None:
         if not isinstance(message, AggregatedPowerReport):
             return
-        import json
-
         record = {
             "time_s": message.time_s,
             "period_s": message.period_s,
             "total_w": message.total_w,
             "idle_w": message.idle_w,
             "formula": message.formula,
+            "gap": message.gap,
             "by_pid": {str(pid): watts
                        for pid, watts in message.by_pid.items()},
         }
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
-        self._file.flush()
         self.records_written += 1
+        self._records_since_flush += 1
+        if self._records_since_flush >= self.flush_every:
+            self._file.flush()
+            self._records_since_flush = 0
 
 
 class PrometheusReporter(Actor):
@@ -187,6 +216,11 @@ class PrometheusReporter(Actor):
     Every aggregated report rewrites *path* with ``powerapi_machine_watts``
     and one ``powerapi_process_watts{pid="..."}`` sample per process —
     the node-exporter "textfile collector" integration pattern.
+
+    Writes are atomic: the exposition goes to a temp file in the same
+    directory followed by :func:`os.replace`, so a concurrent scraper
+    always reads either the previous or the new complete exposition,
+    never a partially written one.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -207,10 +241,25 @@ class PrometheusReporter(Actor):
             "# HELP powerapi_idle_watts Calibrated idle power.",
             "# TYPE powerapi_idle_watts gauge",
             f"powerapi_idle_watts {message.idle_w:.4f}",
+            "# HELP powerapi_gap Whether the last period carried no data.",
+            "# TYPE powerapi_gap gauge",
+            f"powerapi_gap {int(message.gap)}",
             "# HELP powerapi_process_watts Estimated active power per process.",
             "# TYPE powerapi_process_watts gauge",
         ]
         for pid in message.pids():
             lines.append(f'powerapi_process_watts{{pid="{pid}"}} '
                          f"{message.by_pid[pid]:.4f}")
-        self.path.write_text("\n".join(lines) + "\n")
+        self._atomic_write("\n".join(lines) + "\n")
+
+    def _atomic_write(self, text: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise

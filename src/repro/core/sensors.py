@@ -24,6 +24,7 @@ from repro.core.messages import (GapMarker, HealthEvent, HpcReport,
 from repro.errors import (ConfigurationError, CounterInvalidError,
                           CounterStateError, MeterConnectionError,
                           SampleLossError)
+from repro.faults.backoff import ExponentialBackoff
 from repro.os.procfs import ProcFs
 from repro.perf.counting import PerfCounter, PerfSession
 from repro.powermeter.base import PowerMeter
@@ -419,7 +420,7 @@ class PowerMeterSensor(Actor):
         self.retry_base_s = retry_base_s  # None: one monitoring period
         self.retry_max_s = retry_max_s
         self._down = False
-        self._retry_delay_s = 0.0
+        self._backoff: Optional[ExponentialBackoff] = None
         self._next_retry_s = 0.0
 
     def pre_start(self) -> None:
@@ -428,7 +429,10 @@ class PowerMeterSensor(Actor):
     def _try_reconnect(self, message: ClockTick) -> None:
         if not self._down:
             self._down = True
-            self._retry_delay_s = self.retry_base_s or message.period_s
+            base_s = self.retry_base_s or message.period_s
+            self._backoff = ExponentialBackoff(
+                base_s=base_s, factor=2.0,
+                max_s=max(self.retry_max_s, base_s))
             self._next_retry_s = message.time_s  # first retry: right now
             self.publish(HealthEvent(
                 time_s=message.time_s, component=self.component,
@@ -437,9 +441,8 @@ class PowerMeterSensor(Actor):
             try:
                 self.meter.connect()
             except MeterConnectionError:
-                self._next_retry_s = message.time_s + self._retry_delay_s
-                self._retry_delay_s = min(
-                    self.retry_max_s, self._retry_delay_s * 2.0)
+                self._next_retry_s = (message.time_s
+                                      + self._backoff.next_delay_s())
 
     def receive(self, message) -> None:
         if not isinstance(message, ClockTick):

@@ -81,6 +81,19 @@ class FaultInjectionError(ReproError):
     """An injected fault (used as the crash payload for actor faults)."""
 
 
+class TelemetryError(ReproError):
+    """Base class for streaming-telemetry errors."""
+
+
+class WireProtocolError(TelemetryError):
+    """A telemetry frame failed to encode or decode (corrupt stream,
+    unsupported version, unknown frame kind, oversized payload)."""
+
+
+class TelemetryConnectionError(TelemetryError):
+    """A telemetry connection failed and could not be re-established."""
+
+
 class ModelError(ReproError):
     """Base class for power-model errors."""
 

@@ -13,6 +13,13 @@ multiplexing starves events, actors crash.  This package provides
   of every degradation and recovery (``MonitorHandle.health``).
 """
 
+# repro.core's init reaches back into repro.faults.health (via the
+# monitor facade), so when the import graph is entered here the core
+# package must finish initializing before health starts loading —
+# otherwise monitor sees a half-initialized health module.
+import repro.core.messages  # noqa: F401  (breaks the faults<->core cycle)
+
+from repro.faults.backoff import ExponentialBackoff
 from repro.faults.health import HealthLog, HealthMonitor
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (ActorCrash, FaultPlan, MeterDropout, PidExit,
@@ -20,6 +27,7 @@ from repro.faults.plan import (ActorCrash, FaultPlan, MeterDropout, PidExit,
 
 __all__ = [
     "ActorCrash",
+    "ExponentialBackoff",
     "FaultInjector",
     "FaultPlan",
     "HealthLog",

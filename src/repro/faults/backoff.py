@@ -1,0 +1,52 @@
+"""Capped exponential backoff: the retry idiom shared across the toolkit.
+
+Three places retry a flaky dependency with the same shape — the actor
+supervisor (:class:`~repro.actors.supervision.RestartStrategy`), the
+power-meter sensor's reconnect loop, and the telemetry client's
+reconnect (:mod:`repro.telemetry.client`).  This class is the common
+schedule: the first retry waits ``base_s``, each further retry
+multiplies by ``factor``, capped at ``max_s``.  It is pure arithmetic —
+the caller decides whether delays are virtual-clock or wall-clock time —
+so it stays deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ExponentialBackoff:
+    """A resettable capped exponential delay schedule."""
+
+    def __init__(self, base_s: float = 0.1, factor: float = 2.0,
+                 max_s: float = 30.0) -> None:
+        if base_s <= 0:
+            raise ConfigurationError("backoff base_s must be positive")
+        if factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if max_s < base_s:
+            raise ConfigurationError("backoff max_s must be >= base_s")
+        self.base_s = base_s
+        self.factor = factor
+        self.max_s = max_s
+        self._attempts = 0
+
+    @property
+    def attempts(self) -> int:
+        """Retries taken since the last :meth:`reset`."""
+        return self._attempts
+
+    def delay_s(self, attempt: int) -> float:
+        """The delay before retry number *attempt* (1-based), stateless."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.max_s, self.base_s * self.factor ** (attempt - 1))
+
+    def next_delay_s(self) -> float:
+        """Record one more retry and return the delay to wait before it."""
+        self._attempts += 1
+        return self.delay_s(self._attempts)
+
+    def reset(self) -> None:
+        """Start over (call after a successful attempt)."""
+        self._attempts = 0

@@ -1,0 +1,54 @@
+"""Streaming power telemetry: the networked layer above the pipeline.
+
+The paper positions PowerAPI as *middleware* delivering real-time
+per-process power estimates to consumers.  This package is the missing
+subsystem between "estimator" and "service": it publishes the live
+output of any monitoring pipeline to concurrent TCP subscribers on
+localhost, and merges streams from several machines into one fleet
+view.
+
+* :mod:`repro.telemetry.wire` — the versioned, length-prefixed binary
+  frame codec (Hello / Subscribe / Report / Health / Gap / Heartbeat /
+  Error) with strict decode validation and forward-compatible version
+  negotiation,
+* :mod:`repro.telemetry.server` — :class:`TelemetryServer`, a threaded
+  fan-out with per-subscriber bounded queues and configurable overflow
+  policy (block, drop-oldest, coalesce-to-latest), plus the
+  :class:`TelemetryBridge` actor gluing it to the event bus,
+* :mod:`repro.telemetry.client` — :class:`TelemetryClient`, an
+  iterator-style consumer with subscription filters and
+  capped-exponential-backoff reconnect,
+* :mod:`repro.telemetry.fleet` — :class:`FleetAggregator`, merging
+  many hosts' streams into cluster-level power series that tolerate
+  out-of-order and gap-marked input.
+"""
+
+from repro.telemetry.client import ReconnectPolicy, TelemetryClient
+from repro.telemetry.fleet import ClusterPoint, FleetAggregator, FleetSample
+from repro.telemetry.server import (BoundedFrameQueue, OverflowPolicy,
+                                    TelemetryBridge, TelemetryServer)
+from repro.telemetry.wire import (Frame, FrameDecoder, FrameKind,
+                                  GapTelemetry, Heartbeat, HealthTelemetry,
+                                  ReportEvent, encode_frame,
+                                  negotiate_version)
+
+__all__ = [
+    "BoundedFrameQueue",
+    "ClusterPoint",
+    "FleetAggregator",
+    "FleetSample",
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
+    "GapTelemetry",
+    "Heartbeat",
+    "HealthTelemetry",
+    "OverflowPolicy",
+    "ReconnectPolicy",
+    "ReportEvent",
+    "TelemetryBridge",
+    "TelemetryClient",
+    "TelemetryServer",
+    "encode_frame",
+    "negotiate_version",
+]

@@ -1,0 +1,252 @@
+"""The telemetry client: subscribe to a server and iterate events.
+
+Typical use::
+
+    client = TelemetryClient("127.0.0.1", 9462, pids={100},
+                             reconnect=ReconnectPolicy())
+    for event in client:
+        if isinstance(event, ReportEvent):
+            print(event.host, event.report.total_w)
+
+The iterator yields typed events (:class:`~repro.telemetry.wire.ReportEvent`,
+:class:`~repro.telemetry.wire.HealthTelemetry`,
+:class:`~repro.telemetry.wire.GapTelemetry`,
+:class:`~repro.telemetry.wire.Heartbeat`) and ends cleanly when
+:meth:`TelemetryClient.close` is called.  When the link drops and a
+:class:`ReconnectPolicy` is configured, the client re-dials with the
+shared capped-exponential-backoff idiom
+(:class:`~repro.faults.backoff.ExponentialBackoff`), re-negotiates the
+protocol version and re-issues its subscription — so a server restart
+is invisible to the consuming loop apart from any frames published
+while the link was down.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.errors import (TelemetryConnectionError, TelemetryError,
+                          WireProtocolError)
+from repro.faults.backoff import ExponentialBackoff
+from repro.telemetry import wire
+from repro.telemetry.wire import Frame, FrameKind
+
+_RECV_BYTES = 65536
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Capped exponential re-dial schedule after a lost connection."""
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    #: Give up (raise) after this many consecutive failed dials;
+    #: ``None`` retries forever.
+    max_attempts: Optional[int] = None
+
+    def backoff(self) -> ExponentialBackoff:
+        return ExponentialBackoff(base_s=self.base_s, factor=self.factor,
+                                  max_s=self.max_s)
+
+
+class TelemetryClient:
+    """One subscription to one :class:`~repro.telemetry.server.TelemetryServer`.
+
+    The client is single-threaded and blocking: :meth:`events` (or plain
+    iteration) drives the socket.  ``sleep`` is injectable so reconnect
+    schedules are testable without real delays.
+    """
+
+    def __init__(self, host: str, port: int,
+                 pids: Optional[Iterable[int]] = None,
+                 kinds: Optional[Iterable[str]] = None,
+                 downsample: int = 1,
+                 reconnect: Optional[ReconnectPolicy] = None,
+                 agent: str = "repro-telemetry-client",
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: Optional[float] = 30.0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.host = host
+        self.port = port
+        self.pids = None if pids is None else sorted(set(pids))
+        self.kinds = None if kinds is None else tuple(kinds)
+        self.downsample = downsample
+        self.reconnect = reconnect
+        self.agent = agent
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._decoder: Optional[wire.FrameDecoder] = None
+        #: Frames that arrived in the same chunk as the handshake reply
+        #: (the server may pipeline data right behind its HELLO).
+        self._pending: List[Frame] = []
+        self._closed = False
+        #: Protocol version agreed with the server (after connect()).
+        self.negotiated_version: Optional[int] = None
+        self.frames_received = 0
+        self.reconnects = 0
+
+    # -- connection management ----------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "TelemetryClient":
+        """Dial, negotiate the protocol version and subscribe."""
+        if self._closed:
+            raise TelemetryError("client is closed")
+        if self._sock is not None:
+            return self
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.sendall(wire.encode_frame(
+                FrameKind.HELLO, wire.hello_payload(agent=self.agent)))
+            sock.sendall(wire.encode_frame(
+                FrameKind.SUBSCRIBE,
+                wire.subscribe_payload(pids=self.pids, kinds=self.kinds,
+                                       downsample=self.downsample)))
+            decoder = wire.FrameDecoder()
+            reply, pending = self._read_handshake_reply(sock, decoder)
+            if reply.kind is FrameKind.ERROR:
+                raise TelemetryConnectionError(
+                    f"server refused subscription: "
+                    f"{reply.payload.get('reason', 'unknown')}")
+            if reply.kind is not FrameKind.HELLO:
+                raise WireProtocolError(
+                    f"expected HELLO reply, got {reply.kind.name}")
+            self.negotiated_version = int(
+                reply.payload.get("version", wire.PROTOCOL_VERSION))
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(self.read_timeout_s)
+        self._sock = sock
+        self._decoder = decoder
+        self._pending = pending
+        return self
+
+    def _read_handshake_reply(
+            self, sock: socket.socket, decoder: wire.FrameDecoder,
+    ) -> "tuple[Frame, List[Frame]]":
+        """Block until the server's reply arrives.
+
+        The server pipelines: published frames may ride in the same
+        chunk as its HELLO reply.  Anything decoded beyond the reply is
+        returned for :meth:`events` to yield first.
+        """
+        while True:
+            data = sock.recv(_RECV_BYTES)
+            if not data:
+                raise TelemetryConnectionError(
+                    "connection closed during handshake")
+            frames = decoder.feed(data)
+            if frames:
+                return frames[0], frames[1:]
+
+    def close(self) -> None:
+        """Stop iterating and release the socket (idempotent)."""
+        self._closed = True
+        self._disconnect()
+
+    def _disconnect(self) -> None:
+        sock, self._sock = self._sock, None
+        self._decoder = None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _redial(self) -> bool:
+        """Re-dial per the reconnect policy; False when closed/exhausted."""
+        if self.reconnect is None or self._closed:
+            return False
+        backoff = self.reconnect.backoff()
+        while not self._closed:
+            if (self.reconnect.max_attempts is not None
+                    and backoff.attempts >= self.reconnect.max_attempts):
+                raise TelemetryConnectionError(
+                    f"gave up reconnecting to {self.host}:{self.port} "
+                    f"after {backoff.attempts} attempts")
+            self._sleep(backoff.next_delay_s())
+            try:
+                self.connect()
+            except (OSError, TelemetryError):
+                continue
+            self.reconnects += 1
+            return True
+        return False
+
+    # -- event iteration ----------------------------------------------
+
+    def events(self, max_events: Optional[int] = None) -> Iterator[object]:
+        """Yield typed telemetry events; ends on close / clean shutdown.
+
+        Without a reconnect policy a lost connection simply ends the
+        iterator (a clean server stop is not an error).  With one, the
+        client re-dials and the stream continues.
+        """
+        yielded = 0
+        while max_events is None or yielded < max_events:
+            if self._closed:
+                return
+            if self._sock is None:
+                try:
+                    self.connect()
+                except (OSError, TelemetryError):
+                    if not self._redial():
+                        return
+            if self._pending:
+                frames, self._pending = self._pending, []
+            else:
+                try:
+                    data = self._sock.recv(_RECV_BYTES)
+                except socket.timeout:
+                    raise TelemetryConnectionError(
+                        f"no data from {self.host}:{self.port} within "
+                        f"{self.read_timeout_s}s") from None
+                except OSError:
+                    data = b""
+                if not data:
+                    self._disconnect()
+                    if self._closed or not self._redial():
+                        return
+                    continue
+                frames = self._decoder.feed(data)
+            for frame in frames:
+                self.frames_received += 1
+                if frame.kind is FrameKind.ERROR:
+                    self._disconnect()
+                    raise TelemetryConnectionError(
+                        f"server error: "
+                        f"{frame.payload.get('reason', 'unknown')}")
+                yield wire.decode_event(frame)
+                yielded += 1
+                if max_events is not None and yielded >= max_events:
+                    return
+
+    def __iter__(self) -> Iterator[object]:
+        return self.events()
+
+    def collect(self, count: int) -> List[object]:
+        """Block until *count* events arrived; return them."""
+        return list(self.events(max_events=count))
+
+    def __enter__(self) -> "TelemetryClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,638 @@
+"""The telemetry server: event-bus to TCP subscriber fan-out.
+
+A :class:`TelemetryServer` listens on localhost and streams the live
+output of a monitoring pipeline — aggregated power reports, health
+events and sensor gap markers — to any number of concurrent
+subscribers.  The design splits cleanly into:
+
+* one **accept thread** handing new connections to per-subscriber
+  handler threads,
+* one **handshake + writer thread per subscriber**: Hello/Subscribe
+  negotiation, then a loop popping frames off the subscriber's own
+  :class:`BoundedFrameQueue` and writing them to the socket,
+* **publishers** (the actor thread, via :class:`TelemetryBridge`)
+  that encode each event once and offer it to every matching queue.
+
+A slow subscriber therefore never slows the pipeline down unless the
+server is explicitly configured with the ``block`` overflow policy;
+``drop-oldest`` and ``coalesce`` shed load per subscriber and account
+for every shed frame in that subscriber's counters.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from typing import (Callable, Deque, Dict, FrozenSet, List, Optional,
+                    Sequence, Tuple)
+
+from repro.actors.actor import Actor
+from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
+from repro.errors import ConfigurationError, TelemetryError, WireProtocolError
+from repro.telemetry import wire
+from repro.telemetry.wire import FrameKind
+
+#: Socket receive chunk for the handshake reader.
+_RECV_BYTES = 65536
+
+
+class OverflowPolicy:
+    """What a full subscriber queue does with the next frame."""
+
+    #: The publisher waits for space (backpressure; can stall the bus).
+    BLOCK = "block"
+    #: Evict the oldest queued frame to admit the new one (lossy FIFO).
+    DROP_OLDEST = "drop-oldest"
+    #: Pending Report frames collapse to the latest one; other kinds
+    #: fall back to drop-oldest.  The subscriber always sees the newest
+    #: state with bounded lag.
+    COALESCE = "coalesce"
+
+    ALL = (BLOCK, DROP_OLDEST, COALESCE)
+
+
+class BoundedFrameQueue:
+    """A bounded frame queue implementing the three overflow policies.
+
+    Kept separate from the socket machinery so the policies are
+    unit-testable without any I/O.  ``pause()`` holds the consumer —
+    the deterministic way to simulate a slow subscriber in tests.
+    """
+
+    def __init__(self, capacity: int,
+                 policy: str = OverflowPolicy.DROP_OLDEST,
+                 on_block: Optional[Callable[[], None]] = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be >= 1")
+        if policy not in OverflowPolicy.ALL:
+            raise ConfigurationError(
+                f"unknown overflow policy {policy!r}; "
+                f"use one of {', '.join(OverflowPolicy.ALL)}")
+        self.capacity = capacity
+        self.policy = policy
+        #: Called the moment a producer starts waiting for space, so
+        #: stall accounting is visible while the stall is in progress.
+        self.on_block = on_block
+        self._items: Deque[Tuple[FrameKind, bytes]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._paused = False
+        #: Frames shed by drop-oldest / coalesce on this queue.
+        self.dropped = 0
+        #: Times a producer had to wait for space (block policy only).
+        self.blocked = 0
+        #: Maximum queue depth ever observed.
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def offer(self, kind: FrameKind, data: bytes) -> bool:
+        """Enqueue one frame per the policy; False if the queue closed."""
+        with self._cond:
+            if self._closed:
+                return False
+            if len(self._items) >= self.capacity:
+                if self.policy == OverflowPolicy.BLOCK:
+                    self.blocked += 1
+                    if self.on_block is not None:
+                        self.on_block()
+                    while len(self._items) >= self.capacity:
+                        if self._closed:
+                            return False
+                        self._cond.wait()
+                elif (self.policy == OverflowPolicy.COALESCE
+                        and kind is FrameKind.REPORT):
+                    # Replace the most recent pending report with this
+                    # one: the subscriber skips straight to the latest.
+                    for index in range(len(self._items) - 1, -1, -1):
+                        if self._items[index][0] is FrameKind.REPORT:
+                            del self._items[index]
+                            self.dropped += 1
+                            break
+                    else:
+                        self._items.popleft()
+                        self.dropped += 1
+                else:
+                    self._items.popleft()
+                    self.dropped += 1
+            self._items.append((kind, data))
+            self.high_water = max(self.high_water, len(self._items))
+            self._cond.notify_all()
+            return True
+
+    def pop(self) -> Optional[Tuple[FrameKind, bytes]]:
+        """Dequeue the next frame, blocking; None once closed and empty."""
+        with self._cond:
+            while self._paused or not self._items:
+                if self._closed and not (self._items and not self._paused):
+                    return None
+                self._cond.wait()
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
+    def pause(self) -> None:
+        """Hold the consumer (frames pile up; policies become visible)."""
+        with self._cond:
+            self._paused = True
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        """Release a paused consumer."""
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Wake every waiter; pop drains remaining frames then ends."""
+        with self._cond:
+            self._closed = True
+            self._paused = False
+            self._cond.notify_all()
+
+
+class _Subscription:
+    """One subscriber's negotiated filters."""
+
+    def __init__(self, pids: Optional[FrozenSet[int]] = None,
+                 kinds: Optional[FrozenSet[FrameKind]] = None,
+                 downsample: int = 1) -> None:
+        self.pids = pids
+        self.kinds = kinds or frozenset(
+            (FrameKind.REPORT, FrameKind.HEALTH, FrameKind.GAP,
+             FrameKind.HEARTBEAT))
+        self.downsample = max(1, downsample)
+        self._report_index = 0
+
+    def wants_kind(self, kind: FrameKind) -> bool:
+        return kind in self.kinds
+
+    def admit_report(self, report: AggregatedPowerReport) -> bool:
+        """Apply the pid filter and downsample ratio to one report."""
+        if self.pids is not None and not report.gap and self.pids.isdisjoint(
+                report.by_pid):
+            return False
+        index = self._report_index
+        self._report_index += 1
+        return index % self.downsample == 0
+
+    def admit_gap(self, marker: GapMarker) -> bool:
+        if self.pids is None or marker.pid == -1:
+            return True
+        return marker.pid in self.pids
+
+    def restrict(self, report: AggregatedPowerReport
+                 ) -> AggregatedPowerReport:
+        """The report with ``by_pid`` narrowed to the subscribed pids."""
+        if self.pids is None:
+            return report
+        return AggregatedPowerReport(
+            time_s=report.time_s, period_s=report.period_s,
+            by_pid={pid: watts for pid, watts in report.by_pid.items()
+                    if pid in self.pids},
+            idle_w=report.idle_w, formula=report.formula, gap=report.gap)
+
+
+class _Subscriber:
+    """Server-side state for one connected subscriber."""
+
+    _ids = 0
+
+    def __init__(self, server: "TelemetryServer",
+                 conn: socket.socket, peer: Tuple[str, int]) -> None:
+        _Subscriber._ids += 1
+        self.id = _Subscriber._ids
+        self.server = server
+        self.conn = conn
+        self.peer = peer
+        self.queue = BoundedFrameQueue(server.queue_capacity,
+                                       server.overflow,
+                                       on_block=server._count_stall)
+        self.subscription: Optional[_Subscription] = None
+        self.agent = ""
+        self.version = wire.PROTOCOL_VERSION
+        self.ready = False
+        self.closed = False
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.thread = threading.Thread(
+            target=self._run, name=f"telemetry-sub-{self.id}", daemon=True)
+
+    # -- handshake + writer loop --------------------------------------
+
+    def _run(self) -> None:
+        try:
+            if self._handshake():
+                self.server._subscriber_ready(self)
+                self._write_loop()
+        except (OSError, WireProtocolError, TelemetryError):
+            pass
+        finally:
+            self.server._remove_subscriber(self)
+
+    def _handshake(self) -> bool:
+        decoder = wire.FrameDecoder()
+        hello: Optional[wire.Frame] = None
+        subscribe: Optional[wire.Frame] = None
+        while subscribe is None:
+            data = self.conn.recv(_RECV_BYTES)
+            if not data:
+                return False
+            for frame in decoder.feed(data):
+                if frame.kind is FrameKind.HELLO and hello is None:
+                    hello = frame
+                elif frame.kind is FrameKind.SUBSCRIBE and hello is not None:
+                    subscribe = frame
+                    break
+                else:
+                    self._refuse(f"unexpected {frame.kind.name} frame "
+                                 "during handshake")
+                    return False
+        try:
+            self.version = wire.negotiate_version(
+                hello.payload.get("versions", ()))
+        except WireProtocolError as exc:
+            self._refuse(str(exc))
+            return False
+        self.agent = str(hello.payload.get("agent", ""))
+        try:
+            self.subscription = self._parse_subscription(subscribe.payload)
+        except (WireProtocolError, TypeError, ValueError) as exc:
+            self._refuse(f"bad subscription: {exc}")
+            return False
+        self.conn.sendall(wire.encode_frame(
+            FrameKind.HELLO,
+            wire.hello_payload(agent=self.server.agent,
+                               chosen=self.version),
+        ))
+        return True
+
+    @staticmethod
+    def _parse_subscription(payload: Dict[str, object]) -> _Subscription:
+        pids = payload.get("pids")
+        kinds = payload.get("kinds")
+        return _Subscription(
+            pids=None if pids is None else frozenset(
+                int(pid) for pid in pids),
+            kinds=None if kinds is None else frozenset(
+                wire.kinds_from_names(kinds)),
+            downsample=int(payload.get("downsample", 1)),
+        )
+
+    def _refuse(self, reason: str) -> None:
+        try:
+            self.conn.sendall(wire.error_frame(reason))
+        except OSError:
+            pass
+
+    def _write_loop(self) -> None:
+        while True:
+            item = self.queue.pop()
+            if item is None:
+                return
+            _kind, data = item
+            self.conn.sendall(data)
+            with self.server._cond:
+                self.frames_sent += 1
+                self.bytes_sent += len(data)
+                self.server._cond.notify_all()
+
+    # -- publisher side -----------------------------------------------
+
+    def offer(self, kind: FrameKind, data: bytes) -> bool:
+        return self.queue.offer(kind, data)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.queue.close()
+        try:
+            self.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, object]:
+        """This subscriber's delivery counters."""
+        return {
+            "id": self.id,
+            "agent": self.agent,
+            "peer": f"{self.peer[0]}:{self.peer[1]}",
+            "version": self.version,
+            "frames_sent": self.frames_sent,
+            "frames_dropped": self.queue.dropped,
+            "bytes_sent": self.bytes_sent,
+            "queue_high_water": self.queue.high_water,
+            "queue_depth": len(self.queue),
+            "blocked": self.queue.blocked,
+        }
+
+
+class TelemetryServer:
+    """Streams pipeline telemetry to TCP subscribers on localhost.
+
+    Thread model: ``start()`` spawns the accept thread; every
+    connection gets its own handler thread.  ``publish_*`` may be
+    called from any thread (typically the single actor-dispatch
+    thread through a :class:`TelemetryBridge`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 overflow: str = OverflowPolicy.DROP_OLDEST,
+                 queue_capacity: int = 256,
+                 host_label: str = "",
+                 heartbeat_every: int = 0,
+                 agent: str = "repro-telemetry-server") -> None:
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        if overflow not in OverflowPolicy.ALL:
+            raise ConfigurationError(
+                f"unknown overflow policy {overflow!r}; "
+                f"use one of {', '.join(OverflowPolicy.ALL)}")
+        if heartbeat_every < 0:
+            raise ConfigurationError("heartbeat_every must be >= 0")
+        self.host = host
+        self.overflow = overflow
+        self.queue_capacity = queue_capacity
+        self.host_label = host_label
+        self.heartbeat_every = heartbeat_every
+        self.agent = agent
+        self._requested_port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._subscribers: List[_Subscriber] = []
+        self._cond = threading.Condition()
+        self._running = False
+        self.reports_published = 0
+        self.health_published = 0
+        self.gaps_published = 0
+        self.heartbeats_published = 0
+        #: Times a publish had to wait on a full ``block``-policy queue.
+        self.stalls = 0
+        self._seq = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind, listen, and start accepting subscribers."""
+        if self._running:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(128)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="telemetry-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ephemeral ``port=0``)."""
+        if self._listener is None:
+            raise TelemetryError("server is not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) subscribers should connect to."""
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        """Close the listener and every subscriber (idempotent)."""
+        with self._cond:
+            if not self._running and self._listener is None:
+                return
+            self._running = False
+        if self._listener is not None:
+            # shutdown() (not just close()) is what actually wakes a
+            # thread blocked in accept() on Linux.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        for subscriber in self.subscribers():
+            subscriber.close()
+            subscriber.thread.join(timeout=5.0)
+        with self._cond:
+            self._subscribers.clear()
+            self._cond.notify_all()
+
+    # -- accepting ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            subscriber = _Subscriber(self, conn, peer)
+            subscriber.thread.start()
+
+    def _subscriber_ready(self, subscriber: _Subscriber) -> None:
+        with self._cond:
+            subscriber.ready = True
+            self._subscribers.append(subscriber)
+            self._cond.notify_all()
+
+    def _remove_subscriber(self, subscriber: _Subscriber) -> None:
+        subscriber.close()
+        with self._cond:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+            self._cond.notify_all()
+
+    # -- publishing ---------------------------------------------------
+
+    def publish_report(self, report: AggregatedPowerReport) -> int:
+        """Fan one aggregated report out; returns queues offered to."""
+        with self._cond:
+            seq = self._seq
+            self._seq += 1
+            self.reports_published += 1
+            targets = list(self._subscribers)
+        base: Optional[bytes] = None
+        offered = 0
+        for subscriber in targets:
+            subscription = subscriber.subscription
+            if (subscription is None
+                    or not subscription.wants_kind(FrameKind.REPORT)
+                    or not subscription.admit_report(report)):
+                continue
+            if subscription.pids is None:
+                if base is None:
+                    base = wire.report_frame(report, host=self.host_label,
+                                             seq=seq)
+                data = base
+            else:
+                data = wire.report_frame(subscription.restrict(report),
+                                         host=self.host_label, seq=seq)
+            offered += self._offer(subscriber, FrameKind.REPORT, data)
+        self._maybe_heartbeat(report.time_s)
+        self._notify()
+        return offered
+
+    def publish_health(self, event: HealthEvent) -> int:
+        """Fan one health event out to health subscribers."""
+        with self._cond:
+            self.health_published += 1
+            targets = list(self._subscribers)
+        data = wire.health_frame(event, host=self.host_label)
+        offered = sum(
+            self._offer(sub, FrameKind.HEALTH, data) for sub in targets
+            if sub.subscription is not None
+            and sub.subscription.wants_kind(FrameKind.HEALTH))
+        self._notify()
+        return offered
+
+    def publish_gap(self, marker: GapMarker) -> int:
+        """Fan one sensor gap marker out to gap subscribers."""
+        with self._cond:
+            self.gaps_published += 1
+            targets = list(self._subscribers)
+        data = wire.gap_frame(marker, host=self.host_label)
+        offered = sum(
+            self._offer(sub, FrameKind.GAP, data) for sub in targets
+            if sub.subscription is not None
+            and sub.subscription.wants_kind(FrameKind.GAP)
+            and sub.subscription.admit_gap(marker))
+        self._notify()
+        return offered
+
+    def _maybe_heartbeat(self, time_s: float) -> None:
+        if (self.heartbeat_every <= 0
+                or self.reports_published % self.heartbeat_every != 0):
+            return
+        with self._cond:
+            self.heartbeats_published += 1
+            seq = self.heartbeats_published
+            targets = list(self._subscribers)
+        data = wire.heartbeat_frame(seq, time_s, host=self.host_label)
+        for subscriber in targets:
+            if (subscriber.subscription is not None
+                    and subscriber.subscription.wants_kind(
+                        FrameKind.HEARTBEAT)):
+                self._offer(subscriber, FrameKind.HEARTBEAT, data)
+
+    def _count_stall(self) -> None:
+        # Taken from inside a queue's lock; safe because no server path
+        # acquires a queue lock while holding ``_cond`` (lock order is
+        # always queue -> server).
+        with self._cond:
+            self.stalls += 1
+            self._cond.notify_all()
+
+    @staticmethod
+    def _offer(subscriber: _Subscriber, kind: FrameKind,
+               data: bytes) -> int:
+        return 1 if subscriber.offer(kind, data) else 0
+
+    def _notify(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- introspection -------------------------------------------------
+
+    def subscribers(self) -> List[_Subscriber]:
+        """A snapshot of the currently connected, ready subscribers."""
+        with self._cond:
+            return list(self._subscribers)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._cond:
+            return len(self._subscribers)
+
+    def stats(self) -> Dict[str, object]:
+        """Server-wide and per-subscriber delivery counters."""
+        with self._cond:
+            subscribers = [sub.stats() for sub in self._subscribers]
+        return {
+            "host_label": self.host_label,
+            "overflow": self.overflow,
+            "queue_capacity": self.queue_capacity,
+            "reports_published": self.reports_published,
+            "health_published": self.health_published,
+            "gaps_published": self.gaps_published,
+            "heartbeats_published": self.heartbeats_published,
+            "stalls": self.stalls,
+            "subscribers": subscribers,
+        }
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: float = 5.0) -> bool:
+        """Condition-based wait until *predicate()* holds (no polling)."""
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self._cond:
+            return self._cond.wait_for(predicate, timeout=deadline)
+
+    def wait_for_subscribers(self, count: int,
+                             timeout: float = 5.0) -> bool:
+        """Wait until *count* subscribers have completed their handshake."""
+        return self.wait_for(
+            lambda: len(self._subscribers) >= count, timeout=timeout)
+
+    def wait_until_sent(self, frames: int, timeout: float = 5.0) -> bool:
+        """Wait until every subscriber has sent >= *frames* frames."""
+        def _done() -> bool:
+            return all(sub.frames_sent >= frames
+                       for sub in self._subscribers)
+        return self.wait_for(_done, timeout=timeout)
+
+
+class TelemetryBridge(Actor):
+    """The actor gluing the event bus to a :class:`TelemetryServer`.
+
+    Subscribes to :class:`AggregatedPowerReport`, :class:`HealthEvent`
+    and :class:`GapMarker` and forwards each to the server, optionally
+    restricted to one pipeline's pids — which is what scopes a server
+    to a single :class:`~repro.core.monitor.MonitorHandle`.
+    """
+
+    def __init__(self, server: TelemetryServer,
+                 pids: Optional[Sequence[int]] = None) -> None:
+        super().__init__()
+        self.server = server
+        self.pids = None if pids is None else frozenset(pids)
+        self.forwarded = 0
+
+    def pre_start(self) -> None:
+        bus = self.context.system.event_bus
+        bus.subscribe(AggregatedPowerReport, self.self_ref)
+        bus.subscribe(HealthEvent, self.self_ref)
+        bus.subscribe(GapMarker, self.self_ref)
+
+    def receive(self, message) -> None:
+        if isinstance(message, AggregatedPowerReport):
+            if (self.pids is not None and not message.gap
+                    and self.pids.isdisjoint(message.by_pid)):
+                return
+            self.server.publish_report(message)
+        elif isinstance(message, HealthEvent):
+            self.server.publish_health(message)
+        elif isinstance(message, GapMarker):
+            if (self.pids is not None and message.pid != -1
+                    and message.pid not in self.pids):
+                return
+            self.server.publish_gap(message)
+        else:
+            return
+        self.forwarded += 1

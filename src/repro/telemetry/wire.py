@@ -1,0 +1,327 @@
+"""The telemetry wire protocol: versioned, length-prefixed binary frames.
+
+Every message on a telemetry connection is one frame::
+
+    +--------+---------+------+----------------+-----------------+
+    | magic  | version | kind | payload length | payload (JSON)  |
+    | 2 B    | 1 B     | 1 B  | 4 B big-endian | length bytes    |
+    +--------+---------+------+----------------+-----------------+
+
+The fixed 8-byte header is struct-packed (``!2sBBI``); the payload is a
+UTF-8 JSON object (compact separators, sorted keys) so frames are
+byte-stable for identical content.  Decoding is strict: a bad magic,
+unknown kind, unsupported version or oversized length raises
+:class:`~repro.errors.WireProtocolError` — a corrupt stream can never be
+silently resynchronised into garbage data.
+
+Version negotiation is forward-compatible: :data:`FrameKind.HELLO`
+frames are always encoded at protocol version 1 and carry the sender's
+full ``versions`` list, so a v1 peer can always read a v9 peer's hello
+and the pair settles on ``max(common)`` (:func:`negotiate_version`).
+All post-handshake frames use the negotiated version in their header.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
+from repro.errors import WireProtocolError
+
+#: Magic bytes opening every frame ("PowerWire").
+MAGIC = b"PW"
+#: The protocol version this implementation speaks natively.
+PROTOCOL_VERSION = 1
+#: Every version this implementation can decode.
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1,)
+#: Hello frames are always encoded at the floor version so any peer can
+#: read them before negotiation.
+HELLO_VERSION = 1
+
+_HEADER = struct.Struct("!2sBBI")
+HEADER_SIZE = _HEADER.size
+
+#: Hard payload bound; a corrupt length field fails fast instead of
+#: allocating gigabytes.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+
+class FrameKind(enum.IntEnum):
+    """The seven frame kinds of protocol version 1."""
+
+    HELLO = 1       #: handshake: version lists / chosen version
+    SUBSCRIBE = 2   #: client -> server: filters (pids, kinds, downsample)
+    REPORT = 3      #: server -> client: one AggregatedPowerReport
+    HEALTH = 4      #: server -> client: one HealthEvent
+    GAP = 5         #: server -> client: one sensor GapMarker
+    HEARTBEAT = 6   #: server -> client: liveness marker with sequence
+    ERROR = 7       #: either direction: fatal protocol error, then close
+
+
+#: Event-kind names accepted in Subscribe filters (Hello/Subscribe/Error
+#: are connection plumbing, not subscribable events).
+SUBSCRIBABLE_KINDS: Tuple[str, ...] = ("report", "health", "gap",
+                                       "heartbeat")
+
+_KIND_BY_NAME = {"report": FrameKind.REPORT, "health": FrameKind.HEALTH,
+                 "gap": FrameKind.GAP, "heartbeat": FrameKind.HEARTBEAT}
+
+
+def kinds_from_names(names: Iterable[str]) -> Tuple[FrameKind, ...]:
+    """Map Subscribe filter names to frame kinds (strictly validated)."""
+    kinds = []
+    for name in names:
+        try:
+            kinds.append(_KIND_BY_NAME[name])
+        except KeyError:
+            raise WireProtocolError(
+                f"unknown event kind {name!r}; expected one of "
+                f"{', '.join(SUBSCRIBABLE_KINDS)}") from None
+    return tuple(kinds)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its kind, header version and JSON payload."""
+
+    kind: FrameKind
+    payload: Dict[str, object] = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+
+def encode_frame(kind: FrameKind, payload: Optional[Dict[str, object]] = None,
+                 version: int = PROTOCOL_VERSION) -> bytes:
+    """Serialize one frame to bytes (header + compact JSON payload)."""
+    try:
+        kind = FrameKind(kind)
+    except ValueError:
+        raise WireProtocolError(f"unknown frame kind {kind!r}") from None
+    if not 0 < version < 256:
+        raise WireProtocolError(f"version {version} out of range")
+    if kind is FrameKind.HELLO:
+        version = HELLO_VERSION
+    body = json.dumps(payload or {}, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise WireProtocolError(
+            f"payload of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit")
+    return _HEADER.pack(MAGIC, version, int(kind), len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed byte chunks, harvest complete frames.
+
+    The decoder accepts frames whose header version is in
+    *accept_versions*, plus Hello frames at :data:`HELLO_VERSION`
+    regardless (so negotiation can happen at all).  Any violation raises
+    :class:`~repro.errors.WireProtocolError` and poisons the decoder —
+    after a stream error there is no way to trust later bytes.
+    """
+
+    def __init__(self,
+                 accept_versions: Sequence[int] = SUPPORTED_VERSIONS) -> None:
+        self.accept_versions = tuple(accept_versions)
+        self._buffer = bytearray()
+        self._poisoned: Optional[str] = None
+        #: Total frames decoded over the connection's lifetime.
+        self.frames_decoded = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes received but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def _fail(self, reason: str) -> None:
+        self._poisoned = reason
+        raise WireProtocolError(reason)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume *data*, returning every frame it completes (in order)."""
+        if self._poisoned is not None:
+            raise WireProtocolError(
+                f"decoder poisoned by earlier error: {self._poisoned}")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while len(self._buffer) >= HEADER_SIZE:
+            magic, version, kind_byte, length = _HEADER.unpack_from(
+                self._buffer)
+            if magic != MAGIC:
+                self._fail(f"bad frame magic {bytes(magic)!r} "
+                           f"(expected {MAGIC!r}): corrupt stream")
+            if length > MAX_PAYLOAD_BYTES:
+                self._fail(f"frame length {length} exceeds the "
+                           f"{MAX_PAYLOAD_BYTES}-byte limit")
+            try:
+                kind = FrameKind(kind_byte)
+            except ValueError:
+                self._fail(f"unknown frame kind {kind_byte}")
+            if version not in self.accept_versions and not (
+                    kind is FrameKind.HELLO and version == HELLO_VERSION):
+                self._fail(f"unsupported protocol version {version} "
+                           f"(accepting {list(self.accept_versions)})")
+            if len(self._buffer) < HEADER_SIZE + length:
+                break  # incomplete frame: wait for more bytes
+            body = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buffer[:HEADER_SIZE + length]
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._fail(f"frame payload is not valid JSON "
+                           f"({len(body)} bytes, kind {kind.name})")
+            if not isinstance(payload, dict):
+                self._fail(f"frame payload must be a JSON object, "
+                           f"got {type(payload).__name__}")
+            frames.append(Frame(kind=kind, payload=payload, version=version))
+            self.frames_decoded += 1
+        return frames
+
+
+def negotiate_version(peer_versions: Iterable[int],
+                      ours: Sequence[int] = SUPPORTED_VERSIONS) -> int:
+    """Pick the highest protocol version both sides speak."""
+    common = set(int(v) for v in peer_versions) & set(ours)
+    if not common:
+        raise WireProtocolError(
+            f"no common protocol version: peer speaks "
+            f"{sorted(set(int(v) for v in peer_versions))}, "
+            f"we speak {sorted(ours)}")
+    return max(common)
+
+
+# -- handshake payloads ---------------------------------------------------
+
+def hello_payload(agent: str,
+                  versions: Sequence[int] = SUPPORTED_VERSIONS,
+                  chosen: Optional[int] = None) -> Dict[str, object]:
+    """A Hello payload; the server's reply sets *chosen*."""
+    payload: Dict[str, object] = {"agent": agent,
+                                  "versions": [int(v) for v in versions]}
+    if chosen is not None:
+        payload["version"] = int(chosen)
+    return payload
+
+
+def subscribe_payload(pids: Optional[Iterable[int]] = None,
+                      kinds: Optional[Iterable[str]] = None,
+                      downsample: int = 1) -> Dict[str, object]:
+    """A Subscribe payload: None filters mean "everything"."""
+    if downsample < 1:
+        raise WireProtocolError("downsample ratio must be >= 1")
+    payload: Dict[str, object] = {"downsample": int(downsample)}
+    if pids is not None:
+        payload["pids"] = sorted(int(pid) for pid in pids)
+    if kinds is not None:
+        names = tuple(kinds)
+        kinds_from_names(names)  # validate eagerly, fail on the client
+        payload["kinds"] = sorted(names)
+    return payload
+
+
+# -- event payloads -------------------------------------------------------
+
+def report_frame(report: AggregatedPowerReport, host: str = "",
+                 seq: int = 0, version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode one aggregated report as a Report frame."""
+    payload = report.to_wire()
+    payload["host"] = host
+    payload["seq"] = int(seq)
+    return encode_frame(FrameKind.REPORT, payload, version=version)
+
+
+def health_frame(event: HealthEvent, host: str = "",
+                 version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode one health event as a Health frame."""
+    payload = event.to_wire()
+    payload["host"] = host
+    return encode_frame(FrameKind.HEALTH, payload, version=version)
+
+
+def gap_frame(marker: GapMarker, host: str = "",
+              version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode one sensor gap marker as a Gap frame."""
+    payload = marker.to_wire()
+    payload["host"] = host
+    return encode_frame(FrameKind.GAP, payload, version=version)
+
+
+def heartbeat_frame(seq: int, time_s: float, host: str = "",
+                    version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode a liveness heartbeat."""
+    return encode_frame(FrameKind.HEARTBEAT,
+                        {"seq": int(seq), "time_s": float(time_s),
+                         "host": host}, version=version)
+
+
+def error_frame(reason: str, version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode a fatal protocol error (the sender closes afterwards)."""
+    return encode_frame(FrameKind.ERROR, {"reason": reason}, version=version)
+
+
+# -- typed decode ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReportEvent:
+    """A Report frame decoded back into library types."""
+
+    report: AggregatedPowerReport
+    host: str = ""
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class HealthTelemetry:
+    """A Health frame decoded back into a :class:`HealthEvent`."""
+
+    event: HealthEvent
+    host: str = ""
+
+
+@dataclass(frozen=True)
+class GapTelemetry:
+    """A Gap frame decoded back into a :class:`GapMarker`."""
+
+    marker: GapMarker
+    host: str = ""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """A Heartbeat frame."""
+
+    seq: int
+    time_s: float
+    host: str = ""
+
+
+def decode_event(frame: Frame):
+    """Convert a server-stream frame into its typed event object.
+
+    Hello/Subscribe/Error frames are connection plumbing and stay raw:
+    this returns the :class:`Frame` unchanged for them.
+    """
+    try:
+        payload = frame.payload
+        if frame.kind is FrameKind.REPORT:
+            return ReportEvent(
+                report=AggregatedPowerReport.from_wire(payload),
+                host=str(payload.get("host", "")),
+                seq=int(payload.get("seq", 0)))
+        if frame.kind is FrameKind.HEALTH:
+            return HealthTelemetry(event=HealthEvent.from_wire(payload),
+                                   host=str(payload.get("host", "")))
+        if frame.kind is FrameKind.GAP:
+            return GapTelemetry(marker=GapMarker.from_wire(payload),
+                                host=str(payload.get("host", "")))
+        if frame.kind is FrameKind.HEARTBEAT:
+            return Heartbeat(seq=int(payload["seq"]),
+                             time_s=float(payload["time_s"]),
+                             host=str(payload.get("host", "")))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireProtocolError(
+            f"malformed {frame.kind.name} payload: {exc}") from None
+    return frame

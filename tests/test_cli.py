@@ -81,3 +81,48 @@ class TestReplay:
         assert code == 0
         assert "median_ape" in output
         assert "powerspy" in output
+
+
+class TestTelemetryCli:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("telemetry-cli") / "model.json"
+        run_cli(["learn", "--quick", "--output", str(path)])
+        return path
+
+    def test_serve_runs_and_reports_stats(self, model_path):
+        code, output = run_cli(["serve", "--model", str(model_path),
+                                "--workload", "cpu", "--duration", "3",
+                                "--period", "1"])
+        assert code == 0
+        assert "telemetry: serving on 127.0.0.1:" in output
+        assert "published 3 reports" in output
+        assert "stalls: 0" in output
+
+    def test_subscribe_prints_stream(self):
+        import threading
+
+        from repro.core.messages import AggregatedPowerReport
+        from repro.telemetry.server import TelemetryServer
+
+        server = TelemetryServer(port=0, host_label="cli-host").start()
+
+        def publish():
+            if server.wait_for_subscribers(1, timeout=10.0):
+                for time_s in (1.0, 2.0):
+                    server.publish_report(AggregatedPowerReport(
+                        time_s=time_s, period_s=1.0, by_pid={100: 5.0},
+                        idle_w=30.0, formula="hpc"))
+
+        publisher = threading.Thread(target=publish, daemon=True)
+        publisher.start()
+        try:
+            code, output = run_cli(["subscribe", "--port", str(server.port),
+                                    "--max-frames", "2"])
+            publisher.join(timeout=10.0)
+        finally:
+            server.stop()
+        assert code == 0
+        assert "total= 35.00W" in output
+        assert "host=cli-host" in output
+        assert "received 2 frame(s)" in output

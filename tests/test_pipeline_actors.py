@@ -237,8 +237,8 @@ class TestReporters:
         system.dispatch()
         system.stop(ref)
         lines = path.read_text().strip().splitlines()
-        assert lines[0] == "time_s,total_w,idle_w,pid_1_w,pid_2_w"
-        assert lines[1].startswith("1.000,35.0000,30.0000,5.0000,0.0000")
+        assert lines[0] == "time_s,total_w,idle_w,pid_1_w,pid_2_w,gap"
+        assert lines[1].startswith("1.000,35.0000,30.0000,5.0000,0.0000,0")
 
     def test_callback_reporter(self, system):
         seen = []

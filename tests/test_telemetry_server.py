@@ -1,0 +1,444 @@
+"""Telemetry server tests: queue overflow policies, fan-out, filters,
+handshake strictness and the event-bus bridge.
+
+All socket tests bind ephemeral localhost ports and synchronise with
+condition-based waits — no sleeps anywhere.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.actors.system import ActorSystem
+from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.telemetry import wire
+from repro.telemetry.client import TelemetryClient
+from repro.telemetry.server import (BoundedFrameQueue, OverflowPolicy,
+                                    TelemetryBridge, TelemetryServer)
+from repro.telemetry.wire import (FrameKind, GapTelemetry, Heartbeat,
+                                  HealthTelemetry, ReportEvent)
+
+pytestmark = pytest.mark.telemetry
+
+
+def report(time_s=1.0, by_pid=None, gap=False):
+    return AggregatedPowerReport(
+        time_s=time_s, period_s=1.0,
+        by_pid={} if gap else (by_pid if by_pid is not None else {100: 5.5}),
+        idle_w=31.48, formula="hpc", gap=gap)
+
+
+@pytest.fixture
+def server():
+    srv = TelemetryServer(port=0, queue_capacity=64).start()
+    yield srv
+    srv.stop()
+
+
+def make_client(server, **kwargs):
+    client = TelemetryClient("127.0.0.1", server.port,
+                             read_timeout_s=10.0, **kwargs)
+    client.connect()
+    return client
+
+
+class TestBoundedFrameQueue:
+    """The overflow policies, unit-tested without any I/O."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(0)
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(4, policy="bogus")
+
+    def test_fifo_within_capacity(self):
+        queue = BoundedFrameQueue(4)
+        for index in range(3):
+            queue.offer(FrameKind.REPORT, b"%d" % index)
+        assert [queue.pop()[1] for _ in range(3)] == [b"0", b"1", b"2"]
+        assert queue.dropped == 0 and queue.high_water == 3
+
+    def test_drop_oldest_evicts_head(self):
+        queue = BoundedFrameQueue(2, policy=OverflowPolicy.DROP_OLDEST)
+        for index in range(5):
+            queue.offer(FrameKind.REPORT, b"%d" % index)
+        assert queue.dropped == 3
+        assert [queue.pop()[1] for _ in range(2)] == [b"3", b"4"]
+        assert queue.high_water == 2
+
+    def test_coalesce_keeps_latest_report(self):
+        queue = BoundedFrameQueue(2, policy=OverflowPolicy.COALESCE)
+        queue.offer(FrameKind.HEALTH, b"h")
+        for index in range(5):
+            queue.offer(FrameKind.REPORT, b"r%d" % index)
+        # Health frame survives; pending reports collapsed to the last.
+        assert queue.dropped == 4
+        assert queue.pop() == (FrameKind.HEALTH, b"h")
+        assert queue.pop() == (FrameKind.REPORT, b"r4")
+
+    def test_coalesce_full_of_non_reports_falls_back_to_drop_oldest(self):
+        queue = BoundedFrameQueue(2, policy=OverflowPolicy.COALESCE)
+        queue.offer(FrameKind.HEALTH, b"h0")
+        queue.offer(FrameKind.HEALTH, b"h1")
+        queue.offer(FrameKind.HEALTH, b"h2")
+        assert queue.dropped == 1
+        assert queue.pop() == (FrameKind.HEALTH, b"h1")
+
+    def test_block_waits_for_space(self):
+        stalled = threading.Event()
+        queue = BoundedFrameQueue(1, policy=OverflowPolicy.BLOCK,
+                                  on_block=stalled.set)
+        queue.offer(FrameKind.REPORT, b"0")
+        done = threading.Event()
+
+        def produce():
+            queue.offer(FrameKind.REPORT, b"1")
+            done.set()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        assert stalled.wait(timeout=5.0)  # producer is provably blocked
+        assert not done.is_set()
+        assert queue.pop()[1] == b"0"  # frees space, unblocks producer
+        assert done.wait(timeout=5.0)
+        assert queue.pop()[1] == b"1"
+        assert queue.blocked == 1
+
+    def test_close_unblocks_producer_and_consumer(self):
+        queue = BoundedFrameQueue(1, policy=OverflowPolicy.BLOCK)
+        queue.offer(FrameKind.REPORT, b"0")
+        results = []
+
+        def produce():
+            results.append(queue.offer(FrameKind.REPORT, b"1"))
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        queue.close()
+        producer.join(timeout=5.0)
+        assert results == [False]
+        assert queue.pop() == (FrameKind.REPORT, b"0")  # drains
+        assert queue.pop() is None  # then ends
+
+    def test_pause_holds_consumer(self):
+        queue = BoundedFrameQueue(4)
+        queue.pause()
+        queue.offer(FrameKind.REPORT, b"0")
+        popped = []
+
+        def consume():
+            popped.append(queue.pop())
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        assert not popped
+        queue.resume()
+        consumer.join(timeout=5.0)
+        assert popped == [(FrameKind.REPORT, b"0")]
+
+
+class TestFanOut:
+    def test_single_subscriber_receives_reports_in_order(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        for index in range(5):
+            server.publish_report(report(time_s=float(index)))
+        events = client.collect(5)
+        assert [e.report.time_s for e in events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [e.seq for e in events] == list(range(5))
+        assert all(isinstance(e, ReportEvent) for e in events)
+        client.close()
+
+    def test_eight_subscribers_all_receive_everything(self, server):
+        clients = [make_client(server) for _ in range(8)]
+        assert server.wait_for_subscribers(8)
+        for index in range(10):
+            server.publish_report(report(time_s=float(index)))
+        for client in clients:
+            times = [e.report.time_s for e in client.collect(10)]
+            assert times == [float(i) for i in range(10)]
+        for client in clients:
+            client.close()
+
+    def test_health_and_gap_frames_fan_out(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        server.publish_health(HealthEvent(
+            time_s=1.0, component="hpc-sensor-0", kind="degraded"))
+        server.publish_gap(GapMarker(time_s=2.0, period_s=1.0, pid=-1,
+                                     source="meter"))
+        health, gap = client.collect(2)
+        assert isinstance(health, HealthTelemetry)
+        assert health.event.kind == "degraded"
+        assert isinstance(gap, GapTelemetry)
+        assert gap.marker.source == "meter"
+        client.close()
+
+    def test_gap_marked_report_travels_with_flag(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        server.publish_report(report(time_s=9.0, gap=True))
+        (event,) = client.collect(1)
+        assert event.report.gap is True and event.report.by_pid == {}
+        client.close()
+
+    def test_host_label_stamped_on_frames(self):
+        server = TelemetryServer(port=0, host_label="machine-7").start()
+        try:
+            client = make_client(server)
+            assert server.wait_for_subscribers(1)
+            server.publish_report(report())
+            (event,) = client.collect(1)
+            assert event.host == "machine-7"
+            client.close()
+        finally:
+            server.stop()
+
+    def test_per_subscriber_counters(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        for index in range(4):
+            server.publish_report(report(time_s=float(index)))
+        client.collect(4)
+        assert server.wait_until_sent(4)
+        (stats,) = server.stats()["subscribers"]
+        assert stats["frames_sent"] == 4
+        assert stats["frames_dropped"] == 0
+        assert stats["bytes_sent"] > 0
+        assert 1 <= stats["queue_high_water"] <= 4
+        client.close()
+
+
+class TestFilters:
+    def test_pid_filter_restricts_by_pid(self, server):
+        client = make_client(server, pids=[100])
+        assert server.wait_for_subscribers(1)
+        server.publish_report(report(by_pid={100: 5.0, 200: 7.0}))
+        server.publish_report(report(time_s=2.0, by_pid={200: 7.0}))
+        server.publish_report(report(time_s=3.0, by_pid={100: 1.0}))
+        events = client.collect(2)
+        assert [set(e.report.by_pid) for e in events] == [{100}, {100}]
+        assert [e.report.time_s for e in events] == [1.0, 3.0]
+        client.close()
+
+    def test_kind_filter(self, server):
+        client = make_client(server, kinds=["health"])
+        assert server.wait_for_subscribers(1)
+        server.publish_report(report())
+        server.publish_health(HealthEvent(
+            time_s=1.0, component="x", kind="recovered"))
+        (event,) = client.collect(1)
+        assert isinstance(event, HealthTelemetry)
+        client.close()
+
+    def test_downsample_every_other_report(self, server):
+        client = make_client(server, downsample=2)
+        assert server.wait_for_subscribers(1)
+        for index in range(6):
+            server.publish_report(report(time_s=float(index)))
+        events = client.collect(3)
+        assert [e.report.time_s for e in events] == [0.0, 2.0, 4.0]
+        client.close()
+
+    def test_heartbeat_every_n_reports(self):
+        server = TelemetryServer(port=0, heartbeat_every=2).start()
+        try:
+            client = make_client(server)
+            assert server.wait_for_subscribers(1)
+            for index in range(4):
+                server.publish_report(report(time_s=float(index)))
+            events = client.collect(6)
+            beats = [e for e in events if isinstance(e, Heartbeat)]
+            assert [b.seq for b in beats] == [1, 2]
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestOverflow:
+    """Slow-subscriber behaviour for all three policies.
+
+    The subscriber's writer is paused through its queue — the
+    deterministic stand-in for a subscriber that stopped reading.
+    """
+
+    def _paused_subscriber(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        (subscriber,) = server.subscribers()
+        subscriber.queue.pause()
+        return client, subscriber
+
+    def test_drop_oldest_sheds_without_stalling(self):
+        server = TelemetryServer(port=0, queue_capacity=4,
+                                 overflow=OverflowPolicy.DROP_OLDEST).start()
+        try:
+            client, subscriber = self._paused_subscriber(server)
+            for index in range(20):
+                server.publish_report(report(time_s=float(index)))
+            assert server.stalls == 0
+            assert subscriber.queue.dropped == 16
+            assert subscriber.queue.high_water == 4
+            subscriber.queue.resume()
+            events = client.collect(4)
+            assert [e.report.time_s for e in events] == [16.0, 17.0,
+                                                         18.0, 19.0]
+            client.close()
+        finally:
+            server.stop()
+
+    def test_coalesce_delivers_latest_state(self):
+        server = TelemetryServer(port=0, queue_capacity=2,
+                                 overflow=OverflowPolicy.COALESCE).start()
+        try:
+            client, subscriber = self._paused_subscriber(server)
+            server.publish_health(HealthEvent(
+                time_s=0.0, component="x", kind="degraded"))
+            for index in range(50):
+                server.publish_report(report(time_s=float(index)))
+            assert server.stalls == 0
+            assert subscriber.queue.dropped == 49
+            subscriber.queue.resume()
+            health, latest = client.collect(2)
+            assert isinstance(health, HealthTelemetry)
+            assert latest.report.time_s == 49.0
+            client.close()
+        finally:
+            server.stop()
+
+    def test_block_policy_stalls_the_publisher(self):
+        server = TelemetryServer(port=0, queue_capacity=2,
+                                 overflow=OverflowPolicy.BLOCK).start()
+        try:
+            client, subscriber = self._paused_subscriber(server)
+            server.publish_report(report(time_s=0.0))
+            server.publish_report(report(time_s=1.0))
+            blocked_publish = threading.Thread(
+                target=lambda: server.publish_report(report(time_s=2.0)),
+                daemon=True)
+            blocked_publish.start()
+            assert server.wait_for(lambda: server.stalls >= 1)
+            subscriber.queue.resume()
+            blocked_publish.join(timeout=5.0)
+            assert not blocked_publish.is_alive()
+            events = client.collect(3)
+            assert [e.report.time_s for e in events] == [0.0, 1.0, 2.0]
+            assert subscriber.queue.dropped == 0
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestHandshake:
+    def test_bad_subscription_kind_is_refused(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(wire.encode_frame(
+                FrameKind.HELLO, wire.hello_payload("bad-client")))
+            sock.sendall(wire.encode_frame(
+                FrameKind.SUBSCRIBE, {"kinds": ["bogus"], "downsample": 1}))
+            decoder = wire.FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(65536)
+                assert data, "server closed without an error frame"
+                frames = decoder.feed(data)
+            assert frames[0].kind is FrameKind.ERROR
+            assert "bogus" in frames[0].payload["reason"]
+        finally:
+            sock.close()
+        assert server.subscriber_count == 0
+
+    def test_no_common_version_is_refused(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(wire.encode_frame(
+                FrameKind.HELLO, {"agent": "future", "versions": [99]}))
+            sock.sendall(wire.encode_frame(
+                FrameKind.SUBSCRIBE, {"downsample": 1}))
+            decoder = wire.FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(65536)
+                assert data, "server closed without an error frame"
+                frames = decoder.feed(data)
+            assert frames[0].kind is FrameKind.ERROR
+            assert "version" in frames[0].payload["reason"]
+        finally:
+            sock.close()
+
+    def test_client_validates_filters_before_dialing(self, server):
+        client = TelemetryClient("127.0.0.1", server.port, kinds=["bogus"])
+        with pytest.raises(WireProtocolError, match="unknown event kind"):
+            client.connect()
+
+    def test_version_negotiated_to_one(self, server):
+        client = make_client(server)
+        assert client.negotiated_version == wire.PROTOCOL_VERSION
+        client.close()
+
+
+class TestBridge:
+    def test_bridge_forwards_bus_traffic(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        system = ActorSystem()
+        system.spawn(TelemetryBridge(server), name="bridge")
+        system.event_bus.publish(report(time_s=1.0))
+        system.event_bus.publish(HealthEvent(
+            time_s=1.0, component="c", kind="k"))
+        system.event_bus.publish(GapMarker(
+            time_s=2.0, period_s=1.0, pid=-1, source="hpc"))
+        system.dispatch()
+        kinds = [type(e).__name__ for e in client.collect(3)]
+        assert kinds == ["ReportEvent", "HealthTelemetry", "GapTelemetry"]
+        client.close()
+
+    def test_bridge_pid_scope(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        system = ActorSystem()
+        system.spawn(TelemetryBridge(server, pids=[100]), name="bridge")
+        system.event_bus.publish(report(time_s=1.0, by_pid={200: 3.0}))
+        system.event_bus.publish(report(time_s=2.0, by_pid={100: 4.0}))
+        system.event_bus.publish(GapMarker(
+            time_s=3.0, period_s=1.0, pid=200, source="hpc"))
+        system.event_bus.publish(GapMarker(
+            time_s=4.0, period_s=1.0, pid=100, source="hpc"))
+        system.dispatch()
+        events = client.collect(2)
+        assert isinstance(events[0], ReportEvent)
+        assert events[0].report.time_s == 2.0
+        assert isinstance(events[1], GapTelemetry)
+        assert events[1].marker.pid == 100
+        client.close()
+
+
+class TestServerLifecycle:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(overflow="nope")
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(heartbeat_every=-1)
+
+    def test_stop_is_idempotent_and_ends_clients(self, server):
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        server.stop()
+        server.stop()
+        assert list(client.events()) == []  # clean end, no exception
+
+    def test_ephemeral_ports_are_distinct(self):
+        one = TelemetryServer(port=0).start()
+        two = TelemetryServer(port=0).start()
+        try:
+            assert one.port != two.port
+        finally:
+            one.stop()
+            two.stop()
