@@ -225,7 +225,7 @@ class TelemetryClient:
                         return
                     continue
                 frames = self._decoder.feed(data)
-            for frame in frames:
+            for index, frame in enumerate(frames):
                 self.frames_received += 1
                 if frame.kind is FrameKind.ERROR:
                     self._disconnect()
@@ -235,6 +235,11 @@ class TelemetryClient:
                 yield wire.decode_event(frame)
                 yielded += 1
                 if max_events is not None and yielded >= max_events:
+                    # Frames already decoded beyond the cap must survive
+                    # for the next events()/collect() call on this
+                    # client — dropping them would lose events that were
+                    # received off the wire.
+                    self._pending = frames[index + 1:] + self._pending
                     return
 
     def __iter__(self) -> Iterator[object]:

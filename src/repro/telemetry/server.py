@@ -254,8 +254,8 @@ class _Subscriber:
         try:
             self.version = wire.negotiate_version(
                 hello.payload.get("versions", ()))
-        except WireProtocolError as exc:
-            self._refuse(str(exc))
+        except (WireProtocolError, TypeError, ValueError) as exc:
+            self._refuse(f"bad versions list: {exc}")
             return False
         self.agent = str(hello.payload.get("agent", ""))
         try:
@@ -438,9 +438,13 @@ class TelemetryServer:
     # -- accepting ----------------------------------------------------
 
     def _accept_loop(self) -> None:
+        # Capture the listener once: stop() nulls ``self._listener``
+        # concurrently, and an attribute lookup racing that assignment
+        # would raise AttributeError instead of the OSError we catch.
+        listener = self._listener
         while self._running:
             try:
-                conn, peer = self._listener.accept()
+                conn, peer = listener.accept()
             except OSError:
                 return  # listener closed
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -533,9 +537,10 @@ class TelemetryServer:
                 self._offer(subscriber, FrameKind.HEARTBEAT, data)
 
     def _count_stall(self) -> None:
-        # Taken from inside a queue's lock; safe because no server path
-        # acquires a queue lock while holding ``_cond`` (lock order is
-        # always queue -> server).
+        # Called from inside a queue's lock, so the order here is
+        # queue -> server ``_cond``.  Every other server path must
+        # therefore release ``_cond`` before touching any queue lock
+        # (see ``stats()``) or it deadlocks against a stalled publisher.
         with self._cond:
             self.stalls += 1
             self._cond.notify_all()
@@ -563,8 +568,14 @@ class TelemetryServer:
 
     def stats(self) -> Dict[str, object]:
         """Server-wide and per-subscriber delivery counters."""
-        with self._cond:
-            subscribers = [sub.stats() for sub in self._subscribers]
+        # Snapshot the list under ``_cond`` but collect each
+        # subscriber's counters only after releasing it: ``sub.stats()``
+        # takes that subscriber's queue lock, while a block-policy
+        # publisher stalled in ``offer()`` holds the queue lock and
+        # waits for ``_cond`` in ``_count_stall`` — holding both here
+        # would be an ABBA deadlock.
+        targets = self.subscribers()
+        subscribers = [sub.stats() for sub in targets]
         return {
             "host_label": self.host_label,
             "overflow": self.overflow,

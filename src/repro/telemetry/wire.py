@@ -184,12 +184,16 @@ class FrameDecoder:
 def negotiate_version(peer_versions: Iterable[int],
                       ours: Sequence[int] = SUPPORTED_VERSIONS) -> int:
     """Pick the highest protocol version both sides speak."""
-    common = set(int(v) for v in peer_versions) & set(ours)
+    try:
+        theirs = set(int(v) for v in peer_versions)
+    except (TypeError, ValueError) as exc:
+        raise WireProtocolError(
+            f"malformed versions list {peer_versions!r}: {exc}") from exc
+    common = theirs & set(ours)
     if not common:
         raise WireProtocolError(
             f"no common protocol version: peer speaks "
-            f"{sorted(set(int(v) for v in peer_versions))}, "
-            f"we speak {sorted(ours)}")
+            f"{sorted(theirs)}, we speak {sorted(ours)}")
     return max(common)
 
 

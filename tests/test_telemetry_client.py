@@ -9,6 +9,7 @@ from repro.core.messages import AggregatedPowerReport
 from repro.errors import (ConfigurationError, TelemetryConnectionError,
                           TelemetryError)
 from repro.faults.backoff import ExponentialBackoff
+from repro.telemetry import wire
 from repro.telemetry.client import ReconnectPolicy, TelemetryClient
 from repro.telemetry.server import TelemetryServer
 
@@ -80,6 +81,26 @@ class TestClientBasics:
         server.stop()
         assert list(events) == []  # clean end, not an error
         client.close()
+
+
+class TestEventBatching:
+    def test_max_events_mid_batch_keeps_decoded_tail(self):
+        # Regression: when max_events was reached partway through a
+        # decoded batch, the remaining frames were discarded instead of
+        # stashed back into _pending — a later events()/collect() call
+        # silently lost events already received off the wire.
+        client = TelemetryClient("127.0.0.1", 1)
+        client._sock = object()  # "connected"; only _pending is drained
+        client._pending = wire.FrameDecoder().feed(b"".join(
+            wire.report_frame(report(time_s=float(index)), host="h",
+                              seq=index)
+            for index in range(3)))
+        (first,) = list(client.events(max_events=1))
+        assert first.report.time_s == 0.0
+        assert len(client._pending) == 2  # decoded tail survives the cap
+        second, third = list(client.events(max_events=2))
+        assert (second.report.time_s, third.report.time_s) == (1.0, 2.0)
+        assert client.frames_received == 3
 
 
 class TestReconnect:

@@ -308,6 +308,63 @@ class TestOverflow:
         finally:
             server.stop()
 
+    def test_stats_while_publisher_is_stalled(self):
+        server = TelemetryServer(port=0, queue_capacity=1,
+                                 overflow=OverflowPolicy.BLOCK).start()
+        try:
+            client, subscriber = self._paused_subscriber(server)
+            server.publish_report(report(time_s=0.0))
+            blocked_publish = threading.Thread(
+                target=lambda: server.publish_report(report(time_s=1.0)),
+                daemon=True)
+            blocked_publish.start()
+            assert server.wait_for(lambda: server.stalls >= 1)
+            stats = server.stats()  # must stay live mid-stall
+            assert stats["stalls"] == 1
+            assert stats["subscribers"][0]["blocked"] == 1
+            subscriber.queue.resume()
+            blocked_publish.join(timeout=5.0)
+            assert not blocked_publish.is_alive()
+            client.collect(2)
+            client.close()
+        finally:
+            server.stop()
+
+    def test_stats_releases_server_lock_before_queue_counters(self, server):
+        # Regression: stats() used to call each subscriber's stats()
+        # (which takes the queue lock) while holding ``_cond``.  A
+        # block-policy publisher stalled in offer() holds the queue
+        # lock while _count_stall waits for ``_cond`` — the opposite
+        # order — so the two ABBA-deadlocked.  Probe from another
+        # thread that ``_cond`` is free when per-subscriber stats run.
+        client = make_client(server)
+        assert server.wait_for_subscribers(1)
+        (subscriber,) = server.subscribers()
+        original = subscriber.stats
+        cond_free = []
+
+        def probing_stats():
+            acquired = []
+
+            def probe():
+                got = server._cond.acquire(blocking=False)
+                if got:
+                    server._cond.release()
+                acquired.append(got)
+
+            prober = threading.Thread(target=probe)
+            prober.start()
+            prober.join(timeout=5.0)
+            cond_free.append(acquired == [True])
+            return original()
+
+        subscriber.stats = probing_stats
+        stats = server.stats()
+        assert cond_free == [True], \
+            "stats() held the server lock while reading queue counters"
+        assert stats["subscribers"][0]["frames_sent"] == 0
+        client.close()
+
     def test_block_policy_stalls_the_publisher(self):
         server = TelemetryServer(port=0, queue_capacity=2,
                                  overflow=OverflowPolicy.BLOCK).start()
@@ -370,6 +427,30 @@ class TestHandshake:
             assert "version" in frames[0].payload["reason"]
         finally:
             sock.close()
+
+    def test_malformed_versions_list_is_refused(self, server):
+        # A HELLO whose versions field is not a list of ints must get
+        # an ERROR frame back, not kill the handler thread unanswered.
+        for bad in (["abc"], 42):
+            sock = socket.create_connection(("127.0.0.1", server.port),
+                                            timeout=5.0)
+            try:
+                sock.sendall(wire.encode_frame(
+                    FrameKind.HELLO,
+                    {"agent": "mangled", "versions": bad}))
+                sock.sendall(wire.encode_frame(
+                    FrameKind.SUBSCRIBE, {"downsample": 1}))
+                decoder = wire.FrameDecoder()
+                frames = []
+                while not frames:
+                    data = sock.recv(65536)
+                    assert data, "server closed without an error frame"
+                    frames = decoder.feed(data)
+                assert frames[0].kind is FrameKind.ERROR
+                assert "versions" in frames[0].payload["reason"]
+            finally:
+                sock.close()
+        assert server.subscriber_count == 0
 
     def test_client_validates_filters_before_dialing(self, server):
         client = TelemetryClient("127.0.0.1", server.port, kinds=["bogus"])

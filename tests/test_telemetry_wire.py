@@ -133,6 +133,16 @@ class TestVersioning:
         with pytest.raises(WireProtocolError, match="no common"):
             negotiate_version([3, 4], ours=(1, 2))
 
+    def test_negotiate_malformed_versions_list(self):
+        # Garbage from the peer must surface as a protocol error, not
+        # an unhandled TypeError/ValueError killing the handler thread.
+        with pytest.raises(WireProtocolError, match="malformed"):
+            negotiate_version(["abc"], ours=(1, 2))
+        with pytest.raises(WireProtocolError, match="malformed"):
+            negotiate_version(42, ours=(1, 2))
+        with pytest.raises(WireProtocolError, match="malformed"):
+            negotiate_version([None], ours=(1, 2))
+
     def test_hello_payload_shape(self):
         payload = wire.hello_payload("me", chosen=1)
         assert payload == {"agent": "me", "versions": [1], "version": 1}
