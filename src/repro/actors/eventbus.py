@@ -5,12 +5,18 @@ messages, Formulas subscribe to them and publish power estimations,
 Aggregators subscribe to those, and so on (Figure 2 of the paper).
 Subscription is by message *class*; publishing delivers to every
 subscriber of the message's class or any of its base classes.
+
+Routing is cached per concrete message type: the MRO walk and the
+base-class subscriber union are computed on the first publish of a type
+and invalidated whenever the subscription tables change.  Publishing is
+the hottest bus operation by far (every report of every period crosses
+it), while subscriptions only change when pipelines start or stop.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.actors.actor import ActorRef
 
@@ -21,31 +27,53 @@ class EventBus:
     def __init__(self, system: "ActorSystem") -> None:
         self._system = system
         self._subscribers: Dict[type, List[ActorRef]] = defaultdict(list)
+        #: message type -> resolved delivery list (MRO walk + per-name
+        #: dedup, already applied).  Cleared on any subscription change.
+        self._routes: Dict[type, Tuple[ActorRef, ...]] = {}
 
     def subscribe(self, topic: Type, subscriber: ActorRef) -> None:
         """Deliver every published instance of *topic* to *subscriber*."""
         if subscriber not in self._subscribers[topic]:
             self._subscribers[topic].append(subscriber)
+            self._routes.clear()
 
     def unsubscribe(self, topic: Type, subscriber: ActorRef) -> None:
         """Stop delivering *topic* to *subscriber* (no-op if absent)."""
         if subscriber in self._subscribers[topic]:
             self._subscribers[topic].remove(subscriber)
+            self._routes.clear()
 
     def unsubscribe_all(self, subscriber: ActorRef) -> None:
         """Remove *subscriber* from every topic."""
+        removed = False
         for refs in self._subscribers.values():
             if subscriber in refs:
                 refs.remove(subscriber)
+                removed = True
+        if removed:
+            self._routes.clear()
 
-    def publish(self, message: Any, sender: Optional[ActorRef] = None) -> None:
-        """Route *message* to all subscribers of its class hierarchy."""
+    def _resolve(self, message_type: type) -> Tuple[ActorRef, ...]:
+        """The delivery list for one message type, preserving publish's
+        historical order: MRO-major, subscription-order-minor, first
+        subscription of a given actor name wins."""
         delivered = set()
-        for klass in type(message).__mro__:
+        route: List[ActorRef] = []
+        for klass in message_type.__mro__:
             for subscriber in self._subscribers.get(klass, ()):
                 if subscriber.name not in delivered:
                     delivered.add(subscriber.name)
-                    subscriber.tell(message, sender=sender)
+                    route.append(subscriber)
+        return tuple(route)
+
+    def publish(self, message: Any, sender: Optional[ActorRef] = None) -> None:
+        """Route *message* to all subscribers of its class hierarchy."""
+        message_type = type(message)
+        route = self._routes.get(message_type)
+        if route is None:
+            route = self._routes[message_type] = self._resolve(message_type)
+        for subscriber in route:
+            subscriber.tell(message, sender=sender)
 
     def subscriber_count(self, topic: Type) -> int:
         """Number of direct subscribers of *topic*."""

@@ -16,6 +16,7 @@ Commands mirror the library's main flows:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from pathlib import Path
@@ -25,6 +26,7 @@ from repro.analysis.report import ascii_chart, format_metrics, render_table
 from repro.analysis.traces import PowerTrace, compare
 from repro.core.model import PowerModel
 from repro.core.monitor import PowerAPI
+from repro.core.pipeline import PipelineSpec, TelemetrySpec
 from repro.core.reporters import ConsoleReporter, CsvReporter, InMemoryReporter
 from repro.core.sampling import SamplingCampaign, learn_power_model
 from repro.errors import ReproError
@@ -86,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "starve@T:DUR[:SLOTS], hpc-loss@T:DUR, "
                               "crash@T:ACTOR) or random:SEED[:DURATION] "
                               "for a seeded campaign")
+    monitor.add_argument("--pipeline", type=Path, default=None,
+                         metavar="FILE",
+                         help="assemble the pipeline from a declarative "
+                              "JSON/TOML PipelineSpec file instead of the "
+                              "default wiring (pids are re-targeted to "
+                              "the spawned workload)")
 
     serve = commands.add_parser(
         "serve", help="monitor a workload and stream the estimates to "
@@ -121,6 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pace", type=float, default=0.0,
                        help="wall-clock seconds slept per virtual "
                             "second (0 = run as fast as possible)")
+    serve.add_argument("--pipeline", type=Path, default=None,
+                       metavar="FILE",
+                       help="assemble the pipeline from a declarative "
+                            "JSON/TOML PipelineSpec file; its [telemetry] "
+                            "section (when present) overrides the flags "
+                            "above, and the spec is advertised to "
+                            "subscribers")
 
     subscribe = commands.add_parser(
         "subscribe", help="connect to a telemetry server and print its "
@@ -204,6 +219,17 @@ def cmd_learn(args, out=sys.stdout) -> int:
     return 0
 
 
+def _load_pipeline_spec(path: Path, pid: int,
+                        out=sys.stdout) -> PipelineSpec:
+    """A config file's spec, re-targeted to the spawned workload pid."""
+    spec = PipelineSpec.from_file(path)
+    spec = dataclasses.replace(spec, pids=(pid,))
+    print(f"pipeline: {path} (sensor={spec.sensor.type}, "
+          f"formula={spec.formula.type}, "
+          f"reporters={[r.type for r in spec.reporters]})", file=out)
+    return spec
+
+
 def cmd_monitor(args, out=sys.stdout) -> int:
     """Run a workload under live monitoring, printing per-period rows."""
     spec = preset(args.cpu)
@@ -212,10 +238,17 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     workload = WORKLOADS[args.workload](args.duration)
     pid = kernel.spawn(workload, name=args.workload)
 
-    api = PowerAPI(kernel, model, period_s=args.period)
-    builder = api.monitor(pid).every(args.period)
     memory = InMemoryReporter()
-    handle = builder.to(memory)
+    pipeline_file = getattr(args, "pipeline", None)
+    if pipeline_file is not None:
+        pipeline_spec = _load_pipeline_spec(pipeline_file, pid, out=out)
+        period = (pipeline_spec.period_s if pipeline_spec.period_s
+                  is not None else args.period)
+        api = PowerAPI(kernel, model, period_s=period)
+        handle = api.start_pipeline(pipeline_spec, reporters=(memory,))
+    else:
+        api = PowerAPI(kernel, model, period_s=args.period)
+        handle = api.monitor(pid).every(args.period).to(memory)
     api.system.spawn(ConsoleReporter(stream=out), name="console")
     if args.csv is not None:
         api.system.spawn(CsvReporter(args.csv, pids=[pid]), name="csv")
@@ -227,11 +260,12 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     api.run(args.duration)
     api.flush()
 
-    energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
-    print(f"\n{args.workload}: estimated active energy {energy:.1f} J "
-          f"over {args.duration:.0f} s", file=out)
+    if handle.pid_aggregator is not None:
+        energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
+        print(f"\n{args.workload}: estimated active energy {energy:.1f} J "
+              f"over {args.duration:.0f} s", file=out)
     if faults:
-        gaps = handle.reporter.gap_count()
+        gaps = memory.gap_count()
         print(f"gap periods: {gaps}; health log "
               f"({len(handle.health)} events):", file=out)
         for event in handle.health:
@@ -249,15 +283,33 @@ def cmd_serve(args, out=sys.stdout) -> int:
     workload = WORKLOADS[args.workload](args.duration)
     pid = kernel.spawn(workload, name=args.workload)
 
-    api = PowerAPI(kernel, model, period_s=args.period)
-    handle = api.monitor(pid).every(args.period).to(InMemoryReporter())
-    server = api.serve_telemetry(
-        port=args.port, pids=handle.pids,
-        overflow=args.overflow, queue_capacity=args.queue_capacity,
-        heartbeat_every=args.heartbeat_every, host_label=args.host_label)
+    pipeline_file = getattr(args, "pipeline", None)
+    if pipeline_file is not None:
+        pipeline_spec = _load_pipeline_spec(pipeline_file, pid, out=out)
+        if pipeline_spec.telemetry is None:
+            pipeline_spec = dataclasses.replace(
+                pipeline_spec, telemetry=TelemetrySpec(
+                    port=args.port, overflow=args.overflow,
+                    queue_capacity=args.queue_capacity,
+                    heartbeat_every=args.heartbeat_every or None,
+                    host_label=args.host_label or None))
+        period = (pipeline_spec.period_s if pipeline_spec.period_s
+                  is not None else args.period)
+        api = PowerAPI(kernel, model, period_s=period)
+        handle = api.start_pipeline(pipeline_spec,
+                                    reporters=(InMemoryReporter(),))
+        server = api.telemetry_servers[-1]
+    else:
+        api = PowerAPI(kernel, model, period_s=args.period)
+        handle = api.monitor(pid).every(args.period).to(InMemoryReporter())
+        server = api.serve_telemetry(
+            port=args.port, pids=handle.pids,
+            overflow=args.overflow, queue_capacity=args.queue_capacity,
+            heartbeat_every=args.heartbeat_every,
+            host_label=args.host_label, spec=handle.spec)
     print(f"telemetry: serving on {server.host}:{server.port} "
-          f"(overflow={args.overflow}, "
-          f"queue-capacity={args.queue_capacity})", file=out)
+          f"(overflow={server.overflow}, "
+          f"queue-capacity={server.queue_capacity})", file=out)
     if args.await_subscribers > 0:
         print(f"waiting for {args.await_subscribers} subscriber(s) ...",
               file=out)

@@ -1,0 +1,147 @@
+"""Minimal TOML reading/writing for pipeline config files.
+
+Pipeline specs serialize to a deliberately small TOML subset — bare
+keys, JSON-compatible scalar values, inline arrays of scalars,
+``[section]`` tables and ``[[section]]`` arrays of tables.  Reading uses
+the stdlib :mod:`tomllib` where available (Python >= 3.11) and falls
+back to a parser for exactly that subset on older interpreters, so
+config files work across the supported Python range without adding a
+dependency.
+
+The subset is closed under round-trip: everything :func:`dumps_toml`
+emits, :func:`loads_toml` parses back to an equal structure (with both
+parsers).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Tuple
+
+try:  # Python >= 3.11
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - depends on interpreter
+    _tomllib = None
+
+from repro.errors import ConfigurationError
+
+__all__ = ["dumps_toml", "loads_toml"]
+
+
+# -- writing ----------------------------------------------------------------
+
+def _scalar(value: Any) -> str:
+    """One TOML scalar/array literal.
+
+    JSON happens to be valid TOML for strings (same escapes), numbers,
+    booleans and homogeneous arrays of those, so :func:`json.dumps`
+    does the formatting.
+    """
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, float) and value != value:  # NaN has no JSON form
+        raise ConfigurationError("cannot serialize NaN to TOML")
+    try:
+        return json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot serialize {value!r} to TOML: {exc}") from None
+
+
+def _emit_table(data: Mapping[str, Any], path: Tuple[str, ...],
+                lines: List[str]) -> None:
+    scalars = []
+    tables = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value, False))
+        elif (isinstance(value, (list, tuple)) and value
+                and all(isinstance(item, Mapping) for item in value)):
+            tables.append((key, value, True))
+        else:
+            scalars.append((key, value))
+    for key, value in scalars:
+        lines.append(f"{key} = {_scalar(value)}")
+    for key, value, is_array in tables:
+        child_path = path + (key,)
+        dotted = ".".join(child_path)
+        if is_array:
+            for element in value:
+                lines.append("")
+                lines.append(f"[[{dotted}]]")
+                _emit_table(element, child_path, lines)
+        else:
+            lines.append("")
+            lines.append(f"[{dotted}]")
+            _emit_table(value, child_path, lines)
+
+
+def dumps_toml(data: Mapping[str, Any]) -> str:
+    """Serialize a nested dict to the TOML subset described above."""
+    lines: List[str] = []
+    _emit_table(data, (), lines)
+    return "\n".join(lines).lstrip("\n") + "\n"
+
+
+# -- reading ----------------------------------------------------------------
+
+def _descend(root: Dict[str, Any], parts: Tuple[str, ...],
+             line: str) -> Dict[str, Any]:
+    """The table a dotted header path refers to (creating as needed)."""
+    current = root
+    for part in parts:
+        node = current.setdefault(part, {})
+        if isinstance(node, list):
+            if not node:
+                raise ConfigurationError(f"bad TOML header {line!r}: "
+                                         f"empty table array {part!r}")
+            node = node[-1]
+        if not isinstance(node, dict):
+            raise ConfigurationError(
+                f"bad TOML header {line!r}: {part!r} is not a table")
+        current = node
+    return current
+
+
+def _loads_subset(text: str) -> Dict[str, Any]:
+    root: Dict[str, Any] = {}
+    current = root
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            parts = tuple(part.strip() for part in line[2:-2].split("."))
+            parent = _descend(root, parts[:-1], line)
+            array = parent.setdefault(parts[-1], [])
+            if not isinstance(array, list):
+                raise ConfigurationError(
+                    f"bad TOML header {line!r}: {parts[-1]!r} is not "
+                    "a table array")
+            array.append({})
+            current = array[-1]
+        elif line.startswith("[") and line.endswith("]"):
+            parts = tuple(part.strip() for part in line[1:-1].split("."))
+            current = _descend(root, parts, line)
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            try:
+                current[key.strip()] = json.loads(value.strip())
+            except ValueError:
+                raise ConfigurationError(
+                    f"unsupported TOML value in line {raw_line!r} "
+                    "(this reader handles JSON-style scalars and "
+                    "arrays only)") from None
+        else:
+            raise ConfigurationError(f"unparseable TOML line {raw_line!r}")
+    return root
+
+
+def loads_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML text into nested dicts/lists/scalars."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"bad TOML: {exc}") from None
+    return _loads_subset(text)

@@ -18,6 +18,9 @@ from repro.core.cgroup_monitor import (CgroupAggregator, CgroupPowerReport,
 from repro.core.codelevel import (EnergyBudget, EnergyBudgetExceeded,
                                   EnergyMeasurement, RegionProfiler,
                                   assert_energy_within, measure_energy)
+from repro.core.components import (BuildContext, Component,
+                                   ComponentRegistry, Param,
+                                   default_registry)
 from repro.core.formula import CpuLoadFormula, HpcFormula
 from repro.core.messages import (AggregatedPowerReport, HpcReport,
                                  PowerMeterReport, PowerReport, ProcFsReport,
@@ -28,6 +31,10 @@ from repro.core.metrics import (absolute_percentage_errors, error_summary,
 from repro.core.model import (FrequencyFormula, PowerModel,
                               published_i3_2120_model)
 from repro.core.monitor import MonitorBuilder, MonitorHandle, PowerAPI
+from repro.core.pipeline import (BuiltPipeline, DegradationSpec,
+                                 PipelineBuilder, PipelineSpec, StageSpec,
+                                 TelemetrySpec)
+from repro.core.stage import PipelineStage
 from repro.core.offline import (CounterLogWriter, estimate_from_csv,
                                 estimate_from_log)
 from repro.core.registry import ModelRegistry, machine_signature
@@ -48,25 +55,31 @@ from repro.core.sensors import (HpcSensor, MachineHpcSensor,
                                 PowerMeterSensor, ProcFsSensor)
 
 __all__ = [
-    "AggregatedPowerReport", "CallbackReporter", "CappedRunResult",
-    "CappingGovernor", "CgroupAggregator", "CgroupPowerReport",
+    "AggregatedPowerReport", "BuildContext", "BuiltPipeline",
+    "CallbackReporter", "CappedRunResult",
+    "CappingGovernor", "CgroupAggregator", "CgroupPowerReport", "Component",
+    "ComponentRegistry",
     "ConsoleReporter", "CounterLogWriter", "CounterRanking", "CpuLoadFormula",
-    "CrossValidationReport", "CsvReporter", "EnergyBudget",
+    "CrossValidationReport", "CsvReporter", "DegradationSpec", "EnergyBudget",
     "EnergyBudgetExceeded", "EnergyMeasurement", "FlushAggregates",
     "FoldResult", "FrequencyFormula", "HpcFormula", "HpcReport", "HpcSensor",
     "InMemoryCgroupReporter", "InMemoryReporter", "JsonlReporter",
     "LearningReport", "METHODS", "MachineHpcSensor", "ModelRegistry",
-    "MonitorBuilder", "MonitorHandle", "PidAggregator", "PidEnergyReport",
+    "MonitorBuilder", "MonitorHandle", "Param", "PidAggregator",
+    "PidEnergyReport", "PipelineBuilder", "PipelineSpec", "PipelineStage",
     "PowerAPI", "PowerMeterReport", "PowerMeterSensor", "PowerModel",
     "PowerReport", "ProcFsReport", "ProcFsSensor", "PrometheusReporter",
     "RegionProfiler", "RegressionResult", "SamplePoint", "SamplingCampaign",
-    "SamplingDataset", "SensorReport", "TimestampAggregator",
+    "SamplingDataset", "SensorReport", "StageSpec", "TelemetrySpec",
+    "TimestampAggregator",
     "absolute_percentage_errors", "assert_energy_within",
-    "calibrate_idle_power", "cross_validate", "default_worker_count",
+    "calibrate_idle_power", "cross_validate", "default_registry",
+    "default_worker_count",
     "error_summary", "estimate_from_csv", "estimate_from_log", "fit",
     "fit_nnls", "fit_ols", "fit_ridge", "learn_power_model",
     "machine_signature", "max_ape", "mean_ape", "measure_energy",
-    "median_ape", "pool_available", "published_i3_2120_model", "r_squared",
+    "median_ape", "pool_available",
+    "published_i3_2120_model", "r_squared",
     "rank_counters", "resolve_workers", "rmse", "run_capped", "run_tasks",
     "select_counters", "solar_budget",
 ]

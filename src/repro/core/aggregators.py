@@ -16,15 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
-from repro.actors.actor import Actor
-from repro.core.messages import (AggregatedPowerReport, GapMarker,
-                                 PowerReport)
+from repro.core.messages import (AggregatedPowerReport, FlushAggregates,
+                                 GapMarker, PowerReport)
+from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
 
-
-@dataclass(frozen=True)
-class FlushAggregates:
-    """Ask an aggregator to publish (and reset) its accumulated state."""
+__all__ = ["FlushAggregates", "PidAggregator", "PidEnergyReport",
+           "TimestampAggregator"]
 
 
 @dataclass(frozen=True)
@@ -42,7 +40,7 @@ class PidEnergyReport:
         return sum(self.energy_by_pid_j.values())
 
 
-class TimestampAggregator(Actor):
+class TimestampAggregator(PipelineStage):
     """One AggregatedPowerReport per timestamp, idle power included.
 
     Reports for timestamp T are held until the first report for a later
@@ -56,8 +54,10 @@ class TimestampAggregator(Actor):
     series shows a marked hole instead of a silent one.
     """
 
+    subscribes_to = (PowerReport, GapMarker)
+
     def __init__(self, idle_w: float) -> None:
-        super().__init__()
+        super().__init__(component="timestamp-aggregator")
         if idle_w < 0:
             raise ConfigurationError("idle_w must be >= 0")
         self.idle_w = idle_w
@@ -67,12 +67,7 @@ class TimestampAggregator(Actor):
         self._pending: Dict[int, float] = {}
         self._pending_gaps: set = set()
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
-        self.context.system.event_bus.subscribe(GapMarker, self.self_ref)
-        self.context.system.event_bus.subscribe(FlushAggregates, self.self_ref)
-
-    def _flush(self) -> None:
+    def flush(self) -> None:
         if self._pending:
             self.publish(AggregatedPowerReport(
                 time_s=self._pending_time,
@@ -96,14 +91,11 @@ class TimestampAggregator(Actor):
     def _advance_to(self, time_s: float, period_s: float) -> None:
         if ((self._pending or self._pending_gaps)
                 and time_s > self._pending_time + 1e-12):
-            self._flush()
+            self.flush()
         self._pending_time = time_s
         self._pending_period = period_s
 
-    def receive(self, message) -> None:
-        if isinstance(message, FlushAggregates):
-            self._flush()
-            return
+    def handle(self, message) -> None:
         if isinstance(message, GapMarker):
             self._advance_to(message.time_s, message.period_s)
             self._pending_gaps.add(message.source or "sensor")
@@ -116,34 +108,32 @@ class TimestampAggregator(Actor):
             self._pending.get(message.pid, 0.0) + message.power_w)
 
 
-class PidAggregator(Actor):
+class PidAggregator(PipelineStage):
     """Integrates active energy per pid across the run."""
 
+    subscribes_to = (PowerReport,)
+
     def __init__(self, formula: str = "") -> None:
-        super().__init__()
+        super().__init__(component="pid-aggregator")
         self._energy_j: Dict[int, float] = {}
         self._duration_s = 0.0
         self._last_time_s = 0.0
         self._formula = formula
-
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
-        self.context.system.event_bus.subscribe(FlushAggregates, self.self_ref)
 
     @property
     def energy_by_pid_j(self) -> Dict[int, float]:
         """Snapshot of accumulated energy per pid."""
         return dict(self._energy_j)
 
-    def receive(self, message) -> None:
-        if isinstance(message, FlushAggregates):
-            self.publish(PidEnergyReport(
-                time_s=self._last_time_s,
-                duration_s=self._duration_s,
-                energy_by_pid_j=dict(self._energy_j),
-                formula=self._formula,
-            ))
-            return
+    def flush(self) -> None:
+        self.publish(PidEnergyReport(
+            time_s=self._last_time_s,
+            duration_s=self._duration_s,
+            energy_by_pid_j=dict(self._energy_j),
+            formula=self._formula,
+        ))
+
+    def handle(self, message) -> None:
         if not isinstance(message, PowerReport):
             return
         self._energy_j[message.pid] = (

@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
-from repro.actors.actor import Actor
-from repro.core.aggregators import FlushAggregates
+from repro.core.stage import PipelineStage
 from repro.core.messages import PowerReport
 from repro.errors import ConfigurationError
 from repro.os.cgroups import CgroupTree
@@ -44,11 +43,13 @@ class CgroupPowerReport:
         return tuple(sorted(self.by_group))
 
 
-class CgroupAggregator(Actor):
+class CgroupAggregator(PipelineStage):
     """Re-keys per-process power reports by cgroup, per timestamp."""
 
+    subscribes_to = (PowerReport,)
+
     def __init__(self, tree: CgroupTree, idle_w: float) -> None:
-        super().__init__()
+        super().__init__(component="cgroup-aggregator")
         if idle_w < 0:
             raise ConfigurationError("idle_w must be >= 0")
         self.tree = tree
@@ -60,12 +61,7 @@ class CgroupAggregator(Actor):
         #: Cumulative active energy per group over the whole run.
         self.energy_by_group_j: Dict[str, float] = {}
 
-    def pre_start(self) -> None:
-        bus = self.context.system.event_bus
-        bus.subscribe(PowerReport, self.self_ref)
-        bus.subscribe(FlushAggregates, self.self_ref)
-
-    def _flush(self) -> None:
+    def flush(self) -> None:
         if self._pending:
             self.publish(CgroupPowerReport(
                 time_s=self._pending_time,
@@ -76,14 +72,11 @@ class CgroupAggregator(Actor):
             ))
             self._pending.clear()
 
-    def receive(self, message) -> None:
-        if isinstance(message, FlushAggregates):
-            self._flush()
-            return
+    def handle(self, message) -> None:
         if not isinstance(message, PowerReport):
             return
         if self._pending and message.time_s > self._pending_time + 1e-12:
-            self._flush()
+            self.flush()
         self._pending_time = message.time_s
         self._pending_period = message.period_s
         self._pending_formula = message.formula
@@ -95,18 +88,16 @@ class CgroupAggregator(Actor):
             + message.power_w * message.period_s)
 
 
-class InMemoryCgroupReporter(Actor):
+class InMemoryCgroupReporter(PipelineStage):
     """Collects CgroupPowerReports for tests and analysis."""
 
+    subscribes_to = (CgroupPowerReport,)
+
     def __init__(self) -> None:
-        super().__init__()
+        super().__init__(component="cgroup-reporter")
         self.reports: list = []
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            CgroupPowerReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if isinstance(message, CgroupPowerReport):
             self.reports.append(message)
 

@@ -21,19 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.actors.actor import Actor
 from repro.core.messages import PowerReport
 from repro.core.model import PowerModel
 from repro.core.monitor import PowerAPI
 from repro.core.reporters import InMemoryReporter
 from repro.core.sampling import learn_power_model
+from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
 from repro.os.kernel import SimKernel
 from repro.simcpu.spec import CpuSpec
 from repro.workloads.base import Workload
 
 
-class RegionProfiler(Actor):
+class RegionProfiler(PipelineStage):
     """Accumulates per-region energy for monitored processes.
 
     Subscribes to the pipeline's :class:`PowerReport` stream; for each
@@ -41,19 +41,18 @@ class RegionProfiler(Actor):
     local time and integrates the estimated power there.
     """
 
+    subscribes_to = (PowerReport,)
+
     def __init__(self, kernel: SimKernel,
                  workloads: Mapping[int, Workload]) -> None:
-        super().__init__()
+        super().__init__(component="region-profiler")
         if not workloads:
             raise ConfigurationError("RegionProfiler needs pid -> workload")
         self.kernel = kernel
         self.workloads = dict(workloads)
         self._energy_j: Dict[Tuple[int, str], float] = {}
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(PowerReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, PowerReport):
             return
         workload = self.workloads.get(message.pid)

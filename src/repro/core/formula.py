@@ -13,23 +13,22 @@ estimate the power consumption of a given process" (paper, Section 3).
 
 from __future__ import annotations
 
-from repro.actors.actor import Actor
 from repro.core.messages import HpcReport, PowerReport, ProcFsReport
 from repro.core.model import PowerModel
+from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
 
 
-class HpcFormula(Actor):
+class HpcFormula(PipelineStage):
     """Per-process power from HPC rates via a frequency-aware model."""
 
+    subscribes_to = (HpcReport,)
+
     def __init__(self, model: PowerModel) -> None:
-        super().__init__()
+        super().__init__(component="hpc-formula")
         self.model = model
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(HpcReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, HpcReport):
             return
         power_w = self.model.predict_active(
@@ -43,7 +42,7 @@ class HpcFormula(Actor):
         ))
 
 
-class CpuLoadFormula(Actor):
+class CpuLoadFormula(PipelineStage):
     """Per-process power proportional to CPU-time share (Versick-style).
 
     ``active_range_w`` is the machine's measured span between idle and
@@ -51,9 +50,11 @@ class CpuLoadFormula(Actor):
     is attributed that fraction of the span.
     """
 
+    subscribes_to = (ProcFsReport,)
+
     def __init__(self, active_range_w: float, num_cpus: int,
                  name: str = "cpu-load") -> None:
-        super().__init__()
+        super().__init__(component=name)
         if active_range_w < 0:
             raise ConfigurationError("active_range_w must be >= 0")
         if num_cpus < 1:
@@ -62,10 +63,7 @@ class CpuLoadFormula(Actor):
         self.num_cpus = num_cpus
         self.name = name
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(ProcFsReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, ProcFsReport):
             return
         share = message.cpu_time_delta_s / (message.period_s * self.num_cpus)

@@ -89,6 +89,16 @@ class GapMarker(SensorReport):
 
 
 @dataclass(frozen=True)
+class FlushAggregates:
+    """Ask every flushable stage to publish/persist its pending state.
+
+    Historically defined in :mod:`repro.core.aggregators`; it lives with
+    the other bus messages so the shared stage lifecycle
+    (:mod:`repro.core.stage`) can route it without import cycles.
+    """
+
+
+@dataclass(frozen=True)
 class HealthEvent:
     """A pipeline health transition (degradation, recovery, fault, ...).
 

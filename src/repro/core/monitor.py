@@ -11,44 +11,52 @@ one actor system, and co-drives the simulated kernel and the actors:
     api.run(duration_s=120)
     print(handle.reporter.total_series())
 
-The fluent builder mirrors PowerAPI's published DSL.
+The fluent builder mirrors PowerAPI's published DSL; under the hood it
+assembles a declarative :class:`~repro.core.pipeline.PipelineSpec` and
+hands it to :meth:`PowerAPI.start_pipeline` — the exact same road a
+spec loaded from a JSON/TOML config file travels:
+
+    spec = PipelineSpec.from_file("pipeline.toml")
+    handle = api.start_pipeline(spec)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.actors.actor import Actor, ActorRef
 from repro.actors.clock import VirtualClock
 from repro.actors.system import ActorSystem
-from repro.core.aggregators import (FlushAggregates, PidAggregator,
-                                    TimestampAggregator)
-from repro.core.formula import CpuLoadFormula, HpcFormula
-from repro.core.messages import HealthEvent
+from repro.core.aggregators import PidAggregator
+from repro.core.messages import FlushAggregates, HealthEvent
 from repro.core.model import PowerModel
-from repro.core.reporters import InMemoryReporter
-from repro.core.sensors import (DegradationPolicy, HpcSensor, PipelineMode,
-                                PowerMeterSensor, ProcFsSensor)
+from repro.core.pipeline import (DegradationSpec, PipelineBuilder,
+                                 PipelineSpec, StageSpec)
+from repro.core.sensors import PipelineMode, PowerMeterSensor
 from repro.errors import ConfigurationError
-from repro.faults.health import HealthLog, HealthMonitor
+from repro.faults.health import HealthLog
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.os.kernel import SimKernel
 from repro.perf.counting import PerfSession
 from repro.powermeter.base import PowerMeter
-from repro.simcpu.counters import GENERIC_TRIO
 
 
 class MonitorHandle:
-    """A running pipeline: its actors, reporter, health log and mode."""
+    """A running pipeline: its actors, reporters, health log and mode."""
 
     def __init__(self, pids: Sequence[int], reporter: Actor,
                  actor_refs: Sequence[ActorRef],
                  pid_aggregator: Optional[PidAggregator],
                  health: Optional[HealthLog] = None,
-                 mode: Optional[PipelineMode] = None) -> None:
+                 mode: Optional[PipelineMode] = None,
+                 reporters: Optional[Sequence[Actor]] = None,
+                 spec: Optional[PipelineSpec] = None) -> None:
         self.pids = tuple(pids)
         self.reporter = reporter
+        #: Every reporter attached to the pipeline, spawn order.
+        self.reporters = (tuple(reporters) if reporters is not None
+                          else (reporter,))
         self._refs = list(actor_refs)
         self.pid_aggregator = pid_aggregator
         #: Record of degradations, recoveries and injected faults.
@@ -56,6 +64,8 @@ class MonitorHandle:
         #: Current estimation mode ("hpc" or "cpu-load"), when the
         #: pipeline has a degradation ladder; None otherwise.
         self.mode = mode
+        #: The declarative description this pipeline was built from.
+        self.spec = spec
         self._system: Optional[ActorSystem] = None
 
     def _attach(self, system: ActorSystem) -> None:
@@ -76,7 +86,13 @@ class MonitorHandle:
 
 
 class MonitorBuilder:
-    """Fluent configuration of one monitoring pipeline."""
+    """Fluent configuration of one monitoring pipeline.
+
+    A thin front-end over :class:`~repro.core.pipeline.PipelineSpec`:
+    each call records one aspect of the description, :meth:`to` builds
+    the spec and starts it.  :meth:`spec` exposes the description
+    without starting anything (e.g. to save it as a config file).
+    """
 
     def __init__(self, api: "PowerAPI", pids: Sequence[int]) -> None:
         if not pids:
@@ -85,8 +101,11 @@ class MonitorBuilder:
         self._pids = tuple(pids)
         self._period_s: Optional[float] = None
         self._formula = "hpc"
-        self._events = GENERIC_TRIO
-        self._policy: Optional[DegradationPolicy] = DegradationPolicy()
+        self._events: Optional[Tuple[str, ...]] = None
+        self._degradation: Optional[DegradationSpec] = DegradationSpec()
+        self._reporter_specs: List[StageSpec] = []
+        self._faults: Optional[str] = None
+        self._telemetry = None
 
     def every(self, period_s: float) -> "MonitorBuilder":
         """Set the monitoring period (seconds)."""
@@ -113,24 +132,58 @@ class MonitorBuilder:
     def with_degradation(self, degrade_after: int = 3,
                          recover_after: int = 2) -> "MonitorBuilder":
         """Tune the HPC → cpu-load fallback thresholds (hpc formula only)."""
-        self._policy = DegradationPolicy(degrade_after, recover_after)
+        self._degradation = DegradationSpec(degrade_after, recover_after)
         return self
 
     def without_degradation(self) -> "MonitorBuilder":
         """Disable the cpu-load fallback: missing HPC periods stay gaps."""
-        self._policy = None
+        self._degradation = None
         return self
 
-    def to(self, reporter: Actor) -> MonitorHandle:
-        """Attach *reporter* and start the pipeline."""
-        return self._api._start_pipeline(
+    def with_faults(self, plan: str) -> "MonitorBuilder":
+        """Arm a :meth:`FaultPlan.parse` spec string with the pipeline."""
+        FaultPlan.parse(plan)  # fail at description time, not start time
+        self._faults = plan
+        return self
+
+    def spec(self) -> PipelineSpec:
+        """The declarative description accumulated so far."""
+        if self._formula == "hpc":
+            params = {} if self._events is None else {"events": self._events}
+            sensor = StageSpec("hpc", params)
+            formula = StageSpec("hpc")
+            degradation = self._degradation
+        else:
+            sensor = StageSpec("procfs")
+            formula = StageSpec("cpu-load")
+            degradation = None
+        return PipelineSpec(
             pids=self._pids,
             period_s=self._period_s,
-            formula=self._formula,
-            events=self._events,
-            reporter=reporter,
-            policy=self._policy,
+            sensor=sensor,
+            formula=formula,
+            reporters=tuple(self._reporter_specs),
+            degradation=degradation,
+            faults=self._faults,
+            telemetry=self._telemetry,
         )
+
+    def to(self, reporter: Union[Actor, str],
+           **params: Any) -> MonitorHandle:
+        """Attach a reporter and start the pipeline.
+
+        Accepts either a pre-built reporter actor, or a registered
+        reporter name with its config (``.to("csv", path="out.csv")``).
+        """
+        extra: Tuple[Actor, ...] = ()
+        if isinstance(reporter, str):
+            self._reporter_specs.append(StageSpec(reporter, params))
+        else:
+            if params:
+                raise ConfigurationError(
+                    "reporter params only apply to by-name reporters")
+            extra = (reporter,)
+        return self._api.start_pipeline(self.spec(), reporters=extra)
 
 
 class PowerAPI:
@@ -185,11 +238,7 @@ class PowerAPI:
                 pids.update(handle.pids)
         return tuple(sorted(pids))
 
-    def _start_pipeline(self, pids: Sequence[int], period_s: Optional[float],
-                        formula: str, events: Sequence[str],
-                        reporter: Actor,
-                        policy: Optional[DegradationPolicy] = None
-                        ) -> MonitorHandle:
+    def _check_period(self, period_s: Optional[float]) -> None:
         if (period_s is not None
                 and abs(period_s - self.clock.period_s) > 1e-12):
             # One clock per API instance: every pipeline shares its
@@ -206,57 +255,35 @@ class PowerAPI:
                     "different period)")
             self.clock.period_s = period_s
 
-        n = self._pipeline_count
-        self._pipeline_count += 1
-        num_cpus = len(self.kernel.machine.topology)
-        active_range = max(0.0,
-                           self._full_load_estimate() - self.model.idle_w)
+    def start_pipeline(self, spec: PipelineSpec,
+                       reporters: Sequence[Actor] = (),
+                       registry=None) -> MonitorHandle:
+        """Assemble and start the pipeline a :class:`PipelineSpec`
+        describes.
 
-        refs: List[ActorRef] = []
-        mode: Optional[PipelineMode] = None
-        if formula == "hpc":
-            mode = PipelineMode() if policy is not None else None
-            sensor: Actor = HpcSensor(self.kernel.machine, self.perf,
-                                      pids, events=events, mode=mode,
-                                      policy=policy,
-                                      component=f"hpc-sensor-{n}")
-            formula_actor: Actor = HpcFormula(self.model)
-        else:
-            sensor = ProcFsSensor(self.kernel.procfs, pids,
-                                  num_cpus=num_cpus)
-            formula_actor = CpuLoadFormula(
-                active_range_w=active_range, num_cpus=num_cpus)
-
-        pid_aggregator = PidAggregator()
-        health = HealthLog()
-        refs.append(self.system.spawn(sensor, name=f"sensor-{n}"))
-        if formula == "hpc" and mode is not None:
-            # The degradation ladder's standby rung: a cpu-load path
-            # that publishes only while the pipeline is degraded.
-            refs.append(self.system.spawn(
-                ProcFsSensor(self.kernel.procfs, pids, num_cpus=num_cpus,
-                             mode=mode),
-                name=f"standby-sensor-{n}"))
-            refs.append(self.system.spawn(
-                CpuLoadFormula(active_range_w=active_range,
-                               num_cpus=num_cpus,
-                               name="cpu-load-fallback"),
-                name=f"standby-formula-{n}"))
-        refs.append(self.system.spawn(formula_actor, name=f"formula-{n}"))
-        refs.append(self.system.spawn(
-            TimestampAggregator(idle_w=self.model.idle_w),
-            name=f"ts-aggregator-{n}"))
-        refs.append(self.system.spawn(pid_aggregator,
-                                      name=f"pid-aggregator-{n}"))
-        refs.append(self.system.spawn(HealthMonitor(health),
-                                      name=f"health-{n}"))
-        reporter_ref = self.system.spawn(reporter, name=f"reporter-{n}")
-        refs.append(reporter_ref)
-
-        handle = MonitorHandle(pids, reporter, refs, pid_aggregator,
-                               health=health, mode=mode)
+        The single assembly road: the fluent DSL, ``--pipeline`` config
+        files and programmatic callers all end up here.  *reporters*
+        are pre-built reporter actors appended after the spec's
+        declarative ones (at least one of the two must be present).
+        The spec's fault plan is armed and its telemetry export
+        started as part of pipeline start-up.
+        """
+        self._check_period(spec.period_s)
+        built = PipelineBuilder(registry).build(
+            self, spec, extra_reporters=reporters)
+        handle = MonitorHandle(
+            spec.pids, built.reporters[0], built.refs,
+            built.pid_aggregator, health=built.health, mode=built.mode,
+            reporters=built.reporters, spec=spec)
         handle._attach(self.system)
         self._handles.append(handle)
+        if spec.faults is not None:
+            self.install_faults(FaultPlan.parse(spec.faults))
+        if spec.telemetry is not None:
+            self.serve_telemetry(
+                host=spec.telemetry.host, port=spec.telemetry.port,
+                pids=spec.pids, spec=spec,
+                **spec.telemetry.server_kwargs())
         return handle
 
     def _full_load_estimate(self) -> float:
@@ -271,7 +298,9 @@ class PowerAPI:
 
     def serve_telemetry(self, host: str = "127.0.0.1", port: int = 0,
                         pids: Optional[Sequence[int]] = None,
-                        name: Optional[str] = None, **server_kwargs):
+                        name: Optional[str] = None,
+                        spec: Optional[PipelineSpec] = None,
+                        **server_kwargs):
         """Stream this API's live reports to TCP subscribers.
 
         Starts a :class:`~repro.telemetry.server.TelemetryServer` and
@@ -279,15 +308,19 @@ class PowerAPI:
         :class:`~repro.core.messages.AggregatedPowerReport`,
         :class:`~repro.core.messages.HealthEvent` and
         :class:`~repro.core.messages.GapMarker` on the bus to it.  Pass
-        ``pids=handle.pids`` to scope the stream to one pipeline.
-        Extra keyword arguments (``overflow``, ``queue_capacity``,
-        ``host_label``, ``heartbeat_every``) configure the server;
-        :meth:`shutdown` stops it.
+        ``pids=handle.pids`` to scope the stream to one pipeline, and
+        ``spec=`` to advertise the running pipeline's description to
+        subscribers in the handshake.  Extra keyword arguments
+        (``overflow``, ``queue_capacity``, ``host_label``,
+        ``heartbeat_every``) configure the server; :meth:`shutdown`
+        stops it.
         """
         # Imported here so the socket layer stays an optional part of
         # the core monitoring path.
         from repro.telemetry.server import TelemetryBridge, TelemetryServer
         server = TelemetryServer(host=host, port=port, **server_kwargs)
+        if spec is not None:
+            server.advertise_spec(spec.to_dict())
         server.start()
         self._telemetry_servers.append(server)
         n = len(self._telemetry_servers) - 1

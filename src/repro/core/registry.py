@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -40,7 +41,16 @@ class ModelRegistry:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, signature: str) -> Path:
-        if not signature or "/" in signature:
+        # A signature is a single filename component: reject anything
+        # that could traverse out of the registry root on any platform
+        # (POSIX and Windows separators, parent references).
+        separators = {"/", "\\", os.sep}
+        if os.altsep:
+            separators.add(os.altsep)
+        if (not signature
+                or any(sep in signature for sep in separators)
+                or signature == "."
+                or ".." in signature):
             raise ConfigurationError(f"invalid signature {signature!r}")
         return self.root / f"{signature}.json"
 

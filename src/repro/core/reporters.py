@@ -16,26 +16,23 @@ import tempfile
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
-from repro.actors.actor import Actor
 from repro.core.aggregators import PidEnergyReport
 from repro.core.messages import AggregatedPowerReport
+from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
 
 
-class InMemoryReporter(Actor):
+class InMemoryReporter(PipelineStage):
     """Collects every report in lists — the test/benchmark reporter."""
 
+    subscribes_to = (AggregatedPowerReport, PidEnergyReport)
+
     def __init__(self) -> None:
-        super().__init__()
+        super().__init__(component="memory-reporter")
         self.aggregated: List[AggregatedPowerReport] = []
         self.energy_reports: List[PidEnergyReport] = []
 
-    def pre_start(self) -> None:
-        bus = self.context.system.event_bus
-        bus.subscribe(AggregatedPowerReport, self.self_ref)
-        bus.subscribe(PidEnergyReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if isinstance(message, AggregatedPowerReport):
             self.aggregated.append(message)
         elif isinstance(message, PidEnergyReport):
@@ -64,19 +61,17 @@ class InMemoryReporter(Actor):
         return sum(1 for report in self.aggregated if report.gap)
 
 
-class ConsoleReporter(Actor):
+class ConsoleReporter(PipelineStage):
     """Human-readable one-line-per-period output."""
 
+    subscribes_to = (AggregatedPowerReport,)
+
     def __init__(self, stream: Optional[io.TextIOBase] = None) -> None:
-        super().__init__()
+        super().__init__(component="console-reporter")
         self.stream = stream
         self.lines_written = 0
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            AggregatedPowerReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, AggregatedPowerReport):
             return
         parts = [f"t={message.time_s:8.1f}s",
@@ -92,7 +87,7 @@ class ConsoleReporter(Actor):
         self.lines_written += 1
 
 
-class CsvReporter(Actor):
+class CsvReporter(PipelineStage):
     """Writes one CSV row per aggregated report.
 
     Columns: time_s, total_w, idle_w, one ``pid_<n>_w`` column per
@@ -105,9 +100,11 @@ class CsvReporter(Actor):
     runs.  The default of 1 keeps the historical always-current file.
     """
 
+    subscribes_to = (AggregatedPowerReport,)
+
     def __init__(self, path: Union[str, Path], pids,
                  flush_every: int = 1) -> None:
-        super().__init__()
+        super().__init__(component="csv-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
@@ -117,9 +114,7 @@ class CsvReporter(Actor):
         self._file = None
         self._writer = None
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            AggregatedPowerReport, self.self_ref)
+    def on_start(self) -> None:
         self._file = self.path.open("w", newline="")
         self._writer = csv.writer(self._file)
         header = ["time_s", "total_w", "idle_w"]
@@ -127,12 +122,17 @@ class CsvReporter(Actor):
         header.append("gap")
         self._writer.writerow(header)
 
-    def post_stop(self) -> None:
+    def on_stop(self) -> None:
         if self._file is not None:
             self._file.close()
             self._file = None
 
-    def receive(self, message) -> None:
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._rows_since_flush = 0
+
+    def handle(self, message) -> None:
         if not isinstance(message, AggregatedPowerReport):
             return
         row = [f"{message.time_s:.3f}", f"{message.total_w:.4f}",
@@ -146,31 +146,31 @@ class CsvReporter(Actor):
             self._rows_since_flush = 0
 
 
-class CallbackReporter(Actor):
+class CallbackReporter(PipelineStage):
     """Invokes a user callback for every aggregated report."""
 
+    subscribes_to = (AggregatedPowerReport,)
+
     def __init__(self, callback: Callable[[AggregatedPowerReport], None]) -> None:
-        super().__init__()
+        super().__init__(component="callback-reporter")
         self.callback = callback
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            AggregatedPowerReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if isinstance(message, AggregatedPowerReport):
             self.callback(message)
 
 
-class JsonlReporter(Actor):
+class JsonlReporter(PipelineStage):
     """Writes one JSON object per aggregated report (machine-readable log).
 
     ``flush_every=N`` flushes once per N records (default 1: the file is
     always current, matching historical behaviour).
     """
 
+    subscribes_to = (AggregatedPowerReport,)
+
     def __init__(self, path: Union[str, Path], flush_every: int = 1) -> None:
-        super().__init__()
+        super().__init__(component="jsonl-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
@@ -179,17 +179,20 @@ class JsonlReporter(Actor):
         self._file = None
         self.records_written = 0
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            AggregatedPowerReport, self.self_ref)
+    def on_start(self) -> None:
         self._file = self.path.open("w")
 
-    def post_stop(self) -> None:
+    def on_stop(self) -> None:
         if self._file is not None:
             self._file.close()
             self._file = None
 
-    def receive(self, message) -> None:
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._records_since_flush = 0
+
+    def handle(self, message) -> None:
         if not isinstance(message, AggregatedPowerReport):
             return
         record = {
@@ -210,7 +213,7 @@ class JsonlReporter(Actor):
             self._records_since_flush = 0
 
 
-class PrometheusReporter(Actor):
+class PrometheusReporter(PipelineStage):
     """Maintains a Prometheus text-format exposition of the latest state.
 
     Every aggregated report rewrites *path* with ``powerapi_machine_watts``
@@ -223,15 +226,13 @@ class PrometheusReporter(Actor):
     never a partially written one.
     """
 
+    subscribes_to = (AggregatedPowerReport,)
+
     def __init__(self, path: Union[str, Path]) -> None:
-        super().__init__()
+        super().__init__(component="prometheus-reporter")
         self.path = Path(path)
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(
-            AggregatedPowerReport, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, AggregatedPowerReport):
             return
         lines = [

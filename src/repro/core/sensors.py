@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.actors.actor import Actor
 from repro.actors.clock import ClockTick
 from repro.core.messages import (GapMarker, HealthEvent, HpcReport,
                                  PowerMeterReport, ProcFsReport)
+from repro.core.stage import PipelineStage
 from repro.errors import (ConfigurationError, CounterInvalidError,
                           CounterStateError, MeterConnectionError,
                           SampleLossError)
@@ -65,7 +65,7 @@ class DegradationPolicy:
         self.recover_after = recover_after
 
 
-class HpcSensor(Actor):
+class HpcSensor(PipelineStage):
     """Publishes per-process HPC deltas on every clock tick.
 
     Fault-aware: reads that fail (pid exited, sample loss) or return no
@@ -82,7 +82,7 @@ class HpcSensor(Actor):
                  mode: Optional[PipelineMode] = None,
                  policy: Optional[DegradationPolicy] = None,
                  component: str = "hpc-sensor") -> None:
-        super().__init__()
+        super().__init__(component=component)
         if not pids:
             raise ConfigurationError("HpcSensor needs at least one pid")
         self.machine = machine
@@ -91,7 +91,6 @@ class HpcSensor(Actor):
         self.events = tuple(events)
         self.mode = mode
         self.policy = policy or DegradationPolicy()
-        self.component = component
         self._counters: Dict[int, Tuple[PerfCounter, ...]] = {}
         #: pid -> event -> (raw, time_enabled_s, time_running_s) baseline.
         self._previous: Dict[int, Dict[str, Tuple[float, float, float]]] = {}
@@ -101,15 +100,16 @@ class HpcSensor(Actor):
 
     # -- lifecycle --------------------------------------------------------
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+    subscribes_to = (ClockTick,)
+
+    def on_start(self) -> None:
         for pid in self.pids:
             if pid in self._lost_pids:
                 continue  # a restart must not resurrect dead targets
             if not self._open_pid(pid):
                 self._mark_lost(pid, time_s=0.0)
 
-    def post_stop(self) -> None:
+    def on_stop(self) -> None:
         for counters in self._counters.values():
             for counter in counters:
                 counter.close()
@@ -137,9 +137,8 @@ class HpcSensor(Actor):
         for counter in self._counters.pop(pid, ()):
             counter.close()
         self._previous.pop(pid, None)
-        self.publish(HealthEvent(
-            time_s=time_s, component=self.component, kind="pid-lost",
-            detail=f"pid {pid}: counters invalid (ESRCH)"))
+        self.report_health(time_s, "pid-lost",
+                           f"pid {pid}: counters invalid (ESRCH)")
 
     # -- sampling ---------------------------------------------------------
 
@@ -204,19 +203,17 @@ class HpcSensor(Actor):
         if (not self.mode.degraded
                 and self._miss_streak >= self.policy.degrade_after):
             self.mode.mode = PipelineMode.CPU_LOAD
-            self.publish(HealthEvent(
-                time_s=time_s, component=self.component, kind="degraded",
-                detail=f"no HPC data for {self._miss_streak} periods; "
-                       "falling back to cpu-load"))
+            self.report_health(time_s, "degraded",
+                               f"no HPC data for {self._miss_streak} "
+                               "periods; falling back to cpu-load")
         elif (self.mode.degraded
                 and self._good_streak >= self.policy.recover_after):
             self.mode.mode = PipelineMode.HPC
-            self.publish(HealthEvent(
-                time_s=time_s, component=self.component, kind="recovered",
-                detail=f"HPC data back for {self._good_streak} periods; "
-                       "resuming hpc formula"))
+            self.report_health(time_s, "recovered",
+                               f"HPC data back for {self._good_streak} "
+                               "periods; resuming hpc formula")
 
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, ClockTick):
             return
         frequency_hz = self.machine.dominant_frequency_hz()
@@ -247,7 +244,7 @@ class HpcSensor(Actor):
             ))
 
 
-class MachineHpcSensor(Actor):
+class MachineHpcSensor(PipelineStage):
     """Publishes machine-wide HPC deltas (pid -1) on every clock tick.
 
     Supports the hyperthread-aware models: with *with_smt_overlap* the
@@ -263,7 +260,7 @@ class MachineHpcSensor(Actor):
     def __init__(self, machine: Machine, perf: PerfSession,
                  events: Sequence[str] = GENERIC_TRIO,
                  with_smt_overlap: bool = False) -> None:
-        super().__init__()
+        super().__init__(component="machine-hpc-sensor")
         self.machine = machine
         self.perf = perf
         self.events = tuple(events)
@@ -276,8 +273,9 @@ class MachineHpcSensor(Actor):
             machine.topology.core_cpus(package_id, core_id)
             for package_id, core_id in machine.topology.cores()]
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+    subscribes_to = (ClockTick,)
+
+    def on_start(self) -> None:
         self._counters = tuple(self.perf.open(event)
                                for event in self.events)
         self._previous = {counter.event: counter.read().scaled
@@ -290,7 +288,7 @@ class MachineHpcSensor(Actor):
                 cpu_id: counter.read().scaled
                 for cpu_id, counter in self._cycle_counters.items()}
 
-    def post_stop(self) -> None:
+    def on_stop(self) -> None:
         for counter in self._counters:
             counter.close()
         for counter in self._cycle_counters.values():
@@ -312,7 +310,7 @@ class MachineHpcSensor(Actor):
                 overlap += min(counts)
         return overlap
 
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, ClockTick):
             return
         current = {counter.event: counter.read().scaled
@@ -331,7 +329,7 @@ class MachineHpcSensor(Actor):
         ))
 
 
-class ProcFsSensor(Actor):
+class ProcFsSensor(PipelineStage):
     """Publishes per-process CPU-time deltas on every clock tick.
 
     With a :class:`PipelineMode` it acts as the degradation standby: it
@@ -343,7 +341,7 @@ class ProcFsSensor(Actor):
     def __init__(self, procfs: ProcFs, pids: Sequence[int],
                  num_cpus: int, mode: Optional[PipelineMode] = None,
                  active_mode: str = PipelineMode.CPU_LOAD) -> None:
-        super().__init__()
+        super().__init__(component="procfs-sensor")
         if not pids:
             raise ConfigurationError("ProcFsSensor needs at least one pid")
         if num_cpus < 1:
@@ -356,11 +354,10 @@ class ProcFsSensor(Actor):
         self._previous_cpu_s: Dict[int, float] = {}
         self._previous_busy_s: Optional[float] = None
 
+    subscribes_to = (ClockTick,)
+
     def _active(self) -> bool:
         return self.mode is None or self.mode.mode == self.active_mode
-
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
 
     def _pid_cpu_time(self, pid: int) -> float:
         try:
@@ -368,7 +365,7 @@ class ProcFsSensor(Actor):
         except Exception:  # process has not run yet
             return 0.0
 
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, ClockTick):
             return
         total_busy = sum(self.procfs.cpu_busy_time_s(cpu)
@@ -397,7 +394,7 @@ class ProcFsSensor(Actor):
             ))
 
 
-class PowerMeterSensor(Actor):
+class PowerMeterSensor(PipelineStage):
     """Publishes the latest physical meter reading on every clock tick.
 
     Dropout-aware: while the meter is disconnected it publishes a
@@ -410,21 +407,19 @@ class PowerMeterSensor(Actor):
     def __init__(self, meter: PowerMeter, component: str = "meter",
                  retry_base_s: Optional[float] = None,
                  retry_max_s: float = 30.0) -> None:
-        super().__init__()
+        super().__init__(component=component)
         if retry_base_s is not None and retry_base_s <= 0:
             raise ConfigurationError("retry_base_s must be positive")
         if retry_max_s <= 0:
             raise ConfigurationError("retry_max_s must be positive")
         self.meter = meter
-        self.component = component
         self.retry_base_s = retry_base_s  # None: one monitoring period
         self.retry_max_s = retry_max_s
         self._down = False
         self._backoff: Optional[ExponentialBackoff] = None
         self._next_retry_s = 0.0
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(ClockTick, self.self_ref)
+    subscribes_to = (ClockTick,)
 
     def _try_reconnect(self, message: ClockTick) -> None:
         if not self._down:
@@ -434,9 +429,8 @@ class PowerMeterSensor(Actor):
                 base_s=base_s, factor=2.0,
                 max_s=max(self.retry_max_s, base_s))
             self._next_retry_s = message.time_s  # first retry: right now
-            self.publish(HealthEvent(
-                time_s=message.time_s, component=self.component,
-                kind="meter-dropout", detail="meter link lost"))
+            self.report_health(message.time_s, "meter-dropout",
+                               "meter link lost")
         if message.time_s >= self._next_retry_s - 1e-12:
             try:
                 self.meter.connect()
@@ -444,7 +438,7 @@ class PowerMeterSensor(Actor):
                 self._next_retry_s = (message.time_s
                                       + self._backoff.next_delay_s())
 
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if not isinstance(message, ClockTick):
             return
         if not self.meter.connected:
@@ -456,10 +450,8 @@ class PowerMeterSensor(Actor):
                 return
         if self._down:
             self._down = False
-            self.publish(HealthEvent(
-                time_s=message.time_s, component=self.component,
-                kind="meter-reconnected",
-                detail="meter link restored"))
+            self.report_health(message.time_s, "meter-reconnected",
+                               "meter link restored")
         sample = self.meter.last_sample()
         if sample is None:
             return

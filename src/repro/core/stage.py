@@ -1,0 +1,100 @@
+"""The shared pipeline-stage lifecycle protocol.
+
+Every Figure 2 stage — Sensor, Formula, Aggregator, Reporter — used to
+re-implement the same four rituals by hand: subscribe its topics in
+``pre_start``, release resources in ``post_stop``, react to
+:class:`~repro.core.messages.FlushAggregates`, and publish
+:class:`~repro.core.messages.HealthEvent` transitions.
+:class:`PipelineStage` centralises all four:
+
+* **subscribe-on-start** — a stage declares its topics via the
+  ``subscribes_to`` class attribute (or overrides :meth:`subscriptions`
+  for dynamic topic sets); the base ``pre_start`` subscribes them all.
+* **unsubscribe-on-stop** — :meth:`repro.actors.system.ActorSystem.stop`
+  already unsubscribes a stopping actor from every topic; the base
+  ``post_stop`` only has to run the stage's :meth:`on_stop` teardown.
+* **flush** — a stage that overrides :meth:`flush` is automatically
+  subscribed to :class:`FlushAggregates` and has its flush hook invoked
+  for each one; aggregators publish pending summaries, file reporters
+  sync their buffers.
+* **health reporting** — :meth:`report_health` publishes a
+  :class:`HealthEvent` stamped with the stage's ``component`` name.
+
+Message handling moves from ``receive`` to :meth:`handle`: the base
+``receive`` routes ``FlushAggregates`` to :meth:`flush` and everything
+else to ``handle``.  Subclassing a concrete stage and overriding
+``receive`` still works (tests do this to intercept traffic) because
+``receive`` remains the actor entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple, Type
+
+from repro.actors.actor import Actor
+from repro.core.messages import FlushAggregates, HealthEvent
+
+
+class PipelineStage(Actor):
+    """Base class for all pipeline stages with a unified lifecycle."""
+
+    #: Topics auto-subscribed on start.  Subclasses override the class
+    #: attribute (static sets) or :meth:`subscriptions` (dynamic sets).
+    subscribes_to: Tuple[Type, ...] = ()
+
+    def __init__(self, component: str = "") -> None:
+        super().__init__()
+        #: Name stamped on this stage's health events.
+        self.component = component or type(self).__name__.lower()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def subscriptions(self) -> Iterable[Type]:
+        """The topics this stage listens to (deduplicated, in order)."""
+        topics = list(self.subscribes_to)
+        if type(self).flush is not PipelineStage.flush \
+                and FlushAggregates not in topics:
+            topics.append(FlushAggregates)
+        return topics
+
+    def pre_start(self) -> None:
+        bus = self.context.system.event_bus
+        for topic in self.subscriptions():
+            bus.subscribe(topic, self.self_ref)
+        self.on_start()
+
+    def post_stop(self) -> None:
+        # The actor system has already unsubscribed this stage from
+        # every topic; only stage-owned resources remain.
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Acquire stage resources (counters, files, connections)."""
+
+    def on_stop(self) -> None:
+        """Release everything :meth:`on_start` acquired."""
+
+    # -- flushing -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Emit/persist pending state.  Overriding this hook also
+        subscribes the stage to :class:`FlushAggregates`."""
+
+    # -- health ---------------------------------------------------------
+
+    def report_health(self, time_s: float, kind: str,
+                      detail: str = "") -> None:
+        """Publish a :class:`HealthEvent` attributed to this stage."""
+        self.publish(HealthEvent(time_s=time_s, component=self.component,
+                                 kind=kind, detail=detail))
+
+    # -- messaging ------------------------------------------------------
+
+    def receive(self, message: Any) -> None:
+        if isinstance(message, FlushAggregates):
+            self.flush()
+            return
+        self.handle(message)
+
+    def handle(self, message: Any) -> None:
+        """Process one non-lifecycle message; subclasses implement."""

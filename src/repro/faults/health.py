@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Tuple
 
-from repro.actors.actor import Actor
 from repro.core.messages import HealthEvent
+from repro.core.stage import PipelineStage
 
 
 class HealthLog:
@@ -46,16 +46,15 @@ class HealthLog:
         return iter(self.events)
 
 
-class HealthMonitor(Actor):
+class HealthMonitor(PipelineStage):
     """Subscribes to :class:`HealthEvent` and appends to a log."""
 
+    subscribes_to = (HealthEvent,)
+
     def __init__(self, log: HealthLog) -> None:
-        super().__init__()
+        super().__init__(component="health-monitor")
         self.log = log
 
-    def pre_start(self) -> None:
-        self.context.system.event_bus.subscribe(HealthEvent, self.self_ref)
-
-    def receive(self, message) -> None:
+    def handle(self, message) -> None:
         if isinstance(message, HealthEvent):
             self.log.record(message)

@@ -88,6 +88,9 @@ class TelemetryClient:
         self._closed = False
         #: Protocol version agreed with the server (after connect()).
         self.negotiated_version: Optional[int] = None
+        #: The pipeline description the server advertised in its
+        #: handshake reply (PipelineSpec.to_dict() form), if any.
+        self.server_spec: Optional[dict] = None
         self.frames_received = 0
         self.reconnects = 0
 
@@ -124,6 +127,9 @@ class TelemetryClient:
                     f"expected HELLO reply, got {reply.kind.name}")
             self.negotiated_version = int(
                 reply.payload.get("version", wire.PROTOCOL_VERSION))
+            spec = reply.payload.get("spec")
+            if isinstance(spec, dict):
+                self.server_spec = spec
         except BaseException:
             sock.close()
             raise

@@ -266,7 +266,8 @@ class _Subscriber:
         self.conn.sendall(wire.encode_frame(
             FrameKind.HELLO,
             wire.hello_payload(agent=self.server.agent,
-                               chosen=self.version),
+                               chosen=self.version,
+                               spec=self.server.advertised_spec),
         ))
         return True
 
@@ -364,6 +365,8 @@ class TelemetryServer:
         self.host_label = host_label
         self.heartbeat_every = heartbeat_every
         self.agent = agent
+        #: Pipeline description included in handshake replies, if any.
+        self.advertised_spec: Optional[Dict[str, object]] = None
         self._requested_port = port
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -377,6 +380,15 @@ class TelemetryServer:
         #: Times a publish had to wait on a full ``block``-policy queue.
         self.stalls = 0
         self._seq = 0
+
+    def advertise_spec(self, spec: Optional[Dict[str, object]]) -> None:
+        """Attach a pipeline description to future handshake replies.
+
+        *spec* is a JSON-safe dict (typically
+        ``PipelineSpec.to_dict()``); ``None`` clears the advertisement.
+        Only subscribers connecting afterwards see the change.
+        """
+        self.advertised_spec = None if spec is None else dict(spec)
 
     # -- lifecycle ----------------------------------------------------
 

@@ -27,7 +27,7 @@ import enum
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
 from repro.errors import WireProtocolError
@@ -201,12 +201,23 @@ def negotiate_version(peer_versions: Iterable[int],
 
 def hello_payload(agent: str,
                   versions: Sequence[int] = SUPPORTED_VERSIONS,
-                  chosen: Optional[int] = None) -> Dict[str, object]:
-    """A Hello payload; the server's reply sets *chosen*."""
+                  chosen: Optional[int] = None,
+                  spec: Optional[Mapping[str, object]] = None
+                  ) -> Dict[str, object]:
+    """A Hello payload; the server's reply sets *chosen*.
+
+    A server streaming a declaratively-assembled pipeline may attach
+    the :meth:`~repro.core.pipeline.PipelineSpec.to_dict` form as
+    *spec*, advertising what it monitors to every subscriber.  Clients
+    that predate the key ignore it (the payload is an open JSON
+    object), so no version bump is needed.
+    """
     payload: Dict[str, object] = {"agent": agent,
                                   "versions": [int(v) for v in versions]}
     if chosen is not None:
         payload["version"] = int(chosen)
+    if spec is not None:
+        payload["spec"] = dict(spec)
     return payload
 
 

@@ -126,3 +126,105 @@ class TestTelemetryCli:
         assert "total= 35.00W" in output
         assert "host=cli-host" in output
         assert "received 2 frame(s)" in output
+
+
+class TestPipelineFlag:
+    """End-to-end --pipeline: config-driven assembly through the CLI."""
+
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("pipeline-cli") / "model.json"
+        run_cli(["learn", "--quick", "--output", str(path)])
+        return path
+
+    def _write_toml(self, tmp_path, body):
+        path = tmp_path / "pipeline.toml"
+        path.write_text(body)
+        return path
+
+    def test_monitor_with_pipeline_file(self, model_path, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        config = self._write_toml(tmp_path, f"""\
+pids = [1]
+period_s = 1.0
+
+[sensor]
+type = "hpc"
+
+[formula]
+type = "hpc"
+
+[[aggregators]]
+type = "timestamp"
+
+[[aggregators]]
+type = "pid"
+
+[[reporters]]
+type = "csv"
+path = {json.dumps(str(csv_path))}
+
+[degradation]
+degrade_after = 3
+recover_after = 2
+""")
+        code, output = run_cli(["monitor", "--model", str(model_path),
+                                "--workload", "cpu", "--duration", "3",
+                                "--pipeline", str(config)])
+        assert code == 0
+        assert "pipeline:" in output and "sensor=hpc" in output
+        assert "estimated active energy" in output
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("time_s,")
+        assert len(lines) == 4  # header + one row per period
+
+    def test_monitor_pipeline_json(self, model_path, tmp_path):
+        config = tmp_path / "pipeline.json"
+        config.write_text(json.dumps({
+            "pids": [1], "period_s": 1.0,
+            "sensor": {"type": "procfs"},
+            "formula": {"type": "cpu-load"},
+            "aggregators": [{"type": "timestamp"}, {"type": "pid"}],
+            "reporters": [{"type": "memory"}],
+        }))
+        code, output = run_cli(["monitor", "--model", str(model_path),
+                                "--workload", "cpu", "--duration", "3",
+                                "--pipeline", str(config)])
+        assert code == 0
+        assert "formula=cpu-load" in output
+        assert "total=" in output
+
+    def test_unknown_component_fails_with_available_names(self, model_path,
+                                                          tmp_path):
+        config = self._write_toml(tmp_path, """\
+pids = [1]
+
+[sensor]
+type = "rapl"
+
+[[reporters]]
+type = "memory"
+""")
+        code, _output = run_cli(["monitor", "--model", str(model_path),
+                                 "--workload", "cpu", "--duration", "2",
+                                 "--pipeline", str(config)])
+        assert code == 1  # ConfigurationError -> exit code 1
+
+    def test_serve_with_pipeline_advertises_spec(self, model_path, tmp_path):
+        config = self._write_toml(tmp_path, """\
+pids = [1]
+period_s = 1.0
+
+[[reporters]]
+type = "memory"
+
+[telemetry]
+host = "127.0.0.1"
+port = 0
+""")
+        code, output = run_cli(["serve", "--model", str(model_path),
+                                "--workload", "cpu", "--duration", "3",
+                                "--pipeline", str(config)])
+        assert code == 0
+        assert "telemetry: serving on 127.0.0.1:" in output
+        assert "published 3 reports" in output

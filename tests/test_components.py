@@ -1,0 +1,156 @@
+"""Unit tests for the component registry (repro.core.components)."""
+
+import pytest
+
+from repro.core.components import (BuildContext, ComponentRegistry, Param,
+                                   default_registry)
+from repro.core.formula import CpuLoadFormula, HpcFormula
+from repro.core.reporters import CsvReporter, InMemoryReporter
+from repro.core.sensors import HpcSensor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def registry():
+    return ComponentRegistry()
+
+
+class TestRegistration:
+    def test_register_and_get(self, registry):
+        component = registry.register("reporter", "null", lambda ctx: None,
+                                      description="discards everything")
+        assert registry.get("reporter", "null") is component
+        assert registry.names("reporter") == ("null",)
+
+    def test_duplicate_name_rejected(self, registry):
+        registry.register("sensor", "x", lambda ctx: None)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("sensor", "x", lambda ctx: None)
+
+    def test_replace_allows_override(self, registry):
+        registry.register("sensor", "x", lambda ctx: 1)
+        registry.register("sensor", "x", lambda ctx: 2, replace=True)
+        assert registry.create("sensor", "x", BuildContext()) == 2
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="unknown component kind"):
+            registry.register("widget", "x", lambda ctx: None)
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.register("sensor", "", lambda ctx: None)
+
+
+class TestLookupErrors:
+    def test_unknown_name_lists_available(self, registry):
+        registry.register("formula", "alpha", lambda ctx: None)
+        registry.register("formula", "beta", lambda ctx: None)
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.get("formula", "gamma")
+        message = str(excinfo.value)
+        assert "gamma" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_default_registry_error_names_builtins(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            default_registry().get("reporter", "no-such-reporter")
+        message = str(excinfo.value)
+        for name in ("console", "csv", "jsonl", "memory", "prometheus"):
+            assert name in message
+
+
+class TestParamValidation:
+    @pytest.fixture
+    def component(self, registry):
+        return registry.register(
+            "reporter", "fake", lambda ctx, **kwargs: kwargs,
+            params=(Param("path", str, required=True),
+                    Param("flush_every", int, default=1),
+                    Param("ratio", float),
+                    Param("events", list),
+                    Param("enabled", bool)))
+
+    def test_unknown_param_rejected(self, component):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            component.validate_params({"path": "x", "bogus": 1})
+
+    def test_missing_required_rejected(self, component):
+        with pytest.raises(ConfigurationError, match="requires parameter"):
+            component.validate_params({"flush_every": 2})
+
+    def test_type_mismatch_rejected(self, component):
+        with pytest.raises(ConfigurationError, match="expected int"):
+            component.validate_params({"path": "x", "flush_every": "two"})
+        with pytest.raises(ConfigurationError, match="expected str"):
+            component.validate_params({"path": 7})
+        with pytest.raises(ConfigurationError, match="expected a list"):
+            component.validate_params({"path": "x", "events": "cycles"})
+        with pytest.raises(ConfigurationError, match="expected a bool"):
+            component.validate_params({"path": "x", "enabled": 1})
+
+    def test_int_promotes_to_float(self, component):
+        coerced = component.validate_params({"path": "x", "ratio": 2})
+        assert coerced["ratio"] == 2.0
+        assert isinstance(coerced["ratio"], float)
+
+    def test_bool_is_not_a_number(self, component):
+        with pytest.raises(ConfigurationError):
+            component.validate_params({"path": "x", "flush_every": True})
+
+    def test_list_items_become_strings(self, component):
+        coerced = component.validate_params(
+            {"path": "x", "events": ["cycles", "instructions"]})
+        assert coerced["events"] == ("cycles", "instructions")
+
+    def test_omitted_optionals_stay_omitted(self, component):
+        # Factories keep their own defaults; the registry does not
+        # inject Param.default for absent keys.
+        assert component.validate_params({"path": "x"}) == {"path": "x"}
+
+
+class TestBuiltins:
+    def test_every_figure2_stage_registered(self):
+        registry = default_registry()
+        assert set(registry.names("sensor")) >= {"hpc", "procfs"}
+        assert set(registry.names("formula")) >= {"hpc", "cpu-load"}
+        assert set(registry.names("aggregator")) >= {"timestamp", "pid"}
+        assert set(registry.names("reporter")) >= {
+            "memory", "console", "csv", "jsonl", "prometheus"}
+
+    def test_describe_covers_all_kinds(self):
+        rows = default_registry().describe()
+        kinds = {row[0] for row in rows}
+        assert kinds == {"sensor", "formula", "aggregator", "reporter"}
+        assert all(row[3] for row in rows), "every builtin has a description"
+
+    def test_factories_build_real_stages(self, i3_spec):
+        from repro.os.kernel import SimKernel
+        from repro.core.model import published_i3_2120_model
+        from repro.perf.counting import PerfSession
+
+        kernel = SimKernel(i3_spec)
+        registry = default_registry()
+        context = BuildContext(
+            kernel=kernel, machine=kernel.machine,
+            perf=PerfSession(kernel.machine),
+            model=published_i3_2120_model(),
+            pids=(1,), num_cpus=4, active_range_w=30.0, index=7)
+        sensor = registry.create("sensor", "hpc", context)
+        assert isinstance(sensor, HpcSensor)
+        assert sensor.component == "hpc-sensor-7"
+        assert isinstance(registry.create("formula", "hpc", context),
+                          HpcFormula)
+        cpu_load = registry.create("formula", "cpu-load", context,
+                                   {"active_range_w": 12.5})
+        assert isinstance(cpu_load, CpuLoadFormula)
+        assert cpu_load.active_range_w == 12.5
+        assert isinstance(registry.create("reporter", "memory", context),
+                          InMemoryReporter)
+        csv = registry.create("reporter", "csv", context,
+                              {"path": "/tmp/x.csv", "flush_every": 3})
+        assert isinstance(csv, CsvReporter)
+        assert csv.flush_every == 3
+
+    def test_csv_requires_path(self, i3_spec):
+        with pytest.raises(ConfigurationError, match="requires parameter"):
+            default_registry().create("reporter", "csv", BuildContext())

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.model import FrequencyFormula, PowerModel
 from repro.core.registry import ModelRegistry, machine_signature
-from repro.errors import ModelError
+from repro.errors import ConfigurationError, ModelError
 from repro.simcpu.spec import intel_core2duo_e6600, intel_i3_2120
 from repro.units import ghz
 
@@ -98,3 +98,37 @@ class TestRegistry:
         registry = ModelRegistry(tmp_path / "nested" / "models")
         registry.save(intel_i3_2120(), model)
         assert registry.entries()
+
+
+class TestPathHardening:
+    """_path must confine every signature to the registry root."""
+
+    @pytest.mark.parametrize("signature", [
+        "",
+        "/etc/passwd",
+        "models/extra",
+        "..",
+        "../outside",
+        "a/../../outside",
+        "..\\outside",
+        "windows\\path",
+        ".",
+        "trailing..",
+        "mid..dle",
+    ])
+    def test_traversal_attempts_rejected(self, tmp_path, signature):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ConfigurationError, match="invalid signature"):
+            registry._path(signature)
+
+    def test_real_signatures_still_accepted(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        signature = machine_signature(intel_i3_2120())
+        path = registry._path(signature)
+        assert path.parent == tmp_path
+        assert path.name == f"{signature}.json"
+
+    def test_dotted_but_safe_names_accepted(self, tmp_path):
+        # Single dots are legitimate (e.g. model numbers like "e5-2.4").
+        registry = ModelRegistry(tmp_path)
+        assert registry._path("intel-e5-2.4-abc123").parent == tmp_path
