@@ -1,0 +1,245 @@
+"""Zero-loss chaos soak for the crash-recoverable telemetry stack.
+
+The tier-1 chaos suite (``tests/test_chaos.py``) pins each recovery
+mechanism with a few frames; this soak runs a seeded multi-thousand-frame
+session through a dense fault campaign — three connection resets, a
+partition window, mid-stream byte corruption and one consumer
+crash-restart — and asserts the exactly-once contract end to end:
+
+* every published report is reconstructed from the spool + live stream
+  with **zero loss and zero duplicates, in order**,
+* the only acceptable holes are **explicit** replay-eviction gap markers,
+  and they appear only where the replay window provably scrolled
+  (measured separately with a deliberately tiny window),
+* crash-restart recovery latency (reconnect + RESUME + replay drain) is
+  measured and recorded.
+
+Results are written to ``BENCH_chaos.json`` at the repository root so
+future PRs can diff the trajectory.  Marked ``slow`` + ``chaos``: the
+tier-1 suite (``testpaths = ["tests"]``) never collects it; run it
+explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_chaos_soak.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.messages import AggregatedPowerReport
+from repro.faults import (ByteCorruption, CircuitBreaker, ConnectionReset,
+                          NetworkFaultInjector, NetworkFaultPlan, Partition)
+from repro.telemetry.client import ReconnectPolicy, TelemetryClient
+from repro.telemetry.server import TelemetryServer
+from repro.telemetry.wire import GapTelemetry, ReportEvent
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+SEED = 20260806
+#: Reports published per phase; six phases -> 2400 frames total.
+PHASE = 400
+
+
+def _report(time_s: float) -> AggregatedPowerReport:
+    return AggregatedPowerReport(
+        time_s=time_s, period_s=1.0,
+        by_pid={100: 4.2, 101: 1.9, 102: 0.7},
+        idle_w=31.48, formula="hpc")
+
+
+def _publish(server: TelemetryServer, count: int, start: int) -> None:
+    for index in range(start, start + count):
+        server.publish_report(_report(float(index + 1)))
+
+
+def _run_soak(spool_path: Path) -> dict:
+    """The seeded campaign.  Fault due-times run on a fake plan clock so
+    the schedule is deterministic: each phase advances the clock to arm
+    the next fault, then publishes and drains a batch of frames."""
+    clock = [0.0]
+    plan = NetworkFaultPlan([
+        ConnectionReset(10.0),
+        ConnectionReset(20.0),
+        ByteCorruption(25.0, nbytes=3),
+        ConnectionReset(30.0),
+        Partition(50.0, duration_s=0.5),
+    ], seed=SEED)
+    injector = NetworkFaultInjector(plan, clock=lambda: clock[0],
+                                    sleep=lambda _s: None)
+    server = TelemetryServer(port=0, replay_window=4096,
+                             queue_capacity=1024).start()
+
+    received: list = []
+    wall_start = time.perf_counter()
+    try:
+        client = TelemetryClient(
+            "127.0.0.1", server.port, read_timeout_s=30.0,
+            reconnect=ReconnectPolicy(base_s=0.005, max_s=0.05),
+            spool=spool_path, transport=injector.wrap,
+            breaker=CircuitBreaker(failure_threshold=100,
+                                   reset_timeout_s=0.05))
+        client.connect()
+        server.wait_for(lambda: server.subscriber_count == 1)
+
+        _publish(server, PHASE, start=0)            # clean baseline
+        received += client.collect(PHASE)
+
+        clock[0] = 10.0                             # reset #1 due
+        _publish(server, PHASE, start=PHASE)
+        received += client.collect(PHASE)
+
+        clock[0] = 20.0                             # reset #2 due
+        _publish(server, PHASE // 2, start=2 * PHASE)
+        received += client.collect(PHASE // 2)
+        clock[0] = 25.0                             # corruption due
+        _publish(server, PHASE // 2, start=2 * PHASE + PHASE // 2)
+        received += client.collect(PHASE // 2)
+
+        clock[0] = 30.0                             # reset #3 due
+        _publish(server, PHASE, start=3 * PHASE)
+        received += client.collect(PHASE)
+        live_stats = {"reconnects": client.reconnects,
+                      "stream_errors": client.stream_errors,
+                      "duplicates_dropped": client.duplicates_dropped}
+
+        # Consumer crash: the process dies, the spool file survives.
+        client.close()
+        _publish(server, PHASE, start=4 * PHASE)    # missed while down
+
+        recovery_start = time.perf_counter()
+        restarted = TelemetryClient(
+            "127.0.0.1", server.port, read_timeout_s=30.0,
+            reconnect=ReconnectPolicy(base_s=0.005, max_s=0.05),
+            spool=spool_path, transport=injector.wrap)
+        received += restarted.collect(PHASE)        # the replayed window
+        recovery_latency_s = time.perf_counter() - recovery_start
+
+        # Partition window [50, 50.5]: a timer lifts it after 0.2s of
+        # real time while the client redials through it.
+        clock[0] = 50.2
+        lifter = threading.Timer(0.2, lambda: clock.__setitem__(0, 51.0))
+        lifter.start()
+        _publish(server, PHASE, start=5 * PHASE)
+        received += restarted.collect(PHASE)
+        lifter.join()
+
+        total = 6 * PHASE
+        wall_s = time.perf_counter() - wall_start
+        stats = server.stats()
+        result = {
+            "frames_published": total,
+            "frames_received": len(received),
+            "frames_replayed": stats["frames_replayed"],
+            "resumes_served": stats["resumes_served"],
+            "replay_evictions": stats["replay_evictions"],
+            "reconnects": live_stats["reconnects"] + restarted.reconnects,
+            "stream_errors": (live_stats["stream_errors"]
+                              + restarted.stream_errors),
+            "duplicates_dropped": (live_stats["duplicates_dropped"]
+                                   + restarted.duplicates_dropped),
+            "resets_injected": injector.resets_injected,
+            "corruptions_injected": injector.corruptions_injected,
+            "partition_hits": injector.partition_hits,
+            "crash_recovery_latency_s": round(recovery_latency_s, 4),
+            "wall_s": round(wall_s, 3),
+            "events": received,
+        }
+        restarted.close()
+        return result
+    finally:
+        server.stop()
+
+
+def _run_eviction_probe(spool_path: Path) -> dict:
+    """A window far smaller than the outage: the resuming client must
+    see one explicit gap covering exactly the evicted range, then the
+    surviving tail — never silence."""
+    window, missed = 64, 200
+    server = TelemetryServer(port=0, replay_window=window).start()
+    try:
+        client = TelemetryClient("127.0.0.1", server.port,
+                                 read_timeout_s=30.0, spool=spool_path)
+        client.connect()
+        server.wait_for(lambda: server.subscriber_count == 1)
+        _publish(server, 10, start=0)
+        client.collect(10)
+        client.close()
+
+        _publish(server, missed, start=10)          # seqs 10..209
+
+        restarted = TelemetryClient("127.0.0.1", server.port,
+                                    read_timeout_s=30.0, spool=spool_path)
+        events = restarted.collect(1 + window)      # the gap + the tail
+        gap, tail = events[0], events[1:]
+        restarted.close()
+        assert isinstance(gap, GapTelemetry)
+        assert gap.marker.source == "replay-eviction"
+        # Window keeps the last `window` seqs; everything before them
+        # is declared evicted, explicitly.
+        assert gap.evicted_from == 10
+        assert gap.evicted_through == 10 + missed - window - 1
+        assert [e.report.time_s for e in tail] \
+            == [float(seq + 1) for seq in range(10 + missed - window,
+                                                10 + missed)]
+        return {
+            "replay_window": window,
+            "frames_missed": missed,
+            "frames_replayed": window,
+            "evicted_from": gap.evicted_from,
+            "evicted_through": gap.evicted_through,
+            "explicit_gap": True,
+        }
+    finally:
+        server.stop()
+
+
+def test_chaos_soak(save_result, tmp_path):
+    soak = _run_soak(tmp_path / "chaos_soak.spool")
+    events = soak.pop("events")
+
+    # The exactly-once contract, frame by frame.
+    times = [event.report.time_s for event in events
+             if isinstance(event, ReportEvent)]
+    assert times == [float(index + 1)
+                     for index in range(soak["frames_published"])]
+    assert not any(isinstance(event, GapTelemetry) for event in events)
+    assert soak["resets_injected"] == 3
+    assert soak["corruptions_injected"] == 1
+    assert soak["partition_hits"] >= 1
+    assert soak["resumes_served"] >= 1          # the crash-restart
+    assert soak["frames_replayed"] >= PHASE     # at least the missed batch
+    assert soak["replay_evictions"] == 0        # window held everything
+
+    eviction = _run_eviction_probe(tmp_path / "chaos_eviction.spool")
+
+    results = {"soak": soak, "eviction": eviction, "seed": SEED,
+               "python": platform.python_version()}
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+    lines = [
+        f"soak: {soak['frames_published']} frames, seed {SEED}, "
+        f"wall {soak['wall_s']}s",
+        f"  delivered exactly-once: {len(times)} reports, 0 lost, "
+        f"{soak['duplicates_dropped']} duplicate(s) dropped at the client",
+        f"  faults: {soak['resets_injected']} resets, "
+        f"{soak['corruptions_injected']} corruption(s), "
+        f"{soak['partition_hits']} partition hit(s); "
+        f"{soak['reconnects']} reconnect(s)",
+        f"  crash-restart: {soak['resumes_served']} resume(s), "
+        f"{soak['frames_replayed']} frame(s) replayed, recovery "
+        f"latency {soak['crash_recovery_latency_s']}s",
+        f"eviction probe: window {eviction['replay_window']}, "
+        f"{eviction['frames_missed']} missed -> explicit gap "
+        f"[{eviction['evicted_from']}..{eviction['evicted_through']}] "
+        f"+ {eviction['frames_replayed']} replayed",
+        f"-> {BENCH_PATH.name}",
+    ]
+    save_result("chaos_soak", "\n".join(lines))

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -47,6 +49,61 @@ WORKLOADS = {
     "specjbb": lambda duration: SpecJbbWorkload(duration_s=duration,
                                                 threads=4),
 }
+
+
+class _GracefulStop:
+    """SIGINT/SIGTERM handlers that request a stop instead of dying.
+
+    ``monitor`` and ``serve`` advance the simulation in period-sized
+    chunks and poll :attr:`requested` between chunks, so a signal ends
+    the run at the next period boundary with reporters flushed and the
+    telemetry server shut down cleanly (exit code 0) rather than with a
+    KeyboardInterrupt traceback and a torn output file.  Handlers are
+    only installed from the main thread (signal.signal raises anywhere
+    else — e.g. when tests drive ``main()`` from a worker thread) and
+    the previous handlers are restored on exit.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signal_name: Optional[str] = None
+        self._saved = {}
+
+    def __enter__(self) -> "_GracefulStop":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self._SIGNALS:
+                self._saved[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        for signum, previous in self._saved.items():
+            signal.signal(signum, previous)
+        self._saved.clear()
+
+    def _handle(self, signum, _frame) -> None:
+        self.requested = True
+        self.signal_name = signal.Signals(signum).name
+
+
+def _run_interruptible(api, duration_s: float, period_s: float,
+                       stop: _GracefulStop, pace: float = 0.0) -> None:
+    """Advance *api* for *duration_s*, one period at a time.
+
+    Equivalent to ``api.run(duration_s)`` (the virtual clock steps in
+    kernel quanta either way) but checks *stop* between periods and,
+    with ``pace > 0``, sleeps ``period_s * pace`` wall-clock seconds per
+    virtual period so wall-clock tools (subscribers, signal senders)
+    can interleave with the run.
+    """
+    remaining = duration_s
+    while remaining > 1e-9 and not stop.requested:
+        step = min(period_s, remaining)
+        api.run(step)
+        remaining -= step
+        if pace > 0 and remaining > 1e-9 and not stop.requested:
+            time.sleep(step * pace)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -129,6 +186,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pace", type=float, default=0.0,
                        help="wall-clock seconds slept per virtual "
                             "second (0 = run as fast as possible)")
+    serve.add_argument("--replay-window", type=int, default=256,
+                       help="frames of replay history kept so resuming "
+                            "subscribers can catch up without loss "
+                            "(0 = disable replay)")
+    serve.add_argument("--net-faults", default=None, metavar="SPEC",
+                       help="inject network faults into accepted "
+                            "subscriber connections; SPEC is "
+                            "';'-separated kind@time[:args] entries "
+                            "(partition@T[:DUR], reset@T, corrupt@T[:N], "
+                            "truncate@T, stall@T[:DUR[:DELAY]]) or "
+                            "random:SEED[:DURATION] for a seeded plan")
     serve.add_argument("--pipeline", type=Path, default=None,
                        metavar="FILE",
                        help="assemble the pipeline from a declarative "
@@ -153,7 +221,18 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="exit after this many events")
     subscribe.add_argument("--reconnect", action="store_true",
                            help="re-dial with exponential backoff when "
-                                "the server goes away")
+                                "the server goes away (guarded by a "
+                                "circuit breaker)")
+    subscribe.add_argument("--spool", type=Path, default=None,
+                           metavar="DIR",
+                           help="journal every received frame to a "
+                                "durable spool in DIR and resume from "
+                                "the last acknowledged sequence after a "
+                                "crash or restart")
+    subscribe.add_argument("--net-faults", default=None, metavar="SPEC",
+                           help="inject network faults into this "
+                                "client's connections (same SPEC "
+                                "grammar as serve --net-faults)")
 
     replay = commands.add_parser("replay",
                                  help="the Figure 3 SPECjbb experiment")
@@ -247,6 +326,7 @@ def cmd_monitor(args, out=sys.stdout) -> int:
         api = PowerAPI(kernel, model, period_s=period)
         handle = api.start_pipeline(pipeline_spec, reporters=(memory,))
     else:
+        period = args.period
         api = PowerAPI(kernel, model, period_s=args.period)
         handle = api.monitor(pid).every(args.period).to(memory)
     api.system.spawn(ConsoleReporter(stream=out), name="console")
@@ -257,8 +337,12 @@ def cmd_monitor(args, out=sys.stdout) -> int:
         plan = FaultPlan.parse(faults)
         api.install_faults(plan)
         print(f"fault plan: {plan.describe() or '(empty)'}", file=out)
-    api.run(args.duration)
+    with _GracefulStop() as stop:
+        _run_interruptible(api, args.duration, period, stop)
     api.flush()
+    if stop.requested:
+        print(f"\n{stop.signal_name}: stopping early at "
+              f"t={kernel.time_s:.1f}s; reporters flushed", file=out)
 
     if handle.pid_aggregator is not None:
         energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
@@ -283,6 +367,15 @@ def cmd_serve(args, out=sys.stdout) -> int:
     workload = WORKLOADS[args.workload](args.duration)
     pid = kernel.spawn(workload, name=args.workload)
 
+    injector = None
+    net_faults = getattr(args, "net_faults", None)
+    if net_faults:
+        from repro.faults import NetworkFaultInjector, NetworkFaultPlan
+        net_plan = NetworkFaultPlan.parse(net_faults)
+        injector = NetworkFaultInjector(net_plan)
+        print(f"net fault plan: {net_plan.describe() or '(empty)'}",
+              file=out)
+
     pipeline_file = getattr(args, "pipeline", None)
     if pipeline_file is not None:
         pipeline_spec = _load_pipeline_spec(pipeline_file, pid, out=out)
@@ -292,21 +385,27 @@ def cmd_serve(args, out=sys.stdout) -> int:
                     port=args.port, overflow=args.overflow,
                     queue_capacity=args.queue_capacity,
                     heartbeat_every=args.heartbeat_every or None,
-                    host_label=args.host_label or None))
+                    host_label=args.host_label or None,
+                    replay_window=args.replay_window))
         period = (pipeline_spec.period_s if pipeline_spec.period_s
                   is not None else args.period)
         api = PowerAPI(kernel, model, period_s=period)
         handle = api.start_pipeline(pipeline_spec,
                                     reporters=(InMemoryReporter(),))
         server = api.telemetry_servers[-1]
+        if injector is not None:
+            server.set_transport(injector.wrap)
     else:
+        period = args.period
         api = PowerAPI(kernel, model, period_s=args.period)
         handle = api.monitor(pid).every(args.period).to(InMemoryReporter())
         server = api.serve_telemetry(
             port=args.port, pids=handle.pids,
             overflow=args.overflow, queue_capacity=args.queue_capacity,
             heartbeat_every=args.heartbeat_every,
-            host_label=args.host_label, spec=handle.spec)
+            host_label=args.host_label, spec=handle.spec,
+            replay_window=args.replay_window,
+            transport=injector.wrap if injector is not None else None)
     print(f"telemetry: serving on {server.host}:{server.port} "
           f"(overflow={server.overflow}, "
           f"queue-capacity={server.queue_capacity})", file=out)
@@ -318,14 +417,13 @@ def cmd_serve(args, out=sys.stdout) -> int:
             print(f"warning: only {server.subscriber_count} subscriber(s) "
                   f"after {args.await_timeout:.0f}s; starting anyway",
                   file=out)
-    if args.pace > 0:
-        steps = max(1, int(round(args.duration / args.period)))
-        for _ in range(steps):
-            api.run(args.period)
-            time.sleep(args.period * args.pace)
-    else:
-        api.run(args.duration)
+    with _GracefulStop() as stop:
+        _run_interruptible(api, args.duration, period, stop,
+                           pace=args.pace)
     api.flush()
+    if stop.requested:
+        print(f"\n{stop.signal_name}: stopping early at "
+              f"t={kernel.time_s:.1f}s; closing telemetry", file=out)
 
     stats = server.stats()
     print(f"published {stats['reports_published']} reports, "
@@ -333,6 +431,15 @@ def cmd_serve(args, out=sys.stdout) -> int:
           f"{stats['gaps_published']} gaps to "
           f"{len(stats['subscribers'])} subscriber(s); "
           f"stalls: {stats['stalls']}", file=out)
+    if stats["replay_window"] or stats["resumes_served"] \
+            or stats["resumes_rejected"]:
+        print(f"  replay: window {stats['replay_window']}, "
+              f"{stats['resumes_served']} resume(s) served "
+              f"({stats['resumes_rejected']} rejected), "
+              f"{stats['frames_replayed']} frame(s) replayed, "
+              f"{stats['replay_evictions']} eviction gap(s)", file=out)
+    if injector is not None:
+        print(f"  net faults injected: {len(injector.injected)}", file=out)
     for sub in stats["subscribers"]:
         print(f"  subscriber {sub['id']} ({sub['agent'] or sub['peer']}): "
               f"{sub['frames_sent']} sent, {sub['frames_dropped']} "
@@ -352,11 +459,30 @@ def cmd_subscribe(args, out=sys.stdout) -> int:
     kinds = (None if args.kinds is None
              else [chunk.strip() for chunk in args.kinds.split(",")
                    if chunk.strip()])
+    breaker = None
+    if args.reconnect:
+        from repro.faults import CircuitBreaker
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout_s=2.0)
+    transport = None
+    net_faults = getattr(args, "net_faults", None)
+    if net_faults:
+        from repro.faults import NetworkFaultInjector, NetworkFaultPlan
+        net_plan = NetworkFaultPlan.parse(net_faults)
+        transport = NetworkFaultInjector(net_plan).wrap
+        print(f"net fault plan: {net_plan.describe() or '(empty)'}",
+              file=out)
+    spool_dir = getattr(args, "spool", None)
+    if spool_dir is not None:
+        spool_dir.mkdir(parents=True, exist_ok=True)
     client = TelemetryClient(
         args.host, args.port, pids=pids, kinds=kinds,
         downsample=args.downsample,
         reconnect=ReconnectPolicy() if args.reconnect else None,
-        agent="repro-cli-subscribe")
+        agent="repro-cli-subscribe",
+        spool=spool_dir, breaker=breaker, transport=transport)
+    if client.spool is not None and client.last_seq is not None:
+        print(f"spool: resuming after seq {client.last_seq} "
+              f"(epoch {client.stream_epoch or 'unknown'})", file=out)
     try:
         for event in client.events(max_events=args.max_frames):
             if isinstance(event, ReportEvent):
@@ -387,6 +513,11 @@ def cmd_subscribe(args, out=sys.stdout) -> int:
         client.close()
     print(f"received {client.frames_received} frame(s); "
           f"reconnects: {client.reconnects}", file=out)
+    if spool_dir is not None:
+        last = client.last_seq if client.last_seq is not None else "-"
+        print(f"spool: last seq {last}; "
+              f"resumes sent: {client.resumes_sent}; "
+              f"duplicates dropped: {client.duplicates_dropped}", file=out)
     return 0
 
 

@@ -253,12 +253,15 @@ def _console_reporter(ctx: BuildContext):
     return ConsoleReporter()
 
 
-def _csv_reporter(ctx: BuildContext, path: str, flush_every: int = 1):
-    return CsvReporter(path, pids=ctx.pids, flush_every=flush_every)
+def _csv_reporter(ctx: BuildContext, path: str, flush_every: int = 1,
+                  fsync: bool = False):
+    return CsvReporter(path, pids=ctx.pids, flush_every=flush_every,
+                       fsync=fsync)
 
 
-def _jsonl_reporter(ctx: BuildContext, path: str, flush_every: int = 1):
-    return JsonlReporter(path, flush_every=flush_every)
+def _jsonl_reporter(ctx: BuildContext, path: str, flush_every: int = 1,
+                    fsync: bool = False):
+    return JsonlReporter(path, flush_every=flush_every, fsync=fsync)
 
 
 def _prometheus_reporter(ctx: BuildContext, path: str):
@@ -298,12 +301,14 @@ def _register_builtins(registry: ComponentRegistry) -> ComponentRegistry:
     registry.register(
         "reporter", "csv", _csv_reporter,
         params=(Param("path", str, required=True),
-                Param("flush_every", int, default=1)),
+                Param("flush_every", int, default=1),
+                Param("fsync", bool, default=False)),
         description="one CSV row per period")
     registry.register(
         "reporter", "jsonl", _jsonl_reporter,
         params=(Param("path", str, required=True),
-                Param("flush_every", int, default=1)),
+                Param("flush_every", int, default=1),
+                Param("fsync", bool, default=False)),
         description="one JSON object per period")
     registry.register(
         "reporter", "prometheus", _prometheus_reporter,

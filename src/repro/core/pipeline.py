@@ -119,7 +119,14 @@ class DegradationSpec:
 
 @dataclass(frozen=True)
 class TelemetrySpec:
-    """Export the pipeline's reports over the streaming service."""
+    """Export the pipeline's reports over the streaming service.
+
+    The delivery-guarantee knobs mirror the crash-recovery layer:
+    ``replay_window`` enables the server's RESUME replay ring,
+    ``spool_dir`` points subscribers at a durable on-disk journal, and
+    ``breaker_failures``/``breaker_reset_s`` configure the client-side
+    circuit breaker guarding re-dial storms.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
@@ -127,11 +134,26 @@ class TelemetrySpec:
     queue_capacity: Optional[int] = None
     heartbeat_every: Optional[int] = None
     host_label: Optional[str] = None
+    replay_window: Optional[int] = None
+    spool_dir: Optional[str] = None
+    breaker_failures: Optional[int] = None
+    breaker_reset_s: Optional[float] = None
+
+    _OPTIONAL = ("overflow", "queue_capacity", "heartbeat_every",
+                 "host_label", "replay_window", "spool_dir",
+                 "breaker_failures", "breaker_reset_s")
+
+    def __post_init__(self) -> None:
+        if self.replay_window is not None and self.replay_window < 0:
+            raise ConfigurationError("replay_window must be >= 0")
+        if self.breaker_failures is not None and self.breaker_failures < 1:
+            raise ConfigurationError("breaker_failures must be >= 1")
+        if self.breaker_reset_s is not None and self.breaker_reset_s <= 0:
+            raise ConfigurationError("breaker_reset_s must be positive")
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"host": self.host, "port": self.port}
-        for key in ("overflow", "queue_capacity", "heartbeat_every",
-                    "host_label"):
+        for key in self._OPTIONAL:
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -139,8 +161,7 @@ class TelemetrySpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
-        known = {"host", "port", "overflow", "queue_capacity",
-                 "heartbeat_every", "host_label"}
+        known = {"host", "port"} | set(cls._OPTIONAL)
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(
@@ -149,10 +170,14 @@ class TelemetrySpec:
         return cls(**kwargs)
 
     def server_kwargs(self) -> Dict[str, Any]:
-        """Keyword arguments for ``PowerAPI.serve_telemetry``."""
+        """Keyword arguments for ``PowerAPI.serve_telemetry``.
+
+        Spool/breaker knobs are client-side and excluded — consumers
+        read them off the spec directly (the CLI ``subscribe`` path).
+        """
         kwargs: Dict[str, Any] = {}
         for key in ("overflow", "queue_capacity", "heartbeat_every",
-                    "host_label"):
+                    "host_label", "replay_window"):
             value = getattr(self, key)
             if value is not None:
                 kwargs[key] = value

@@ -98,38 +98,56 @@ class CsvReporter(PipelineStage):
     ``flush_every=N`` flushes the file once per N rows instead of after
     every row — per-row flushing dominates the reporter's cost in long
     runs.  The default of 1 keeps the historical always-current file.
+
+    Restart-safe: opening on an existing non-empty file **appends**
+    (no second header), so a session interrupted and resumed continues
+    the same output file.  ``fsync=True`` additionally forces every
+    flush to stable storage — opt-in durability for crash-safe runs.
     """
 
     subscribes_to = (AggregatedPowerReport,)
 
     def __init__(self, path: Union[str, Path], pids,
-                 flush_every: int = 1) -> None:
+                 flush_every: int = 1, fsync: bool = False) -> None:
         super().__init__(component="csv-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
         self.pids = tuple(sorted(pids))
         self.flush_every = flush_every
+        self.fsync = fsync
+        #: True when on_start appended to an existing file.
+        self.resumed = False
         self._rows_since_flush = 0
         self._file = None
         self._writer = None
 
     def on_start(self) -> None:
-        self._file = self.path.open("w", newline="")
+        self.resumed = self.path.exists() and self.path.stat().st_size > 0
+        self._file = self.path.open("a" if self.resumed else "w",
+                                    newline="")
         self._writer = csv.writer(self._file)
-        header = ["time_s", "total_w", "idle_w"]
-        header.extend(f"pid_{pid}_w" for pid in self.pids)
-        header.append("gap")
-        self._writer.writerow(header)
+        if not self.resumed:
+            header = ["time_s", "total_w", "idle_w"]
+            header.extend(f"pid_{pid}_w" for pid in self.pids)
+            header.append("gap")
+            self._writer.writerow(header)
 
     def on_stop(self) -> None:
         if self._file is not None:
+            self._file.flush()
+            self._maybe_fsync()
             self._file.close()
             self._file = None
+
+    def _maybe_fsync(self) -> None:
+        if self.fsync and self._file is not None:
+            os.fsync(self._file.fileno())
 
     def flush(self) -> None:
         if self._file is not None:
             self._file.flush()
+            self._maybe_fsync()
             self._rows_since_flush = 0
 
     def handle(self, message) -> None:
@@ -143,6 +161,7 @@ class CsvReporter(PipelineStage):
         self._rows_since_flush += 1
         if self._rows_since_flush >= self.flush_every:
             self._file.flush()
+            self._maybe_fsync()
             self._rows_since_flush = 0
 
 
@@ -165,31 +184,46 @@ class JsonlReporter(PipelineStage):
 
     ``flush_every=N`` flushes once per N records (default 1: the file is
     always current, matching historical behaviour).
+
+    Restart-safe like :class:`CsvReporter`: an existing non-empty file
+    is appended to, and ``fsync=True`` forces flushes to stable storage.
     """
 
     subscribes_to = (AggregatedPowerReport,)
 
-    def __init__(self, path: Union[str, Path], flush_every: int = 1) -> None:
+    def __init__(self, path: Union[str, Path], flush_every: int = 1,
+                 fsync: bool = False) -> None:
         super().__init__(component="jsonl-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
         self.flush_every = flush_every
+        self.fsync = fsync
+        #: True when on_start appended to an existing file.
+        self.resumed = False
         self._records_since_flush = 0
         self._file = None
         self.records_written = 0
 
     def on_start(self) -> None:
-        self._file = self.path.open("w")
+        self.resumed = self.path.exists() and self.path.stat().st_size > 0
+        self._file = self.path.open("a" if self.resumed else "w")
 
     def on_stop(self) -> None:
         if self._file is not None:
+            self._file.flush()
+            self._maybe_fsync()
             self._file.close()
             self._file = None
+
+    def _maybe_fsync(self) -> None:
+        if self.fsync and self._file is not None:
+            os.fsync(self._file.fileno())
 
     def flush(self) -> None:
         if self._file is not None:
             self._file.flush()
+            self._maybe_fsync()
             self._records_since_flush = 0
 
     def handle(self, message) -> None:
@@ -210,6 +244,7 @@ class JsonlReporter(PipelineStage):
         self._records_since_flush += 1
         if self._records_since_flush >= self.flush_every:
             self._file.flush()
+            self._maybe_fsync()
             self._records_since_flush = 0
 
 

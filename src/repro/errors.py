@@ -94,6 +94,10 @@ class TelemetryConnectionError(TelemetryError):
     """A telemetry connection failed and could not be re-established."""
 
 
+class SpoolError(TelemetryError):
+    """The on-disk telemetry spool is invalid or was misused."""
+
+
 class ModelError(ReproError):
     """Base class for power-model errors."""
 

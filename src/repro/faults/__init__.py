@@ -20,20 +20,35 @@ multiplexing starves events, actors crash.  This package provides
 import repro.core.messages  # noqa: F401  (breaks the faults<->core cycle)
 
 from repro.faults.backoff import ExponentialBackoff
+from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.faults.health import HealthLog, HealthMonitor
 from repro.faults.injector import FaultInjector
+from repro.faults.network import (ByteCorruption, ConnectionReset,
+                                  FaultyTransport, NetworkFaultInjector,
+                                  NetworkFaultPlan, Partition, SlowReader,
+                                  TruncatedFrame)
 from repro.faults.plan import (ActorCrash, FaultPlan, MeterDropout, PidExit,
                                SampleLoss, SlotStarvation)
 
 __all__ = [
     "ActorCrash",
+    "BreakerState",
+    "ByteCorruption",
+    "CircuitBreaker",
+    "ConnectionReset",
     "ExponentialBackoff",
     "FaultInjector",
     "FaultPlan",
+    "FaultyTransport",
     "HealthLog",
     "HealthMonitor",
     "MeterDropout",
+    "NetworkFaultInjector",
+    "NetworkFaultPlan",
+    "Partition",
     "PidExit",
     "SampleLoss",
     "SlotStarvation",
+    "SlowReader",
+    "TruncatedFrame",
 ]

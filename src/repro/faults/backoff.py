@@ -12,23 +12,39 @@ so it stays deterministic and unit-testable.
 
 from __future__ import annotations
 
+import random
+from typing import Optional
+
 from repro.errors import ConfigurationError
 
 
 class ExponentialBackoff:
-    """A resettable capped exponential delay schedule."""
+    """A resettable capped exponential delay schedule.
+
+    *jitter* spreads each delay uniformly over
+    ``[delay * (1 - jitter), delay * (1 + jitter)]`` so a fleet of
+    clients that lost the same server does not re-dial in lockstep.
+    With a *seed* the jittered schedule is fully deterministic; the RNG
+    is **not** rewound by :meth:`reset` (reset restarts the schedule,
+    not the randomness).
+    """
 
     def __init__(self, base_s: float = 0.1, factor: float = 2.0,
-                 max_s: float = 30.0) -> None:
+                 max_s: float = 30.0, jitter: float = 0.0,
+                 seed: Optional[int] = None) -> None:
         if base_s <= 0:
             raise ConfigurationError("backoff base_s must be positive")
         if factor < 1.0:
             raise ConfigurationError("backoff factor must be >= 1")
         if max_s < base_s:
             raise ConfigurationError("backoff max_s must be >= base_s")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("backoff jitter must be in [0, 1]")
         self.base_s = base_s
         self.factor = factor
         self.max_s = max_s
+        self.jitter = jitter
+        self._rng = random.Random(seed) if jitter > 0 else None
         self._attempts = 0
 
     @property
@@ -37,7 +53,11 @@ class ExponentialBackoff:
         return self._attempts
 
     def delay_s(self, attempt: int) -> float:
-        """The delay before retry number *attempt* (1-based), stateless."""
+        """The delay before retry number *attempt* (1-based), stateless.
+
+        This is the un-jittered schedule; jitter is applied only by the
+        stateful :meth:`next_delay_s` (it draws from the RNG).
+        """
         if attempt <= 0:
             return 0.0
         return min(self.max_s, self.base_s * self.factor ** (attempt - 1))
@@ -45,7 +65,11 @@ class ExponentialBackoff:
     def next_delay_s(self) -> float:
         """Record one more retry and return the delay to wait before it."""
         self._attempts += 1
-        return self.delay_s(self._attempts)
+        delay = self.delay_s(self._attempts)
+        if self._rng is not None:
+            delay *= 1.0 - self.jitter + 2.0 * self.jitter \
+                * self._rng.random()
+        return delay
 
     def reset(self) -> None:
         """Start over (call after a successful attempt)."""

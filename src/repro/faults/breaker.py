@@ -1,0 +1,143 @@
+"""The circuit breaker guarding reconnect storms.
+
+A client that re-dials a dead server in a tight capped-backoff loop
+still burns sockets, log lines and CPU; worse, a fleet of clients doing
+it together turns one server restart into a reconnect storm.  The
+classic remedy is a **circuit breaker** with three states:
+
+* **closed** — the normal state: every attempt is allowed.  Consecutive
+  failures are counted; at ``failure_threshold`` the breaker opens.
+* **open** — all attempts are refused until ``reset_timeout_s`` has
+  elapsed since the breaker opened.  No sockets are burned.
+* **half-open** — after the timeout one *probe* attempt is allowed
+  through.  If it succeeds the breaker closes (and the failure count
+  resets); if it fails the breaker re-opens for another full timeout.
+
+The breaker is pure bookkeeping: it never dials anything itself.  The
+clock is injectable so state transitions are unit-testable without real
+waits, and every transition can be surfaced as a
+:class:`~repro.core.messages.HealthEvent` via ``on_event`` — which is
+how :class:`~repro.telemetry.client.TelemetryClient` feeds breaker
+activity into the same health stream as every other degradation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.messages import HealthEvent
+from repro.errors import ConfigurationError
+
+
+class BreakerState:
+    """The three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with an injectable clock."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_event: Optional[Callable[[HealthEvent], None]] = None,
+                 component: str = "circuit-breaker") -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ConfigurationError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock
+        self.on_event = on_event
+        self.component = component
+        self._lock = threading.RLock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Times the breaker transitioned closed/half-open -> open.
+        self.opens = 0
+        #: Attempts refused while the breaker was open.
+        self.refusals = 0
+        #: Every (time, state) transition, oldest first.
+        self.transitions: List[Tuple[float, str]] = []
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def _transition(self, state: str, detail: str) -> None:
+        self._state = state
+        self.transitions.append((self.clock(), state))
+        if self.on_event is not None:
+            self.on_event(HealthEvent(
+                time_s=self.clock(), component=self.component,
+                kind=f"breaker-{state}", detail=detail))
+
+    # -- the protocol --------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt now (may move open → half-open)."""
+        with self._lock:
+            if self._state == BreakerState.CLOSED:
+                return True
+            if self._state == BreakerState.OPEN:
+                if self.clock() - self._opened_at >= self.reset_timeout_s:
+                    self._transition(
+                        BreakerState.HALF_OPEN,
+                        f"probe allowed after {self.reset_timeout_s:g}s")
+                    self._probe_inflight = True
+                    return True
+                self.refusals += 1
+                return False
+            # half-open: exactly one probe at a time.
+            if self._probe_inflight:
+                self.refusals += 1
+                return False
+            self._probe_inflight = True
+            return True
+
+    def retry_in_s(self) -> float:
+        """Seconds until the next attempt could be allowed (0 when now)."""
+        with self._lock:
+            if self._state != BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self._opened_at + self.reset_timeout_s
+                       - self.clock())
+
+    def record_success(self) -> None:
+        """The attempt succeeded: close the breaker, reset the count."""
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            if self._state != BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED, "probe succeeded")
+
+    def record_failure(self) -> None:
+        """The attempt failed: count it; open at the threshold."""
+        with self._lock:
+            self._failures += 1
+            self._probe_inflight = False
+            if self._state == BreakerState.HALF_OPEN:
+                self._open(f"probe failed "
+                           f"({self._failures} consecutive failures)")
+            elif (self._state == BreakerState.CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._open(f"{self._failures} consecutive failures")
+
+    def _open(self, detail: str) -> None:
+        self._opened_at = self.clock()
+        self.opens += 1
+        self._transition(BreakerState.OPEN, detail)

@@ -20,13 +20,18 @@ view.
   capped-exponential-backoff reconnect,
 * :mod:`repro.telemetry.fleet` — :class:`FleetAggregator`, merging
   many hosts' streams into cluster-level power series that tolerate
-  out-of-order and gap-marked input.
+  out-of-order and gap-marked input,
+* :mod:`repro.telemetry.spool` — :class:`Spool`, the durable
+  client-side journal that lets a crashed consumer resume its stream
+  from disk via the RESUME handshake.
 """
 
 from repro.telemetry.client import ReconnectPolicy, TelemetryClient
 from repro.telemetry.fleet import ClusterPoint, FleetAggregator, FleetSample
 from repro.telemetry.server import (BoundedFrameQueue, OverflowPolicy,
-                                    TelemetryBridge, TelemetryServer)
+                                    ReplayBuffer, TelemetryBridge,
+                                    TelemetryServer)
+from repro.telemetry.spool import Spool
 from repro.telemetry.wire import (Frame, FrameDecoder, FrameKind,
                                   GapTelemetry, Heartbeat, HealthTelemetry,
                                   ReportEvent, encode_frame,
@@ -34,6 +39,8 @@ from repro.telemetry.wire import (Frame, FrameDecoder, FrameKind,
 
 __all__ = [
     "BoundedFrameQueue",
+    "ReplayBuffer",
+    "Spool",
     "ClusterPoint",
     "FleetAggregator",
     "FleetSample",

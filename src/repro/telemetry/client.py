@@ -26,15 +26,22 @@ from __future__ import annotations
 import socket
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import (TelemetryConnectionError, TelemetryError,
                           WireProtocolError)
 from repro.faults.backoff import ExponentialBackoff
+from repro.faults.breaker import CircuitBreaker
 from repro.telemetry import wire
+from repro.telemetry.spool import Spool
 from repro.telemetry.wire import Frame, FrameKind
 
 _RECV_BYTES = 65536
+
+#: Frame kinds that carry the shared stream sequence number (heartbeats
+#: keep their own counter and never advance ``last_seq``).
+_STREAM_KINDS = (FrameKind.REPORT, FrameKind.HEALTH, FrameKind.GAP)
 
 
 @dataclass(frozen=True)
@@ -47,10 +54,15 @@ class ReconnectPolicy:
     #: Give up (raise) after this many consecutive failed dials;
     #: ``None`` retries forever.
     max_attempts: Optional[int] = None
+    #: Jitter fraction spreading re-dials across a fleet (0 disables).
+    jitter: float = 0.0
+    #: Seed making a jittered schedule reproducible.
+    seed: Optional[int] = None
 
     def backoff(self) -> ExponentialBackoff:
         return ExponentialBackoff(base_s=self.base_s, factor=self.factor,
-                                  max_s=self.max_s)
+                                  max_s=self.max_s, jitter=self.jitter,
+                                  seed=self.seed)
 
 
 class TelemetryClient:
@@ -69,7 +81,11 @@ class TelemetryClient:
                  agent: str = "repro-telemetry-client",
                  connect_timeout_s: float = 5.0,
                  read_timeout_s: Optional[float] = 30.0,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 spool: Optional[Union[str, Path, Spool]] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 transport: Optional[Callable[[socket.socket],
+                                              socket.socket]] = None) -> None:
         self.host = host
         self.port = port
         self.pids = None if pids is None else sorted(set(pids))
@@ -80,6 +96,25 @@ class TelemetryClient:
         self.connect_timeout_s = connect_timeout_s
         self.read_timeout_s = read_timeout_s
         self._sleep = sleep
+        #: Circuit breaker consulted before every re-dial, if any.
+        self.breaker = breaker
+        #: Wraps the dialed socket (chaos tests inject faults here).
+        self.transport = transport
+        self._owns_spool = spool is not None and not isinstance(spool, Spool)
+        if self._owns_spool:
+            path = Path(spool)
+            if path.is_dir():
+                path = path / "telemetry.spool"
+            spool = Spool(path)
+        #: Durable journal of delivered stream frames, if any.
+        self.spool: Optional[Spool] = spool
+        #: The server stream epoch ``last_seq`` belongs to.
+        self.stream_epoch: Optional[str] = None
+        #: Highest stream seq delivered (recovered from the spool on
+        #: restart); what a RESUME handshake presents to the server.
+        self.last_seq: Optional[int] = None
+        if self.spool is not None:
+            self.stream_epoch, self.last_seq = self.spool.resume_state()
         self._sock: Optional[socket.socket] = None
         self._decoder: Optional[wire.FrameDecoder] = None
         #: Frames that arrived in the same chunk as the handshake reply
@@ -91,8 +126,17 @@ class TelemetryClient:
         #: The pipeline description the server advertised in its
         #: handshake reply (PipelineSpec.to_dict() form), if any.
         self.server_spec: Optional[dict] = None
+        #: Optional protocol features the server advertised ("resume").
+        self.server_features: tuple = ()
+        #: None until a handshake reply reveals whether the server
+        #: understands RESUME; False stops us from ever sending one.
+        self._resume_supported: Optional[bool] = None
         self.frames_received = 0
         self.reconnects = 0
+        self.duplicates_dropped = 0
+        self.resumes_sent = 0
+        #: Corrupt-stream (WireProtocolError) disconnects survived.
+        self.stream_errors = 0
 
     # -- connection management ----------------------------------------
 
@@ -109,9 +153,23 @@ class TelemetryClient:
         sock = socket.create_connection(
             (self.host, self.port), timeout=self.connect_timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.transport is not None:
+            sock = self.transport(sock)
         try:
             sock.sendall(wire.encode_frame(
                 FrameKind.HELLO, wire.hello_payload(agent=self.agent)))
+            # Resume optimistically: the reply that would tell us the
+            # server lacks the feature hasn't arrived yet on a first
+            # reconnect, but a server that advertised "resume" once is
+            # assumed to keep it, and one that refused never sees
+            # another RESUME.
+            if self.last_seq is not None and self._resume_supported is not \
+                    False:
+                sock.sendall(wire.encode_frame(
+                    FrameKind.RESUME,
+                    wire.resume_payload(self.last_seq,
+                                        epoch=self.stream_epoch)))
+                self.resumes_sent += 1
             sock.sendall(wire.encode_frame(
                 FrameKind.SUBSCRIBE,
                 wire.subscribe_payload(pids=self.pids, kinds=self.kinds,
@@ -130,6 +188,21 @@ class TelemetryClient:
             spec = reply.payload.get("spec")
             if isinstance(spec, dict):
                 self.server_spec = spec
+            features = reply.payload.get("features")
+            if isinstance(features, list):
+                self.server_features = tuple(str(f) for f in features)
+            self._resume_supported = "resume" in self.server_features
+            epoch = reply.payload.get("epoch")
+            if isinstance(epoch, str) and epoch != self.stream_epoch:
+                if self.stream_epoch is not None:
+                    # A different server instance: its sequence space
+                    # is fresh, so stale resume state must not be used
+                    # to deduplicate the new stream.
+                    self.last_seq = None
+                self.stream_epoch = epoch
+                if self.spool is not None:
+                    self.spool.append(wire.encode_frame(
+                        FrameKind.HELLO, {"epoch": epoch}))
         except BaseException:
             sock.close()
             raise
@@ -161,6 +234,8 @@ class TelemetryClient:
         """Stop iterating and release the socket (idempotent)."""
         self._closed = True
         self._disconnect()
+        if self.spool is not None and self._owns_spool:
+            self.spool.close()
 
     def _disconnect(self) -> None:
         sock, self._sock = self._sock, None
@@ -186,11 +261,20 @@ class TelemetryClient:
                 raise TelemetryConnectionError(
                     f"gave up reconnecting to {self.host}:{self.port} "
                     f"after {backoff.attempts} attempts")
+            if self.breaker is not None and not self.breaker.allow():
+                # Open breaker: no socket is burned; wait out the
+                # remainder of its reset timeout instead of dialing.
+                self._sleep(max(self.breaker.retry_in_s(), 0.001))
+                continue
             self._sleep(backoff.next_delay_s())
             try:
                 self.connect()
             except (OSError, TelemetryError):
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 continue
+            if self.breaker is not None:
+                self.breaker.record_success()
             self.reconnects += 1
             return True
         return False
@@ -230,7 +314,19 @@ class TelemetryClient:
                     if self._closed or not self._redial():
                         return
                     continue
-                frames = self._decoder.feed(data)
+                try:
+                    frames = self._decoder.feed(data)
+                except WireProtocolError:
+                    # Corrupt stream: the decoder is poisoned, so the
+                    # only recovery is a fresh connection — RESUME then
+                    # re-delivers anything the corruption swallowed.
+                    self.stream_errors += 1
+                    self._disconnect()
+                    if self.reconnect is None:
+                        raise
+                    if self._closed or not self._redial():
+                        return
+                    continue
             for index, frame in enumerate(frames):
                 self.frames_received += 1
                 if frame.kind is FrameKind.ERROR:
@@ -238,6 +334,19 @@ class TelemetryClient:
                     raise TelemetryConnectionError(
                         f"server error: "
                         f"{frame.payload.get('reason', 'unknown')}")
+                if frame.kind in _STREAM_KINDS:
+                    seq = frame.payload.get("seq")
+                    if isinstance(seq, int):
+                        if (self.last_seq is not None
+                                and seq <= self.last_seq):
+                            # Replay overlap after a reconnect: already
+                            # delivered (or spooled) — drop silently.
+                            self.duplicates_dropped += 1
+                            continue
+                        self.last_seq = seq
+                        if self.spool is not None:
+                            self.spool.append(wire.encode_frame(
+                                frame.kind, frame.payload))
                 yield wire.decode_event(frame)
                 yielded += 1
                 if max_events is not None and yielded >= max_events:

@@ -65,6 +65,9 @@ class _HostStream:
         self._times: List[float] = []
         self.samples: List[FleetSample] = []
         self.out_of_order = 0
+        #: Stream sequence numbers already merged (replay dedup).
+        self.seen_seqs: set = set()
+        self.duplicates = 0
         self.client: Optional[TelemetryClient] = None
         self.thread: Optional[threading.Thread] = None
 
@@ -122,7 +125,7 @@ class FleetAggregator:
         try:
             for event in client:
                 if isinstance(event, ReportEvent):
-                    self.ingest(name, event.report)
+                    self.ingest(name, event.report, seq=event.seq)
         except Exception:  # noqa: BLE001 - drain threads must not leak
             pass
         finally:
@@ -142,13 +145,24 @@ class FleetAggregator:
 
     # -- ingestion ----------------------------------------------------
 
-    def ingest(self, host: str, report: AggregatedPowerReport) -> None:
-        """Merge one report for *host* (thread-safe, any order)."""
+    def ingest(self, host: str, report: AggregatedPowerReport,
+               seq: Optional[int] = None) -> None:
+        """Merge one report for *host* (thread-safe, any order).
+
+        When *seq* is given, ``(host, seq)`` pairs already merged are
+        dropped — a replayed frame after a reconnect never
+        double-counts cluster watts.
+        """
         with self._cond:
             stream = self._streams.get(host)
             if stream is None:
                 stream = _HostStream(host)
                 self._streams[host] = stream
+            if seq is not None:
+                if seq in stream.seen_seqs:
+                    stream.duplicates += 1
+                    return
+                stream.seen_seqs.add(seq)
             stream.insert(FleetSample(
                 host=host,
                 time_s=round(report.time_s, self.align_decimals),
@@ -182,6 +196,11 @@ class FleetAggregator:
         """Samples that arrived behind a later timestamp, fleet-wide."""
         with self._cond:
             return sum(s.out_of_order for s in self._streams.values())
+
+    def duplicate_count(self) -> int:
+        """Replayed ``(host, seq)`` samples dropped, fleet-wide."""
+        with self._cond:
+            return sum(s.duplicates for s in self._streams.values())
 
     def cluster_series(self) -> List[ClusterPoint]:
         """The merged fleet power series, one point per timestamp.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import uuid
 from collections import deque
 from typing import (Callable, Deque, Dict, FrozenSet, List, Optional,
                     Sequence, Tuple)
@@ -123,6 +124,25 @@ class BoundedFrameQueue:
             self._cond.notify_all()
             return True
 
+    def force(self, kind: FrameKind, data: bytes) -> bool:
+        """Enqueue one frame without ever blocking.
+
+        Evicts the oldest queued frame when full regardless of policy.
+        Used for resume replay, which runs while holding the server's
+        ``_cond`` — a blocking ``offer`` there would deadlock against
+        the writer thread (it takes ``_cond`` after every send).
+        """
+        with self._cond:
+            if self._closed:
+                return False
+            if len(self._items) >= self.capacity:
+                self._items.popleft()
+                self.dropped += 1
+            self._items.append((kind, data))
+            self.high_water = max(self.high_water, len(self._items))
+            self._cond.notify_all()
+            return True
+
     def pop(self) -> Optional[Tuple[FrameKind, bytes]]:
         """Dequeue the next frame, blocking; None once closed and empty."""
         with self._cond:
@@ -152,6 +172,44 @@ class BoundedFrameQueue:
             self._closed = True
             self._paused = False
             self._cond.notify_all()
+
+
+class ReplayBuffer:
+    """The server's bounded ring of recently published stream frames.
+
+    Every REPORT/HEALTH/GAP frame is appended as ``(seq, kind, bytes)``;
+    :meth:`since` answers a RESUME: the frames still held after
+    ``last_seq``, plus the highest sequence number that has scrolled out
+    of the window (``None`` when nothing the client missed was evicted).
+    Not self-locking — the server mutates it under its own ``_cond``.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ConfigurationError("replay window must be >= 1")
+        self.window = window
+        self._items: Deque[Tuple[int, FrameKind, bytes]] = deque(
+            maxlen=window)
+        #: Highest sequence number ever appended (-1 when empty).
+        self.last_seq = -1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def append(self, seq: int, kind: FrameKind, data: bytes) -> None:
+        self._items.append((seq, kind, data))
+        self.last_seq = seq
+
+    def since(self, last_seq: int
+              ) -> Tuple[List[Tuple[int, FrameKind, bytes]], Optional[int]]:
+        """``(replayable frames after last_seq, evicted_through)``."""
+        frames = [item for item in self._items if item[0] > last_seq]
+        if frames:
+            oldest_held = frames[0][0]
+            evicted = oldest_held - 1 if oldest_held > last_seq + 1 else None
+        else:
+            evicted = self.last_seq if self.last_seq > last_seq else None
+        return frames, evicted
 
 
 class _Subscription:
@@ -214,10 +272,15 @@ class _Subscriber:
         self.subscription: Optional[_Subscription] = None
         self.agent = ""
         self.version = wire.PROTOCOL_VERSION
+        #: Last-acked seq from a RESUME frame (None: fresh subscriber).
+        self.resume_last_seq: Optional[int] = None
+        #: Stream epoch the RESUME's seq belongs to, if the client knew.
+        self.resume_epoch: Optional[str] = None
         self.ready = False
         self.closed = False
         self.frames_sent = 0
         self.bytes_sent = 0
+        self.frames_replayed = 0
         self.thread = threading.Thread(
             target=self._run, name=f"telemetry-sub-{self.id}", daemon=True)
 
@@ -244,6 +307,20 @@ class _Subscriber:
             for frame in decoder.feed(data):
                 if frame.kind is FrameKind.HELLO and hello is None:
                     hello = frame
+                elif (frame.kind is FrameKind.RESUME and hello is not None
+                        and self.resume_last_seq is None):
+                    try:
+                        last_seq = int(frame.payload["last_seq"])
+                        if last_seq < 0:
+                            raise ValueError("negative")
+                    except (KeyError, TypeError, ValueError):
+                        self._refuse("bad RESUME payload: last_seq must "
+                                     "be a non-negative integer")
+                        return False
+                    self.resume_last_seq = last_seq
+                    epoch = frame.payload.get("epoch")
+                    if epoch is not None:
+                        self.resume_epoch = str(epoch)
                 elif frame.kind is FrameKind.SUBSCRIBE and hello is not None:
                     subscribe = frame
                     break
@@ -267,7 +344,9 @@ class _Subscriber:
             FrameKind.HELLO,
             wire.hello_payload(agent=self.server.agent,
                                chosen=self.version,
-                               spec=self.server.advertised_spec),
+                               spec=self.server.advertised_spec,
+                               features=("resume",),
+                               epoch=self.server.stream_epoch),
         ))
         return True
 
@@ -328,6 +407,7 @@ class _Subscriber:
             "peer": f"{self.peer[0]}:{self.peer[1]}",
             "version": self.version,
             "frames_sent": self.frames_sent,
+            "frames_replayed": self.frames_replayed,
             "frames_dropped": self.queue.dropped,
             "bytes_sent": self.bytes_sent,
             "queue_high_water": self.queue.high_water,
@@ -350,7 +430,10 @@ class TelemetryServer:
                  queue_capacity: int = 256,
                  host_label: str = "",
                  heartbeat_every: int = 0,
-                 agent: str = "repro-telemetry-server") -> None:
+                 agent: str = "repro-telemetry-server",
+                 replay_window: int = 0,
+                 transport: Optional[Callable[[socket.socket],
+                                              socket.socket]] = None) -> None:
         if queue_capacity < 1:
             raise ConfigurationError("queue_capacity must be >= 1")
         if overflow not in OverflowPolicy.ALL:
@@ -359,12 +442,22 @@ class TelemetryServer:
                 f"use one of {', '.join(OverflowPolicy.ALL)}")
         if heartbeat_every < 0:
             raise ConfigurationError("heartbeat_every must be >= 0")
+        if replay_window < 0:
+            raise ConfigurationError("replay_window must be >= 0")
         self.host = host
         self.overflow = overflow
         self.queue_capacity = queue_capacity
         self.host_label = host_label
         self.heartbeat_every = heartbeat_every
         self.agent = agent
+        #: Frames of replay history kept for RESUME (0 disables replay:
+        #: a resume is honoured but everything missed becomes a gap).
+        self.replay_window = replay_window
+        self._replay = (ReplayBuffer(replay_window)
+                        if replay_window > 0 else None)
+        #: Wraps every accepted connection (chaos tests inject faults
+        #: here via ``NetworkFaultInjector.wrap``).
+        self._transport = transport
         #: Pipeline description included in handshake replies, if any.
         self.advertised_spec: Optional[Dict[str, object]] = None
         self._requested_port = port
@@ -379,7 +472,30 @@ class TelemetryServer:
         self.heartbeats_published = 0
         #: Times a publish had to wait on a full ``block``-policy queue.
         self.stalls = 0
+        self.resumes_served = 0
+        #: RESUMEs whose seq belonged to another server's epoch and
+        #: were therefore treated as fresh subscriptions.
+        self.resumes_rejected = 0
+        self.frames_replayed = 0
+        self.replay_evictions = 0
+        #: Token identifying this server instance's sequence space.
+        self.stream_epoch = uuid.uuid4().hex[:16]
+        # One counter across REPORT/HEALTH/GAP: the *stream* sequence a
+        # resuming client acks (heartbeats keep their own counter).
+        # Ordering assumes publishes are serialized — in practice they
+        # all come from the single actor-dispatch thread.
         self._seq = 0
+
+    def set_transport(self, transport: Optional[Callable[[socket.socket],
+                                                         socket.socket]]
+                      ) -> None:
+        """Install/replace the wrapper applied to newly accepted sockets.
+
+        Only connections accepted afterwards are wrapped; existing
+        subscribers keep their plain sockets.  Used by the CLI to arm
+        ``--net-faults`` on a server built from a pipeline spec.
+        """
+        self._transport = transport
 
     def advertise_spec(self, spec: Optional[Dict[str, object]]) -> None:
         """Attach a pipeline description to future handshake replies.
@@ -460,14 +576,63 @@ class TelemetryServer:
             except OSError:
                 return  # listener closed
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self._transport is not None:
+                conn = self._transport(conn)
             subscriber = _Subscriber(self, conn, peer)
             subscriber.thread.start()
 
     def _subscriber_ready(self, subscriber: _Subscriber) -> None:
+        # Replay and registration are one atomic step under ``_cond``:
+        # a publisher that sees this subscriber in its targets snapshot
+        # strictly follows this block, so every stream frame lands
+        # exactly once — in the replay batch or live, never both.
         with self._cond:
+            if subscriber.resume_last_seq is not None:
+                if (subscriber.resume_epoch is not None
+                        and subscriber.resume_epoch != self.stream_epoch):
+                    # A seq from another server instance's sequence
+                    # space means nothing here: fresh subscription.
+                    self.resumes_rejected += 1
+                else:
+                    self._replay_to(subscriber, subscriber.resume_last_seq)
             subscriber.ready = True
             self._subscribers.append(subscriber)
             self._cond.notify_all()
+
+    def _replay_to(self, subscriber: _Subscriber, last_seq: int) -> None:
+        """Serve one RESUME: replay held frames, mark evictions.
+
+        Runs under ``_cond``; enqueues via the queue's non-blocking
+        ``force`` (the fresh queue has no blocked publishers, so taking
+        its lock here cannot deadlock).  Replay frames are the base
+        (unfiltered) encodings — pid/downsample filters apply to live
+        frames only.
+        """
+        self.resumes_served += 1
+        if self._replay is not None:
+            frames, evicted_through = self._replay.since(last_seq)
+        else:
+            frames = []
+            evicted_through = (self._seq - 1
+                               if self._seq - 1 > last_seq else None)
+        # Reserve one queue slot for the eviction gap marker: frames
+        # that cannot fit extend the evicted range instead of silently
+        # evicting each other inside the queue.
+        budget = subscriber.queue.capacity - 1
+        if len(frames) > budget:
+            overflow = frames[:-budget] if budget > 0 else frames
+            frames = frames[-budget:] if budget > 0 else []
+            evicted_through = overflow[-1][0]
+        if evicted_through is not None and evicted_through > last_seq:
+            self.replay_evictions += 1
+            gap = wire.eviction_gap_frame(
+                evicted_from=last_seq + 1, evicted_through=evicted_through,
+                time_s=0.0, host=self.host_label)
+            subscriber.queue.force(FrameKind.GAP, gap)
+        for _seq, kind, data in frames:
+            subscriber.queue.force(kind, data)
+        subscriber.frames_replayed += len(frames)
+        self.frames_replayed += len(frames)
 
     def _remove_subscriber(self, subscriber: _Subscriber) -> None:
         subscriber.close()
@@ -485,7 +650,14 @@ class TelemetryServer:
             self._seq += 1
             self.reports_published += 1
             targets = list(self._subscribers)
-        base: Optional[bytes] = None
+            base: Optional[bytes] = None
+            if self._replay is not None:
+                # Seq assignment + ring append are atomic with the
+                # targets snapshot, so a concurrent resume replays
+                # exactly the frames its owner will not receive live.
+                base = wire.report_frame(report, host=self.host_label,
+                                         seq=seq)
+                self._replay.append(seq, FrameKind.REPORT, base)
         offered = 0
         for subscriber in targets:
             subscription = subscriber.subscription
@@ -509,9 +681,13 @@ class TelemetryServer:
     def publish_health(self, event: HealthEvent) -> int:
         """Fan one health event out to health subscribers."""
         with self._cond:
+            seq = self._seq
+            self._seq += 1
             self.health_published += 1
             targets = list(self._subscribers)
-        data = wire.health_frame(event, host=self.host_label)
+            data = wire.health_frame(event, host=self.host_label, seq=seq)
+            if self._replay is not None:
+                self._replay.append(seq, FrameKind.HEALTH, data)
         offered = sum(
             self._offer(sub, FrameKind.HEALTH, data) for sub in targets
             if sub.subscription is not None
@@ -522,9 +698,13 @@ class TelemetryServer:
     def publish_gap(self, marker: GapMarker) -> int:
         """Fan one sensor gap marker out to gap subscribers."""
         with self._cond:
+            seq = self._seq
+            self._seq += 1
             self.gaps_published += 1
             targets = list(self._subscribers)
-        data = wire.gap_frame(marker, host=self.host_label)
+            data = wire.gap_frame(marker, host=self.host_label, seq=seq)
+            if self._replay is not None:
+                self._replay.append(seq, FrameKind.GAP, data)
         offered = sum(
             self._offer(sub, FrameKind.GAP, data) for sub in targets
             if sub.subscription is not None
@@ -597,6 +777,12 @@ class TelemetryServer:
             "gaps_published": self.gaps_published,
             "heartbeats_published": self.heartbeats_published,
             "stalls": self.stalls,
+            "replay_window": self.replay_window,
+            "stream_epoch": self.stream_epoch,
+            "resumes_served": self.resumes_served,
+            "resumes_rejected": self.resumes_rejected,
+            "frames_replayed": self.frames_replayed,
+            "replay_evictions": self.replay_evictions,
             "subscribers": subscribers,
         }
 

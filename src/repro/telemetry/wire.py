@@ -51,7 +51,13 @@ MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
 
 
 class FrameKind(enum.IntEnum):
-    """The seven frame kinds of protocol version 1."""
+    """The frame kinds of protocol version 1.
+
+    RESUME is a capability-gated extension, not a version bump: only
+    clients send it, and only after the server's HELLO reply advertised
+    the ``"resume"`` feature — so a pre-RESUME peer never sees kind 8
+    and the wire stays backward compatible at version 1.
+    """
 
     HELLO = 1       #: handshake: version lists / chosen version
     SUBSCRIBE = 2   #: client -> server: filters (pids, kinds, downsample)
@@ -60,6 +66,7 @@ class FrameKind(enum.IntEnum):
     GAP = 5         #: server -> client: one sensor GapMarker
     HEARTBEAT = 6   #: server -> client: liveness marker with sequence
     ERROR = 7       #: either direction: fatal protocol error, then close
+    RESUME = 8      #: client -> server: last-acked seq, replay after it
 
 
 #: Event-kind names accepted in Subscribe filters (Hello/Subscribe/Error
@@ -202,15 +209,19 @@ def negotiate_version(peer_versions: Iterable[int],
 def hello_payload(agent: str,
                   versions: Sequence[int] = SUPPORTED_VERSIONS,
                   chosen: Optional[int] = None,
-                  spec: Optional[Mapping[str, object]] = None
+                  spec: Optional[Mapping[str, object]] = None,
+                  features: Optional[Sequence[str]] = None,
+                  epoch: Optional[str] = None
                   ) -> Dict[str, object]:
     """A Hello payload; the server's reply sets *chosen*.
 
     A server streaming a declaratively-assembled pipeline may attach
     the :meth:`~repro.core.pipeline.PipelineSpec.to_dict` form as
-    *spec*, advertising what it monitors to every subscriber.  Clients
-    that predate the key ignore it (the payload is an open JSON
-    object), so no version bump is needed.
+    *spec*, advertising what it monitors to every subscriber, and a
+    *features* list naming optional protocol extensions it understands
+    (currently ``"resume"``).  Clients that predate either key ignore
+    it (the payload is an open JSON object), so no version bump is
+    needed.
     """
     payload: Dict[str, object] = {"agent": agent,
                                   "versions": [int(v) for v in versions]}
@@ -218,6 +229,30 @@ def hello_payload(agent: str,
         payload["version"] = int(chosen)
     if spec is not None:
         payload["spec"] = dict(spec)
+    if features is not None:
+        payload["features"] = sorted(str(f) for f in features)
+    if epoch is not None:
+        # The server's stream epoch: sequence numbers are only
+        # comparable within one epoch, so a restarted server (fresh
+        # counter) presents a new token and clients discard stale
+        # resume state instead of mis-deduplicating the new stream.
+        payload["epoch"] = str(epoch)
+    return payload
+
+
+def resume_payload(last_seq: int,
+                   epoch: Optional[str] = None) -> Dict[str, object]:
+    """A Resume payload: replay every stream frame after *last_seq*.
+
+    *epoch* is the stream epoch *last_seq* was observed under; a server
+    in a different epoch treats the subscriber as fresh rather than
+    replaying from a foreign sequence space.
+    """
+    if last_seq < 0:
+        raise WireProtocolError("last_seq must be >= 0")
+    payload: Dict[str, object] = {"last_seq": int(last_seq)}
+    if epoch is not None:
+        payload["epoch"] = str(epoch)
     return payload
 
 
@@ -248,19 +283,43 @@ def report_frame(report: AggregatedPowerReport, host: str = "",
     return encode_frame(FrameKind.REPORT, payload, version=version)
 
 
-def health_frame(event: HealthEvent, host: str = "",
+def health_frame(event: HealthEvent, host: str = "", seq: int = 0,
                  version: int = PROTOCOL_VERSION) -> bytes:
     """Encode one health event as a Health frame."""
     payload = event.to_wire()
     payload["host"] = host
+    payload["seq"] = int(seq)
     return encode_frame(FrameKind.HEALTH, payload, version=version)
 
 
-def gap_frame(marker: GapMarker, host: str = "",
+def gap_frame(marker: GapMarker, host: str = "", seq: int = 0,
               version: int = PROTOCOL_VERSION) -> bytes:
     """Encode one sensor gap marker as a Gap frame."""
     payload = marker.to_wire()
     payload["host"] = host
+    payload["seq"] = int(seq)
+    return encode_frame(FrameKind.GAP, payload, version=version)
+
+
+def eviction_gap_frame(evicted_from: int, evicted_through: int,
+                       time_s: float, host: str = "",
+                       version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode the synthetic Gap frame marking a replay-window eviction.
+
+    When a resuming client's window ``(last_seq, now]`` has partly
+    scrolled out of the server's replay ring, the hole is made explicit
+    as a gap with ``source="replay-eviction"``: sequence numbers
+    *evicted_from*..*evicted_through* (inclusive) are gone for good.
+    The frame's own ``seq`` is *evicted_through* so the client's
+    last-acked seq advances past the hole.
+    """
+    marker = GapMarker(time_s=float(time_s), period_s=1.0, pid=-1,
+                       source="replay-eviction")
+    payload = marker.to_wire()
+    payload["host"] = host
+    payload["seq"] = int(evicted_through)
+    payload["evicted_from"] = int(evicted_from)
+    payload["evicted_through"] = int(evicted_through)
     return encode_frame(FrameKind.GAP, payload, version=version)
 
 
@@ -294,14 +353,23 @@ class HealthTelemetry:
 
     event: HealthEvent
     host: str = ""
+    seq: int = 0
 
 
 @dataclass(frozen=True)
 class GapTelemetry:
-    """A Gap frame decoded back into a :class:`GapMarker`."""
+    """A Gap frame decoded back into a :class:`GapMarker`.
+
+    ``evicted_from``/``evicted_through`` are set only on the synthetic
+    replay-eviction gap: the inclusive range of sequence numbers the
+    server's replay window could no longer provide.
+    """
 
     marker: GapMarker
     host: str = ""
+    seq: int = 0
+    evicted_from: Optional[int] = None
+    evicted_through: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -328,10 +396,19 @@ def decode_event(frame: Frame):
                 seq=int(payload.get("seq", 0)))
         if frame.kind is FrameKind.HEALTH:
             return HealthTelemetry(event=HealthEvent.from_wire(payload),
-                                   host=str(payload.get("host", "")))
+                                   host=str(payload.get("host", "")),
+                                   seq=int(payload.get("seq", 0)))
         if frame.kind is FrameKind.GAP:
-            return GapTelemetry(marker=GapMarker.from_wire(payload),
-                                host=str(payload.get("host", "")))
+            evicted_from = payload.get("evicted_from")
+            evicted_through = payload.get("evicted_through")
+            return GapTelemetry(
+                marker=GapMarker.from_wire(payload),
+                host=str(payload.get("host", "")),
+                seq=int(payload.get("seq", 0)),
+                evicted_from=(None if evicted_from is None
+                              else int(evicted_from)),
+                evicted_through=(None if evicted_through is None
+                                 else int(evicted_through)))
         if frame.kind is FrameKind.HEARTBEAT:
             return Heartbeat(seq=int(payload["seq"]),
                              time_s=float(payload["time_s"]),

@@ -67,3 +67,6 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "faults: fault-injection and graceful-degradation "
                    "scenarios")
+    config.addinivalue_line(
+        "markers", "chaos: crash-recovery and network-fault-injection "
+                   "scenarios")

@@ -438,3 +438,134 @@ class TestAcceptanceCampaign:
         second = self._run_campaign(model)
         assert first[0] == second[0]  # health signatures byte-identical
         assert first[1] == second[1]  # and the power series too
+
+
+class TestExponentialBackoff:
+    """The shared retry schedule, including the fleet-jitter extension."""
+
+    def _backoff(self, **kwargs):
+        from repro.faults.backoff import ExponentialBackoff
+        return ExponentialBackoff(**kwargs)
+
+    def test_cap_saturation(self):
+        backoff = self._backoff(base_s=0.5, factor=2.0, max_s=3.0)
+        delays = [backoff.next_delay_s() for _ in range(6)]
+        assert delays == [0.5, 1.0, 2.0, 3.0, 3.0, 3.0]
+        assert backoff.attempts == 6
+
+    def test_reset_restarts_the_schedule(self):
+        backoff = self._backoff(base_s=1.0, factor=2.0, max_s=8.0)
+        backoff.next_delay_s()
+        backoff.next_delay_s()
+        backoff.reset()
+        assert backoff.attempts == 0
+        assert backoff.next_delay_s() == 1.0
+
+    def test_stateless_delay_matches_stateful(self):
+        backoff = self._backoff(base_s=0.1, factor=3.0, max_s=10.0)
+        assert [backoff.delay_s(n) for n in (1, 2, 3)] == \
+            [backoff.next_delay_s() for _ in range(3)]
+        assert backoff.delay_s(0) == 0.0
+
+    def test_jitter_deterministic_under_seed(self):
+        first = self._backoff(base_s=1.0, max_s=30.0, jitter=0.5, seed=42)
+        second = self._backoff(base_s=1.0, max_s=30.0, jitter=0.5, seed=42)
+        a = [first.next_delay_s() for _ in range(8)]
+        b = [second.next_delay_s() for _ in range(8)]
+        assert a == b
+        other = self._backoff(base_s=1.0, max_s=30.0, jitter=0.5, seed=7)
+        assert a != [other.next_delay_s() for _ in range(8)]
+
+    def test_jitter_stays_within_band(self):
+        backoff = self._backoff(base_s=1.0, factor=2.0, max_s=64.0,
+                                jitter=0.25, seed=1)
+        for attempt in range(1, 8):
+            nominal = backoff.delay_s(attempt)
+            jittered = backoff.next_delay_s()
+            assert 0.75 * nominal <= jittered <= 1.25 * nominal
+
+    def test_zero_jitter_is_exact(self):
+        backoff = self._backoff(base_s=1.0, jitter=0.0, seed=99)
+        assert backoff.next_delay_s() == 1.0
+
+    def test_reset_does_not_rewind_the_rng(self):
+        backoff = self._backoff(base_s=1.0, max_s=30.0, jitter=0.5, seed=3)
+        first = backoff.next_delay_s()
+        backoff.reset()
+        # Same attempt number, fresh draw: almost surely different.
+        assert backoff.next_delay_s() != first
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._backoff(base_s=0.0)
+        with pytest.raises(ConfigurationError):
+            self._backoff(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            self._backoff(base_s=2.0, max_s=1.0)
+        with pytest.raises(ConfigurationError):
+            self._backoff(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            self._backoff(jitter=-0.1)
+
+
+class TestBoundedHealthLog:
+    """The health log's bound: cap, exact counts, digested evictions."""
+
+    def _event(self, index, kind="degraded"):
+        from repro.core.messages import HealthEvent
+        return HealthEvent(time_s=float(index), component="sensor",
+                           kind=kind, detail=f"event-{index}")
+
+    def _log(self, cap):
+        from repro.faults.health import HealthLog
+        return HealthLog(cap=cap)
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._log(0)
+
+    def test_retains_only_newest_cap_events(self):
+        log = self._log(3)
+        for index in range(10):
+            log.record(self._event(index))
+        assert len(log) == 10  # total keeps counting
+        assert log.evicted == 7
+        assert [event.detail for event in log] == [
+            "event-7", "event-8", "event-9"]
+
+    def test_counts_exact_past_cap(self):
+        log = self._log(2)
+        for index in range(5):
+            log.record(self._event(index, kind="degraded"))
+        log.record(self._event(5, kind="recovered"))
+        assert log.count("degraded") == 5
+        assert log.count("recovered") == 1
+        assert log.count("unknown") == 0
+        assert log.kinds() == ["degraded", "recovered"]  # retained only
+
+    def test_signature_fingerprints_complete_history(self):
+        small, large = self._log(2), self._log(100)
+        for index in range(8):
+            small.record(self._event(index))
+            large.record(self._event(index))
+        # Identical histories at different caps: the small log's
+        # signature folds evictions into one digest entry.
+        assert small.signature()[0][0] == "evicted"
+        assert small.signature()[0][1] == "6"
+        assert small.signature()[1:] == large.signature()[-2:]
+        # Diverging histories diverge even when the divergent event
+        # has already been evicted.
+        other = self._log(2)
+        for index in range(8):
+            other.record(self._event(
+                index, kind="recovered" if index == 0 else "degraded"))
+        assert other.signature() != small.signature()
+
+    def test_signature_unchanged_within_cap(self):
+        log = self._log(100)
+        for index in range(3):
+            log.record(self._event(index))
+        signature = log.signature()
+        assert len(signature) == 3
+        assert all(entry[1] == "sensor" for entry in signature)
+        assert signature[0][2] == "degraded"

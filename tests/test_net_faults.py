@@ -1,0 +1,306 @@
+"""Network chaos layer tests: fault plan parsing, the seeded campaign,
+the injector/transport mechanics (driven by a fake clock — zero real
+waiting), and the circuit breaker state machine.
+"""
+
+import pytest
+
+from repro.core.messages import HealthEvent
+from repro.errors import ConfigurationError
+from repro.faults import (BreakerState, ByteCorruption, CircuitBreaker,
+                          ConnectionReset, FaultyTransport,
+                          NetworkFaultInjector, NetworkFaultPlan, Partition,
+                          SlowReader, TruncatedFrame)
+
+pytestmark = [pytest.mark.faults, pytest.mark.chaos]
+
+
+class FakeSocket:
+    """Just enough socket for FaultyTransport: records sends, serves
+    canned recv chunks, and exposes a delegated attribute."""
+
+    def __init__(self, chunks=()):
+        self.sent = []
+        self.chunks = list(chunks)
+        self.closed = False
+        self.timeout = None
+
+    def sendall(self, data):
+        self.sent.append(bytes(data))
+
+    def recv(self, bufsize, *args):
+        return self.chunks.pop(0) if self.chunks else b""
+
+    def settimeout(self, timeout):
+        self.timeout = timeout
+
+    def close(self):
+        self.closed = True
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def injector(plan, clock=None, sleeps=None):
+    clock = clock or FakeClock()
+    return NetworkFaultInjector(
+        plan, clock=clock,
+        sleep=(sleeps.append if sleeps is not None else (lambda s: None))), \
+        clock
+
+
+class TestPlanParsing:
+
+    def test_parse_every_kind(self):
+        plan = NetworkFaultPlan.parse(
+            "partition@1:2.5;reset@2;corrupt@3:4;truncate@4;stall@5:0.3:0.01")
+        assert [type(e) for e in plan] == [
+            Partition, ConnectionReset, ByteCorruption, TruncatedFrame,
+            SlowReader]
+        partition, _reset, corrupt, _trunc, stall = plan
+        assert partition.duration_s == 2.5
+        assert corrupt.nbytes == 4
+        assert stall.duration_s == 0.3 and stall.delay_s == 0.01
+
+    def test_defaults_and_separators(self):
+        plan = NetworkFaultPlan.parse("partition@1, corrupt@2 ;; stall@3")
+        partition, corrupt, stall = plan
+        assert partition.duration_s == 1.0
+        assert corrupt.nbytes == 1
+        assert stall.duration_s == 0.5 and stall.delay_s == 0.05
+
+    def test_events_sorted_by_time(self):
+        plan = NetworkFaultPlan.parse("reset@9;corrupt@1;truncate@5")
+        assert [e.at_s for e in plan] == [1.0, 5.0, 9.0]
+
+    def test_describe_round_trips(self):
+        spec = "corrupt@1:2;truncate@3;partition@4:0.5;stall@6:0.2:0.01"
+        plan = NetworkFaultPlan.parse(spec)
+        assert NetworkFaultPlan.parse(plan.describe()).events == plan.events
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown network"):
+            NetworkFaultPlan.parse("meteor@3")
+
+    def test_missing_at_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad network fault"):
+            NetworkFaultPlan.parse("reset")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad network fault"):
+            NetworkFaultPlan.parse("reset@soon")
+        with pytest.raises(ConfigurationError, match="bad network fault"):
+            NetworkFaultPlan.parse("corrupt@1:lots")
+
+    def test_bad_random_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad random"):
+            NetworkFaultPlan.parse("random:notaseed")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            NetworkFaultPlan([ConnectionReset(-1.0)])
+
+
+class TestRandomCampaign:
+
+    def test_same_seed_same_plan(self):
+        assert NetworkFaultPlan.random(42).describe() \
+            == NetworkFaultPlan.random(42).describe()
+
+    def test_different_seeds_differ(self):
+        assert NetworkFaultPlan.random(1).describe() \
+            != NetworkFaultPlan.random(2).describe()
+
+    def test_counts_and_window(self):
+        plan = NetworkFaultPlan.random(7, duration_s=20.0, partitions=2,
+                                       resets=3, corruptions=1,
+                                       truncations=1, stalls=1)
+        assert len(plan) == 8
+        assert all(2.0 <= event.at_s <= 18.0 for event in plan)
+
+    def test_parse_random_composes(self):
+        plan = NetworkFaultPlan.parse("reset@0;random:42:10")
+        assert plan.seed == 42
+        assert len(plan) == 1 + len(NetworkFaultPlan.random(42, 10.0))
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkFaultPlan.random(1, duration_s=0.0)
+
+
+class TestInjector:
+
+    def test_reset_fires_once_across_connections(self):
+        inject, clock = injector(NetworkFaultPlan([ConnectionReset(1.0)]))
+        first = inject.wrap(FakeSocket())
+        second = inject.wrap(FakeSocket())
+        clock.now = 1.5
+        with pytest.raises(ConnectionResetError):
+            first.sendall(b"doomed")
+        # The one-shot is spent plan-wide: the second transport works.
+        second.sendall(b"fine")
+        assert inject.resets_injected == 1
+        assert inject.injected and "reset@1" in inject.injected[0][1]
+
+    def test_not_due_yet(self):
+        inject, _clock = injector(NetworkFaultPlan([ConnectionReset(5.0)]))
+        transport = inject.wrap(FakeSocket())
+        transport.sendall(b"early is safe")
+        assert inject.resets_injected == 0
+
+    def test_corruption_flips_received_bytes(self):
+        inject, clock = injector(
+            NetworkFaultPlan([ByteCorruption(1.0, nbytes=2)]))
+        transport = inject.wrap(FakeSocket(chunks=[b"\x00\x00\x00\x00"]))
+        clock.now = 2.0
+        assert transport.recv(4096) == b"\xFF\xFF\x00\x00"
+        assert inject.corruptions_injected == 1
+
+    def test_truncation_sends_half_then_kills(self):
+        inject, clock = injector(NetworkFaultPlan([TruncatedFrame(0.0)]))
+        sock = FakeSocket()
+        transport = inject.wrap(sock)
+        clock.now = 0.1
+        with pytest.raises(BrokenPipeError):
+            transport.sendall(b"0123456789")
+        assert sock.sent == [b"01234"]  # half the payload hit the wire
+        # The transport is dead for every later operation.
+        with pytest.raises(ConnectionResetError):
+            transport.recv(4096)
+        assert inject.truncations_injected == 1
+
+    def test_partition_window(self):
+        inject, clock = injector(
+            NetworkFaultPlan([Partition(2.0, duration_s=1.0)]))
+        transport = inject.wrap(FakeSocket(chunks=[b"x", b"y"]))
+        clock.now = 2.5
+        with pytest.raises(ConnectionResetError):
+            transport.recv(4096)
+        with pytest.raises(ConnectionResetError):
+            transport.sendall(b"blocked")
+        clock.now = 3.5  # window over
+        transport.sendall(b"through")
+        assert transport.recv(4096) == b"x"
+        assert inject.partition_hits == 2
+
+    def test_stall_sleeps_reads(self):
+        sleeps = []
+        inject, clock = injector(
+            NetworkFaultPlan([SlowReader(1.0, duration_s=2.0,
+                                         delay_s=0.25)]),
+            sleeps=sleeps)
+        transport = inject.wrap(FakeSocket(chunks=[b"slow"]))
+        clock.now = 1.5
+        assert transport.recv(4096) == b"slow"
+        assert sleeps == [0.25]
+        assert inject.stall_hits == 1
+
+    def test_exhausted(self):
+        inject, clock = injector(NetworkFaultPlan(
+            [ConnectionReset(0.0), Partition(1.0, duration_s=1.0)]))
+        assert not inject.exhausted
+        transport = inject.wrap(FakeSocket())
+        with pytest.raises(ConnectionResetError):
+            transport.sendall(b"x")
+        assert not inject.exhausted  # partition window still ahead
+        clock.now = 2.5
+        assert inject.exhausted
+
+    def test_delegates_other_attributes(self):
+        inject, _clock = injector(NetworkFaultPlan())
+        sock = FakeSocket()
+        transport = inject.wrap(sock)
+        transport.settimeout(7.5)
+        transport.close()
+        assert sock.timeout == 7.5 and sock.closed
+        assert isinstance(transport, FaultyTransport)
+
+
+class TestCircuitBreaker:
+
+    def make(self, threshold=3, reset_s=10.0, events=None):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout_s=reset_s,
+            clock=clock,
+            on_event=(events.append if events is not None else None))
+        return breaker, clock
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+    def test_opens_at_threshold(self):
+        breaker, _clock = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 1
+
+    def test_open_refuses_until_timeout(self):
+        breaker, clock = self.make(threshold=1, reset_s=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.refusals == 1
+        assert breaker.retry_in_s() == pytest.approx(10.0)
+        clock.now = 4.0
+        assert breaker.retry_in_s() == pytest.approx(6.0)
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()  # the probe
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_half_open_single_probe(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        assert not breaker.allow()  # a second caller is refused
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()  # full timeout again
+        clock.now = 20.0
+        assert breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _clock = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_health_events_and_transitions(self):
+        events = []
+        breaker, clock = self.make(threshold=1, events=events)
+        breaker.record_failure()
+        clock.now = 10.0
+        breaker.allow()
+        breaker.record_success()
+        assert [event.kind for event in events] == [
+            "breaker-open", "breaker-half-open", "breaker-closed"]
+        assert all(isinstance(event, HealthEvent) for event in events)
+        assert [state for _t, state in breaker.transitions] == [
+            BreakerState.OPEN, BreakerState.HALF_OPEN, BreakerState.CLOSED]

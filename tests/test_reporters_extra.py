@@ -71,3 +71,88 @@ class TestPrometheusReporter:
         text = path.read_text()
         assert 'powerapi_process_watts{pid="100"} 9.0000' in text
         assert "5.0000" not in text
+
+
+class TestAppendResume:
+    """Restart-safe file reporters: an interrupted run's successor
+    appends to the same file instead of truncating it or doubling the
+    header."""
+
+    def test_csv_resumes_without_duplicate_header(self, tmp_path):
+        from repro.core.reporters import CsvReporter
+        path = tmp_path / "run.csv"
+        first_session = ActorSystem()
+        first = CsvReporter(path, pids=[100])
+        ref = first_session.spawn(first, "csv")
+        publish(first_session, time_s=1.0)
+        first_session.stop(ref)
+        assert not first.resumed
+
+        second_session = ActorSystem()
+        second = CsvReporter(path, pids=[100])
+        ref = second_session.spawn(second, "csv")
+        publish(second_session, time_s=2.0)
+        second_session.stop(ref)
+        assert second.resumed
+
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # one header + two data rows
+        assert lines[0].startswith("time_s,")
+        assert sum(1 for line in lines if line.startswith("time_s,")) == 1
+        assert lines[1].startswith("1.000,")
+        assert lines[2].startswith("2.000,")
+
+    def test_csv_empty_file_gets_header(self, tmp_path):
+        from repro.core.reporters import CsvReporter
+        path = tmp_path / "run.csv"
+        path.touch()  # exists but empty: not a resume
+        system = ActorSystem()
+        reporter = CsvReporter(path, pids=[100])
+        ref = system.spawn(reporter, "csv")
+        publish(system, time_s=1.0)
+        system.stop(ref)
+        assert not reporter.resumed
+        assert path.read_text().startswith("time_s,")
+
+    def test_jsonl_resumes_appending(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for time_s in (1.0, 2.0):
+            system = ActorSystem()
+            reporter = JsonlReporter(path)
+            ref = system.spawn(reporter, "jsonl")
+            publish(system, time_s=time_s)
+            system.stop(ref)
+        records = [json.loads(line)
+                   for line in path.read_text().strip().splitlines()]
+        assert [record["time_s"] for record in records] == [1.0, 2.0]
+
+    def test_fsync_reporters_flush_durably(self, tmp_path):
+        from repro.core.reporters import CsvReporter
+        system = ActorSystem()
+        csv_reporter = CsvReporter(tmp_path / "run.csv", pids=[100],
+                                   fsync=True)
+        jsonl_reporter = JsonlReporter(tmp_path / "run.jsonl", fsync=True)
+        system.spawn(csv_reporter, "csv")
+        system.spawn(jsonl_reporter, "jsonl")
+        publish(system, time_s=1.0)
+        # Every flush point fsyncs; the files are already complete on
+        # disk without stop() being called.
+        assert (tmp_path / "run.csv").read_text().count("\n") == 2
+        assert (tmp_path / "run.jsonl").read_text().count("\n") == 1
+        csv_reporter.flush()
+        jsonl_reporter.flush()
+        system.shutdown()
+
+    def test_flush_every_batches_with_fsync(self, tmp_path):
+        from repro.core.reporters import CsvReporter
+        system = ActorSystem()
+        reporter = CsvReporter(tmp_path / "run.csv", pids=[100],
+                               flush_every=3, fsync=True)
+        ref = system.spawn(reporter, "csv")
+        publish(system, time_s=1.0)
+        publish(system, time_s=2.0)
+        # Below the batch size nothing is guaranteed on disk yet;
+        # stopping flushes and fsyncs the remainder.
+        system.stop(ref)
+        lines = (tmp_path / "run.csv").read_text().strip().splitlines()
+        assert len(lines) == 3

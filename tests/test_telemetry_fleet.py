@@ -156,3 +156,71 @@ class TestEndToEnd:
         # The listener is gone: a fresh server can take the port.
         replacement = TelemetryServer(port=port).start()
         replacement.stop()
+
+
+class TestSeqDedup:
+    """(host, seq) dedup: replayed frames never double-count watts."""
+
+    def test_duplicate_seq_dropped(self):
+        fleet = FleetAggregator()
+        fleet.ingest("hostA", report(1.0, watts=5.0), seq=0)
+        fleet.ingest("hostA", report(2.0, watts=6.0), seq=1)
+        fleet.ingest("hostA", report(2.0, watts=6.0), seq=1)  # replay
+        assert fleet.duplicate_count() == 1
+        assert fleet.samples_ingested == 2
+        assert [sample.time_s for sample in fleet.host_series("hostA")] \
+            == [1.0, 2.0]
+        assert fleet.cluster_energy_j() == pytest.approx(5.0 + 30.0
+                                                         + 6.0 + 30.0)
+
+    def test_dedup_is_per_host(self):
+        fleet = FleetAggregator()
+        fleet.ingest("hostA", report(1.0), seq=0)
+        fleet.ingest("hostB", report(1.0), seq=0)  # same seq, other host
+        assert fleet.duplicate_count() == 0
+        assert len(fleet.cluster_series()) == 1
+        assert fleet.cluster_series()[0].complete
+
+    def test_seqless_input_never_deduped(self):
+        fleet = FleetAggregator()
+        fleet.ingest("hostA", report(1.0))
+        fleet.ingest("hostA", report(1.0))
+        assert fleet.duplicate_count() == 0
+        assert fleet.samples_ingested == 2
+
+    def test_live_replay_does_not_double_count(self, tmp_path):
+        """End to end: a fleet client that crashes and resumes re-reads
+        replayed frames off the wire; the aggregator merges each seq
+        exactly once."""
+        server = TelemetryServer(port=0, host_label="m1",
+                                 replay_window=64).start()
+        try:
+            fleet = FleetAggregator()
+            client = fleet.add_host("m1", "127.0.0.1", server.port,
+                                    spool=tmp_path)
+            server.wait_for(lambda: server.subscriber_count == 1)
+            for time_s in (1.0, 2.0, 3.0):
+                server.publish_report(report(time_s))
+            assert fleet.wait_for_samples(3)
+            client.close()
+
+            for time_s in (4.0, 5.0):  # missed while down
+                server.publish_report(report(time_s))
+            restarted = fleet._streams["m1"]
+            restarted.client = None  # the drain thread exited with close
+            from repro.telemetry.client import TelemetryClient
+            import threading
+            resumed = TelemetryClient("127.0.0.1", server.port,
+                                      kinds=("report",), spool=tmp_path)
+            thread = threading.Thread(
+                target=fleet._drain, args=("m1", resumed), daemon=True)
+            thread.start()
+            assert fleet.wait_for_samples(5)
+            resumed.close()
+            thread.join(timeout=5.0)
+
+            times = [s.time_s for s in fleet.host_series("m1")]
+            assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+            assert fleet.duplicate_count() == 0  # RESUME replays exactly
+        finally:
+            server.stop()
