@@ -1,22 +1,30 @@
 """Simulator performance microbenchmark.
 
-Records the two numbers the ROADMAP's "as fast as the hardware allows"
-goal is tracked by:
+Records the numbers the ROADMAP's "as fast as the hardware allows" goal
+is tracked by:
 
 * ``ticks_per_sec`` — single-process :meth:`Machine.step` throughput on
   a fully loaded i3-2120 (the hot path under every campaign and monitor),
-* ``campaign_wall_s`` — wall time of the default Figure 1 sampling
-  campaign (840 runs), serial and with a 4-worker process pool.
+* ``batched_ticks_per_sec`` — :meth:`Machine.run_batch` throughput for
+  the same occupancy, the path campaigns and soaks advance thousands of
+  ticks per Python-level call on,
+* ``campaign_wall_by_workers`` — wall time of the default Figure 1
+  sampling campaign (840 runs) at 1, 2 and 4 pool workers, with the
+  chunked per-worker dispatch,
+* ``adaptive`` — per-scenario tick counts and whole-run energy error of
+  the adaptive sampler against full-resolution stepping.
 
 Results are written to ``BENCH_sim.json`` at the repository root so
-future PRs can diff the perf trajectory.  Marked ``perf``: the tier-1
-suite (``testpaths = ["tests"]``) never collects it; run it explicitly
-with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_sim.py -q``.
+future PRs can diff the perf trajectory (``benchmarks/diff_bench.py``
+does exactly that in CI).  Marked ``perf``: the tier-1 suite
+(``testpaths = ["tests"]``) never collects it; run it explicitly with
+``PYTHONPATH=src python -m pytest benchmarks/test_perf_sim.py -q``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -24,8 +32,9 @@ from pathlib import Path
 import pytest
 
 from repro.core.sampling import SamplingCampaign
-from repro.simcpu import (InstructionMix, Machine, MemoryProfile,
-                          ThreadAssignment, intel_i3_2120)
+from repro.simcpu import (AdaptiveConfig, AdaptiveSampler, InstructionMix,
+                          Machine, MemoryProfile, ThreadAssignment,
+                          intel_i3_2120)
 
 pytestmark = pytest.mark.perf
 
@@ -33,6 +42,8 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 #: Steps for the Machine.step throughput measurement.
 STEP_TICKS = 4000
+#: Steps for the Machine.run_batch throughput measurement.
+BATCH_TICKS = 200_000
 
 
 def _full_load_assignments(spec):
@@ -52,10 +63,36 @@ def _full_load_assignments(spec):
     return assignments
 
 
+def _assignments(spec, busy, fp=0.2, mem=0.1, ws=1 << 16, locality=0.95):
+    return [ThreadAssignment(
+        pid=200 + cpu_id, cpu_id=cpu_id, busy_fraction=busy,
+        mix=InstructionMix(fp_fraction=fp),
+        memory=MemoryProfile(mem_ops_per_instruction=mem,
+                             working_set_bytes=ws, locality=locality))
+        for cpu_id in range(spec.num_threads)]
+
+
+def _adaptive_scenarios(spec):
+    """Two phased workload schedules with real transients to detect."""
+    return {
+        "phased-cpu": [
+            (_assignments(spec, 0.9), 20.0),
+            (_assignments(spec, 0.3), 10.0),
+            (_assignments(spec, 1.0, fp=0.5), 20.0),
+            ([], 5.0),
+        ],
+        "memory-churn": [
+            (_assignments(spec, 0.6, mem=0.4, ws=1 << 24, locality=0.6), 15.0),
+            (_assignments(spec, 0.2, mem=0.4, ws=1 << 24, locality=0.6), 10.0),
+            (_assignments(spec, 0.8), 15.0),
+        ],
+    }
+
+
 def test_perf_sim_microbench():
     spec = intel_i3_2120()
 
-    # -- Machine.step throughput -------------------------------------
+    # -- Machine.step throughput (tick-at-a-time façade) ---------------
     machine = Machine(spec)
     assignments = _full_load_assignments(spec)
     for _ in range(200):  # warm every memo cache before timing
@@ -66,28 +103,70 @@ def test_perf_sim_microbench():
     step_elapsed = time.perf_counter() - start
     ticks_per_sec = STEP_TICKS / step_elapsed
 
-    # -- default campaign wall time -----------------------------------
-    campaign = SamplingCampaign(spec, window_s=1.0, windows_per_run=2)
+    # -- Machine.run_batch throughput (batched engine) -----------------
+    machine = Machine(spec)
+    machine.run_batch(assignments, 200, dt_s=0.01)  # warm the program
     start = time.perf_counter()
-    serial_dataset = campaign.run(workers=1)
-    serial_wall_s = time.perf_counter() - start
-    start = time.perf_counter()
-    parallel_dataset = campaign.run(workers=4)
-    parallel_wall_s = time.perf_counter() - start
+    machine.run_batch(assignments, BATCH_TICKS, dt_s=0.01)
+    batch_elapsed = time.perf_counter() - start
+    batched_ticks_per_sec = BATCH_TICKS / batch_elapsed
 
-    assert len(serial_dataset) == len(parallel_dataset) > 0
+    # -- default campaign wall time at 1/2/4 workers --------------------
+    campaign = SamplingCampaign(spec, window_s=1.0, windows_per_run=2)
+    wall_by_workers = {}
+    datasets = {}
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        datasets[workers] = campaign.run(workers=workers)
+        wall_by_workers[str(workers)] = round(time.perf_counter() - start, 3)
+    assert len(datasets[1]) == len(datasets[2]) == len(datasets[4]) > 0
     assert ticks_per_sec > 0
+
+    # -- adaptive sampling vs full resolution ---------------------------
+    config = AdaptiveConfig()
+    adaptive = {}
+    for name, schedule in _adaptive_scenarios(spec).items():
+        reference = Machine(spec)
+        reference.set_frequency(spec.max_frequency_hz)
+        energy_before = reference.energy_j
+        for segment_assignments, duration_s in schedule:
+            n_ticks = max(1, int(round(duration_s / config.fine_dt_s)))
+            reference.run_batch(segment_assignments, n_ticks,
+                                config.fine_dt_s)
+        reference_energy_j = reference.energy_j - energy_before
+
+        adaptive_machine = Machine(spec)
+        adaptive_machine.set_frequency(spec.max_frequency_hz)
+        report = AdaptiveSampler(adaptive_machine, config, seed=42).run(
+            schedule)
+        error_pct = (abs(report.energy_j - reference_energy_j)
+                     / reference_energy_j * 100.0)
+        assert error_pct <= 1.0, (name, error_pct)
+        adaptive[name] = {
+            "fine_ticks": report.fine_ticks,
+            "coarse_ticks": report.coarse_ticks,
+            "probe_windows": report.probe_windows,
+            "tick_reduction": round(report.tick_reduction(config), 2),
+            "energy_error_pct": round(error_pct, 4),
+        }
 
     results = {
         "ticks_per_sec": round(ticks_per_sec, 1),
-        "campaign_wall_s": round(parallel_wall_s, 3),
-        "campaign_wall_serial_s": round(serial_wall_s, 3),
+        "batched_ticks_per_sec": round(batched_ticks_per_sec, 1),
+        "batch_ticks_timed": BATCH_TICKS,
+        "campaign_wall_s": wall_by_workers["4"],
+        "campaign_wall_serial_s": wall_by_workers["1"],
+        "campaign_wall_by_workers": wall_by_workers,
         "campaign_workers": 4,
         "campaign_runs": len(campaign.run_plan()),
+        "host_cpus": os.cpu_count(),
+        "adaptive": adaptive,
         "step_ticks_timed": STEP_TICKS,
         "python": platform.python_version(),
     }
     BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nticks/sec: {ticks_per_sec:,.0f}  "
-          f"campaign serial: {serial_wall_s:.2f}s  "
-          f"workers=4: {parallel_wall_s:.2f}s  -> {BENCH_PATH.name}")
+          f"batched: {batched_ticks_per_sec:,.0f}  "
+          f"campaign workers 1/2/4: "
+          f"{wall_by_workers['1']}/{wall_by_workers['2']}/"
+          f"{wall_by_workers['4']}s  -> {BENCH_PATH.name}")

@@ -46,8 +46,8 @@ from repro.core.reporters import (CallbackReporter, ConsoleReporter,
 from repro.core.sampling import (LearningReport, SamplePoint,
                                  SamplingCampaign, SamplingDataset,
                                  learn_power_model)
-from repro.core.parallel import (default_worker_count, pool_available,
-                                 resolve_workers, run_tasks)
+from repro.core.parallel import (chunk_tasks, default_worker_count,
+                                 pool_available, resolve_workers, run_tasks)
 from repro.core.selection import CounterRanking, rank_counters, select_counters
 from repro.core.validation import (CrossValidationReport, FoldResult,
                                    cross_validate)
@@ -56,30 +56,28 @@ from repro.core.sensors import (HpcSensor, MachineHpcSensor,
 
 __all__ = [
     "AggregatedPowerReport", "BuildContext", "BuiltPipeline",
-    "CallbackReporter", "CappedRunResult",
-    "CappingGovernor", "CgroupAggregator", "CgroupPowerReport", "Component",
-    "ComponentRegistry",
-    "ConsoleReporter", "CounterLogWriter", "CounterRanking", "CpuLoadFormula",
-    "CrossValidationReport", "CsvReporter", "DegradationSpec", "EnergyBudget",
-    "EnergyBudgetExceeded", "EnergyMeasurement", "FlushAggregates",
-    "FoldResult", "FrequencyFormula", "HpcFormula", "HpcReport", "HpcSensor",
-    "InMemoryCgroupReporter", "InMemoryReporter", "JsonlReporter",
-    "LearningReport", "METHODS", "MachineHpcSensor", "ModelRegistry",
-    "MonitorBuilder", "MonitorHandle", "Param", "PidAggregator",
-    "PidEnergyReport", "PipelineBuilder", "PipelineSpec", "PipelineStage",
-    "PowerAPI", "PowerMeterReport", "PowerMeterSensor", "PowerModel",
-    "PowerReport", "ProcFsReport", "ProcFsSensor", "PrometheusReporter",
-    "RegionProfiler", "RegressionResult", "SamplePoint", "SamplingCampaign",
-    "SamplingDataset", "SensorReport", "StageSpec", "TelemetrySpec",
-    "TimestampAggregator",
+    "CallbackReporter", "CappedRunResult", "CappingGovernor",
+    "CgroupAggregator", "CgroupPowerReport", "Component",
+    "ComponentRegistry", "ConsoleReporter", "CounterLogWriter",
+    "CounterRanking", "CpuLoadFormula", "CrossValidationReport",
+    "CsvReporter", "DegradationSpec", "EnergyBudget", "EnergyBudgetExceeded",
+    "EnergyMeasurement", "FlushAggregates", "FoldResult", "FrequencyFormula",
+    "HpcFormula", "HpcReport", "HpcSensor", "InMemoryCgroupReporter",
+    "InMemoryReporter", "JsonlReporter", "LearningReport", "METHODS",
+    "MachineHpcSensor", "ModelRegistry", "MonitorBuilder", "MonitorHandle",
+    "Param", "PidAggregator", "PidEnergyReport", "PipelineBuilder",
+    "PipelineSpec", "PipelineStage", "PowerAPI", "PowerMeterReport",
+    "PowerMeterSensor", "PowerModel", "PowerReport", "ProcFsReport",
+    "ProcFsSensor", "PrometheusReporter", "RegionProfiler",
+    "RegressionResult", "SamplePoint", "SamplingCampaign", "SamplingDataset",
+    "SensorReport", "StageSpec", "TelemetrySpec", "TimestampAggregator",
     "absolute_percentage_errors", "assert_energy_within",
-    "calibrate_idle_power", "cross_validate", "default_registry",
-    "default_worker_count",
-    "error_summary", "estimate_from_csv", "estimate_from_log", "fit",
-    "fit_nnls", "fit_ols", "fit_ridge", "learn_power_model",
-    "machine_signature", "max_ape", "mean_ape", "measure_energy",
-    "median_ape", "pool_available",
-    "published_i3_2120_model", "r_squared",
-    "rank_counters", "resolve_workers", "rmse", "run_capped", "run_tasks",
-    "select_counters", "solar_budget",
+    "calibrate_idle_power", "chunk_tasks", "cross_validate",
+    "default_registry", "default_worker_count", "error_summary",
+    "estimate_from_csv", "estimate_from_log", "fit", "fit_nnls", "fit_ols",
+    "fit_ridge", "learn_power_model", "machine_signature", "max_ape",
+    "mean_ape", "measure_energy", "median_ape", "pool_available",
+    "published_i3_2120_model", "r_squared", "rank_counters",
+    "resolve_workers", "rmse", "run_capped", "run_tasks", "select_counters",
+    "solar_budget",
 ]

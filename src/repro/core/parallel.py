@@ -63,6 +63,29 @@ def pool_available() -> bool:
     return _POOL_AVAILABLE
 
 
+def chunk_tasks(tasks: Iterable[TaskT], chunks: int) -> List[List[TaskT]]:
+    """Split *tasks* into at most *chunks* contiguous, near-equal chunks.
+
+    Concatenating the chunks reproduces the input order, so a caller can
+    dispatch one chunk per worker and reassemble results
+    deterministically.  Empty chunks are never produced.
+    """
+    task_list = list(tasks)
+    if chunks < 1:
+        raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+    count = min(chunks, len(task_list))
+    if count <= 1:
+        return [task_list] if task_list else []
+    size, extra = divmod(len(task_list), count)
+    out: List[List[TaskT]] = []
+    start = 0
+    for index in range(count):
+        end = start + size + (1 if index < extra else 0)
+        out.append(task_list[start:end])
+        start = end
+    return out
+
+
 def run_tasks(fn: Callable[[TaskT], ResultT],
               tasks: Iterable[TaskT],
               workers: Optional[int] = 1,

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.calibration import calibrate_idle_power
 from repro.core.model import FrequencyFormula, PowerModel
-from repro.core.parallel import run_tasks
+from repro.core.parallel import chunk_tasks, resolve_workers, run_tasks
 from repro.core.regression import RegressionResult, fit
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.os.governor import UserspaceGovernor
@@ -153,13 +153,22 @@ class SamplingCampaign:
         and results are reassembled in grid order, so the dataset is
         identical for any worker count; when the pool is unavailable the
         campaign silently degrades to the serial loop.
+
+        Runs are dispatched as one contiguous chunk per worker: the
+        campaign (and each chunk's workloads) crosses the process
+        boundary once per worker rather than once per run, which is what
+        lets short runs actually scale instead of drowning in per-task
+        pickling and IPC.
         """
-        tasks = [(self, frequency_hz, workload, run_index)
-                 for frequency_hz, workload, run_index in self.run_plan()]
-        results = run_tasks(_execute_campaign_run, tasks, workers=workers)
+        plan = self.run_plan()
+        worker_count = min(resolve_workers(workers), max(1, len(plan)))
+        payloads = [(self, chunk)
+                    for chunk in chunk_tasks(plan, worker_count)]
+        results = run_tasks(_execute_campaign_chunk, payloads,
+                            workers=worker_count, chunksize=1)
         points: List[SamplePoint] = []
-        for run_points in results:
-            points.extend(run_points)
+        for chunk_points in results:
+            points.extend(chunk_points)
         return SamplingDataset(points, self.events)
 
     def _one_run(self, frequency_hz: int, workload: Workload,
@@ -213,6 +222,23 @@ def _execute_campaign_run(task: Tuple["SamplingCampaign", int, Workload, int]
     """
     campaign, frequency_hz, workload, run_index = task
     return campaign._one_run(frequency_hz, workload, run_index)
+
+
+def _execute_campaign_chunk(
+        payload: Tuple["SamplingCampaign",
+                       List[Tuple[int, Workload, int]]]) -> List[SamplePoint]:
+    """Worker entry point: one worker's contiguous chunk of the run plan.
+
+    Deserialising the campaign once and looping the chunk's runs inside
+    the worker keeps the per-run dispatch path free of setup cost; each
+    run still seeds from its own grid index, so chunk boundaries cannot
+    change any result.
+    """
+    campaign, runs = payload
+    points: List[SamplePoint] = []
+    for frequency_hz, workload, run_index in runs:
+        points.extend(campaign._one_run(frequency_hz, workload, run_index))
+    return points
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,225 @@
+"""Adaptive live sampling over the batched stepping engine.
+
+Pac-Sim-style intelligent sampling for the live pipeline: most of a
+workload's lifetime is spent inside steady phases where nothing the
+power model sees is changing, so stepping them at the fine calibration
+resolution wastes almost all of the simulation budget.  The sampler
+watches windowed IPC and busy-fraction deltas through a
+:class:`PhaseDetector`; once a phase has been stable for a few windows
+it widens the tick to a coarse dt, and it drops back to the fine dt the
+moment a transient appears — a segment boundary in the driven schedule,
+or a deviation caught by one of the seeded random fine-resolution
+probes it keeps injecting while coarse.
+
+The trade-off is explicit, not hidden: coarse ticks integrate the same
+physics on a wider grid (thermal relaxation discretisation, C-state
+selection for the longer expected-idle window), so the result is *near*
+the full-resolution run, not bit-identical to it.
+:class:`AdaptiveReport` says exactly how many fine and coarse ticks were
+spent, and the benchmark suite pins the whole-run energy error against
+full-resolution stepping (≤ 1 % on the scenario workloads).  Anything
+that must stay bit-exact — calibration campaigns, golden datasets —
+simply keeps using :meth:`repro.simcpu.machine.Machine.run_batch` at a
+fixed dt.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simcpu import counters as ev
+from repro.simcpu.machine import Machine, ThreadAssignment, TickRecord
+
+#: One schedule segment: hold *assignments* for *duration_s* of sim time.
+Segment = Tuple[Sequence[ThreadAssignment], float]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning knobs of the adaptive sampler."""
+
+    #: Full-resolution tick, used on transients (and for probes).
+    fine_dt_s: float = 0.01
+    #: Widened tick for steady phases.
+    coarse_dt_s: float = 0.1
+    #: Fine ticks per detector decision window.
+    window_ticks: int = 8
+    #: Consecutive stable windows before the phase counts as steady.
+    steady_windows: int = 3
+    #: Relative IPC change below which two windows are "the same phase".
+    ipc_tolerance: float = 0.02
+    #: Absolute mean-busy-fraction change tolerated within a phase.
+    busy_tolerance: float = 0.02
+    #: Chance that a coarse window is replaced by a fine probe window.
+    probe_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.fine_dt_s <= 0 or self.coarse_dt_s <= 0:
+            raise ConfigurationError("adaptive dts must be positive")
+        if self.coarse_dt_s < self.fine_dt_s:
+            raise ConfigurationError(
+                "coarse_dt_s must be >= fine_dt_s "
+                f"({self.coarse_dt_s} < {self.fine_dt_s})")
+        if self.window_ticks < 1 or self.steady_windows < 1:
+            raise ConfigurationError("window sizes must be >= 1")
+        if not 0.0 <= self.probe_probability <= 1.0:
+            raise ConfigurationError("probe_probability must be in [0, 1]")
+
+
+class PhaseDetector:
+    """Declares a phase steady after consecutive stable (IPC, busy) windows.
+
+    Purely causal: it compares each window's observation against the
+    previous one, so it needs no knowledge of the driving schedule —
+    a scheduler churning pids at constant load still reads as steady,
+    while a ramp or a phase change trips it within one window.
+    """
+
+    def __init__(self, config: AdaptiveConfig) -> None:
+        self._config = config
+        self._last: Optional[Tuple[float, float]] = None
+        self._stable_windows = 0
+
+    def reset(self) -> None:
+        """Forget history (a known transient, e.g. a segment boundary)."""
+        self._last = None
+        self._stable_windows = 0
+
+    def observe(self, ipc: float, busy: float) -> bool:
+        """Feed one window's observation; returns True once steady."""
+        config = self._config
+        last = self._last
+        self._last = (ipc, busy)
+        if last is None:
+            self._stable_windows = 0
+            return False
+        last_ipc, last_busy = last
+        ipc_scale = max(abs(last_ipc), abs(ipc), 1e-12)
+        ipc_stable = abs(ipc - last_ipc) / ipc_scale <= config.ipc_tolerance
+        busy_stable = abs(busy - last_busy) <= config.busy_tolerance
+        if ipc_stable and busy_stable:
+            self._stable_windows += 1
+        else:
+            self._stable_windows = 0
+        return self._stable_windows >= config.steady_windows
+
+
+@dataclass
+class AdaptiveReport:
+    """What an adaptive run did and what it would have cost without it."""
+
+    fine_ticks: int = 0
+    coarse_ticks: int = 0
+    probe_windows: int = 0
+    transitions_to_coarse: int = 0
+    simulated_s: float = 0.0
+    energy_j: float = 0.0
+    #: Final record of each schedule segment.
+    segment_records: List[TickRecord] = field(default_factory=list)
+
+    @property
+    def total_ticks(self) -> int:
+        return self.fine_ticks + self.coarse_ticks
+
+    def full_resolution_ticks(self, config: AdaptiveConfig) -> int:
+        """Ticks a pure fine-dt run of the same schedule would take."""
+        ratio = round(config.coarse_dt_s / config.fine_dt_s)
+        return self.fine_ticks + self.coarse_ticks * ratio
+
+    def tick_reduction(self, config: AdaptiveConfig) -> float:
+        """Speed-up factor in Python-level ticks vs full resolution."""
+        total = self.total_ticks
+        if total == 0:
+            return 1.0
+        return self.full_resolution_ticks(config) / total
+
+
+class AdaptiveSampler:
+    """Drives a :class:`Machine` through a schedule with adaptive dt."""
+
+    def __init__(self, machine: Machine,
+                 config: AdaptiveConfig = AdaptiveConfig(),
+                 seed: int = 0) -> None:
+        self.machine = machine
+        self.config = config
+        self._rng = random.Random(seed)
+        self._detector = PhaseDetector(config)
+
+    def run(self, schedule: Sequence[Segment]) -> AdaptiveReport:
+        """Simulate every ``(assignments, duration_s)`` segment in order."""
+        config = self.config
+        machine = self.machine
+        detector = self._detector
+        report = AdaptiveReport()
+        ratio = round(config.coarse_dt_s / config.fine_dt_s)
+        energy_before = machine.energy_j
+        time_before = machine.time_s
+
+        for assignments, duration_s in schedule:
+            if duration_s <= 0:
+                raise ConfigurationError(
+                    f"segment duration must be positive, got {duration_s}")
+            # Work in fine-tick units so fine and coarse windows cover the
+            # same simulated span and the segment length is honoured.
+            remaining = max(1, int(round(duration_s / config.fine_dt_s)))
+            detector.reset()  # a segment boundary is a known transient
+            steady = False
+            record = None
+            while remaining > 0:
+                if steady and remaining >= ratio:
+                    probe = self._rng.random() < config.probe_probability
+                    if probe:
+                        # A failed probe (steady -> False) drops the phase
+                        # back to fine resolution until it re-stabilises.
+                        report.probe_windows += 1
+                        record, used, steady = self._fine_window(
+                            assignments, remaining, report)
+                    else:
+                        n_coarse = min(config.window_ticks, remaining // ratio)
+                        record = machine.run_batch(
+                            assignments, n_coarse, config.coarse_dt_s)
+                        report.coarse_ticks += n_coarse
+                        used = n_coarse * ratio
+                    remaining -= used
+                else:
+                    was_steady = steady
+                    record, used, steady = self._fine_window(
+                        assignments, remaining, report)
+                    remaining -= used
+                    if steady and not was_steady:
+                        report.transitions_to_coarse += 1
+            report.segment_records.append(record)
+
+        report.simulated_s = machine.time_s - time_before
+        report.energy_j = machine.energy_j - energy_before
+        return report
+
+    def _fine_window(self, assignments: Sequence[ThreadAssignment],
+                     remaining: int, report: AdaptiveReport):
+        """One fine-resolution window; feeds the detector.
+
+        Returns ``(record, fine_ticks_used, steady)``.
+        """
+        config = self.config
+        n_fine = min(config.window_ticks, remaining)
+        record = self.machine.run_batch(assignments, n_fine, config.fine_dt_s)
+        report.fine_ticks += n_fine
+        steady = self._detector.observe(*_window_signature(record))
+        return record, n_fine, steady
+
+
+def _window_signature(record: TickRecord) -> Tuple[float, float]:
+    """(IPC, mean busy fraction) of the occupancy behind *record*.
+
+    Within a batch every tick carries the same per-tick deltas, so the
+    final record characterises the whole window.
+    """
+    events = record.machine_events()
+    cycles = events.get(ev.CYCLES, 0.0)
+    ipc = events.get(ev.INSTRUCTIONS, 0.0) / cycles if cycles > 0 else 0.0
+    busy = record.cpu_busy
+    mean_busy = sum(busy.values()) / len(busy) if busy else 0.0
+    return ipc, mean_busy

@@ -13,8 +13,9 @@ per-process, per-CPU and machine-wide totals that the perf layer
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -51,6 +52,10 @@ GENERIC_TRIO: Tuple[str, ...] = (INSTRUCTIONS, CACHE_REFERENCES, CACHE_MISSES)
 #: Frozen-set view of :data:`ALL_EVENTS` for O(1) membership tests; the
 #: accumulation paths run once per (process, cpu, event) per tick.
 KNOWN_EVENTS = frozenset(ALL_EVENTS)
+
+#: Column index of every event in the struct-of-arrays layout.
+EVENT_INDEX: Dict[str, int] = {event: column
+                               for column, event in enumerate(ALL_EVENTS)}
 
 
 def _check_events(delta: Mapping[str, float]) -> None:
@@ -89,54 +94,111 @@ class CounterBank:
     * machine-wide (event)  — what a system-wide counter reads.
 
     Writes land once per tick per (process, cpu) on the simulator's hot
-    path, while reads happen at most once per sampling window, so the
-    bank accumulates into per-(pid, cpu) buckets only and materialises
-    the three aggregate indexes lazily on first read after a write.
+    path, so the accumulation state is struct-of-arrays: one ``array('d')``
+    column per event, indexed by a dense (pid, cpu) slot.  The batched
+    stepping engine (:mod:`repro.simcpu.engine`) accumulates directly into
+    those cells via :meth:`accumulation_cells`, performing exactly the
+    same sequence of float additions :meth:`record` would, so totals stay
+    bit-identical to tick-at-a-time stepping.  Reads happen at most once
+    per sampling window; the three aggregate indexes are materialised
+    lazily on first read after a write.
     """
 
     def __init__(self) -> None:
-        self._pair_totals: Dict[Tuple[int, int], Dict[str, float]] = {}
-        self._cpu_only: Dict[int, Dict[str, float]] = {}
+        self._slots: Dict[Tuple[int, int], int] = {}
+        self._columns: Tuple[array, ...] = tuple(
+            array("d") for _event in ALL_EVENTS)
+        self._cpu_slots: Dict[int, int] = {}
+        self._cpu_columns: Tuple[array, ...] = tuple(
+            array("d") for _event in ALL_EVENTS)
         self._by_pid_cpu: Dict[Tuple[int, int, str], float] = {}
         self._by_cpu: Dict[Tuple[int, str], float] = defaultdict(float)
         self._by_pid: Dict[Tuple[int, str], float] = defaultdict(float)
         self._machine: Dict[str, float] = defaultdict(float)
         self._dirty = False
 
+    def _slot(self, pid: int, cpu_id: int) -> int:
+        """Dense row index of (pid, cpu), growing every column on demand."""
+        key = (pid, cpu_id)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[key] = slot
+            for column in self._columns:
+                column.append(0.0)
+        return slot
+
+    def _cpu_slot(self, cpu_id: int) -> int:
+        slot = self._cpu_slots.get(cpu_id)
+        if slot is None:
+            slot = len(self._cpu_slots)
+            self._cpu_slots[cpu_id] = slot
+            for column in self._cpu_columns:
+                column.append(0.0)
+        return slot
+
     def record(self, pid: int, cpu_id: int, delta: Mapping[str, float]) -> None:
         """Fold one (process, cpu) step delta into the bank."""
         _check_events(delta)
-        bucket = self._pair_totals.get((pid, cpu_id))
-        if bucket is None:
-            bucket = self._pair_totals[(pid, cpu_id)] = {}
+        slot = self._slot(pid, cpu_id)
+        columns = self._columns
+        index = EVENT_INDEX
         for event, count in delta.items():
-            bucket[event] = bucket.get(event, 0.0) + count
+            columns[index[event]][slot] += count
         self._dirty = True
 
     def record_cpu_only(self, cpu_id: int, delta: Mapping[str, float]) -> None:
         """Fold CPU-level activity not attributable to any process."""
         _check_events(delta)
-        bucket = self._cpu_only.get(cpu_id)
-        if bucket is None:
-            bucket = self._cpu_only[cpu_id] = {}
+        slot = self._cpu_slot(cpu_id)
+        columns = self._cpu_columns
+        index = EVENT_INDEX
         for event, count in delta.items():
-            bucket[event] = bucket.get(event, 0.0) + count
+            columns[index[event]][slot] += count
+        self._dirty = True
+
+    # -- batched accumulation ------------------------------------------
+
+    def accumulation_cells(self, pid: int, cpu_id: int,
+                           delta: Mapping[str, float]
+                           ) -> List[Tuple[array, int, float]]:
+        """(column, slot, addend) cells that replay ``record(delta)`` once.
+
+        The batched engine compiles these once per steady occupancy and
+        then adds each addend into its cell once per tick, which is the
+        identical float-addition sequence the dict path performs.  Cell
+        references stay valid as more slots appear: ``array.append`` may
+        reallocate the buffer, but the ``array`` object itself is stable.
+        """
+        _check_events(delta)
+        slot = self._slot(pid, cpu_id)
+        columns = self._columns
+        index = EVENT_INDEX
+        return [(columns[index[event]], slot, count)
+                for event, count in delta.items()]
+
+    def mark_dirty(self) -> None:
+        """Invalidate the aggregate indexes after direct cell accumulation."""
         self._dirty = True
 
     def _refresh(self) -> None:
-        """Rebuild the aggregate indexes from the accumulation buckets."""
+        """Rebuild the aggregate indexes from the accumulation columns."""
         by_pid_cpu: Dict[Tuple[int, int, str], float] = {}
         by_cpu: Dict[Tuple[int, str], float] = defaultdict(float)
         by_pid: Dict[Tuple[int, str], float] = defaultdict(float)
         machine: Dict[str, float] = defaultdict(float)
-        for (pid, cpu_id), bucket in self._pair_totals.items():
-            for event, count in bucket.items():
+        columns = self._columns
+        for (pid, cpu_id), slot in self._slots.items():
+            for event, column_index in EVENT_INDEX.items():
+                count = columns[column_index][slot]
                 by_pid_cpu[(pid, cpu_id, event)] = count
                 by_cpu[(cpu_id, event)] += count
                 by_pid[(pid, event)] += count
                 machine[event] += count
-        for cpu_id, bucket in self._cpu_only.items():
-            for event, count in bucket.items():
+        cpu_columns = self._cpu_columns
+        for cpu_id, slot in self._cpu_slots.items():
+            for event, column_index in EVENT_INDEX.items():
+                count = cpu_columns[column_index][slot]
                 by_cpu[(cpu_id, event)] += count
                 machine[event] += count
         self._by_pid_cpu = by_pid_cpu
@@ -171,4 +233,4 @@ class CounterBank:
 
     def pids(self) -> Tuple[int, ...]:
         """All process ids that ever recorded activity, ascending."""
-        return tuple(sorted({pid for (pid, _cpu) in self._pair_totals}))
+        return tuple(sorted({pid for (pid, _cpu) in self._slots}))

@@ -112,6 +112,34 @@ class CStateController:
         """Power fraction of the state chosen for *expected_idle_s*."""
         return self.deepest_for(expected_idle_s).power_fraction
 
+    def accounting_cells(self, cpu_id: int, busy_fraction: float, dt_s: float,
+                         expected_idle_s: float):
+        """Compile one :meth:`account` call into replayable residency cells.
+
+        Returns ``(cells, state_name)`` where *cells* is a list of
+        ``(residency_dict, key, addend)`` triples; adding every addend to
+        its cell once, in order, performs exactly the float additions one
+        :meth:`account` call would, and *state_name* is what
+        :meth:`current_state` must report afterwards.  The batched engine
+        replays the cells once per tick without re-running the governor
+        decision, which is constant for a steady occupancy.
+        """
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ConfigurationError(
+                f"busy_fraction must be within [0, 1], got {busy_fraction}")
+        residency = self._residency_s
+        cells = [(residency, (cpu_id, "C0"), busy_fraction * dt_s)]
+        idle_s = (1.0 - busy_fraction) * dt_s
+        if idle_s <= 0.0:
+            return cells, "C0"
+        state = self.deepest_for(expected_idle_s)
+        cells.append((residency, (cpu_id, state.name), idle_s))
+        return cells, state.name
+
+    def set_current_state(self, cpu_id: int, state_name: str) -> None:
+        """Record the state *cpu_id* ended the last step in (batched path)."""
+        self._current[cpu_id] = state_name
+
     def residency(self, cpu_id: int, state_name: str) -> float:
         """Accumulated seconds *cpu_id* has spent in *state_name*."""
         try:

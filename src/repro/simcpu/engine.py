@@ -1,0 +1,363 @@
+"""Batched struct-of-arrays stepping engine — the simulator's hot path.
+
+Tick-at-a-time stepping spends almost all of its wall time on Python
+object churn: one :class:`~repro.simcpu.counters.EventDelta` dict per
+assignment per tick, a fresh ``Dict[Tuple[int, int], ...]`` events map
+per tick, a dict-based counter fold per assignment per tick, and a full
+re-derivation of cache behaviour, execution rates and the power
+breakdown even though every one of those is a pure function of the
+(occupancy, dt, P-state targets) triple — which is constant for
+thousands of consecutive ticks in every campaign, soak and monitor run.
+
+This module splits the step into the two halves the tick loop conflates:
+
+* **compile** — :meth:`BatchEngine.program` derives everything that is a
+  loop invariant of a steady occupancy into a :class:`TickProgram`:
+  the per-(pid, cpu) event deltas, the shared events/busy/frequency
+  mappings of the eventual :class:`~repro.simcpu.machine.TickRecord`,
+  the constant components of the power breakdown, and a flat list of
+  *accumulation cells* — ``(container, index, addends)`` triples over
+  the struct-of-arrays :class:`~repro.simcpu.counters.CounterBank`
+  columns and the C-state residency table.
+* **replay** — :meth:`BatchEngine.replay` advances N ticks by replaying
+  only the data-dependent state updates: the first-order thermal
+  relaxation, the energy and time integrals, and one float addition per
+  accumulation cell per tick.
+
+Bit-identity is the hard contract (the golden dataset tests pin it):
+replaying a program performs exactly the float operations, in exactly
+the order, that N calls of the tick-at-a-time step would — repeated
+addition per cell rather than a single ``n * delta`` fold, the same
+association order in the power total, the same two data-dependent
+thermal lines per tick.  Observers attached to the machine see one
+record per tick with fully committed machine state, exactly as before;
+with no observers the per-tick record materialisation is skipped and
+the counter cells are accumulated column-wise, which is where the
+order-of-magnitude throughput win comes from.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.simcpu import counters as ev
+from repro.simcpu.counters import EventDelta
+from repro.simcpu.power import CoreActivity, PowerBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine -> engine)
+    from repro.simcpu.machine import Machine, ThreadAssignment, TickRecord
+
+
+class TickProgram:
+    """Everything about one steady (occupancy, dt, P-states) combination
+    that does not change from tick to tick."""
+
+    __slots__ = (
+        "dt_s", "cpu_busy", "core_freqs", "events", "machine_events",
+        "single_cells", "multi_cells", "current_states", "has_counters",
+        "idle_w", "cores_w", "uncore_w", "dram_w", "wakeup_w", "base_w",
+        "dynamic_w", "bank", "cstates",
+    )
+
+
+class BatchEngine:
+    """Compiles steady occupancies into tick programs and replays them."""
+
+    #: Cap on cached programs; a campaign sees a handful per run, an
+    #: open-ended monitor with a churning scheduler should not leak.
+    _PROGRAM_CACHE_LIMIT = 256
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        self._programs: Dict[tuple, TickProgram] = {}
+
+    # -- compilation ---------------------------------------------------
+
+    def program(self, assignments: Sequence["ThreadAssignment"],
+                dt_s: float) -> TickProgram:
+        """The compiled program for (*assignments*, *dt_s*), cached.
+
+        The cache key includes the frequency domain's change generation,
+        so any governor request that actually moves a P-state target
+        invalidates affected programs; re-requests of the current target
+        (what every governor does each quantum in steady state) do not.
+        """
+        machine = self._machine
+        key = (tuple(assignments), dt_s, machine.frequency.generation)
+        program = self._programs.get(key)
+        if program is not None and (program.bank is not machine.counters
+                                    or program.cstates is not machine.cstates):
+            program = None  # counters/cstates were swapped out under us
+        if program is None:
+            program = self._compile(key[0], dt_s)
+            if len(self._programs) >= self._PROGRAM_CACHE_LIMIT:
+                self._programs.clear()
+            self._programs[key] = program
+        return program
+
+    def _compile(self, assignments: Tuple["ThreadAssignment", ...],
+                 dt_s: float) -> TickProgram:
+        """Run the full per-tick derivation once and freeze the invariants."""
+        machine = self._machine
+        cpu_busy = machine._validate_occupancy(assignments)
+        core_freqs = machine._effective_frequencies(cpu_busy)
+
+        events: Dict[Tuple[int, int], EventDelta] = {}
+        llc_refs = 0.0
+        dram_bytes = 0.0
+        core_weights: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+        raw_cells: list = []
+        line_bytes = machine._line_bytes_cached
+
+        machine._current_assignments = assignments
+        try:
+            for assignment in assignments:
+                if assignment.busy_fraction == 0.0:
+                    continue
+                core_key = machine._cpu_core_key[assignment.cpu_id]
+                frequency_hz = core_freqs[core_key]
+                delta = machine._execute(assignment, cpu_busy, frequency_hz,
+                                         dt_s)
+                key = (assignment.pid, assignment.cpu_id)
+                existing = events.get(key)
+                events[key] = (delta if existing is None
+                               else existing.merged_with(delta))
+                raw_cells.extend(machine.counters.accumulation_cells(
+                    assignment.pid, assignment.cpu_id, delta))
+                llc_refs += delta.get(ev.CACHE_REFERENCES, 0.0)
+                dram_bytes += delta.get(ev.CACHE_MISSES, 0.0) * line_bytes
+                core_weights.setdefault(core_key, []).append(
+                    (assignment.busy_fraction, assignment.mix.power_weight()))
+        finally:
+            machine._current_assignments = ()
+
+        has_counters = bool(raw_cells)
+        activities, cstate_cells, current_states = self._activities(
+            cpu_busy, core_freqs, core_weights, dt_s)
+        raw_cells.extend(cstate_cells)
+
+        breakdown = machine.power_model.wall_power(
+            activities,
+            llc_references_per_s=llc_refs / dt_s,
+            dram_bytes_per_s=dram_bytes / dt_s,
+            thermal=None,
+        )
+
+        program = TickProgram()
+        program.dt_s = dt_s
+        program.cpu_busy = cpu_busy
+        program.core_freqs = core_freqs
+        program.events = events
+        program.machine_events = self._merged_events(events)
+        program.single_cells, program.multi_cells = self._group_cells(raw_cells)
+        program.current_states = current_states
+        program.has_counters = has_counters
+        program.idle_w = breakdown.idle
+        program.cores_w = breakdown.cores
+        program.uncore_w = breakdown.uncore
+        program.dram_w = breakdown.dram
+        program.wakeup_w = breakdown.wakeup
+        # The exact association orders GroundTruthPower and PowerBreakdown
+        # use, frozen here so the replay loop reproduces them bit-for-bit.
+        program.dynamic_w = (breakdown.cores + breakdown.uncore
+                             + breakdown.dram + breakdown.wakeup)
+        program.base_w = (((breakdown.idle + breakdown.cores)
+                           + breakdown.uncore) + breakdown.dram)
+        program.bank = machine.counters
+        program.cstates = machine.cstates
+        return program
+
+    def _activities(self, cpu_busy, core_freqs, core_weights, dt_s):
+        """Per-core activity records plus compiled C-state accounting.
+
+        The side-effect-free half of what the tick loop used to do in
+        ``Machine._core_activities``: the governor's idle-state choice is
+        a pure function of the expected idle window, so it compiles to
+        residency cells and a final per-CPU state name.
+        """
+        machine = self._machine
+        cstates = machine.cstates
+        activities: List[CoreActivity] = []
+        cells: list = []
+        current_states: Dict[int, str] = {}
+        for core_key in machine._cores:
+            core_cpus = machine._core_cpus[core_key]
+            thread_busy = tuple(cpu_busy[cpu_id] for cpu_id in core_cpus)
+            weights = core_weights.get(core_key, [])
+            total_busy = sum(busy for busy, _weight in weights)
+            if total_busy > 0:
+                weight = sum(busy * w for busy, w in weights) / total_busy
+            else:
+                weight = 1.0
+            busiest = max(thread_busy, default=0.0)
+            expected_idle_s = (1.0 - busiest) * dt_s
+            idle_fraction = cstates.idle_power_fraction(expected_idle_s)
+            for cpu_id in core_cpus:
+                cpu_cells, state_name = cstates.accounting_cells(
+                    cpu_id, cpu_busy[cpu_id], dt_s, expected_idle_s)
+                cells.extend(cpu_cells)
+                current_states[cpu_id] = state_name
+            activities.append(CoreActivity(
+                frequency_hz=core_freqs[core_key],
+                thread_busy=thread_busy,
+                power_weight=weight,
+                idle_power_fraction=idle_fraction,
+            ))
+        return activities, cells, current_states
+
+    @staticmethod
+    def _merged_events(events: Dict[Tuple[int, int], EventDelta]) -> EventDelta:
+        """Machine-wide merge, exactly as ``TickRecord.machine_events``."""
+        merged = EventDelta()
+        for delta in events.values():
+            for event, count in delta.items():
+                merged[event] = merged.get(event, 0.0) + count
+        return merged
+
+    @staticmethod
+    def _group_cells(raw_cells):
+        """Group (container, index, addend) triples by cell, keeping order.
+
+        Cells are independent memory locations, so replay order *across*
+        cells is free; order of repeated addends *within* one cell (two
+        assignments sharing a (pid, cpu) slot, or busy and idle residency
+        both landing in C0) is exactly the order the tick loop folds
+        them, preserved here so the float rounding matches.
+        """
+        grouped: Dict[Tuple[int, object], list] = {}
+        order: List[list] = []
+        for container, index, addend in raw_cells:
+            group_key = (id(container), index)
+            entry = grouped.get(group_key)
+            if entry is None:
+                entry = [container, index, []]
+                grouped[group_key] = entry
+                order.append(entry)
+            entry[2].append(addend)
+        singles = [(container, index, addends[0])
+                   for container, index, addends in order
+                   if len(addends) == 1]
+        multis = [(container, index, tuple(addends))
+                  for container, index, addends in order
+                  if len(addends) > 1]
+        return singles, multis
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self, program: TickProgram, n_ticks: int) -> "TickRecord":
+        """Advance *n_ticks* of the program; returns the final tick's record.
+
+        With observers attached every tick materialises (and delivers) a
+        full record over fully committed machine state, exactly like the
+        tick-at-a-time loop.  Without observers only the final record is
+        built and the accumulation cells are walked column-wise — one
+        tight ``t += d`` loop per cell — which performs the identical
+        additions in a cell-local order.
+        """
+        from repro.simcpu.machine import TickRecord
+
+        machine = self._machine
+        observers = machine._observers
+        thermal = machine.thermal
+        dt = program.dt_s
+        target_c, decay, leak_per_c, ambient_c = thermal.batch_constants(
+            program.dynamic_w, dt)
+        temp = thermal.temperature_c
+        energy = machine._energy_j
+        time_s = machine._time_s
+        base_w = program.base_w
+        wakeup_w = program.wakeup_w
+        single_cells = program.single_cells
+        multi_cells = program.multi_cells
+
+        for cpu_id, state_name in program.current_states.items():
+            program.cstates.set_current_state(cpu_id, state_name)
+
+        record = None
+        if observers or n_ticks == 1:
+            idle_w = program.idle_w
+            cores_w = program.cores_w
+            uncore_w = program.uncore_w
+            dram_w = program.dram_w
+            events = program.events
+            cpu_busy = program.cpu_busy
+            core_freqs = program.core_freqs
+            machine_events = program.machine_events
+            has_counters = program.has_counters
+            bank = program.bank
+            for _ in repeat(None, n_ticks):
+                temp += (target_c - temp) * decay
+                rise_c = temp - ambient_c
+                leak = leak_per_c * (rise_c if rise_c > 0.0 else 0.0)
+                thermal.temperature_c = temp
+                energy += ((base_w + leak) + wakeup_w) * dt
+                time_s += dt
+                for container, index, addend in single_cells:
+                    container[index] += addend
+                for container, index, addends in multi_cells:
+                    value = container[index]
+                    for addend in addends:
+                        value += addend
+                    container[index] = value
+                if has_counters:
+                    bank.mark_dirty()
+                machine._energy_j = energy
+                machine._time_s = time_s
+                record = TickRecord(
+                    time_s=time_s,
+                    dt_s=dt,
+                    power=PowerBreakdown(
+                        idle=idle_w, cores=cores_w, uncore=uncore_w,
+                        dram=dram_w, leakage=leak, wakeup=wakeup_w),
+                    events=events,
+                    cpu_busy=cpu_busy,
+                    core_frequencies_hz=core_freqs,
+                )
+                record.__dict__["_machine_events"] = machine_events
+                machine.last_record = record
+                for observer in observers:
+                    observer(record)
+            return record
+
+        # No observers: nothing can see intermediate state, so integrate
+        # the scalars tick-wise (thermal/energy/time are genuine
+        # recurrences) and each counter cell in its own tight loop.
+        leak = 0.0
+        for _ in repeat(None, n_ticks):
+            temp += (target_c - temp) * decay
+            rise_c = temp - ambient_c
+            leak = leak_per_c * (rise_c if rise_c > 0.0 else 0.0)
+            energy += ((base_w + leak) + wakeup_w) * dt
+            time_s += dt
+        for container, index, addend in single_cells:
+            value = container[index]
+            for _ in repeat(None, n_ticks):
+                value += addend
+            container[index] = value
+        for container, index, addends in multi_cells:
+            value = container[index]
+            for _ in repeat(None, n_ticks):
+                for addend in addends:
+                    value += addend
+            container[index] = value
+
+        thermal.temperature_c = temp
+        machine._energy_j = energy
+        machine._time_s = time_s
+        if program.has_counters:
+            program.bank.mark_dirty()
+        record = TickRecord(
+            time_s=time_s,
+            dt_s=dt,
+            power=PowerBreakdown(
+                idle=program.idle_w, cores=program.cores_w,
+                uncore=program.uncore_w, dram=program.dram_w,
+                leakage=leak, wakeup=wakeup_w),
+            events=program.events,
+            cpu_busy=program.cpu_busy,
+            core_frequencies_hz=program.core_freqs,
+        )
+        record.__dict__["_machine_events"] = program.machine_events
+        machine.last_record = record
+        return record

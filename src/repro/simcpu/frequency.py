@@ -38,6 +38,17 @@ class FrequencyDomain:
         # power model: memoise both per validated frequency.
         self._voltage_cache: Dict[int, float] = {}
         self._scale_cache: Dict[int, float] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped whenever any target actually changes.
+
+        The batched stepping engine keys its compiled tick programs on
+        this, so governors that re-request the same P-state every quantum
+        (the common steady case) keep the compiled program valid.
+        """
+        return self._generation
 
     # -- requests ----------------------------------------------------------
 
@@ -47,13 +58,20 @@ class FrequencyDomain:
         key = (package_id, core_id)
         if key not in self._target_hz:
             raise FrequencyError(f"no such core pkg{package_id}/core{core_id}")
-        self._target_hz[key] = frequency_hz
+        if self._target_hz[key] != frequency_hz:
+            self._target_hz[key] = frequency_hz
+            self._generation += 1
 
     def set_all_targets(self, frequency_hz: int) -> None:
         """Request the same P-state on every core."""
         self.spec.validate_frequency(frequency_hz)
-        for key in self._target_hz:
-            self._target_hz[key] = frequency_hz
+        changed = False
+        for key, current in self._target_hz.items():
+            if current != frequency_hz:
+                self._target_hz[key] = frequency_hz
+                changed = True
+        if changed:
+            self._generation += 1
 
     def target(self, package_id: int, core_id: int) -> int:
         """The requested (pre-arbitration) frequency of a core."""

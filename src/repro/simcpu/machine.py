@@ -26,10 +26,10 @@ from repro.simcpu import counters as ev
 from repro.simcpu.caches import CacheModel, MemoryProfile
 from repro.simcpu.counters import CounterBank, EventDelta
 from repro.simcpu.cstates import CStateController
+from repro.simcpu.engine import BatchEngine
 from repro.simcpu.frequency import FrequencyDomain
 from repro.simcpu.pipeline import InstructionMix, PipelineModel
-from repro.simcpu.power import (CoreActivity, GroundTruthPower,
-                                PowerBreakdown, ThermalModel)
+from repro.simcpu.power import GroundTruthPower, PowerBreakdown, ThermalModel
 from repro.simcpu.spec import CpuSpec
 from repro.simcpu.topology import Topology
 
@@ -53,6 +53,17 @@ class ThreadAssignment:
         if not 0.0 <= self.busy_fraction <= 1.0:
             raise ConfigurationError(
                 f"busy_fraction must be within [0, 1], got {self.busy_fraction}")
+
+    def __hash__(self) -> int:
+        # The batched engine hashes every assignment on every step to key
+        # its program cache; all fields are immutable, so compute the
+        # (nested-dataclass) hash once and memoise it on the instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.pid, self.cpu_id, self.busy_fraction,
+                           self.mix, self.memory))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -130,6 +141,7 @@ class Machine:
             cpu_id: 0.0 for cpu_id in topology.cpu_ids}
         self._line_bytes_cached = (spec.caches[-1].line_bytes
                                    if spec.caches else 64)
+        self._engine = BatchEngine(self)
 
     # -- observers -----------------------------------------------------
 
@@ -168,79 +180,71 @@ class Machine:
     # -- stepping ---------------------------------------------------------
 
     def step(self, assignments: Sequence[ThreadAssignment], dt_s: float) -> TickRecord:
-        """Advance simulated time by *dt_s* with the given CPU occupancy."""
+        """Advance simulated time by *dt_s* with the given CPU occupancy.
+
+        A thin façade over the batched engine: the occupancy is compiled
+        once (cached across ticks while assignments, dt and P-state
+        targets hold) and replayed for a single tick.
+        """
         if dt_s <= 0:
             raise ConfigurationError(f"dt_s must be positive, got {dt_s}")
-        cpu_busy = self._validate_occupancy(assignments)
-        self._current_assignments = assignments
-        core_freqs = self._effective_frequencies(cpu_busy)
+        program = self._engine.program(assignments, dt_s)
+        return self._engine.replay(program, 1)
 
-        events: Dict[Tuple[int, int], EventDelta] = {}
-        llc_refs = 0.0
-        dram_bytes = 0.0
-        core_weights: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    def run_batch(self, assignments: Sequence[ThreadAssignment],
+                  n_ticks: int, dt_s: float = 0.01) -> TickRecord:
+        """Advance *n_ticks* of a steady occupancy in one engine replay.
 
-        line_bytes = self._line_bytes_cached
-        for assignment in assignments:
-            if assignment.busy_fraction == 0.0:
-                continue
-            core_key = self._cpu_core_key[assignment.cpu_id]
-            frequency_hz = core_freqs[core_key]
-            delta = self._execute(assignment, cpu_busy, frequency_hz, dt_s)
-            key = (assignment.pid, assignment.cpu_id)
-            existing = events.get(key)
-            events[key] = (delta if existing is None
-                           else existing.merged_with(delta))
-            self.counters.record(assignment.pid, assignment.cpu_id, delta)
-            llc_refs += delta.get(ev.CACHE_REFERENCES, 0.0)
-            dram_bytes += delta.get(ev.CACHE_MISSES, 0.0) * line_bytes
-            core_weights.setdefault(core_key, []).append(
-                (assignment.busy_fraction, assignment.mix.power_weight()))
+        State (counters, residencies, thermal, energy, time) ends up
+        bit-identical to calling :meth:`step` *n_ticks* times; the record
+        returned is the final tick's.  Observers, when attached, still
+        see every intermediate tick.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt_s must be positive, got {dt_s}")
+        if n_ticks < 1:
+            raise ConfigurationError(f"n_ticks must be >= 1, got {n_ticks}")
+        program = self._engine.program(assignments, dt_s)
+        return self._engine.replay(program, n_ticks)
 
-        activities = self._core_activities(cpu_busy, core_freqs, core_weights, dt_s)
-        breakdown = self.power_model.wall_power(
-            activities,
-            llc_references_per_s=llc_refs / dt_s,
-            dram_bytes_per_s=dram_bytes / dt_s,
-            thermal=self.thermal,
-            dt_s=dt_s,
-        )
+    def run_schedule(self, schedule: Sequence[
+            Tuple[Sequence[ThreadAssignment], int]],
+            dt_s: float = 0.01) -> List[TickRecord]:
+        """Run ``(assignments, n_ticks)`` segments back to back.
 
-        self._current_assignments = ()
-        self._time_s += dt_s
-        self._energy_j += breakdown.total * dt_s
-        record = TickRecord(
-            time_s=self._time_s,
-            dt_s=dt_s,
-            power=breakdown,
-            events=events,
-            cpu_busy=cpu_busy,
-            core_frequencies_hz=core_freqs,
-        )
-        self.last_record = record
-        for observer in self._observers:
-            observer(record)
-        return record
+        Returns one record per segment (the segment's final tick).
+        """
+        return [self.run_batch(assignments, n_ticks, dt_s)
+                for assignments, n_ticks in schedule]
 
     def dominant_frequency_hz(self) -> int:
         """Busy-weighted dominant core frequency of the last step.
 
         Before any step (or on a fully idle step) this is the frequency
         targeted on core 0, which is what a frequency-aware formula should
-        assume for an idle machine.
+        assume for an idle machine.  Frequency-aware formulas ask once per
+        sample, so the scan result is cached on the record (0 marks the
+        all-idle case, whose fallback must track the live target).
         """
         record = self.last_record
         if record is None:
             return self.frequency.target(0, 0)
-        weights: Dict[int, float] = {}
-        for core_key in self._cores:
-            frequency = record.core_frequencies_hz[core_key]
-            busy = max(record.cpu_busy[cpu_id]
-                       for cpu_id in self._core_cpus[core_key])
-            weights[frequency] = weights.get(frequency, 0.0) + busy
-        if not weights or max(weights.values()) == 0.0:
+        cached = record.__dict__.get("_dominant_hz")
+        if cached is None:
+            weights: Dict[int, float] = {}
+            for core_key in self._cores:
+                frequency = record.core_frequencies_hz[core_key]
+                busy = max(record.cpu_busy[cpu_id]
+                           for cpu_id in self._core_cpus[core_key])
+                weights[frequency] = weights.get(frequency, 0.0) + busy
+            if not weights or max(weights.values()) == 0.0:
+                cached = 0
+            else:
+                cached = max(weights, key=lambda frequency: weights[frequency])
+            record.__dict__["_dominant_hz"] = cached
+        if cached == 0:
             return self.frequency.target(0, 0)
-        return max(weights, key=lambda frequency: weights[frequency])
+        return cached
 
     # -- internals --------------------------------------------------------
 
@@ -330,36 +334,6 @@ class Machine:
             if other_cpu.package_id == package_id and other.busy_fraction > 0.0:
                 sets.append(other.memory.working_set_bytes)
         return sets
-
-    def _core_activities(self, cpu_busy: Mapping[int, float],
-                         core_freqs: Mapping[Tuple[int, int], int],
-                         core_weights: Mapping[Tuple[int, int],
-                                               List[Tuple[float, float]]],
-                         dt_s: float) -> List[CoreActivity]:
-        """Build the per-core activity records for the power model."""
-        activities: List[CoreActivity] = []
-        for core_key in self._cores:
-            core_cpus = self._core_cpus[core_key]
-            thread_busy = tuple(cpu_busy[cpu_id] for cpu_id in core_cpus)
-            weights = core_weights.get(core_key, [])
-            total_busy = sum(busy for busy, _weight in weights)
-            if total_busy > 0:
-                weight = sum(busy * w for busy, w in weights) / total_busy
-            else:
-                weight = 1.0
-            busiest = max(thread_busy, default=0.0)
-            expected_idle_s = (1.0 - busiest) * dt_s
-            idle_fraction = self.cstates.idle_power_fraction(expected_idle_s)
-            for cpu_id in core_cpus:
-                self.cstates.account(cpu_id, cpu_busy[cpu_id], dt_s,
-                                     expected_idle_s)
-            activities.append(CoreActivity(
-                frequency_hz=core_freqs[core_key],
-                thread_busy=thread_busy,
-                power_weight=weight,
-                idle_power_fraction=idle_fraction,
-            ))
-        return activities
 
     # step() needs the full assignment list while executing each one (for
     # cache co-residency); stash it for the duration of the call.

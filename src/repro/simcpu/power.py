@@ -119,6 +119,25 @@ class ThermalModel:
         leak_per_c = LEAKAGE_EQUILIBRIUM_FRACTION / self.c_per_watt
         return leak_per_c * rise_c
 
+    def batch_constants(self, dynamic_power_w: float,
+                        dt_s: float) -> Tuple[float, float, float, float]:
+        """``(target_c, decay, leak_per_c, ambient_c)`` for a steady batch.
+
+        These are exactly the intermediates :meth:`step` derives on every
+        call; for a constant dynamic power and dt they are loop
+        invariants, so the batched engine hoists them and replays only
+        the two data-dependent lines (the temperature relaxation and the
+        leakage readout) per tick — the identical float operations in the
+        identical order, keeping batched thermal state bit-identical to
+        tick-at-a-time stepping.
+        """
+        if dt_s < 0 or dynamic_power_w < 0:
+            raise ConfigurationError("thermal step inputs must be >= 0")
+        target_c = self.ambient_c + self.c_per_watt * dynamic_power_w
+        decay = 1.0 - pow(2.718281828, -dt_s / THERMAL_TAU_S)
+        leak_per_c = LEAKAGE_EQUILIBRIUM_FRACTION / self.c_per_watt
+        return target_c, decay, leak_per_c, self.ambient_c
+
 
 class GroundTruthPower:
     """Computes the machine's instantaneous wall power."""

@@ -1,0 +1,17 @@
+"""Shared hypothesis strategies for simulator-level property tests.
+
+The ROADMAP calls for one home for the generators every property suite
+needs — instruction mixes, memory profiles, valid (non-oversubscribed)
+assignment lists, dt values and multi-segment schedules with pid churn —
+so each new test file stops growing its own slightly different copies.
+"""
+
+from tests.strategies.assignments import (assignment_lists, dts,
+                                          event_deltas, instruction_mixes,
+                                          memory_profiles, schedules,
+                                          thread_assignments)
+
+__all__ = [
+    "assignment_lists", "dts", "event_deltas", "instruction_mixes",
+    "memory_profiles", "schedules", "thread_assignments",
+]

@@ -1,0 +1,167 @@
+"""Adaptive live sampling: phase detection, dt widening, accuracy bounds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcpu import (AdaptiveConfig, AdaptiveReport, AdaptiveSampler,
+                          InstructionMix, Machine, MemoryProfile,
+                          PhaseDetector, ThreadAssignment)
+from repro.simcpu.spec import intel_i3_2120
+
+SPEC = intel_i3_2120()
+
+
+def _assignments(busy, fp=0.2, mem=0.1, ws=1 << 16, locality=0.95):
+    return [ThreadAssignment(
+        pid=300 + cpu_id, cpu_id=cpu_id, busy_fraction=busy,
+        mix=InstructionMix(fp_fraction=fp),
+        memory=MemoryProfile(mem_ops_per_instruction=mem,
+                             working_set_bytes=ws, locality=locality))
+        for cpu_id in range(SPEC.num_threads)]
+
+
+def _machine():
+    machine = Machine(SPEC)
+    machine.set_frequency(SPEC.max_frequency_hz)
+    return machine
+
+
+PHASED_SCHEDULE = [
+    (_assignments(0.9), 10.0),
+    (_assignments(0.3), 5.0),
+    (_assignments(1.0, fp=0.4), 10.0),
+]
+
+MEMORY_SCHEDULE = [
+    (_assignments(0.6, mem=0.4, ws=1 << 24, locality=0.6), 8.0),
+    (_assignments(0.2, mem=0.4, ws=1 << 24, locality=0.6), 6.0),
+    (_assignments(0.8), 8.0),
+]
+
+
+def _full_resolution_energy(schedule, config):
+    machine = _machine()
+    before = machine.energy_j
+    for assignments, duration_s in schedule:
+        n_ticks = max(1, int(round(duration_s / config.fine_dt_s)))
+        machine.run_batch(assignments, n_ticks, config.fine_dt_s)
+    return machine.energy_j - before
+
+
+class TestConfig:
+    def test_rejects_inverted_dts(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(fine_dt_s=0.1, coarse_dt_s=0.01)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(fine_dt_s=0.0)
+
+    def test_rejects_bad_probe_probability(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(probe_probability=1.5)
+
+
+class TestPhaseDetector:
+    def test_steady_after_configured_windows(self):
+        config = AdaptiveConfig(steady_windows=3)
+        detector = PhaseDetector(config)
+        results = [detector.observe(1.0, 0.5) for _ in range(5)]
+        # First observation has no history; the next three build stability.
+        assert results == [False, False, False, True, True]
+
+    def test_transient_resets_stability(self):
+        detector = PhaseDetector(AdaptiveConfig(steady_windows=2))
+        for _ in range(4):
+            detector.observe(1.0, 0.5)
+        assert detector.observe(1.0, 0.5) is True
+        assert detector.observe(2.0, 0.5) is False  # IPC jump
+        assert detector.observe(2.0, 0.5) is False
+        assert detector.observe(2.0, 0.5) is True   # re-stabilised
+
+    def test_busy_change_is_a_transient(self):
+        detector = PhaseDetector(AdaptiveConfig(steady_windows=1))
+        detector.observe(1.0, 0.5)
+        assert detector.observe(1.0, 0.5) is True
+        assert detector.observe(1.0, 0.9) is False
+
+    def test_reset_forgets_history(self):
+        detector = PhaseDetector(AdaptiveConfig(steady_windows=1))
+        detector.observe(1.0, 0.5)
+        assert detector.observe(1.0, 0.5) is True
+        detector.reset()
+        assert detector.observe(1.0, 0.5) is False
+
+
+class TestAdaptiveSampler:
+    def test_widens_dt_in_steady_phases(self):
+        report = AdaptiveSampler(_machine(), seed=1).run(PHASED_SCHEDULE)
+        assert report.coarse_ticks > 0
+        assert report.fine_ticks > 0
+        assert report.transitions_to_coarse >= len(PHASED_SCHEDULE)
+        assert report.tick_reduction(AdaptiveConfig()) > 2.0
+
+    def test_simulated_time_is_honoured(self):
+        config = AdaptiveConfig()
+        report = AdaptiveSampler(_machine(), config, seed=1).run(
+            PHASED_SCHEDULE)
+        expected_s = sum(duration for _a, duration in PHASED_SCHEDULE)
+        assert report.simulated_s == pytest.approx(expected_s)
+        ratio = round(config.coarse_dt_s / config.fine_dt_s)
+        assert (report.fine_ticks + report.coarse_ticks * ratio
+                == int(round(expected_s / config.fine_dt_s)))
+
+    def test_deterministic_for_a_seed(self):
+        first = AdaptiveSampler(_machine(), seed=7).run(PHASED_SCHEDULE)
+        second = AdaptiveSampler(_machine(), seed=7).run(PHASED_SCHEDULE)
+        assert first.fine_ticks == second.fine_ticks
+        assert first.coarse_ticks == second.coarse_ticks
+        assert first.probe_windows == second.probe_windows
+        assert first.energy_j == second.energy_j
+
+    def test_seed_changes_probe_pattern(self):
+        reports = {AdaptiveSampler(_machine(), seed=seed).run(
+            PHASED_SCHEDULE).probe_windows for seed in range(6)}
+        assert len(reports) > 1
+
+    def test_probes_can_be_disabled(self):
+        config = AdaptiveConfig(probe_probability=0.0)
+        report = AdaptiveSampler(_machine(), config, seed=1).run(
+            PHASED_SCHEDULE)
+        assert report.probe_windows == 0
+
+    def test_all_fine_when_coarse_equals_fine(self):
+        config = AdaptiveConfig(fine_dt_s=0.01, coarse_dt_s=0.01)
+        report = AdaptiveSampler(_machine(), config, seed=1).run(
+            [(_assignments(0.9), 2.0)])
+        assert report.tick_reduction(config) == 1.0
+
+    def test_rejects_nonpositive_segment(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSampler(_machine(), seed=1).run([(_assignments(0.5), 0.0)])
+
+    @pytest.mark.parametrize("schedule", [PHASED_SCHEDULE, MEMORY_SCHEDULE],
+                             ids=["phased-cpu", "memory-churn"])
+    def test_energy_error_within_one_percent(self, schedule):
+        config = AdaptiveConfig()
+        reference_j = _full_resolution_energy(schedule, config)
+        report = AdaptiveSampler(_machine(), config, seed=42).run(schedule)
+        error = abs(report.energy_j - reference_j) / reference_j
+        assert error <= 0.01
+        assert report.coarse_ticks > 0  # the bound is earned, not trivial
+
+    def test_observers_see_every_tick(self):
+        machine = _machine()
+        seen = []
+        machine.add_observer(seen.append)
+        report = AdaptiveSampler(machine, seed=3).run(
+            [(_assignments(0.7), 2.0)])
+        assert len(seen) == report.total_ticks
+        assert [r.time_s for r in seen] == sorted(r.time_s for r in seen)
+
+    def test_report_segment_records(self):
+        report = AdaptiveSampler(_machine(), seed=1).run(PHASED_SCHEDULE)
+        assert len(report.segment_records) == len(PHASED_SCHEDULE)
+        assert isinstance(report, AdaptiveReport)
+        assert report.segment_records[-1].time_s == pytest.approx(
+            report.simulated_s)

@@ -180,3 +180,57 @@ class TestTickRecord:
         records = machine.run([assignment()], 0.1, dt_s=0.02)
         assert len(records) == 5
         assert records[-1].time_s == pytest.approx(0.1)
+
+
+class TestBatchedStepping:
+    def test_run_batch_returns_final_record(self, machine):
+        record = machine.run_batch([assignment()], 50, dt_s=0.01)
+        assert record.time_s == pytest.approx(0.5)
+        assert machine.time_s == record.time_s
+
+    def test_run_batch_rejects_bad_inputs(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.run_batch([assignment()], 0, dt_s=0.01)
+        with pytest.raises(ConfigurationError):
+            machine.run_batch([assignment()], 10, dt_s=0.0)
+
+    def test_run_schedule_returns_one_record_per_segment(self, machine):
+        records = machine.run_schedule(
+            [([assignment()], 10), ([], 5), ([assignment(busy=0.3)], 10)],
+            dt_s=0.01)
+        assert len(records) == 3
+        assert records[-1].time_s == pytest.approx(0.25)
+
+    def test_batched_state_matches_stepped(self):
+        spec = intel_i3_2120()
+        stepped, batched = Machine(spec), Machine(spec)
+        for _ in range(200):
+            stepped.step([assignment()], 0.01)
+        batched.run_batch([assignment()], 200, 0.01)
+        assert stepped.energy_j == batched.energy_j
+        assert stepped.time_s == batched.time_s
+        assert (stepped.counters.read(ev.INSTRUCTIONS)
+                == batched.counters.read(ev.INSTRUCTIONS))
+
+    def test_pstate_change_invalidates_program(self, machine):
+        spec = machine.spec
+        machine.set_frequency(spec.min_frequency_hz)
+        slow = machine.run_batch([assignment()], 10, 0.01)
+        machine.set_frequency(spec.max_frequency_hz)
+        fast = machine.run_batch([assignment()], 10, 0.01)
+        assert (fast.machine_events()[ev.INSTRUCTIONS]
+                > slow.machine_events()[ev.INSTRUCTIONS])
+
+    def test_dominant_frequency_is_cached_on_record(self, machine):
+        machine.step([assignment(cpu=0)], 0.1)
+        first = machine.dominant_frequency_hz()
+        assert machine.last_record.__dict__["_dominant_hz"] == first
+        assert machine.dominant_frequency_hz() == first
+
+    def test_dominant_frequency_idle_cache_tracks_live_target(self, machine):
+        machine.set_frequency(ghz(2.0))
+        machine.step([], 0.1)
+        assert machine.dominant_frequency_hz() == ghz(2.0)
+        # The idle sentinel must not freeze the fallback frequency.
+        machine.set_frequency(ghz(3.3))
+        assert machine.dominant_frequency_hz() == ghz(3.3)
