@@ -11,6 +11,12 @@ annotation is for humans, the exit code (1 on regression) only colours
 the non-blocking job.  Usage::
 
     python benchmarks/diff_bench.py BASELINE.json CURRENT.json [--threshold 10]
+    python benchmarks/diff_bench.py BENCH_control.baseline.json \
+        BENCH_control.json --higher mean_adherence \
+        --lower mean_throughput_loss_pct,worst_overshoot_pct
+
+Without ``--higher``/``--lower`` the defaults diff the simulator
+throughput file (``BENCH_sim.json``).
 """
 
 from __future__ import annotations
@@ -27,18 +33,19 @@ THROUGHPUT_METRICS = ("ticks_per_sec", "batched_ticks_per_sec")
 WALL_METRICS = ("campaign_wall_s", "campaign_wall_serial_s")
 
 
-def diff_benchmarks(baseline: dict, current: dict,
-                    threshold_pct: float) -> tuple[list, list]:
+def diff_benchmarks(baseline: dict, current: dict, threshold_pct: float,
+                    higher=THROUGHPUT_METRICS,
+                    lower=WALL_METRICS) -> tuple[list, list]:
     """Returns (markdown table rows, regression messages)."""
     rows = []
     regressions = []
-    for metric in THROUGHPUT_METRICS + WALL_METRICS:
+    for metric in tuple(higher) + tuple(lower):
         base = baseline.get(metric)
         new = current.get(metric)
         if base is None or new is None or not base:
             rows.append((metric, base, new, "n/a", ""))
             continue
-        higher_is_better = metric in THROUGHPUT_METRICS
+        higher_is_better = metric in higher
         change_pct = (new - base) / base * 100.0
         regressed_pct = -change_pct if higher_is_better else change_pct
         flag = ""
@@ -67,12 +74,24 @@ def render_markdown(rows, regressions, threshold_pct) -> str:
     return "\n".join(lines)
 
 
+def _metric_list(value: str) -> tuple:
+    return tuple(name for name in value.split(",") if name)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
     parser.add_argument("current", type=Path)
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold, percent (default 10)")
+    parser.add_argument("--higher", type=_metric_list,
+                        default=THROUGHPUT_METRICS, metavar="M1,M2",
+                        help="comma-separated higher-is-better metrics "
+                             f"(default: {','.join(THROUGHPUT_METRICS)})")
+    parser.add_argument("--lower", type=_metric_list,
+                        default=WALL_METRICS, metavar="M1,M2",
+                        help="comma-separated lower-is-better metrics "
+                             f"(default: {','.join(WALL_METRICS)})")
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -84,7 +103,9 @@ def main(argv=None) -> int:
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
 
-    rows, regressions = diff_benchmarks(baseline, current, args.threshold)
+    rows, regressions = diff_benchmarks(baseline, current, args.threshold,
+                                        higher=args.higher,
+                                        lower=args.lower)
     markdown = render_markdown(rows, regressions, args.threshold)
     print(markdown)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")

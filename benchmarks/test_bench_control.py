@@ -1,0 +1,174 @@
+"""Closed-loop cap evaluation: adherence vs throughput across a sweep.
+
+For each workload scenario (cpu / memory / mixed) the harness runs the
+monitored workload uncapped once, then under a sweep of power caps, and
+records per (scenario, cap):
+
+* ``mean_power_w`` — steady-state mean of the estimated package power,
+* ``adherence`` — fraction of steady-state periods at or below the cap
+  (with 5% tolerance), the acceptance criterion of the control PR,
+* ``throughput_loss_pct`` — instructions the workload retired under the
+  cap vs uncapped (DVFS ceilings slow the core, nice throttling shrinks
+  its share; both show up here where plain CPU-seconds would not),
+* the actuation event counts (step-downs, throttles, ...).
+
+Results go to ``BENCH_control.json`` at the repository root; CI diffs
+``mean_adherence`` / ``mean_throughput_loss_pct`` against the committed
+baseline via ``benchmarks/diff_bench.py``.  Marked ``perf`` +
+``control``: run explicitly with
+``PYTHONPATH=src python -m pytest benchmarks/test_bench_control.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.os.kernel import SimKernel
+from repro.perf.counting import PerfSession
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress, MemoryStress, MixedStress
+
+pytestmark = [pytest.mark.perf, pytest.mark.control]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_control.json"
+
+DURATION_S = 30.0
+PERIOD_S = 0.5
+QUANTUM_S = 0.02
+#: Steady state: skip the escalation transient at the front.
+STEADY_FRACTION = 0.5
+#: The sweep brackets the i3's envelope: idle is ~31.5 W, full load
+#: lands near 66 W with this model.
+CAP_SWEEP_W = (36.0, 40.0, 45.0, 50.0, 55.0)
+
+SCENARIOS = (
+    ("cpu", lambda: CpuStress(utilization=1.0, threads=4,
+                              duration_s=DURATION_S * 2)),
+    ("memory", lambda: MemoryStress(utilization=1.0, threads=4,
+                                    working_set_bytes=64 * 1024 ** 2,
+                                    duration_s=DURATION_S * 2)),
+    ("mixed", lambda: MixedStress(utilization=1.0, threads=4,
+                                  duration_s=DURATION_S * 2)),
+)
+
+
+def frequency_model(spec):
+    formulas = []
+    for frequency in spec.frequencies_hz:
+        scale = (frequency / spec.max_frequency_hz) ** 3
+        formulas.append(FrequencyFormula(frequency, {
+            "instructions": 2.8e-9 * scale,
+            "cache-references": 3.8e-8 * scale,
+            "cache-misses": 3.5e-7 * scale,
+        }))
+    return PowerModel(idle_w=31.48, formulas=formulas, name="bench-control")
+
+
+def run_scenario(spec, model, workload_factory, cap_w):
+    """One monitored run; cap_w=None runs uncapped."""
+    kernel = SimKernel(spec, quantum_s=QUANTUM_S)
+    pid = kernel.spawn(workload_factory(), name="workload")
+    # Throughput proxy: instructions the workload retires.  A separate
+    # perf session so the count is independent of the monitoring
+    # pipeline's own counters.
+    work_session = PerfSession(kernel.machine)
+    work_counter = work_session.open("instructions", pid=pid)
+    api = PowerAPI(kernel, model, period_s=PERIOD_S)
+    memory = InMemoryReporter()
+    builder = api.monitor(pid).every(PERIOD_S)
+    if cap_w is not None:
+        builder = builder.cap(cap_w, grace_periods=1)
+    handle = builder.to(memory)
+    api.run(DURATION_S)
+    totals = memory.total_series()
+    steady = totals[int(len(totals) * STEADY_FRACTION):]
+    instructions = work_counter.read().scaled
+    work_session.close()
+    events = (handle.control.events if handle.control is not None else [])
+    api.shutdown()
+    return {
+        "mean_power_w": sum(steady) / len(steady),
+        "instructions": instructions,
+        "steady": steady,
+        "events": events,
+    }
+
+
+def test_cap_sweep_adherence_and_throughput(save_result):
+    spec = intel_i3_2120()
+    model = frequency_model(spec)
+    curves = {}
+    adherences = []
+    losses = []
+    overshoots = []
+    lines = [f"{'scenario':<8} {'cap W':>6} {'mean W':>8} "
+             f"{'adhere':>7} {'loss %':>7}  actuations"]
+    for name, factory in SCENARIOS:
+        baseline = run_scenario(spec, model, factory, None)
+        points = []
+        for cap in CAP_SWEEP_W:
+            run = run_scenario(spec, model, factory, cap)
+            tolerance = cap * 1.05
+            adherence = (sum(1 for w in run["steady"] if w <= tolerance)
+                         / len(run["steady"]))
+            loss_pct = max(0.0, (baseline["instructions"]
+                                 - run["instructions"])
+                           / baseline["instructions"] * 100.0)
+            worst = max(run["steady"])
+            overshoot_pct = max(0.0, (worst - cap) / cap * 100.0)
+            actions = {}
+            for event in run["events"]:
+                actions[event.action] = actions.get(event.action, 0) + 1
+            bound = cap < baseline["mean_power_w"]
+            if bound:
+                # The acceptance criterion: a binding, attainable cap is
+                # held within 5% in steady state.
+                assert adherence >= 0.9, (name, cap, adherence)
+                adherences.append(adherence)
+                losses.append(loss_pct)
+                overshoots.append(overshoot_pct)
+            points.append({
+                "cap_w": cap,
+                "mean_power_w": round(run["mean_power_w"], 3),
+                "adherence": round(adherence, 4),
+                "throughput_loss_pct": round(loss_pct, 2),
+                "worst_overshoot_pct": round(overshoot_pct, 2),
+                "binding": bound,
+                "actuations": actions,
+            })
+            summary = ",".join(f"{k}x{v}" for k, v in sorted(actions.items()))
+            lines.append(f"{name:<8} {cap:>6.1f} "
+                         f"{run['mean_power_w']:>8.2f} {adherence:>7.2f} "
+                         f"{loss_pct:>7.2f}  {summary or '-'}")
+        curves[name] = {
+            "uncapped_mean_power_w": round(baseline["mean_power_w"], 3),
+            "uncapped_instructions": round(baseline["instructions"]),
+            "sweep": points,
+        }
+
+    results = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "duration_s": DURATION_S,
+        "period_s": PERIOD_S,
+        "cap_sweep_w": list(CAP_SWEEP_W),
+        "mean_adherence": round(sum(adherences) / len(adherences), 4),
+        "mean_throughput_loss_pct": round(sum(losses) / len(losses), 2),
+        "worst_overshoot_pct": round(max(overshoots), 2),
+        "scenarios": curves,
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+    lines.append("")
+    lines.append(f"mean adherence {results['mean_adherence']:.3f}, "
+                 f"mean throughput loss "
+                 f"{results['mean_throughput_loss_pct']:.2f}% "
+                 f"-> {BENCH_PATH.name}")
+    save_result("bench_control", "\n".join(lines))

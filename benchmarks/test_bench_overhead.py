@@ -1,0 +1,135 @@
+"""Monitoring overhead vs sampling period (the paper's Section 5 axis).
+
+PowerAPI's pitch is "runtime overhead proportional to the sampling
+frequency": the paper reports sub-1% CPU overhead at 1 Hz and a few
+percent at millisecond periods.  This harness measures the analogue in
+the simulator: wall time of driving the kernel bare (``kernel.run``)
+vs driving the same workload through the full Figure-2 monitoring
+pipeline, at sampling periods from 1 ms to 1 s.
+
+Per period the result records ``bare_wall_s``, ``monitored_wall_s``
+and ``overhead_pct``; the headline ``overhead_at_1s_pct`` /
+``overhead_at_1ms_pct`` pair is diffed by CI against the committed
+``BENCH_overhead.json`` baseline.  Marked ``perf``: run explicitly
+with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_overhead.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.model import FrequencyFormula, PowerModel
+from repro.core.monitor import PowerAPI
+from repro.core.reporters import InMemoryReporter
+from repro.os.kernel import SimKernel
+from repro.simcpu.spec import intel_i3_2120
+from repro.workloads.stress import CpuStress
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_overhead.json"
+
+#: Sampling periods swept, seconds (1 ms up to the paper's 1 s default).
+PERIODS_S = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0)
+#: Simulated duration per measurement.
+DURATION_S = 20.0
+#: Kernel quantum: fine enough to honour the 1 ms sampling period.
+QUANTUM_S = 0.001
+#: Repetitions per period (median taken) to tame scheduler noise.
+REPEATS = 3
+
+
+def frequency_model(spec):
+    formulas = []
+    for frequency in spec.frequencies_hz:
+        scale = (frequency / spec.max_frequency_hz) ** 3
+        formulas.append(FrequencyFormula(frequency, {
+            "instructions": 2.8e-9 * scale,
+            "cache-references": 3.8e-8 * scale,
+            "cache-misses": 3.5e-7 * scale,
+        }))
+    return PowerModel(idle_w=31.48, formulas=formulas,
+                      name="bench-overhead")
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def run_bare():
+    kernel = SimKernel(intel_i3_2120(), quantum_s=QUANTUM_S)
+    kernel.spawn(CpuStress(utilization=1.0, threads=4,
+                           duration_s=DURATION_S * 2), name="workload")
+    start = time.perf_counter()
+    kernel.run(DURATION_S)
+    return time.perf_counter() - start
+
+
+def run_monitored(model, period_s):
+    kernel = SimKernel(intel_i3_2120(), quantum_s=QUANTUM_S)
+    pid = kernel.spawn(CpuStress(utilization=1.0, threads=4,
+                                 duration_s=DURATION_S * 2),
+                       name="workload")
+    api = PowerAPI(kernel, model, period_s=period_s)
+    memory = InMemoryReporter()
+    api.monitor(pid).every(period_s).to(memory)
+    start = time.perf_counter()
+    api.run(DURATION_S)
+    elapsed = time.perf_counter() - start
+    reports = len(memory.total_series())
+    api.shutdown()
+    return elapsed, reports
+
+
+def test_monitoring_overhead_curve(save_result):
+    model = frequency_model(intel_i3_2120())
+    bare_wall_s = _median([run_bare() for _ in range(REPEATS)])
+
+    curve = []
+    lines = [f"bare kernel: {bare_wall_s:.3f}s wall for {DURATION_S:.0f}s "
+             f"simulated (quantum {QUANTUM_S * 1000:.0f} ms)",
+             "",
+             f"{'period':>8} {'monitored s':>12} {'overhead %':>11} "
+             f"{'reports':>8}"]
+    for period_s in PERIODS_S:
+        samples = [run_monitored(model, period_s) for _ in range(REPEATS)]
+        monitored_wall_s = _median([wall for wall, _ in samples])
+        reports = samples[0][1]
+        overhead_pct = ((monitored_wall_s - bare_wall_s) / bare_wall_s
+                        * 100.0)
+        # Sanity, not timing: every sampling period produced a report.
+        assert reports >= int(DURATION_S / period_s) - 2
+        curve.append({
+            "period_s": period_s,
+            "monitored_wall_s": round(monitored_wall_s, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "reports": reports,
+        })
+        lines.append(f"{period_s * 1000:>6.0f}ms {monitored_wall_s:>12.3f} "
+                     f"{overhead_pct:>11.2f} {reports:>8}")
+
+    # The paper's proportionality claim: cost rises monotonically-ish as
+    # the period shrinks; enforce only the endpoints (timing noise).
+    at = {point["period_s"]: point["overhead_pct"] for point in curve}
+    results = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "duration_s": DURATION_S,
+        "quantum_s": QUANTUM_S,
+        "bare_wall_s": round(bare_wall_s, 4),
+        "overhead_at_1s_pct": at[1.0],
+        "overhead_at_1ms_pct": at[0.001],
+        "curve": curve,
+    }
+    BENCH_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+    lines.append("")
+    lines.append(f"overhead 1 s: {at[1.0]:.2f}%, 1 ms: {at[0.001]:.2f}% "
+                 f"-> {BENCH_PATH.name}")
+    save_result("bench_overhead", "\n".join(lines))

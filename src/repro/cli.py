@@ -151,6 +151,15 @@ def _build_parser() -> argparse.ArgumentParser:
                               "JSON/TOML PipelineSpec file instead of the "
                               "default wiring (pids are re-targeted to "
                               "the spawned workload)")
+    monitor.add_argument("--cap", type=float, default=None, metavar="WATTS",
+                         help="hold estimated package power at or below "
+                              "this cap via the closed control loop "
+                              "(DVFS ceiling stepping, then process "
+                              "throttling)")
+    monitor.add_argument("--cap-policy", default="deadband",
+                         choices=("deadband", "pi"),
+                         help="control policy driving the cap "
+                              "(default: deadband)")
 
     serve = commands.add_parser(
         "serve", help="monitor a workload and stream the estimates to "
@@ -318,9 +327,17 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     pid = kernel.spawn(workload, name=args.workload)
 
     memory = InMemoryReporter()
+    cap_w = getattr(args, "cap", None)
+    cap_policy = getattr(args, "cap_policy", "deadband")
     pipeline_file = getattr(args, "pipeline", None)
     if pipeline_file is not None:
         pipeline_spec = _load_pipeline_spec(pipeline_file, pid, out=out)
+        if cap_w is not None:
+            from repro.core.pipeline import ControlSpec, StageSpec
+            pipeline_spec = dataclasses.replace(
+                pipeline_spec,
+                control=ControlSpec(cap_w=cap_w,
+                                    policy=StageSpec(cap_policy)))
         period = (pipeline_spec.period_s if pipeline_spec.period_s
                   is not None else args.period)
         api = PowerAPI(kernel, model, period_s=period)
@@ -328,7 +345,12 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     else:
         period = args.period
         api = PowerAPI(kernel, model, period_s=args.period)
-        handle = api.monitor(pid).every(args.period).to(memory)
+        builder = api.monitor(pid).every(args.period)
+        if cap_w is not None:
+            builder = builder.cap(cap_w, policy=cap_policy)
+        handle = builder.to(memory)
+    if cap_w is not None:
+        print(f"power cap: {cap_w:.1f} W ({cap_policy} policy)", file=out)
     api.system.spawn(ConsoleReporter(stream=out), name="console")
     if args.csv is not None:
         api.system.spawn(CsvReporter(args.csv, pids=[pid]), name="csv")
@@ -348,6 +370,17 @@ def cmd_monitor(args, out=sys.stdout) -> int:
         energy = handle.pid_aggregator.energy_by_pid_j.get(pid, 0.0)
         print(f"\n{args.workload}: estimated active energy {energy:.1f} J "
               f"over {args.duration:.0f} s", file=out)
+    if handle.control is not None:
+        events = handle.control.events
+        actions = {}
+        for event in events:
+            actions[event.action] = actions.get(event.action, 0) + 1
+        summary = ", ".join(f"{name} x{count}"
+                            for name, count in sorted(actions.items()))
+        print(f"cap actuations: {len(events)} "
+              f"({summary or 'none'}); final ceiling "
+              f"{handle.control.actuator.frequency_hz / 1e9:.2f} GHz",
+              file=out)
     if faults:
         gaps = memory.gap_count()
         print(f"gap periods: {gaps}; health log "

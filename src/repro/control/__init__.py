@@ -1,0 +1,19 @@
+"""Closed-loop power control: hold a package power cap via actuation.
+
+The observation pipeline (Figure 2) estimates per-process power; this
+package feeds the estimates back into :mod:`repro.os`.  A
+:class:`~repro.control.actor.PowerCapActor` sits in the actor graph,
+subscribes to aggregated reports, runs a pluggable
+:class:`~repro.control.policy.ControlPolicy` and actuates through the
+DVFS ceiling / process-throttle backends in :mod:`repro.os.actuation`.
+"""
+
+from repro.control.actor import PowerCapActor
+from repro.control.policy import ControlPolicy, DeadBandPolicy, PIPolicy
+
+__all__ = [
+    "ControlPolicy",
+    "DeadBandPolicy",
+    "PIPolicy",
+    "PowerCapActor",
+]

@@ -1,0 +1,203 @@
+"""The power-cap actor: closes the loop from estimates to actuation.
+
+:class:`PowerCapActor` is a regular Figure-2 pipeline stage.  It
+subscribes to :class:`~repro.core.messages.AggregatedPowerReport` (the
+same stream the reporters render) and to
+:class:`~repro.core.messages.SetCap` (runtime cap changes), consults a
+:class:`~repro.control.policy.ControlPolicy`, and actuates through the
+:mod:`repro.os.actuation` backends.
+
+Actuation ordering (the escalation ladder):
+
+1. **Frequency first.**  While the DVFS ceiling is above the floor,
+   over-cap estimates step it down — cheap, reversible, hits every
+   process fairly.
+2. **Throttle second.**  At the frequency floor the actor raises the
+   nice level of the hungriest monitored process, one process per
+   period, so the scheduler shrinks its share.
+3. **Unwind in reverse.**  When the estimate sits safely below the cap
+   the actor first removes throttles (LIFO), then steps frequency back
+   up, so the most intrusive actuation is the first to go.
+
+After every actuation the actor waits ``grace_periods`` reports before
+acting again: the aggregator releases timestamp ``T`` only when ``T+1``
+arrives, so the estimate the actor sees always lags one period and the
+first post-actuation report still reflects the old operating point.
+
+``gap=True`` reports (degraded mode: sensors produced no data) freeze
+the loop — no actuation on fabricated zeros — and an
+``unattainable`` verdict is published once per cap when the cap lies
+below the machine's idle floor or below what floor-frequency plus
+exhausted throttling can reach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import AggregatedPowerReport, CapEvent, SetCap
+from repro.core.stage import PipelineStage
+from repro.control.policy import ControlPolicy, DeadBandPolicy
+from repro.errors import ConfigurationError
+from repro.os.actuation import FrequencyCapActuator, ProcessThrottle
+
+
+class PowerCapActor(PipelineStage):
+    """Holds estimated package power at or below a cap."""
+
+    subscribes_to = (AggregatedPowerReport, SetCap)
+
+    def __init__(self, kernel, cap_w: Optional[float] = None,
+                 policy: Optional[ControlPolicy] = None,
+                 grace_periods: int = 1, throttle: bool = True,
+                 component: str = "power-cap") -> None:
+        super().__init__(component=component)
+        if cap_w is not None and cap_w <= 0:
+            raise ConfigurationError("cap must be positive watts (or None)")
+        if grace_periods < 0:
+            raise ConfigurationError("grace_periods must be >= 0")
+        self.kernel = kernel
+        self.cap_w = cap_w
+        self.policy = policy if policy is not None else DeadBandPolicy()
+        self.grace_periods = grace_periods
+        self.throttle_enabled = throttle
+        self.actuator = FrequencyCapActuator(kernel)
+        self.throttle = ProcessThrottle(kernel)
+        self._grace_left = 0
+        self._unattainable_reported = False
+        #: Every CapEvent this actor published, in order (introspection).
+        self.events = []
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether a cap is currently armed."""
+        return self.cap_w is not None
+
+    def on_start(self) -> None:
+        if self.cap_w is not None:
+            self.actuator.arm()
+
+    def on_stop(self) -> None:
+        self.throttle.restore_all()
+        self.actuator.release()
+
+    # -- messaging ------------------------------------------------------
+
+    def handle(self, message) -> None:
+        if isinstance(message, SetCap):
+            self._handle_set_cap(message)
+        elif isinstance(message, AggregatedPowerReport):
+            self._handle_report(message)
+
+    def _handle_set_cap(self, message: SetCap) -> None:
+        time_s = self.kernel.time_s
+        previous = self.cap_w
+        self.cap_w = message.cap_w
+        self.policy.reset()
+        self._grace_left = 0
+        self._unattainable_reported = False
+        if self.cap_w is None:
+            self.throttle.restore_all()
+            self.actuator.release()
+            if previous is not None:
+                self._emit(time_s, "cap-removed", estimate_w=0.0,
+                           detail=f"cap {previous:.2f} W removed")
+        else:
+            self.actuator.arm()
+            self._emit(time_s, "cap-set", estimate_w=0.0,
+                       detail=f"cap set to {self.cap_w:.2f} W")
+
+    def _handle_report(self, report: AggregatedPowerReport) -> None:
+        if self.cap_w is None:
+            return
+        if report.gap:
+            # Degraded mode: the report carries no real estimate.  Hold
+            # the current operating point rather than actuate on zeros.
+            return
+        estimate = report.total_w
+        if self._check_unattainable(report):
+            return
+        if self._grace_left > 0:
+            self._grace_left -= 1
+            return
+        steps = self.policy.decide(estimate - self.cap_w, report.period_s)
+        if steps < 0:
+            self._escalate(report, -steps)
+        elif steps > 0:
+            self._deescalate(report, steps)
+
+    # -- the escalation ladder ------------------------------------------
+
+    def _escalate(self, report: AggregatedPowerReport, steps: int) -> None:
+        applied = self.actuator.step(-steps)
+        if applied != 0:
+            self._emit(report.time_s, "step-down",
+                       estimate_w=report.total_w,
+                       detail=f"ceiling -> {self.actuator.frequency_hz} Hz")
+            self._grace_left = self.grace_periods
+            return
+        if self.throttle_enabled:
+            pid = self.throttle.throttle_hungriest(report.by_pid)
+            if pid is not None:
+                self._emit(report.time_s, "throttle",
+                           estimate_w=report.total_w, pid=pid,
+                           detail=f"nice {self.kernel.process(pid).nice}")
+                self._grace_left = self.grace_periods
+                return
+        # Frequency at the floor and nothing left to throttle.
+        self._report_unattainable(report, "actuation exhausted")
+
+    def _deescalate(self, report: AggregatedPowerReport, steps: int) -> None:
+        if self.throttle.depth() > 0:
+            pid = self.throttle.unthrottle_last()
+            if pid is not None:
+                self._emit(report.time_s, "unthrottle",
+                           estimate_w=report.total_w, pid=pid)
+                self._grace_left = self.grace_periods
+                return
+        applied = self.actuator.step(steps)
+        if applied != 0:
+            self._emit(report.time_s, "step-up",
+                       estimate_w=report.total_w,
+                       detail=f"ceiling -> {self.actuator.frequency_hz} Hz")
+            self._grace_left = self.grace_periods
+
+    # -- unattainable caps ----------------------------------------------
+
+    def _check_unattainable(self, report: AggregatedPowerReport) -> bool:
+        """Caps below the idle floor can never be held; say so once."""
+        if self.cap_w is not None and self.cap_w < report.idle_w:
+            self._report_unattainable(
+                report,
+                f"cap {self.cap_w:.2f} W below idle floor "
+                f"{report.idle_w:.2f} W")
+            return True
+        return False
+
+    def _report_unattainable(self, report: AggregatedPowerReport,
+                             why: str) -> None:
+        if self._unattainable_reported:
+            return
+        self._unattainable_reported = True
+        self._emit(report.time_s, "unattainable",
+                   estimate_w=report.total_w, detail=why)
+
+    # -- event publication ----------------------------------------------
+
+    def _emit(self, time_s: float, action: str, estimate_w: float,
+              pid: int = -1, detail: str = "") -> None:
+        event = CapEvent(
+            time_s=time_s, action=action, cap_w=self.cap_w,
+            estimate_w=estimate_w,
+            frequency_hz=self.actuator.frequency_hz,
+            level=self.actuator.level, pid=pid, detail=detail)
+        self.events.append(event)
+        self.publish(event)
+        # Mirror onto the health log / telemetry stream: HealthEvent is
+        # already forwarded by the bridge and collected per pipeline, so
+        # control transitions travel with zero wire-protocol changes.
+        self.report_health(time_s, f"cap-{action}",
+                           detail or f"{estimate_w:.2f} W vs "
+                                     f"{self.cap_w if self.cap_w is not None else float('nan'):.2f} W")

@@ -1,0 +1,114 @@
+"""Control policies: watts of error in, ladder steps out.
+
+A policy sees one number per monitoring period — ``error_w = estimate -
+cap`` — and answers with how many DVFS-ladder rungs to move (negative =
+slow down).  Both built-ins carry hysteresis so the loop settles instead
+of oscillating around the cap:
+
+* :class:`DeadBandPolicy` — threshold stepping.  Any overshoot steps
+  down immediately; stepping back up requires the estimate to sit at
+  least ``band_w`` *below* the cap for ``up_patience`` consecutive
+  periods.  The asymmetry is deliberate: overshooting a cap is the
+  failure mode, undershooting merely costs throughput.
+* :class:`PIPolicy` — proportional-integral control.  The control
+  signal ``u = kp·error + ki·∫error`` is quantised to ladder steps of
+  ``step_w`` watts each; ``|u| <= band_w`` maps to zero steps
+  (hysteresis) and the integral is clamped (anti-windup) so a long
+  unattainable excursion cannot bank unbounded correction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ControlPolicy:
+    """Base class: one :meth:`decide` call per aggregated report."""
+
+    def decide(self, error_w: float, period_s: float) -> int:
+        """Ladder steps to move given ``error_w = estimate - cap``.
+
+        Negative means step the frequency ceiling down (reduce power),
+        positive means step it back up, zero means hold.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated state (cap changed, run restarted)."""
+
+
+class DeadBandPolicy(ControlPolicy):
+    """Dead-band threshold stepping with asymmetric hysteresis."""
+
+    def __init__(self, band_w: float = 2.0, up_patience: int = 2) -> None:
+        if band_w <= 0:
+            raise ConfigurationError("band_w must be positive watts")
+        if up_patience < 1:
+            raise ConfigurationError("up_patience must be >= 1")
+        self.band_w = band_w
+        self.up_patience = up_patience
+        self._below_streak = 0
+
+    def decide(self, error_w: float, period_s: float) -> int:
+        if error_w > 0:
+            self._below_streak = 0
+            return -1
+        if error_w < -self.band_w:
+            self._below_streak += 1
+            if self._below_streak >= self.up_patience:
+                self._below_streak = 0
+                return 1
+            return 0
+        # Inside the dead band: converged, hold and restart the streak.
+        self._below_streak = 0
+        return 0
+
+    def reset(self) -> None:
+        self._below_streak = 0
+
+
+class PIPolicy(ControlPolicy):
+    """PI controller quantised to ladder steps, with anti-windup."""
+
+    def __init__(self, step_w: float, kp: float = 0.4, ki: float = 0.15,
+                 band_w: float = 1.0, max_step: int = 2,
+                 windup_w: float = 30.0) -> None:
+        if step_w <= 0:
+            raise ConfigurationError("step_w must be positive watts")
+        if kp < 0 or ki < 0 or kp + ki == 0:
+            raise ConfigurationError(
+                "gains must be >= 0 with at least one positive")
+        if band_w < 0:
+            raise ConfigurationError("band_w must be >= 0")
+        if max_step < 1:
+            raise ConfigurationError("max_step must be >= 1")
+        if windup_w <= 0:
+            raise ConfigurationError("windup_w must be positive watts")
+        self.step_w = step_w
+        self.kp = kp
+        self.ki = ki
+        self.band_w = band_w
+        self.max_step = max_step
+        self.windup_w = windup_w
+        self._integral = 0.0
+
+    def decide(self, error_w: float, period_s: float) -> int:
+        self._integral += error_w * period_s
+        # Anti-windup: bound the integral term's contribution so a long
+        # saturated excursion (cap unattainable, actuator at the floor)
+        # cannot bank a correction that later overwhelms the loop.
+        if self.ki > 0:
+            limit = self.windup_w / self.ki
+            self._integral = max(-limit, min(limit, self._integral))
+        u = self.kp * error_w + self.ki * self._integral
+        if abs(u) <= self.band_w:
+            return 0
+        steps = int(u / self.step_w)
+        if steps == 0:
+            steps = 1 if u > 0 else -1
+        steps = max(-self.max_step, min(self.max_step, steps))
+        # u is in "excess watts"; positive excess means slow *down*.
+        return -steps
+
+    def reset(self) -> None:
+        self._integral = 0.0

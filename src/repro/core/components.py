@@ -41,7 +41,11 @@ from repro.errors import ConfigurationError
 from repro.simcpu.counters import GENERIC_TRIO
 
 #: The stage kinds a pipeline is assembled from, in pipeline order.
-KINDS: Tuple[str, ...] = ("sensor", "formula", "aggregator", "reporter")
+#: ``policy`` entries are control-loop policies for the ``[control]``
+#: section rather than Figure-2 stages, but they validate and plug in
+#: the same way.
+KINDS: Tuple[str, ...] = ("sensor", "formula", "aggregator", "reporter",
+                          "policy")
 
 
 @dataclass
@@ -254,18 +258,38 @@ def _console_reporter(ctx: BuildContext):
 
 
 def _csv_reporter(ctx: BuildContext, path: str, flush_every: int = 1,
-                  fsync: bool = False):
+                  fsync: bool = False, control: bool = False):
     return CsvReporter(path, pids=ctx.pids, flush_every=flush_every,
-                       fsync=fsync)
+                       fsync=fsync, control=control)
 
 
 def _jsonl_reporter(ctx: BuildContext, path: str, flush_every: int = 1,
-                    fsync: bool = False):
-    return JsonlReporter(path, flush_every=flush_every, fsync=fsync)
+                    fsync: bool = False, control: bool = False):
+    return JsonlReporter(path, flush_every=flush_every, fsync=fsync,
+                         control=control)
 
 
 def _prometheus_reporter(ctx: BuildContext, path: str):
     return PrometheusReporter(path)
+
+
+def _deadband_policy(ctx: BuildContext, band_w: float = 2.0,
+                     up_patience: int = 2):
+    from repro.control.policy import DeadBandPolicy
+    return DeadBandPolicy(band_w=band_w, up_patience=up_patience)
+
+
+def _pi_policy(ctx: BuildContext, kp: float = 0.4, ki: float = 0.15,
+               step_w: Optional[float] = None, band_w: float = 1.0,
+               max_step: int = 2, windup_w: float = 30.0):
+    from repro.control.policy import PIPolicy
+    if step_w is None:
+        # Watts per ladder rung, estimated from the machine's active
+        # range spread across its DVFS table.
+        rungs = max(1, len(ctx.machine.spec.all_frequencies_hz) - 1)
+        step_w = max(0.5, ctx.active_range_w / rungs)
+    return PIPolicy(step_w=step_w, kp=kp, ki=ki, band_w=band_w,
+                    max_step=max_step, windup_w=windup_w)
 
 
 def _register_builtins(registry: ComponentRegistry) -> ComponentRegistry:
@@ -302,18 +326,36 @@ def _register_builtins(registry: ComponentRegistry) -> ComponentRegistry:
         "reporter", "csv", _csv_reporter,
         params=(Param("path", str, required=True),
                 Param("flush_every", int, default=1),
-                Param("fsync", bool, default=False)),
+                Param("fsync", bool, default=False),
+                Param("control", bool, default=False)),
         description="one CSV row per period")
     registry.register(
         "reporter", "jsonl", _jsonl_reporter,
         params=(Param("path", str, required=True),
                 Param("flush_every", int, default=1),
-                Param("fsync", bool, default=False)),
+                Param("fsync", bool, default=False),
+                Param("control", bool, default=False)),
         description="one JSON object per period")
     registry.register(
         "reporter", "prometheus", _prometheus_reporter,
         params=(Param("path", str, required=True),),
         description="atomic Prometheus textfile-collector exposition")
+    registry.register(
+        "policy", "deadband", _deadband_policy,
+        params=(Param("band_w", float, default=2.0),
+                Param("up_patience", int, default=2)),
+        description="threshold stepping with asymmetric hysteresis")
+    registry.register(
+        "policy", "pi", _pi_policy,
+        params=(Param("kp", float, default=0.4),
+                Param("ki", float, default=0.15),
+                Param("step_w", float,
+                      help="watts per ladder rung (default: estimated "
+                           "from the machine's active range)"),
+                Param("band_w", float, default=1.0),
+                Param("max_step", int, default=2),
+                Param("windup_w", float, default=30.0)),
+        description="PI controller quantised to ladder steps, anti-windup")
     return registry
 
 

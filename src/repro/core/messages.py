@@ -9,7 +9,7 @@ dataclasses: actors never share mutable state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -126,6 +126,71 @@ class HealthEvent:
         return cls(time_s=float(payload["time_s"]),
                    component=str(payload["component"]),
                    kind=str(payload["kind"]),
+                   detail=str(payload.get("detail", "")))
+
+
+@dataclass(frozen=True)
+class SetCap:
+    """Runtime request to change (or remove) a pipeline's power cap.
+
+    Published on the event bus (``MonitorHandle.set_cap``); the
+    :class:`~repro.control.actor.PowerCapActor` picks it up on the next
+    dispatch.  ``cap_w=None`` removes the cap: actuation unwinds (nice
+    restored, frequency ceiling released) over the following periods.
+    """
+
+    cap_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cap_w is not None and self.cap_w <= 0:
+            raise ConfigurationError("cap must be positive watts (or None)")
+
+
+@dataclass(frozen=True)
+class CapEvent:
+    """One control-loop actuation (or explicit non-action) under a cap.
+
+    Published on the event bus by the power-cap actor whenever it acts:
+    frequency steps, process throttles, cap changes, and the explicit
+    ``unattainable`` verdict when the cap lies below the reachable
+    floor.  Reporters surface the latest control state; a
+    :class:`HealthEvent` mirror (kind ``cap-<action>``) carries the same
+    transition onto the health log and over telemetry.
+    """
+
+    time_s: float
+    #: "step-down", "step-up", "throttle", "unthrottle", "cap-set",
+    #: "cap-removed" or "unattainable".
+    action: str
+    #: Cap in effect, watts (None after removal).
+    cap_w: Optional[float]
+    #: The estimate that triggered the decision, watts.
+    estimate_w: float
+    #: DVFS ceiling after the action, hertz.
+    frequency_hz: int
+    #: Ladder index of the ceiling (0 = lowest P-state).
+    level: int
+    #: Process acted on (throttle/unthrottle), else -1.
+    pid: int = -1
+    detail: str = ""
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe dict (mirrors the shape of the other bus messages)."""
+        return {"time_s": self.time_s, "action": self.action,
+                "cap_w": self.cap_w, "estimate_w": self.estimate_w,
+                "frequency_hz": self.frequency_hz, "level": self.level,
+                "pid": self.pid, "detail": self.detail}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]) -> "CapEvent":
+        cap = payload.get("cap_w")
+        return cls(time_s=float(payload["time_s"]),
+                   action=str(payload["action"]),
+                   cap_w=None if cap is None else float(cap),
+                   estimate_w=float(payload["estimate_w"]),
+                   frequency_hz=int(payload["frequency_hz"]),
+                   level=int(payload["level"]),
+                   pid=int(payload.get("pid", -1)),
                    detail=str(payload.get("detail", "")))
 
 

@@ -28,10 +28,10 @@ from repro.actors.actor import Actor, ActorRef
 from repro.actors.clock import VirtualClock
 from repro.actors.system import ActorSystem
 from repro.core.aggregators import PidAggregator
-from repro.core.messages import FlushAggregates, HealthEvent
+from repro.core.messages import FlushAggregates, HealthEvent, SetCap
 from repro.core.model import PowerModel
-from repro.core.pipeline import (DegradationSpec, PipelineBuilder,
-                                 PipelineSpec, StageSpec)
+from repro.core.pipeline import (ControlSpec, DegradationSpec,
+                                 PipelineBuilder, PipelineSpec, StageSpec)
 from repro.core.sensors import PipelineMode, PowerMeterSensor
 from repro.errors import ConfigurationError
 from repro.faults.health import HealthLog
@@ -51,7 +51,8 @@ class MonitorHandle:
                  health: Optional[HealthLog] = None,
                  mode: Optional[PipelineMode] = None,
                  reporters: Optional[Sequence[Actor]] = None,
-                 spec: Optional[PipelineSpec] = None) -> None:
+                 spec: Optional[PipelineSpec] = None,
+                 control: Optional[Actor] = None) -> None:
         self.pids = tuple(pids)
         self.reporter = reporter
         #: Every reporter attached to the pipeline, spawn order.
@@ -66,6 +67,9 @@ class MonitorHandle:
         self.mode = mode
         #: The declarative description this pipeline was built from.
         self.spec = spec
+        #: The pipeline's :class:`~repro.control.actor.PowerCapActor`
+        #: when a ``[control]`` section / ``.cap(...)`` armed one.
+        self.control = control
         self._system: Optional[ActorSystem] = None
 
     def _attach(self, system: ActorSystem) -> None:
@@ -75,6 +79,21 @@ class MonitorHandle:
     def degraded(self) -> bool:
         """Whether the pipeline currently runs on the fallback formula."""
         return self.mode is not None and self.mode.degraded
+
+    def set_cap(self, cap_w: Optional[float]) -> None:
+        """Change (or with None remove) the power cap mid-run.
+
+        Publishes a :class:`~repro.core.messages.SetCap` on the bus;
+        the cap actor picks it up on the next dispatch.  Requires the
+        pipeline to have been started with a control section.
+        """
+        if self.control is None:
+            raise ConfigurationError(
+                "this pipeline has no control loop; start it with "
+                ".cap(...) or a [control] spec section")
+        if self._system is None:
+            raise ConfigurationError("pipeline is not attached to a system")
+        self._system.event_bus.publish(SetCap(cap_w=cap_w))
 
     def stop(self) -> None:
         """Tear the pipeline down (idempotent; queued messages dropped)."""
@@ -106,6 +125,7 @@ class MonitorBuilder:
         self._reporter_specs: List[StageSpec] = []
         self._faults: Optional[str] = None
         self._telemetry = None
+        self._control: Optional[ControlSpec] = None
 
     def every(self, period_s: float) -> "MonitorBuilder":
         """Set the monitoring period (seconds)."""
@@ -146,6 +166,20 @@ class MonitorBuilder:
         self._faults = plan
         return self
 
+    def cap(self, watts: float, policy: str = "deadband",
+            grace_periods: int = 1, throttle: bool = True,
+            **params: Any) -> "MonitorBuilder":
+        """Hold estimated package power at or below *watts*.
+
+        *policy* names a registered control policy (``"deadband"`` or
+        ``"pi"``); extra keyword arguments configure it (e.g.
+        ``.cap(50.0, policy="pi", kp=0.5)``).
+        """
+        self._control = ControlSpec(
+            cap_w=watts, policy=StageSpec(policy, params),
+            grace_periods=grace_periods, throttle=throttle)
+        return self
+
     def spec(self) -> PipelineSpec:
         """The declarative description accumulated so far."""
         if self._formula == "hpc":
@@ -166,6 +200,7 @@ class MonitorBuilder:
             degradation=degradation,
             faults=self._faults,
             telemetry=self._telemetry,
+            control=self._control,
         )
 
     def to(self, reporter: Union[Actor, str],
@@ -274,7 +309,7 @@ class PowerAPI:
         handle = MonitorHandle(
             spec.pids, built.reporters[0], built.refs,
             built.pid_aggregator, health=built.health, mode=built.mode,
-            reporters=built.reporters, spec=spec)
+            reporters=built.reporters, spec=spec, control=built.control)
         handle._attach(self.system)
         self._handles.append(handle)
         if spec.faults is not None:

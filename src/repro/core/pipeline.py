@@ -184,6 +184,52 @@ class TelemetrySpec:
         return kwargs
 
 
+@dataclass(frozen=True)
+class ControlSpec:
+    """The closed-loop power-cap section of a pipeline description.
+
+    ``policy`` is a registry-validated :class:`StageSpec` of kind
+    ``policy`` (``deadband`` or ``pi``); ``grace_periods`` is how many
+    aggregated reports the cap actor skips after each actuation before
+    re-measuring; ``throttle`` enables the scheduler hook (nice-based
+    throttling of the hungriest process at the frequency floor).
+    """
+
+    cap_w: float
+    policy: StageSpec = StageSpec("deadband")
+    grace_periods: int = 1
+    throttle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0:
+            raise ConfigurationError("cap must be positive watts")
+        if self.grace_periods < 0:
+            raise ConfigurationError("grace_periods must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cap_w": self.cap_w, "policy": self.policy.to_dict(),
+                "grace_periods": self.grace_periods,
+                "throttle": self.throttle}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ControlSpec":
+        known = {"cap_w", "policy", "grace_periods", "throttle"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown control key(s): {', '.join(unknown)}")
+        if "cap_w" not in data:
+            raise ConfigurationError("control config is missing 'cap_w'")
+        kwargs: Dict[str, Any] = {"cap_w": float(data["cap_w"])}
+        if "policy" in data:
+            kwargs["policy"] = StageSpec.from_dict(data["policy"])
+        if "grace_periods" in data:
+            kwargs["grace_periods"] = int(data["grace_periods"])
+        if "throttle" in data:
+            kwargs["throttle"] = bool(data["throttle"])
+        return cls(**kwargs)
+
+
 _DEFAULT_AGGREGATORS = (StageSpec("timestamp"), StageSpec("pid"))
 
 
@@ -206,6 +252,7 @@ class PipelineSpec:
     degradation: Optional[DegradationSpec] = DegradationSpec()
     faults: Optional[str] = None
     telemetry: Optional[TelemetrySpec] = None
+    control: Optional[ControlSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pids",
@@ -228,6 +275,8 @@ class PipelineSpec:
         stages = [("sensor", self.sensor), ("formula", self.formula)]
         stages.extend(("aggregator", agg) for agg in self.aggregators)
         stages.extend(("reporter", rep) for rep in self.reporters)
+        if self.control is not None:
+            stages.append(("policy", self.control.policy))
         for kind, stage in stages:
             component = registry.get(kind, stage.type)
             component.validate_params(stage.params)
@@ -255,11 +304,13 @@ class PipelineSpec:
             data["degradation"] = self.degradation.to_dict()
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()
+        if self.control is not None:
+            data["control"] = self.control.to_dict()
         return data
 
     _KNOWN_KEYS = frozenset((
         "pids", "period_s", "sensor", "formula", "aggregators",
-        "reporters", "degradation", "faults", "telemetry"))
+        "reporters", "degradation", "faults", "telemetry", "control"))
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
@@ -290,6 +341,8 @@ class PipelineSpec:
             kwargs["faults"] = str(data["faults"])
         if "telemetry" in data:
             kwargs["telemetry"] = TelemetrySpec.from_dict(data["telemetry"])
+        if "control" in data:
+            kwargs["control"] = ControlSpec.from_dict(data["control"])
         return cls(**kwargs)
 
     # -- serialization --------------------------------------------------
@@ -345,6 +398,8 @@ class BuiltPipeline:
     pid_aggregator: Optional[Actor]
     health: HealthLog
     mode: Optional[PipelineMode]
+    #: The PowerCapActor instance when the spec has a [control] section.
+    control: Optional[Actor] = None
 
 
 class PipelineBuilder:
@@ -430,6 +485,20 @@ class PipelineBuilder:
         refs.append(api.system.spawn(HealthMonitor(health),
                                      name=f"health-{n}"))
 
+        control: Optional[Actor] = None
+        if spec.control is not None:
+            # Imported lazily (like serve_telemetry's bridge) so the
+            # observation-only pipeline never pays for the control layer.
+            from repro.control.actor import PowerCapActor
+            policy_obj = self.registry.create(
+                "policy", spec.control.policy.type, context,
+                spec.control.policy.params)
+            control = PowerCapActor(
+                api.kernel, cap_w=spec.control.cap_w, policy=policy_obj,
+                grace_periods=spec.control.grace_periods,
+                throttle=spec.control.throttle)
+            refs.append(api.system.spawn(control, name=f"power-cap-{n}"))
+
         reporters: List[Actor] = [
             self.registry.create("reporter", stage.type, context,
                                  stage.params)
@@ -441,4 +510,4 @@ class PipelineBuilder:
 
         return BuiltPipeline(index=n, refs=refs, reporters=reporters,
                              pid_aggregator=pid_aggregator, health=health,
-                             mode=mode)
+                             mode=mode, control=control)

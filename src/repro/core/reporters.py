@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Union
 
 from repro.core.aggregators import PidEnergyReport
-from repro.core.messages import AggregatedPowerReport
+from repro.core.messages import AggregatedPowerReport, CapEvent
 from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
 
@@ -25,18 +25,22 @@ from repro.errors import ConfigurationError
 class InMemoryReporter(PipelineStage):
     """Collects every report in lists — the test/benchmark reporter."""
 
-    subscribes_to = (AggregatedPowerReport, PidEnergyReport)
+    subscribes_to = (AggregatedPowerReport, PidEnergyReport, CapEvent)
 
     def __init__(self) -> None:
         super().__init__(component="memory-reporter")
         self.aggregated: List[AggregatedPowerReport] = []
         self.energy_reports: List[PidEnergyReport] = []
+        #: Control-loop actuations, in order (empty without a cap).
+        self.cap_events: List[CapEvent] = []
 
     def handle(self, message) -> None:
         if isinstance(message, AggregatedPowerReport):
             self.aggregated.append(message)
         elif isinstance(message, PidEnergyReport):
             self.energy_reports.append(message)
+        elif isinstance(message, CapEvent):
+            self.cap_events.append(message)
 
     # -- queries ------------------------------------------------------------
 
@@ -103,12 +107,18 @@ class CsvReporter(PipelineStage):
     (no second header), so a session interrupted and resumed continues
     the same output file.  ``fsync=True`` additionally forces every
     flush to stable storage — opt-in durability for crash-safe runs.
+
+    ``control=True`` opts in to two extra trailing columns, ``cap_w``
+    (the active cap, empty while none) and ``cap_hz`` (the control
+    loop's DVFS ceiling) — opt-in so cap-less runs keep their exact
+    historical byte layout.
     """
 
     subscribes_to = (AggregatedPowerReport,)
 
     def __init__(self, path: Union[str, Path], pids,
-                 flush_every: int = 1, fsync: bool = False) -> None:
+                 flush_every: int = 1, fsync: bool = False,
+                 control: bool = False) -> None:
         super().__init__(component="csv-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
@@ -116,11 +126,20 @@ class CsvReporter(PipelineStage):
         self.pids = tuple(sorted(pids))
         self.flush_every = flush_every
         self.fsync = fsync
+        self.control = control
         #: True when on_start appended to an existing file.
         self.resumed = False
         self._rows_since_flush = 0
         self._file = None
         self._writer = None
+        self._cap_w: Optional[float] = None
+        self._cap_hz: Optional[int] = None
+
+    def subscriptions(self):
+        topics = list(super().subscriptions())
+        if self.control:
+            topics.append(CapEvent)
+        return topics
 
     def on_start(self) -> None:
         self.resumed = self.path.exists() and self.path.stat().st_size > 0
@@ -131,6 +150,8 @@ class CsvReporter(PipelineStage):
             header = ["time_s", "total_w", "idle_w"]
             header.extend(f"pid_{pid}_w" for pid in self.pids)
             header.append("gap")
+            if self.control:
+                header.extend(("cap_w", "cap_hz"))
             self._writer.writerow(header)
 
     def on_stop(self) -> None:
@@ -151,12 +172,19 @@ class CsvReporter(PipelineStage):
             self._rows_since_flush = 0
 
     def handle(self, message) -> None:
+        if isinstance(message, CapEvent):
+            self._cap_w = message.cap_w
+            self._cap_hz = message.frequency_hz
+            return
         if not isinstance(message, AggregatedPowerReport):
             return
         row = [f"{message.time_s:.3f}", f"{message.total_w:.4f}",
                f"{message.idle_w:.4f}"]
         row.extend(f"{message.by_pid.get(pid, 0.0):.4f}" for pid in self.pids)
         row.append(str(int(message.gap)))
+        if self.control:
+            row.append("" if self._cap_w is None else f"{self._cap_w:.4f}")
+            row.append("" if self._cap_hz is None else str(self._cap_hz))
         self._writer.writerow(row)
         self._rows_since_flush += 1
         if self._rows_since_flush >= self.flush_every:
@@ -187,23 +215,37 @@ class JsonlReporter(PipelineStage):
 
     Restart-safe like :class:`CsvReporter`: an existing non-empty file
     is appended to, and ``fsync=True`` forces flushes to stable storage.
+
+    ``control=True`` opts in to a ``control`` sub-object per record
+    (active ``cap_w`` and ``cap_hz`` ceiling) and one
+    ``{"cap_event": ...}`` record per actuation — opt-in so cap-less
+    runs keep their exact historical byte layout.
     """
 
     subscribes_to = (AggregatedPowerReport,)
 
     def __init__(self, path: Union[str, Path], flush_every: int = 1,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, control: bool = False) -> None:
         super().__init__(component="jsonl-reporter")
         if flush_every < 1:
             raise ConfigurationError("flush_every must be >= 1")
         self.path = Path(path)
         self.flush_every = flush_every
         self.fsync = fsync
+        self.control = control
         #: True when on_start appended to an existing file.
         self.resumed = False
         self._records_since_flush = 0
         self._file = None
         self.records_written = 0
+        self._cap_w: Optional[float] = None
+        self._cap_hz: Optional[int] = None
+
+    def subscriptions(self):
+        topics = list(super().subscriptions())
+        if self.control:
+            topics.append(CapEvent)
+        return topics
 
     def on_start(self) -> None:
         self.resumed = self.path.exists() and self.path.stat().st_size > 0
@@ -227,6 +269,11 @@ class JsonlReporter(PipelineStage):
             self._records_since_flush = 0
 
     def handle(self, message) -> None:
+        if isinstance(message, CapEvent):
+            self._cap_w = message.cap_w
+            self._cap_hz = message.frequency_hz
+            self._write_record({"cap_event": message.to_wire()})
+            return
         if not isinstance(message, AggregatedPowerReport):
             return
         record = {
@@ -239,6 +286,12 @@ class JsonlReporter(PipelineStage):
             "by_pid": {str(pid): watts
                        for pid, watts in message.by_pid.items()},
         }
+        if self.control:
+            record["control"] = {"cap_w": self._cap_w,
+                                 "cap_hz": self._cap_hz}
+        self._write_record(record)
+
+    def _write_record(self, record) -> None:
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
         self.records_written += 1
         self._records_since_flush += 1
@@ -259,15 +312,23 @@ class PrometheusReporter(PipelineStage):
     directory followed by :func:`os.replace`, so a concurrent scraper
     always reads either the previous or the new complete exposition,
     never a partially written one.
+
+    When a control loop is active, ``powerapi_cap_watts`` and
+    ``powerapi_cap_hertz`` gauges appear after the first actuation
+    event; cap-less runs expose exactly the historical sample set.
     """
 
-    subscribes_to = (AggregatedPowerReport,)
+    subscribes_to = (AggregatedPowerReport, CapEvent)
 
     def __init__(self, path: Union[str, Path]) -> None:
         super().__init__(component="prometheus-reporter")
         self.path = Path(path)
+        self._cap_event: Optional[CapEvent] = None
 
     def handle(self, message) -> None:
+        if isinstance(message, CapEvent):
+            self._cap_event = message
+            return
         if not isinstance(message, AggregatedPowerReport):
             return
         lines = [
@@ -286,6 +347,16 @@ class PrometheusReporter(PipelineStage):
         for pid in message.pids():
             lines.append(f'powerapi_process_watts{{pid="{pid}"}} '
                          f"{message.by_pid[pid]:.4f}")
+        if self._cap_event is not None:
+            cap = self._cap_event.cap_w
+            lines.extend([
+                "# HELP powerapi_cap_watts Active power cap (0 = none).",
+                "# TYPE powerapi_cap_watts gauge",
+                f"powerapi_cap_watts {0.0 if cap is None else cap:.4f}",
+                "# HELP powerapi_cap_hertz Control-loop DVFS ceiling.",
+                "# TYPE powerapi_cap_hertz gauge",
+                f"powerapi_cap_hertz {self._cap_event.frequency_hz}",
+            ])
         self._atomic_write("\n".join(lines) + "\n")
 
     def _atomic_write(self, text: str) -> None:

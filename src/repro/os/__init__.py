@@ -1,5 +1,7 @@
 """Simulated operating-system layer: processes, scheduling, cpufreq, procfs."""
 
+from repro.os.actuation import (CeilingGovernor, FrequencyCapActuator,
+                                ProcessThrottle)
 from repro.os.cgroups import ROOT, CgroupTree
 from repro.os.governor import (GOVERNORS, ConservativeGovernor, Governor,
                                OndemandGovernor, PerformanceGovernor,
@@ -13,10 +15,12 @@ from repro.os.sysfs import SysFs
 from repro.os.virt import VirtualMachine, split_vm_power
 
 __all__ = [
-    "CgroupTree", "ConservativeGovernor", "DEFAULT_QUANTUM_S", "Demand",
-    "EnergyAwareScheduler", "GOVERNORS", "Governor", "OndemandGovernor",
+    "CeilingGovernor", "CgroupTree", "ConservativeGovernor",
+    "DEFAULT_QUANTUM_S", "Demand", "EnergyAwareScheduler",
+    "FrequencyCapActuator", "GOVERNORS", "Governor", "OndemandGovernor",
     "PackScheduler", "PerformanceGovernor", "PinnedScheduler",
-    "PowersaveGovernor", "ProcFs", "ProcessState", "Program", "ROOT",
-    "Scheduler", "SimKernel", "SimProcess", "SpreadScheduler", "SysFs",
-    "UserspaceGovernor", "VirtualMachine", "split_vm_power",
+    "PowersaveGovernor", "ProcFs", "ProcessState", "ProcessThrottle",
+    "Program", "ROOT", "Scheduler", "SimKernel", "SimProcess",
+    "SpreadScheduler", "SysFs", "UserspaceGovernor", "VirtualMachine",
+    "split_vm_power",
 ]

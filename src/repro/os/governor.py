@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Tuple
 
-from repro.errors import FrequencyError
+from repro.errors import ConfigurationError, FrequencyError
 from repro.simcpu.frequency import FrequencyDomain
 from repro.simcpu.spec import CpuSpec
 from repro.simcpu.topology import Topology
@@ -66,8 +66,17 @@ class UserspaceGovernor(Governor):
         self.set_frequency(frequency_hz)
 
     def set_frequency(self, frequency_hz: int) -> None:
-        """Change the pinned frequency."""
-        self.spec.validate_frequency(frequency_hz)
+        """Change the pinned frequency.
+
+        A frequency outside the topology's DVFS table is a user
+        configuration mistake, not a simulation-internal inconsistency,
+        so it surfaces as :class:`ConfigurationError` (the same way a
+        bad pipeline spec does) rather than the internal FrequencyError.
+        """
+        try:
+            self.spec.validate_frequency(frequency_hz)
+        except FrequencyError as exc:
+            raise ConfigurationError(str(exc)) from None
         self._frequency_hz = frequency_hz
 
     def update(self, cpu_busy: Mapping[int, float]) -> None:

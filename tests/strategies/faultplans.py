@@ -1,0 +1,37 @@
+"""Generators for fault plans (kernel faults and network chaos)."""
+
+from hypothesis import strategies as st
+
+from repro.faults import (ActorCrash, FaultPlan, MeterDropout, PidExit,
+                          SampleLoss, SlotStarvation)
+
+# Times on a 0.25 s grid: exact in binary and short to print, so they
+# survive FaultPlan.describe()'s float formatting unchanged.
+_times = st.integers(0, 240).map(lambda n: n / 4.0)
+_durations = st.integers(1, 40).map(lambda n: n / 4.0)
+
+
+@st.composite
+def fault_events(draw):
+    kind = draw(st.sampled_from(
+        ["meter-dropout", "crash", "starve", "pid-exit", "hpc-loss"]))
+    at_s = draw(_times)
+    if kind == "meter-dropout":
+        return MeterDropout(at_s=at_s, down_s=draw(_durations))
+    if kind == "crash":
+        actor = draw(st.sampled_from(
+            ["formula-0", "sensor-0", "timestamp-aggregator"]))
+        return ActorCrash(at_s=at_s, actor=actor)
+    if kind == "starve":
+        return SlotStarvation(at_s=at_s, duration_s=draw(_durations),
+                              slots=draw(st.integers(0, 3)))
+    if kind == "pid-exit":
+        return PidExit(at_s=at_s, index=draw(st.integers(0, 3)))
+    return SampleLoss(at_s=at_s, duration_s=draw(_durations))
+
+
+@st.composite
+def fault_plans(draw):
+    """A FaultPlan of 1-6 events (sorted internally by the plan)."""
+    return FaultPlan(draw(st.lists(fault_events(), min_size=1,
+                                   max_size=6)))

@@ -1,0 +1,68 @@
+"""Generators for declarative pipeline specs (PipelineSpec and parts).
+
+Produces specs that pass ``PipelineSpec.validate()`` against the
+default registry, so round-trip and builder property tests exercise
+realistic configurations — including [control] sections.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.pipeline import (ControlSpec, DegradationSpec,
+                                 PipelineSpec, StageSpec)
+
+_pids = st.lists(st.integers(1, 65_535), min_size=1, max_size=4,
+                 unique=True).map(tuple)
+
+
+@st.composite
+def control_specs(draw):
+    policy = draw(st.sampled_from(["deadband", "pi"]))
+    params = {}
+    if policy == "deadband":
+        if draw(st.booleans()):
+            params["band_w"] = draw(st.floats(0.5, 10.0, allow_nan=False))
+        if draw(st.booleans()):
+            params["up_patience"] = draw(st.integers(1, 5))
+    else:
+        if draw(st.booleans()):
+            params["kp"] = draw(st.floats(0.05, 2.0, allow_nan=False))
+        if draw(st.booleans()):
+            params["max_step"] = draw(st.integers(1, 4))
+    return ControlSpec(
+        cap_w=draw(st.floats(1.0, 200.0, allow_nan=False)),
+        policy=StageSpec(policy, params),
+        grace_periods=draw(st.integers(0, 4)),
+        throttle=draw(st.booleans()),
+    )
+
+
+@st.composite
+def reporter_specs(draw):
+    name = draw(st.sampled_from(["memory", "console"]))
+    return StageSpec(name)
+
+
+@st.composite
+def pipeline_specs(draw):
+    """A registry-valid PipelineSpec with optional extras."""
+    if draw(st.booleans()):
+        sensor, formula = StageSpec("hpc"), StageSpec("hpc")
+        degradation = draw(st.one_of(
+            st.none(),
+            st.builds(DegradationSpec,
+                      degrade_after=st.integers(1, 5),
+                      recover_after=st.integers(1, 5))))
+    else:
+        sensor, formula = StageSpec("procfs"), StageSpec("cpu-load")
+        degradation = None
+    return PipelineSpec(
+        pids=draw(_pids),
+        period_s=draw(st.one_of(
+            st.none(), st.sampled_from([0.1, 0.5, 1.0, 2.0]))),
+        sensor=sensor,
+        formula=formula,
+        reporters=tuple(draw(st.lists(reporter_specs(), min_size=1,
+                                      max_size=2))),
+        degradation=degradation,
+        control=draw(st.one_of(st.none(), control_specs())),
+    )

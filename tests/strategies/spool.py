@@ -1,0 +1,19 @@
+"""Generators for durable-spool records and torn-write scenarios."""
+
+from hypothesis import strategies as st
+
+#: One spool record: non-empty, bounded well under MAX_RECORD_BYTES so
+#: lists of them stay fast to write.
+spool_payloads = st.binary(min_size=1, max_size=256)
+
+#: A journal's worth of records.
+spool_payload_lists = st.lists(spool_payloads, min_size=1, max_size=12)
+
+
+@st.composite
+def torn_journals(draw):
+    """Records plus a truncation fraction in [0, 1) of the file size."""
+    payloads = draw(spool_payload_lists)
+    fraction = draw(st.floats(0.0, 1.0, exclude_max=True,
+                              allow_nan=False))
+    return payloads, fraction

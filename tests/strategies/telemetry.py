@@ -1,0 +1,67 @@
+"""Generators for telemetry wire traffic: reports, frames, chunkings.
+
+The seeded-rng loops the wire-protocol fuzz tests grew are migrated
+here as proper hypothesis strategies, so every suite fuzzing the frame
+codec draws from the same distribution (and shrinks on failure instead
+of replaying a fixed seed).
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.messages import AggregatedPowerReport
+from repro.telemetry import wire
+from repro.telemetry.wire import FrameKind
+
+_times = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+_watts = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+_seqs = st.integers(0, (1 << 31) - 1)
+
+
+@st.composite
+def aggregated_reports(draw):
+    """A valid AggregatedPowerReport; gap reports have empty by_pid."""
+    gap = draw(st.booleans())
+    by_pid = {} if gap else draw(st.dictionaries(
+        st.integers(1, 10_000), _watts, max_size=8))
+    return AggregatedPowerReport(
+        time_s=draw(_times),
+        period_s=draw(st.floats(0.01, 10.0, allow_nan=False)),
+        by_pid=by_pid,
+        idle_w=draw(st.floats(0.0, 80.0, allow_nan=False)),
+        formula=draw(st.sampled_from(["hpc", "cpu-load"])),
+        gap=gap,
+    )
+
+
+@st.composite
+def report_frames(draw):
+    """An encoded REPORT frame with its (report, seq) provenance."""
+    report = draw(aggregated_reports())
+    seq = draw(_seqs)
+    return wire.report_frame(report, host="fuzz", seq=seq), report, seq
+
+
+#: Payloads for hand-built frames (JSON-object shaped).
+frame_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(st.integers(-1000, 1000),
+              st.floats(-1e3, 1e3, allow_nan=False),
+              st.text(max_size=20), st.booleans()),
+    max_size=6)
+
+
+@st.composite
+def chunkings(draw, length, max_step=64):
+    """Cut points splitting *length* bytes into arbitrary-size reads."""
+    cuts = []
+    offset = 0
+    while offset < length:
+        step = draw(st.integers(1, max_step))
+        offset += step
+        cuts.append(min(offset, length))
+    return cuts
+
+
+#: A single-byte corruption of a frame header: (byte index, xor mask).
+header_corruptions = st.tuples(st.integers(0, wire.HEADER_SIZE - 1),
+                               st.integers(1, 255))

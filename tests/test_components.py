@@ -120,7 +120,8 @@ class TestBuiltins:
     def test_describe_covers_all_kinds(self):
         rows = default_registry().describe()
         kinds = {row[0] for row in rows}
-        assert kinds == {"sensor", "formula", "aggregator", "reporter"}
+        assert kinds == {"sensor", "formula", "aggregator", "reporter",
+                         "policy"}
         assert all(row[3] for row in rows), "every builtin has a description"
 
     def test_factories_build_real_stages(self, i3_spec):

@@ -71,3 +71,46 @@ class TestMain:
         current.write_text(json.dumps(BASE))
         assert diff_bench.main(
             [str(tmp_path / "missing.json"), str(current)]) == 0
+
+
+class TestCustomMetricLists:
+    CONTROL_BASE = {"mean_adherence": 1.0,
+                    "mean_throughput_loss_pct": 20.0,
+                    "worst_overshoot_pct": 3.0}
+
+    def test_custom_higher_metric_regression(self):
+        current = {**self.CONTROL_BASE, "mean_adherence": 0.80}
+        _rows, regressions = diff_bench.diff_benchmarks(
+            self.CONTROL_BASE, current, 10.0,
+            higher=("mean_adherence",),
+            lower=("mean_throughput_loss_pct", "worst_overshoot_pct"))
+        assert len(regressions) == 1
+        assert "mean_adherence" in regressions[0]
+
+    def test_custom_lower_metric_regression(self):
+        current = {**self.CONTROL_BASE, "mean_throughput_loss_pct": 30.0}
+        _rows, regressions = diff_bench.diff_benchmarks(
+            self.CONTROL_BASE, current, 10.0,
+            higher=("mean_adherence",),
+            lower=("mean_throughput_loss_pct",))
+        assert len(regressions) == 1
+        assert "mean_throughput_loss_pct" in regressions[0]
+
+    def test_default_metrics_unchanged(self):
+        # The positional call the CI sim-diff uses keeps its behaviour.
+        current = {**BASE, "ticks_per_sec": 80_000.0}
+        _rows, regressions = diff_bench.diff_benchmarks(BASE, current, 10.0)
+        assert len(regressions) == 1
+
+    def test_cli_metric_lists(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(self.CONTROL_BASE))
+        current.write_text(json.dumps(
+            {**self.CONTROL_BASE, "mean_adherence": 0.5}))
+        argv = [str(baseline), str(current),
+                "--higher", "mean_adherence",
+                "--lower", "mean_throughput_loss_pct,worst_overshoot_pct"]
+        assert diff_bench.main(argv) == 1
+        current.write_text(json.dumps(self.CONTROL_BASE))
+        assert diff_bench.main(argv) == 0

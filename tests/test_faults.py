@@ -10,6 +10,7 @@ and the exited-pid counter isolation.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
 
 from repro.actors.actor import Actor
 from repro.actors.supervision import RestartStrategy
@@ -27,6 +28,7 @@ from repro.perf.multiplex import MultiplexScheduler
 from repro.powermeter.powerspy import PowerSpy
 from repro.simcpu.spec import intel_i3_2120
 from repro.workloads.stress import CpuStress
+from tests.strategies import default_settings, fault_plans
 
 pytestmark = pytest.mark.faults
 
@@ -111,6 +113,14 @@ class TestFaultPlan:
         assert plan.seed == 7
         assert plan.events == FaultPlan.random(7, duration_s=20.0).events
         assert all(2.0 - 1e-9 <= e.at_s <= 18.0 + 1e-9 for e in plan)
+
+    @given(plan=fault_plans())
+    @default_settings
+    def test_any_plan_describes_and_reparses(self, plan):
+        # describe() is the canonical serialisation: parsing it back
+        # must reproduce the same (sorted) event list.
+        again = FaultPlan.parse(plan.describe())
+        assert again.events == plan.events
 
 
 class TestMeterDropout:

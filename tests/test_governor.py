@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.errors import FrequencyError
-from repro.os.governor import (GOVERNORS, OndemandGovernor,
-                               PerformanceGovernor, PowersaveGovernor,
-                               UserspaceGovernor)
+from repro.errors import ConfigurationError, FrequencyError
+from repro.os.governor import (GOVERNORS, ConservativeGovernor,
+                               OndemandGovernor, PerformanceGovernor,
+                               PowersaveGovernor, UserspaceGovernor)
 from repro.simcpu.frequency import FrequencyDomain
 from repro.simcpu.spec import intel_i3_2120, intel_xeon_smt
 from repro.simcpu.topology import Topology
@@ -55,8 +55,19 @@ class TestUserspaceGovernor:
         assert domain.target(0, 0) == ghz(1.6)
 
     def test_rejects_unsupported(self):
-        with pytest.raises(FrequencyError):
+        # Out-of-table pins are a user configuration mistake and raise
+        # ConfigurationError (not the internal FrequencyError).
+        with pytest.raises(ConfigurationError):
             make(UserspaceGovernor, frequency_hz=ghz(9.9))
+
+    def test_rejects_unsupported_on_repin(self):
+        governor, _domain, _spec = make(UserspaceGovernor,
+                                        frequency_hz=ghz(2.4))
+        with pytest.raises(ConfigurationError):
+            governor.set_frequency(ghz(9.9))
+        # The previous pin survives a rejected change.
+        governor.update({})
+        assert governor._frequency_hz == ghz(2.4)
 
 
 class TestOndemandGovernor:
@@ -91,6 +102,67 @@ class TestOndemandGovernor:
     def test_rejects_bad_threshold(self):
         with pytest.raises(FrequencyError):
             make(OndemandGovernor, up_threshold=1.5)
+
+    def test_exact_threshold_jumps_to_max(self):
+        # The up-transition is inclusive: util == up_threshold already
+        # counts as busy.
+        governor, domain, spec = make(OndemandGovernor, up_threshold=0.80)
+        governor.update({0: 0.80, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.max_frequency_hz
+
+    def test_just_below_threshold_scales(self):
+        # Below the threshold the proportional branch runs.  The wanted
+        # frequency quantises *up* the ladder, so the highest util that
+        # still lands below max is the one whose wanted frequency fits
+        # under the second-highest rung (0.775 -> 3.197 GHz -> 3.2 GHz
+        # on the i3's ladder); anything closer to the threshold rounds
+        # to max even though the busy branch was not taken.
+        governor, domain, spec = make(OndemandGovernor, up_threshold=0.80)
+        governor.update({0: 0.775, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.frequencies_hz[-2]
+        assert domain.target(0, 0) < spec.max_frequency_hz
+
+
+class TestConservativeGovernor:
+    def test_exact_up_threshold_steps_one_rung(self):
+        governor, domain, spec = make(ConservativeGovernor,
+                                      up_threshold=0.80,
+                                      down_threshold=0.30)
+        governor.update({0: 0.80, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.frequencies_hz[1]
+
+    def test_exact_down_threshold_steps_back(self):
+        governor, domain, spec = make(ConservativeGovernor,
+                                      up_threshold=0.80,
+                                      down_threshold=0.30)
+        governor.update({0: 0.80, 1: 0.0, 2: 0.0, 3: 0.0})
+        governor.update({0: 0.30, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == spec.frequencies_hz[0]
+
+    def test_between_thresholds_holds_hysteresis(self):
+        # Load strictly between the thresholds must not move the rung
+        # in either direction — the hysteresis band.
+        governor, domain, spec = make(ConservativeGovernor,
+                                      up_threshold=0.80,
+                                      down_threshold=0.30)
+        governor.update({0: 0.80, 1: 0.0, 2: 0.0, 3: 0.0})
+        for _ in range(5):
+            governor.update({0: 0.55, 1: 0.0, 2: 0.0, 3: 0.0})
+            assert domain.target(0, 0) == spec.frequencies_hz[1]
+
+    def test_floor_and_ceiling_are_sticky(self):
+        governor, domain, spec = make(ConservativeGovernor)
+        ladder = spec.frequencies_hz
+        for _ in range(len(ladder) + 3):
+            governor.update({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert domain.target(0, 0) == ladder[-1]
+        for _ in range(len(ladder) + 3):
+            governor.update({0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert domain.target(0, 0) == ladder[0]
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(FrequencyError):
+            make(ConservativeGovernor, up_threshold=0.3, down_threshold=0.8)
 
 
 class TestRegistry:

@@ -9,8 +9,10 @@ available components in the message.
 import dataclasses
 
 import pytest
+from hypothesis import given
 
 from repro.configio import dumps_toml, loads_toml
+from tests.strategies import default_settings, pipeline_specs
 from repro.core.model import FrequencyFormula, PowerModel
 from repro.core.monitor import PowerAPI
 from repro.core.pipeline import (DegradationSpec, PipelineSpec, StageSpec,
@@ -283,3 +285,23 @@ class TestConfigIo:
         from repro.configio import _loads_subset
         text = '# comment\n\nkey = 1\n[table]\n# another\nval = "x"\n'
         assert _loads_subset(text) == {"key": 1, "table": {"val": "x"}}
+
+
+class TestSpecProperties:
+    """Generative round-trips over the whole spec space (shared
+    strategies from tests.strategies, [control] sections included)."""
+
+    @given(spec=pipeline_specs())
+    @default_settings
+    def test_json_roundtrip_is_identity(self, spec):
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=pipeline_specs())
+    @default_settings
+    def test_toml_roundtrip_is_identity(self, spec):
+        assert PipelineSpec.from_toml(spec.to_toml()) == spec
+
+    @given(spec=pipeline_specs())
+    @default_settings
+    def test_generated_specs_validate(self, spec):
+        spec.validate()

@@ -8,12 +8,15 @@ records that were completely written before the cut.
 """
 
 import pytest
+from hypothesis import given
 
 from repro.errors import SpoolError
 from repro.telemetry import wire
 from repro.telemetry.spool import (MAGIC, MAX_RECORD_BYTES,
                                    RECORD_HEADER_SIZE, Spool)
 from repro.telemetry.wire import FrameKind
+from tests.strategies import (default_settings, spool_payload_lists,
+                              torn_journals)
 
 pytestmark = [pytest.mark.telemetry, pytest.mark.chaos]
 
@@ -150,6 +153,37 @@ class TestTornWrites:
         assert spool.recovered_records == 1
         assert spool.truncated_bytes > 0
         spool.close()
+
+    @given(payloads=spool_payload_lists)
+    @default_settings
+    def test_arbitrary_payloads_roundtrip(self, tmp_path_factory, payloads):
+        tmp_path = tmp_path_factory.mktemp("spool-prop")
+        source = self._build(tmp_path, payloads)
+        spool = Spool(source)
+        assert spool.recovered_records == len(payloads)
+        assert list(spool.records()) == payloads
+        spool.close()
+
+    @given(journal=torn_journals())
+    @default_settings
+    def test_arbitrary_torn_tail_recovers_prefix(self, tmp_path_factory,
+                                                 journal):
+        payloads, fraction = journal
+        tmp_path = tmp_path_factory.mktemp("spool-torn")
+        blob = self._build(tmp_path, payloads).read_bytes()
+        cut = int(len(blob) * fraction)
+        torn = tmp_path / "torn.spool"
+        torn.write_bytes(blob[:cut])
+        spool = Spool(torn)
+        recovered = list(spool.records())
+        # Recovery yields a clean prefix of what was fully written.
+        assert recovered == payloads[:len(recovered)]
+        assert spool.recovered_records == len(recovered)
+        # And appending after recovery continues the journal.
+        spool.append(b"after-crash")
+        assert list(spool.records())[-1] == b"after-crash"
+        spool.close()
+        torn.unlink()
 
 
 class TestResumeState:

@@ -3,8 +3,8 @@ corrupt streams, and version negotiation."""
 
 import json
 
-import numpy as np
 import pytest
+from hypothesis import given
 
 from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
 from repro.errors import WireProtocolError
@@ -13,6 +13,9 @@ from repro.telemetry.wire import (Frame, FrameDecoder, FrameKind,
                                   GapTelemetry, Heartbeat, HealthTelemetry,
                                   ReportEvent, decode_event, encode_frame,
                                   negotiate_version)
+from tests.strategies import (aggregated_reports, chunkings,
+                              default_settings, header_corruptions)
+from hypothesis import strategies as st
 
 pytestmark = pytest.mark.telemetry
 
@@ -215,69 +218,56 @@ class TestTypedEvents:
 
 
 class TestSeededFuzz:
-    """Seeded generative round-trips and corruption rejection."""
+    """Generative round-trips and corruption rejection (shared
+    strategies from tests.strategies)."""
 
-    def test_random_report_roundtrips(self):
-        rng = np.random.default_rng(1234)
-        for _ in range(50):
-            pids = rng.integers(1, 10_000, size=rng.integers(0, 8))
-            report = AggregatedPowerReport(
-                time_s=float(rng.uniform(0, 1e6)),
-                period_s=float(rng.uniform(0.01, 10.0)),
-                by_pid={int(pid): float(rng.uniform(0, 100))
-                        for pid in pids},
-                idle_w=float(rng.uniform(0, 80)),
-                formula=rng.choice(["hpc", "cpu-load"]),
-                gap=bool(rng.integers(0, 2)) and not len(pids))
-            if report.gap:
-                report = AggregatedPowerReport(
-                    time_s=report.time_s, period_s=report.period_s,
-                    by_pid={}, idle_w=report.idle_w,
-                    formula=report.formula, gap=True)
-            seq = int(rng.integers(0, 1 << 31))
-            event = decode_event(decode_all(
-                wire.report_frame(report, host="fuzz", seq=seq))[0])
-            assert event.report == report and event.seq == seq
+    @given(report=aggregated_reports(), seq=st.integers(0, (1 << 31) - 1))
+    @default_settings
+    def test_random_report_roundtrips(self, report, seq):
+        event = decode_event(decode_all(
+            wire.report_frame(report, host="fuzz", seq=seq))[0])
+        assert event.report == report and event.seq == seq
 
-    def test_random_chunking_never_changes_frames(self):
-        rng = np.random.default_rng(99)
+    @given(data=st.data())
+    @default_settings
+    def test_random_chunking_never_changes_frames(self, data):
         frames_in = [Frame(FrameKind.REPORT, {"seq": i, "w": i * 0.5})
                      for i in range(20)]
-        data = b"".join(encode_frame(f.kind, f.payload) for f in frames_in)
-        for _ in range(10):
-            decoder = FrameDecoder()
-            out = []
-            offset = 0
-            while offset < len(data):
-                step = int(rng.integers(1, 64))
-                out.extend(decoder.feed(data[offset:offset + step]))
-                offset += step
-            assert out == frames_in
+        stream = b"".join(encode_frame(f.kind, f.payload)
+                          for f in frames_in)
+        cuts = data.draw(chunkings(len(stream)))
+        decoder = FrameDecoder()
+        out = []
+        offset = 0
+        for cut in cuts:
+            out.extend(decoder.feed(stream[offset:cut]))
+            offset = cut
+        assert out == frames_in
 
-    def test_random_single_byte_corruption_rejected_or_detected(self):
+    @given(corruption=header_corruptions)
+    @default_settings
+    def test_random_single_byte_corruption_rejected_or_detected(
+            self, corruption):
         """Flipping any single header byte must raise, not mis-decode.
 
         Payload corruption may still be valid JSON (flipping a digit),
         so the guarantee under test is header strictness: magic,
         version, kind and length are all validated.
         """
-        rng = np.random.default_rng(7)
-        original = encode_frame(FrameKind.REPORT, {"seq": 1, "w": 2.5})
-        for _ in range(60):
-            index = int(rng.integers(0, wire.HEADER_SIZE))
-            flip = int(rng.integers(1, 256))
-            corrupt = bytearray(original)
-            corrupt[index] ^= flip
-            decoder = FrameDecoder()
-            try:
-                frames = decoder.feed(bytes(corrupt))
-            except WireProtocolError:
-                continue  # rejected: the desired outcome
-            # The only tolerated header change is a shorter length
-            # field, which just leaves the decoder waiting for more
-            # bytes — never a wrongly decoded frame.
-            assert all(frame.payload.get("seq") == 1 for frame in frames) \
-                or frames == []
+        index, flip = corruption
+        corrupt = bytearray(encode_frame(FrameKind.REPORT,
+                                         {"seq": 1, "w": 2.5}))
+        corrupt[index] ^= flip
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(bytes(corrupt))
+        except WireProtocolError:
+            return  # rejected: the desired outcome
+        # The only tolerated header change is a shorter length field,
+        # which just leaves the decoder waiting for more bytes — never
+        # a wrongly decoded frame.
+        assert all(frame.payload.get("seq") == 1 for frame in frames) \
+            or frames == []
 
     def test_truncation_at_every_boundary_never_yields_frames(self):
         data = encode_frame(FrameKind.HEALTH, {"kind": "degraded"})
