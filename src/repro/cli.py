@@ -9,6 +9,8 @@ Commands mirror the library's main flows:
 * ``serve``    — run a workload under monitoring while streaming the
   estimates to TCP telemetry subscribers,
 * ``subscribe`` — connect to a telemetry server and print its stream,
+* ``relay``    — subscribe to upstream telemetry server(s) and re-serve
+  the merged stream downstream (a node in a relay tree),
 * ``replay``   — the Figure 3 experiment: SPECjbb vs PowerSpy with an
   ASCII chart and the median error.
 """
@@ -206,6 +208,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(partition@T[:DUR], reset@T, corrupt@T[:N], "
                             "truncate@T, stall@T[:DUR[:DELAY]]) or "
                             "random:SEED[:DURATION] for a seeded plan")
+    serve.add_argument("--uplink", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="also relay an upstream telemetry server "
+                            "into this stream (repeatable; makes this "
+                            "server a tree junction merging local and "
+                            "upstream frames)")
+    serve.add_argument("--max-subscribers", type=int, default=0,
+                       help="refuse connections beyond this many "
+                            "concurrent subscribers (0 = unlimited)")
+    serve.add_argument("--batch-frames", type=int, default=None,
+                       help="max frames coalesced per wire batch "
+                            "(1 disables batching)")
+    serve.add_argument("--batch-bytes", type=int, default=None,
+                       help="max payload bytes coalesced per wire batch")
+    serve.add_argument("--batch-latency", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hold a partial batch up to this long "
+                            "waiting for more frames (0 = flush "
+                            "immediately)")
     serve.add_argument("--pipeline", type=Path, default=None,
                        metavar="FILE",
                        help="assemble the pipeline from a declarative "
@@ -242,6 +263,40 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="inject network faults into this "
                                 "client's connections (same SPEC "
                                 "grammar as serve --net-faults)")
+
+    relay = commands.add_parser(
+        "relay", help="subscribe to upstream telemetry server(s) and "
+                      "re-serve the merged stream downstream")
+    relay.add_argument("--upstream", action="append", required=True,
+                       metavar="HOST:PORT",
+                       help="upstream server to subscribe to "
+                            "(repeatable; streams merge into one "
+                            "downstream fan-out)")
+    relay.add_argument("--host", default="127.0.0.1")
+    relay.add_argument("--port", type=int, default=0,
+                       help="downstream listen port (0 = ephemeral)")
+    relay.add_argument("--replay-window", type=int, default=256,
+                       help="frames of replay history for downstream "
+                            "RESUME (0 = disable)")
+    relay.add_argument("--max-subscribers", type=int, default=0,
+                       help="refuse connections beyond this many "
+                            "concurrent subscribers (0 = unlimited)")
+    relay.add_argument("--batch-frames", type=int, default=None,
+                       help="max frames coalesced per wire batch")
+    relay.add_argument("--batch-bytes", type=int, default=None,
+                       help="max payload bytes coalesced per wire batch")
+    relay.add_argument("--batch-latency", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hold a partial batch up to this long")
+    relay.add_argument("--reconnect", action="store_true",
+                       help="re-dial upstreams with exponential backoff "
+                            "when they go away")
+    relay.add_argument("--spool", type=Path, default=None, metavar="DIR",
+                       help="journal each uplink to a durable spool in "
+                            "DIR and RESUME upstream after a restart")
+    relay.add_argument("--duration", type=float, default=0.0,
+                       help="run this many wall-clock seconds then exit "
+                            "(0 = until interrupted)")
 
     replay = commands.add_parser("replay",
                                  help="the Figure 3 SPECjbb experiment")
@@ -392,6 +447,22 @@ def cmd_monitor(args, out=sys.stdout) -> int:
     return 0
 
 
+def _batch_policy(args):
+    """A BatchPolicy from ``--batch-*`` flags, or None when unset."""
+    if (args.batch_frames is None and args.batch_bytes is None
+            and args.batch_latency is None):
+        return None
+    from repro.telemetry.server import BatchPolicy
+    base = BatchPolicy()
+    return BatchPolicy(
+        max_frames=(args.batch_frames if args.batch_frames is not None
+                    else base.max_frames),
+        max_bytes=(args.batch_bytes if args.batch_bytes is not None
+                   else base.max_bytes),
+        max_latency_s=(args.batch_latency if args.batch_latency is not None
+                       else base.max_latency_s))
+
+
 def cmd_serve(args, out=sys.stdout) -> int:
     """Monitor a workload while streaming estimates to subscribers."""
     spec = preset(args.cpu)
@@ -419,7 +490,12 @@ def cmd_serve(args, out=sys.stdout) -> int:
                     queue_capacity=args.queue_capacity,
                     heartbeat_every=args.heartbeat_every or None,
                     host_label=args.host_label or None,
-                    replay_window=args.replay_window))
+                    replay_window=args.replay_window,
+                    batch_max_frames=args.batch_frames,
+                    batch_max_bytes=args.batch_bytes,
+                    batch_max_latency_s=args.batch_latency,
+                    max_subscribers=args.max_subscribers or None,
+                    uplinks=tuple(args.uplink or ())))
         period = (pipeline_spec.period_s if pipeline_spec.period_s
                   is not None else args.period)
         api = PowerAPI(kernel, model, period_s=period)
@@ -432,13 +508,25 @@ def cmd_serve(args, out=sys.stdout) -> int:
         period = args.period
         api = PowerAPI(kernel, model, period_s=args.period)
         handle = api.monitor(pid).every(args.period).to(InMemoryReporter())
+        from repro.core.pipeline import parse_uplink
+        extra = {}
+        batch = _batch_policy(args)
+        if batch is not None:
+            extra["batch"] = batch
+        if args.max_subscribers:
+            extra["max_subscribers"] = args.max_subscribers
+        uplinks = tuple(parse_uplink(u) for u in (args.uplink or ()))
         server = api.serve_telemetry(
             port=args.port, pids=handle.pids,
             overflow=args.overflow, queue_capacity=args.queue_capacity,
             heartbeat_every=args.heartbeat_every,
             host_label=args.host_label, spec=handle.spec,
             replay_window=args.replay_window,
-            transport=injector.wrap if injector is not None else None)
+            transport=injector.wrap if injector is not None else None,
+            uplinks=uplinks or None, **extra)
+        if uplinks:
+            ups = ", ".join(f"{h}:{p}" for h, p in uplinks)
+            print(f"telemetry: relaying uplinks {ups}", file=out)
     print(f"telemetry: serving on {server.host}:{server.port} "
           f"(overflow={server.overflow}, "
           f"queue-capacity={server.queue_capacity})", file=out)
@@ -554,6 +642,53 @@ def cmd_subscribe(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_relay(args, out=sys.stdout) -> int:
+    """Run one relay-tree node until interrupted (or --duration)."""
+    from repro.core.pipeline import parse_uplink
+    from repro.telemetry.client import ReconnectPolicy
+    from repro.telemetry.relay import TelemetryRelay
+    upstreams = [parse_uplink(u) for u in args.upstream]
+    server_kwargs = {"replay_window": args.replay_window}
+    batch = _batch_policy(args)
+    if batch is not None:
+        server_kwargs["batch"] = batch
+    if args.max_subscribers:
+        server_kwargs["max_subscribers"] = args.max_subscribers
+    if args.spool is not None:
+        args.spool.mkdir(parents=True, exist_ok=True)
+    relay = TelemetryRelay(
+        upstreams, host=args.host, port=args.port,
+        reconnect=ReconnectPolicy() if args.reconnect else None,
+        spool_dir=args.spool, **server_kwargs)
+    relay.start()
+    ups = ", ".join(f"{host}:{port}" for host, port in upstreams)
+    print(f"relay: serving on {relay.server.host}:{relay.port}; "
+          f"uplinks: {ups}", file=out)
+    try:
+        with _GracefulStop() as stop:
+            deadline = (time.monotonic() + args.duration
+                        if args.duration > 0 else None)
+            while not stop.requested:
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                time.sleep(0.1)
+        if stop.requested:
+            print(f"\n{stop.signal_name}: stopping relay", file=out)
+        stats = relay.stats()
+    finally:
+        relay.stop()
+    print(f"relayed {stats['frames_relayed']} frame(s) from "
+          f"{len(stats['uplinks'])} uplink(s) to "
+          f"{len(stats['server']['subscribers'])} subscriber(s)", file=out)
+    for uplink in stats["uplinks"]:
+        print(f"  uplink {uplink['upstream']}: "
+              f"{uplink['frames_relayed']} relayed, "
+              f"{uplink['reconnects']} reconnect(s), "
+              f"{uplink['duplicates_dropped']} duplicate(s) dropped",
+              file=out)
+    return 0
+
+
 def cmd_replay(args, out=sys.stdout) -> int:
     """Regenerate the Figure 3 SPECjbb experiment."""
     spec = preset(args.cpu)
@@ -588,6 +723,7 @@ COMMANDS = {
     "monitor": cmd_monitor,
     "serve": cmd_serve,
     "subscribe": cmd_subscribe,
+    "relay": cmd_relay,
     "replay": cmd_replay,
 }
 

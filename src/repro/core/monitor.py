@@ -31,7 +31,8 @@ from repro.core.aggregators import PidAggregator
 from repro.core.messages import FlushAggregates, HealthEvent, SetCap
 from repro.core.model import PowerModel
 from repro.core.pipeline import (ControlSpec, DegradationSpec,
-                                 PipelineBuilder, PipelineSpec, StageSpec)
+                                 PipelineBuilder, PipelineSpec, StageSpec,
+                                 TelemetrySpec)
 from repro.core.sensors import PipelineMode, PowerMeterSensor
 from repro.errors import ConfigurationError
 from repro.faults.health import HealthLog
@@ -166,6 +167,19 @@ class MonitorBuilder:
         self._faults = plan
         return self
 
+    def with_telemetry(self, host: str = "127.0.0.1", port: int = 0,
+                       **fields: Any) -> "MonitorBuilder":
+        """Publish this pipeline's stream over TCP when it starts.
+
+        Extra keyword arguments are :class:`TelemetrySpec` fields —
+        ``batch_max_frames``/``batch_max_bytes``/``batch_max_latency_s``
+        for wire batching, ``max_subscribers`` for the connection cap,
+        and ``uplinks=("host:port", ...)`` to also relay an upstream
+        tree into the same stream.
+        """
+        self._telemetry = TelemetrySpec(host=host, port=port, **fields)
+        return self
+
     def cap(self, watts: float, policy: str = "deadband",
             grace_periods: int = 1, throttle: bool = True,
             **params: Any) -> "MonitorBuilder":
@@ -234,6 +248,7 @@ class PowerAPI:
         self._meters: List[PowerMeter] = []
         self._handles: List[MonitorHandle] = []
         self._telemetry_servers: List = []
+        self._telemetry_relays: List = []
         self._injector: Optional[FaultInjector] = None
         self._pipeline_count = 0
         self._shut_down = False
@@ -335,6 +350,7 @@ class PowerAPI:
                         pids: Optional[Sequence[int]] = None,
                         name: Optional[str] = None,
                         spec: Optional[PipelineSpec] = None,
+                        uplinks: Optional[Sequence[Tuple[str, int]]] = None,
                         **server_kwargs):
         """Stream this API's live reports to TCP subscribers.
 
@@ -345,10 +361,13 @@ class PowerAPI:
         :class:`~repro.core.messages.GapMarker` on the bus to it.  Pass
         ``pids=handle.pids`` to scope the stream to one pipeline, and
         ``spec=`` to advertise the running pipeline's description to
-        subscribers in the handshake.  Extra keyword arguments
-        (``overflow``, ``queue_capacity``, ``host_label``,
-        ``heartbeat_every``) configure the server; :meth:`shutdown`
-        stops it.
+        subscribers in the handshake.  ``uplinks`` is a sequence of
+        upstream ``(host, port)`` pairs to relay into the same stream
+        (a tree junction: local pipeline frames and upstream frames
+        merge into one fan-out).  Extra keyword arguments
+        (``overflow``, ``queue_capacity``, ``host_label``, ``batch``,
+        ``max_subscribers``, ``heartbeat_every``) configure the
+        server; :meth:`shutdown` stops it.
         """
         # Imported here so the socket layer stays an optional part of
         # the core monitoring path.
@@ -361,12 +380,22 @@ class PowerAPI:
         n = len(self._telemetry_servers) - 1
         self.system.spawn(TelemetryBridge(server, pids=pids),
                           name=name or f"telemetry-bridge-{n}")
+        if uplinks:
+            from repro.telemetry.relay import TelemetryRelay
+            relay = TelemetryRelay(tuple(uplinks), server=server)
+            relay.start()
+            self._telemetry_relays.append(relay)
         return server
 
     @property
     def telemetry_servers(self) -> Tuple:
         """Servers started via :meth:`serve_telemetry`."""
         return tuple(self._telemetry_servers)
+
+    @property
+    def telemetry_relays(self) -> Tuple:
+        """Relays grafted onto servers via ``uplinks=``."""
+        return tuple(self._telemetry_relays)
 
     # -- fault injection --------------------------------------------------
 
@@ -416,5 +445,8 @@ class PowerAPI:
         self.perf.close()
         for meter in self._meters:
             meter.disconnect()
+        # Relays first: their uplink threads publish into the servers.
+        for relay in self._telemetry_relays:
+            relay.stop()
         for server in self._telemetry_servers:
             server.stop()

@@ -117,6 +117,18 @@ class DegradationSpec:
         return DegradationPolicy(self.degrade_after, self.recover_after)
 
 
+def parse_uplink(spec: str) -> Tuple[str, int]:
+    """Parse one ``"host:port"`` uplink entry into a dialable pair."""
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"bad uplink {spec!r}; expected HOST:PORT")
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise ConfigurationError(f"bad uplink port in {spec!r}") from None
+
+
 @dataclass(frozen=True)
 class TelemetrySpec:
     """Export the pipeline's reports over the streaming service.
@@ -138,18 +150,41 @@ class TelemetrySpec:
     spool_dir: Optional[str] = None
     breaker_failures: Optional[int] = None
     breaker_reset_s: Optional[float] = None
+    #: BATCH envelope flush policy for v2 subscribers (server-side).
+    batch_max_frames: Optional[int] = None
+    batch_max_bytes: Optional[int] = None
+    batch_max_latency_s: Optional[float] = None
+    #: Connection cap; excess subscribers get an ERROR frame.
+    max_subscribers: Optional[int] = None
+    #: Upstream servers whose streams this server relays downstream,
+    #: as ``"host:port"`` strings (the tree-junction topology).
+    uplinks: Tuple[str, ...] = ()
 
     _OPTIONAL = ("overflow", "queue_capacity", "heartbeat_every",
                  "host_label", "replay_window", "spool_dir",
-                 "breaker_failures", "breaker_reset_s")
+                 "breaker_failures", "breaker_reset_s",
+                 "batch_max_frames", "batch_max_bytes",
+                 "batch_max_latency_s", "max_subscribers")
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "uplinks", tuple(self.uplinks))
         if self.replay_window is not None and self.replay_window < 0:
             raise ConfigurationError("replay_window must be >= 0")
         if self.breaker_failures is not None and self.breaker_failures < 1:
             raise ConfigurationError("breaker_failures must be >= 1")
         if self.breaker_reset_s is not None and self.breaker_reset_s <= 0:
             raise ConfigurationError("breaker_reset_s must be positive")
+        if self.batch_max_frames is not None and self.batch_max_frames < 1:
+            raise ConfigurationError("batch_max_frames must be >= 1")
+        if self.batch_max_bytes is not None and self.batch_max_bytes < 1:
+            raise ConfigurationError("batch_max_bytes must be >= 1")
+        if self.batch_max_latency_s is not None \
+                and self.batch_max_latency_s < 0:
+            raise ConfigurationError("batch_max_latency_s must be >= 0")
+        if self.max_subscribers is not None and self.max_subscribers < 0:
+            raise ConfigurationError("max_subscribers must be >= 0")
+        for uplink in self.uplinks:
+            parse_uplink(uplink)  # fail at description time
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"host": self.host, "port": self.port}
@@ -157,11 +192,13 @@ class TelemetrySpec:
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
+        if self.uplinks:
+            data["uplinks"] = list(self.uplinks)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
-        known = {"host", "port"} | set(cls._OPTIONAL)
+        known = {"host", "port", "uplinks"} | set(cls._OPTIONAL)
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(
@@ -174,13 +211,33 @@ class TelemetrySpec:
 
         Spool/breaker knobs are client-side and excluded — consumers
         read them off the spec directly (the CLI ``subscribe`` path).
+        The ``batch_*`` knobs collapse into one ``BatchPolicy``;
+        ``uplinks`` become dialable ``(host, port)`` pairs.
         """
         kwargs: Dict[str, Any] = {}
         for key in ("overflow", "queue_capacity", "heartbeat_every",
-                    "host_label", "replay_window"):
+                    "host_label", "replay_window", "max_subscribers"):
             value = getattr(self, key)
             if value is not None:
                 kwargs[key] = value
+        if (self.batch_max_frames is not None
+                or self.batch_max_bytes is not None
+                or self.batch_max_latency_s is not None):
+            from repro.telemetry.server import BatchPolicy
+            defaults = BatchPolicy()
+            kwargs["batch"] = BatchPolicy(
+                max_frames=(defaults.max_frames
+                            if self.batch_max_frames is None
+                            else self.batch_max_frames),
+                max_bytes=(defaults.max_bytes
+                           if self.batch_max_bytes is None
+                           else self.batch_max_bytes),
+                max_latency_s=(defaults.max_latency_s
+                               if self.batch_max_latency_s is None
+                               else self.batch_max_latency_s))
+        if self.uplinks:
+            kwargs["uplinks"] = tuple(
+                parse_uplink(uplink) for uplink in self.uplinks)
         return kwargs
 
 

@@ -329,7 +329,7 @@ class NetworkFaultInjector:
 class FaultyTransport:
     """A socket wrapper that injects its plan's faults into the stream.
 
-    Interposes on ``sendall`` and ``recv``; every other attribute
+    Interposes on ``sendall``/``send`` and ``recv``; every other attribute
     (``settimeout``, ``setsockopt``, ``shutdown``, ``close``, ...)
     delegates to the wrapped socket, so the wrapper drops in anywhere a
     plain socket is used.
@@ -355,6 +355,22 @@ class FaultyTransport:
                           f"({truncation.describe()})")
             raise BrokenPipeError(self._dead)
         self._sock.sendall(data)
+
+    def send(self, data) -> int:
+        # The server's event loop writes with non-blocking ``send``;
+        # inject the same faults ``sendall`` would see so chaos plans
+        # keep biting after the thread-per-subscriber writer went away.
+        self._check_dead()
+        self._injector.check_partition()
+        self._injector.check_reset()
+        truncation = self._injector.take_truncation()
+        if truncation is not None:
+            view = memoryview(data)
+            self._sock.send(view[:max(1, len(view) // 2)])
+            self._dead = (f"injected truncated frame "
+                          f"({truncation.describe()})")
+            raise BrokenPipeError(self._dead)
+        return self._sock.send(data)
 
     def recv(self, bufsize: int, *args) -> bytes:
         self._check_dead()

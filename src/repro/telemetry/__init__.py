@@ -21,23 +21,30 @@ view.
 * :mod:`repro.telemetry.fleet` — :class:`FleetAggregator`, merging
   many hosts' streams into cluster-level power series that tolerate
   out-of-order and gap-marked input,
+* :mod:`repro.telemetry.relay` — :class:`TelemetryRelay`, a client
+  glued to a server: subscribe upstream, re-fan-out downstream, with
+  origin ``(host, seq, epoch)`` identity preserved across hops so
+  relay trees keep the exactly-once merge contract,
 * :mod:`repro.telemetry.spool` — :class:`Spool`, the durable
   client-side journal that lets a crashed consumer resume its stream
   from disk via the RESUME handshake.
 """
 
 from repro.telemetry.client import ReconnectPolicy, TelemetryClient
-from repro.telemetry.fleet import ClusterPoint, FleetAggregator, FleetSample
-from repro.telemetry.server import (BoundedFrameQueue, OverflowPolicy,
-                                    ReplayBuffer, TelemetryBridge,
-                                    TelemetryServer)
+from repro.telemetry.fleet import (ClusterPoint, FleetAggregator,
+                                   FleetSample, HierarchicalFleetAggregator)
+from repro.telemetry.relay import TelemetryRelay, relay_chain
+from repro.telemetry.server import (BatchPolicy, BoundedFrameQueue,
+                                    OverflowPolicy, ReplayBuffer,
+                                    TelemetryBridge, TelemetryServer)
 from repro.telemetry.spool import Spool
 from repro.telemetry.wire import (Frame, FrameDecoder, FrameKind,
                                   GapTelemetry, Heartbeat, HealthTelemetry,
-                                  ReportEvent, encode_frame,
+                                  ReportEvent, encode_batch, encode_frame,
                                   negotiate_version)
 
 __all__ = [
+    "BatchPolicy",
     "BoundedFrameQueue",
     "ReplayBuffer",
     "Spool",
@@ -50,12 +57,16 @@ __all__ = [
     "GapTelemetry",
     "Heartbeat",
     "HealthTelemetry",
+    "HierarchicalFleetAggregator",
     "OverflowPolicy",
     "ReconnectPolicy",
     "ReportEvent",
     "TelemetryBridge",
     "TelemetryClient",
+    "TelemetryRelay",
     "TelemetryServer",
+    "encode_batch",
     "encode_frame",
     "negotiate_version",
+    "relay_chain",
 ]

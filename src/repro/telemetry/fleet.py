@@ -125,7 +125,11 @@ class FleetAggregator:
         try:
             for event in client:
                 if isinstance(event, ReportEvent):
-                    self.ingest(name, event.report, seq=event.seq)
+                    # identity() prefers the origin (seq, epoch) stamped
+                    # by a relay hop, so dedup survives trees in which
+                    # hop-local seqs restart mid-chain.
+                    _host, epoch, seq = event.identity()
+                    self.ingest(name, event.report, seq=seq, epoch=epoch)
         except Exception:  # noqa: BLE001 - drain threads must not leak
             pass
         finally:
@@ -146,12 +150,16 @@ class FleetAggregator:
     # -- ingestion ----------------------------------------------------
 
     def ingest(self, host: str, report: AggregatedPowerReport,
-               seq: Optional[int] = None) -> None:
+               seq: Optional[int] = None,
+               epoch: Optional[str] = None) -> None:
         """Merge one report for *host* (thread-safe, any order).
 
         When *seq* is given, ``(host, seq)`` pairs already merged are
         dropped — a replayed frame after a reconnect never
-        double-counts cluster watts.
+        double-counts cluster watts.  *epoch* scopes the seq to one
+        stream epoch: frames arriving through a relay carry their
+        origin ``(epoch, seq)``, which stays unique end to end even
+        when a mid-chain relay restart resets hop-local seqs.
         """
         with self._cond:
             stream = self._streams.get(host)
@@ -159,10 +167,11 @@ class FleetAggregator:
                 stream = _HostStream(host)
                 self._streams[host] = stream
             if seq is not None:
-                if seq in stream.seen_seqs:
+                key = seq if epoch is None else (epoch, seq)
+                if key in stream.seen_seqs:
                     stream.duplicates += 1
                     return
-                stream.seen_seqs.add(seq)
+                stream.seen_seqs.add(key)
             stream.insert(FleetSample(
                 host=host,
                 time_s=round(report.time_s, self.align_decimals),
@@ -211,13 +220,19 @@ class FleetAggregator:
         have contributed real data.
         """
         with self._cond:
-            hosts = tuple(self._streams)
-            merged: Dict[float, Dict[str, FleetSample]] = {}
-            for stream in self._streams.values():
-                for sample in stream.samples:
-                    # Latest report wins for a duplicated timestamp
-                    # (a resent frame after reconnect).
-                    merged.setdefault(sample.time_s, {})[stream.name] = sample
+            return self._series_for(tuple(self._streams))
+
+    def _series_for(self, hosts: Tuple[str, ...]) -> List[ClusterPoint]:
+        """Merged series over a host subset.  Caller holds ``_cond``."""
+        merged: Dict[float, Dict[str, FleetSample]] = {}
+        for name in hosts:
+            stream = self._streams.get(name)
+            if stream is None:
+                continue
+            for sample in stream.samples:
+                # Latest report wins for a duplicated timestamp
+                # (a resent frame after reconnect).
+                merged.setdefault(sample.time_s, {})[stream.name] = sample
         points = []
         for time_s in sorted(merged):
             at = merged[time_s]
@@ -240,3 +255,121 @@ class FleetAggregator:
             return sum(sample.total_w * sample.period_s
                        for stream in self._streams.values()
                        for sample in stream.samples if not sample.gap)
+
+
+class HierarchicalFleetAggregator(FleetAggregator):
+    """Host → cluster → global rollup over relayed telemetry streams.
+
+    One **uplink** connection — typically to a
+    :class:`~repro.telemetry.relay.TelemetryRelay` aggregating a whole
+    cluster — carries reports from many origin hosts; this aggregator
+    demultiplexes them by the ``host`` label each frame kept end to
+    end, assigns every origin host to the uplink's cluster, and dedups
+    on the relayed origin ``(epoch, seq)`` identity.  The inherited
+    views stay global (:meth:`cluster_series` spans every host);
+    :meth:`cluster_rollup` and :meth:`cluster_energy_by_cluster` slice
+    the same data per cluster.
+    """
+
+    def __init__(self, align_decimals: int = 6) -> None:
+        super().__init__(align_decimals=align_decimals)
+        #: host -> cluster name.
+        self._cluster_of: Dict[str, str] = {}
+        self._uplinks: List[Tuple[TelemetryClient, threading.Thread]] = []
+
+    # -- wiring -------------------------------------------------------
+
+    def assign_cluster(self, host: str, cluster: str) -> None:
+        """Place *host* in *cluster* (hosts default to ``""``)."""
+        with self._cond:
+            self._cluster_of[host] = cluster
+
+    def cluster_of(self, host: str) -> str:
+        with self._cond:
+            return self._cluster_of.get(host, "")
+
+    def clusters(self) -> Tuple[str, ...]:
+        """Known cluster names, sorted."""
+        with self._cond:
+            return tuple(sorted(set(self._cluster_of.values())))
+
+    def add_uplink(self, cluster: str, host: str, port: int,
+                   reconnect: Optional[ReconnectPolicy] = None,
+                   **client_kwargs) -> TelemetryClient:
+        """Subscribe to one relay/server; a daemon thread demuxes its
+        stream into per-origin-host series under *cluster*."""
+        client = TelemetryClient(host, port, kinds=("report",),
+                                 reconnect=reconnect,
+                                 agent=f"repro-fleet/{cluster}",
+                                 **client_kwargs)
+        thread = threading.Thread(
+            target=self._drain_uplink, args=(cluster, client),
+            name=f"fleet-uplink-{cluster}", daemon=True)
+        with self._cond:
+            self._uplinks.append((client, thread))
+        thread.start()
+        return client
+
+    def _drain_uplink(self, cluster: str,
+                      client: TelemetryClient) -> None:
+        try:
+            for event in client:
+                if not isinstance(event, ReportEvent):
+                    continue
+                origin_host, epoch, seq = event.identity()
+                name = origin_host or cluster
+                with self._cond:
+                    self._cluster_of.setdefault(name, cluster)
+                self.ingest(name, event.report, seq=seq, epoch=epoch)
+        except Exception:  # noqa: BLE001 - drain threads must not leak
+            pass
+        finally:
+            with self._cond:
+                self._cond.notify_all()
+
+    def close(self) -> None:
+        """Disconnect uplinks and per-host clients; join all drains."""
+        with self._cond:
+            uplinks = list(self._uplinks)
+        for client, _thread in uplinks:
+            client.close()
+        for _client, thread in uplinks:
+            thread.join(timeout=5.0)
+        super().close()
+
+    # -- rollups ------------------------------------------------------
+
+    def hosts_in(self, cluster: str) -> Tuple[str, ...]:
+        """Registered hosts assigned to *cluster*, in merge order."""
+        with self._cond:
+            return tuple(name for name in self._streams
+                         if self._cluster_of.get(name, "") == cluster)
+
+    def cluster_rollup(self) -> Dict[str, List[ClusterPoint]]:
+        """Per-cluster merged series: cluster name -> its points.
+
+        ``complete`` on a rolled-up point means every host *of that
+        cluster* contributed real data at the timestamp.
+        """
+        with self._cond:
+            members: Dict[str, List[str]] = {}
+            for name in self._streams:
+                members.setdefault(
+                    self._cluster_of.get(name, ""), []).append(name)
+            return {cluster: self._series_for(tuple(hosts))
+                    for cluster, hosts in sorted(members.items())}
+
+    def global_series(self) -> List[ClusterPoint]:
+        """The all-clusters series (alias of :meth:`cluster_series`)."""
+        return self.cluster_series()
+
+    def cluster_energy_by_cluster(self) -> Dict[str, float]:
+        """Energy (J) per cluster over real (non-gap) samples."""
+        with self._cond:
+            totals: Dict[str, float] = {}
+            for name, stream in self._streams.items():
+                cluster = self._cluster_of.get(name, "")
+                totals[cluster] = totals.get(cluster, 0.0) + sum(
+                    sample.total_w * sample.period_s
+                    for sample in stream.samples if not sample.gap)
+            return totals

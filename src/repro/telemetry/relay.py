@@ -1,0 +1,258 @@
+"""Relay topology: fan telemetry out through trees of servers.
+
+A :class:`TelemetryRelay` is a :class:`~repro.telemetry.client.TelemetryClient`
+(or several — one per upstream) glued to a
+:class:`~repro.telemetry.server.TelemetryServer`: it subscribes
+upstream, re-publishes every stream frame downstream, and thereby turns
+one server's fan-out limit into a tree.  A two-level tree of relays
+multiplies a host's effective subscriber capacity by the relay fan-out
+while the host itself serves only the first tier.
+
+The contract that makes trees safe is **origin identity**: the first
+relay a frame crosses stamps the upstream's ``(seq, epoch)`` into the
+payload as ``origin_seq``/``origin_epoch``; every later hop re-stamps
+its own hop-local ``seq`` but preserves the origin keys and the
+original ``host`` label untouched.  ``(host, origin_epoch, origin_seq)``
+therefore identifies a frame end to end no matter how many hops it
+crossed, and :class:`~repro.telemetry.fleet.FleetAggregator` dedup
+keeps its exactly-once merge across mid-chain relay restarts — a
+restarted relay re-delivers frames under fresh hop seqs, but their
+origin identity is unchanged and the duplicates collapse.
+
+Loss protection composes from existing pieces: each uplink may carry a
+spool, so a restarted relay RESUMEs from its upstream exactly like any
+durable client, and the relay's own server keeps a replay window for
+*its* subscribers.  The relay never decodes report payloads beyond the
+typed events the client already produces — re-publish re-encodes once
+per hop via :meth:`TelemetryServer.publish_frame`.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, TelemetryError
+from repro.telemetry.client import ReconnectPolicy, TelemetryClient
+from repro.telemetry.server import TelemetryServer
+from repro.telemetry.wire import (FrameKind, GapTelemetry, HealthTelemetry,
+                                  ReportEvent)
+
+#: Event type -> (frame kind, attribute holding the typed message).
+_RELAYED = {
+    ReportEvent: (FrameKind.REPORT, "report"),
+    HealthTelemetry: (FrameKind.HEALTH, "event"),
+    GapTelemetry: (FrameKind.GAP, "marker"),
+}
+
+
+class _Uplink:
+    """One upstream subscription feeding the relay's server."""
+
+    def __init__(self, relay: "TelemetryRelay", index: int,
+                 host: str, port: int,
+                 client: TelemetryClient) -> None:
+        self.relay = relay
+        self.index = index
+        self.host = host
+        self.port = port
+        self.client = client
+        self.thread: Optional[threading.Thread] = None
+        self.frames_relayed = 0
+        self.last_error: Optional[str] = None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "upstream": f"{self.host}:{self.port}",
+            "frames_relayed": self.frames_relayed,
+            "reconnects": self.client.reconnects,
+            "duplicates_dropped": self.client.duplicates_dropped,
+            "resumes_sent": self.client.resumes_sent,
+            "last_error": self.last_error,
+        }
+
+
+class TelemetryRelay:
+    """Subscribe upstream, re-fan-out downstream, preserve identity.
+
+    ``upstreams`` is one ``(host, port)`` pair or a sequence of them —
+    a mid-tree relay typically has one uplink; an aggregation relay in
+    front of a :class:`~repro.telemetry.fleet.FleetAggregator` may
+    merge many hosts into one downstream stream.  All keyword arguments
+    not consumed here (``queue_capacity``, ``overflow``, ``batch``,
+    ``replay_window``, ``max_subscribers``, ...) configure the
+    relay's own :class:`TelemetryServer`.
+    """
+
+    def __init__(self, upstreams: Union[Tuple[str, int],
+                                        Sequence[Tuple[str, int]]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 reconnect: Optional[ReconnectPolicy] = None,
+                 spool_dir: Optional[Union[str, Path]] = None,
+                 pids: Optional[Sequence[int]] = None,
+                 kinds: Optional[Sequence[str]] = None,
+                 downsample: int = 1,
+                 read_timeout_s: Optional[float] = 30.0,
+                 agent: str = "repro-telemetry-relay",
+                 server: Optional[TelemetryServer] = None,
+                 **server_kwargs) -> None:
+        if (isinstance(upstreams, tuple) and len(upstreams) == 2
+                and isinstance(upstreams[1], int)):
+            upstreams = [upstreams]
+        upstreams = list(upstreams)
+        if not upstreams:
+            raise ConfigurationError("relay needs at least one upstream")
+        #: Passing an existing *server* grafts the uplinks onto it (the
+        #: ``serve --uplink`` tree-junction case: local pipeline frames
+        #: and relayed upstream frames merge into one stream).  The
+        #: relay then neither starts nor stops that server.
+        self._owns_server = server is None
+        if server is None:
+            server = TelemetryServer(host=host, port=port, agent=agent,
+                                     **server_kwargs)
+        elif server_kwargs:
+            raise ConfigurationError(
+                "server kwargs cannot be combined with an existing server")
+        self.server = server
+        self.reconnect = reconnect
+        self._uplinks: List[_Uplink] = []
+        self._cond = threading.Condition()
+        self._running = False
+        for index, (up_host, up_port) in enumerate(upstreams):
+            spool = None
+            if spool_dir is not None:
+                spool = Path(spool_dir) / f"uplink-{index}.spool"
+            client = TelemetryClient(
+                up_host, up_port, pids=pids, kinds=kinds,
+                downsample=downsample, reconnect=reconnect,
+                read_timeout_s=read_timeout_s,
+                agent=f"{agent}/uplink-{index}", spool=spool)
+            self._uplinks.append(
+                _Uplink(self, index, up_host, up_port, client))
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "TelemetryRelay":
+        """Start the downstream server and every uplink drain thread."""
+        if self._running:
+            return self
+        if self._owns_server:
+            self.server.start()
+        self._running = True
+        for uplink in self._uplinks:
+            uplink.thread = threading.Thread(
+                target=self._drain, args=(uplink,),
+                name=f"telemetry-relay-uplink-{uplink.index}", daemon=True)
+            uplink.thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Disconnect the uplinks, then stop the downstream server."""
+        self._running = False
+        for uplink in self._uplinks:
+            uplink.client.close()
+        for uplink in self._uplinks:
+            if uplink.thread is not None:
+                uplink.thread.join(timeout=5.0)
+                uplink.thread = None
+        if self._owns_server:
+            self.server.stop()
+
+    def __enter__(self) -> "TelemetryRelay":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The downstream port subscribers connect to."""
+        return self.server.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    # -- the relay loop -----------------------------------------------
+
+    def _drain(self, uplink: _Uplink) -> None:
+        client = uplink.client
+        try:
+            for event in client:
+                mapped = _RELAYED.get(type(event))
+                if mapped is None:
+                    continue  # heartbeats are hop-local, never relayed
+                kind, attr = mapped
+                payload = dict(getattr(event, attr).to_wire())
+                payload["host"] = event.host
+                # First hop stamps origin identity from the upstream's
+                # seq/epoch; later hops find it already present and
+                # pass it through untouched.
+                if event.origin_seq is not None:
+                    payload["origin_seq"] = event.origin_seq
+                    payload["origin_epoch"] = event.origin_epoch
+                else:
+                    payload["origin_seq"] = event.seq
+                    payload["origin_epoch"] = client.stream_epoch
+                self.server.publish_frame(kind, payload)
+                with self._cond:
+                    uplink.frames_relayed += 1
+                    self._cond.notify_all()
+        except (TelemetryError, OSError) as exc:
+            uplink.last_error = str(exc)
+        finally:
+            with self._cond:
+                self._cond.notify_all()
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def frames_relayed(self) -> int:
+        with self._cond:
+            return sum(uplink.frames_relayed for uplink in self._uplinks)
+
+    def wait_until_relayed(self, frames: int,
+                           timeout: float = 5.0) -> bool:
+        """Block until *frames* frames crossed this relay."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: sum(u.frames_relayed for u in self._uplinks)
+                >= frames, timeout=timeout)
+
+    def wait_for_subscribers(self, count: int,
+                             timeout: float = 5.0) -> bool:
+        return self.server.wait_for_subscribers(count, timeout=timeout)
+
+    def stats(self) -> Dict[str, object]:
+        """Uplink counters plus the downstream server's stats."""
+        with self._cond:
+            uplinks = [uplink.stats() for uplink in self._uplinks]
+        return {
+            "frames_relayed": sum(u["frames_relayed"] for u in uplinks),
+            "uplinks": uplinks,
+            "server": self.server.stats(),
+        }
+
+
+def relay_chain(origin: Tuple[str, int], hops: int = 1,
+                **relay_kwargs) -> List[TelemetryRelay]:
+    """Build and start a linear chain of *hops* relays off *origin*.
+
+    Returns the relays in upstream-to-downstream order; subscribers
+    connect to ``chain[-1].port``.  A convenience for tests and
+    benchmarks — production trees are built by wiring
+    :class:`TelemetryRelay` instances explicitly.
+    """
+    if hops < 1:
+        raise ConfigurationError("relay chain needs >= 1 hop")
+    chain: List[TelemetryRelay] = []
+    upstream = origin
+    for _ in range(hops):
+        relay = TelemetryRelay(upstream, **relay_kwargs).start()
+        chain.append(relay)
+        upstream = ("127.0.0.1", relay.port)
+    return chain
+
+
+__all__ = ["TelemetryRelay", "relay_chain"]

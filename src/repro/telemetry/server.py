@@ -5,13 +5,17 @@ output of a monitoring pipeline — aggregated power reports, health
 events and sensor gap markers — to any number of concurrent
 subscribers.  The design splits cleanly into:
 
-* one **accept thread** handing new connections to per-subscriber
-  handler threads,
-* one **handshake + writer thread per subscriber**: Hello/Subscribe
-  negotiation, then a loop popping frames off the subscriber's own
-  :class:`BoundedFrameQueue` and writing them to the socket,
-* **publishers** (the actor thread, via :class:`TelemetryBridge`)
-  that encode each event once and offer it to every matching queue.
+* one **event-loop thread** driving a ``selectors``-based reactor over
+  non-blocking sockets: it accepts connections, runs the
+  Hello/Subscribe handshake incrementally, drains every subscriber's
+  :class:`BoundedFrameQueue` into a per-connection write buffer, and
+  flushes buffers on write readiness,
+* **publishers** (the actor thread, via :class:`TelemetryBridge`, or a
+  :class:`~repro.telemetry.relay.TelemetryRelay` uplink) that encode
+  each event **once** and offer the shared bytes to every matching
+  queue — the loop never re-encodes a frame, and on connections that
+  negotiated protocol version 2 it coalesces queued frames into one
+  BATCH envelope per ``send()`` according to a :class:`BatchPolicy`.
 
 A slow subscriber therefore never slows the pipeline down unless the
 server is explicitly configured with the ``block`` overflow policy;
@@ -21,12 +25,15 @@ for every shed frame in that subscriber's counters.
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
+import time
 import uuid
 from collections import deque
-from typing import (Callable, Deque, Dict, FrozenSet, List, Optional,
-                    Sequence, Tuple)
+from dataclasses import dataclass
+from typing import (Callable, Deque, Dict, FrozenSet, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
 
 from repro.actors.actor import Actor
 from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
@@ -36,6 +43,37 @@ from repro.telemetry.wire import FrameKind
 
 #: Socket receive chunk for the handshake reader.
 _RECV_BYTES = 65536
+
+#: Per-connection write-buffer cap: frames beyond it stay in the
+#: subscriber's queue, where the overflow policy (not unbounded memory)
+#: absorbs a stalled peer.
+_OUTBUF_LIMIT = 256 * 1024
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When the event loop flushes queued frames as one BATCH envelope.
+
+    Applied only on connections that negotiated protocol version 2; a
+    v1 subscriber always receives bare frames.  ``max_frames=1``
+    disables batching outright.  ``max_latency_s > 0`` lets the loop
+    hold a not-yet-full batch for up to that long to accumulate more
+    frames (0 flushes whatever is queued the moment the socket is
+    writable — "natural" batching under load, no added latency when
+    idle).
+    """
+
+    max_frames: int = 64
+    max_bytes: int = 128 * 1024
+    max_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_frames < 1:
+            raise ConfigurationError("batch max_frames must be >= 1")
+        if self.max_bytes < 1:
+            raise ConfigurationError("batch max_bytes must be >= 1")
+        if self.max_latency_s < 0:
+            raise ConfigurationError("batch max_latency_s must be >= 0")
 
 
 class OverflowPolicy:
@@ -75,6 +113,10 @@ class BoundedFrameQueue:
         #: Called the moment a producer starts waiting for space, so
         #: stall accounting is visible while the stall is in progress.
         self.on_block = on_block
+        #: Called (outside the queue lock) whenever the consumer may
+        #: have work: after an append, a resume or a close.  The server
+        #: points this at its event-loop wakeup.
+        self.on_ready: Optional[Callable[[], None]] = None
         self._items: Deque[Tuple[FrameKind, bytes]] = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -89,6 +131,14 @@ class BoundedFrameQueue:
     def __len__(self) -> int:
         with self._cond:
             return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _notify_ready(self) -> None:
+        if self.on_ready is not None:
+            self.on_ready()
 
     def offer(self, kind: FrameKind, data: bytes) -> bool:
         """Enqueue one frame per the policy; False if the queue closed."""
@@ -122,7 +172,8 @@ class BoundedFrameQueue:
             self._items.append((kind, data))
             self.high_water = max(self.high_water, len(self._items))
             self._cond.notify_all()
-            return True
+        self._notify_ready()
+        return True
 
     def force(self, kind: FrameKind, data: bytes) -> bool:
         """Enqueue one frame without ever blocking.
@@ -130,7 +181,7 @@ class BoundedFrameQueue:
         Evicts the oldest queued frame when full regardless of policy.
         Used for resume replay, which runs while holding the server's
         ``_cond`` — a blocking ``offer`` there would deadlock against
-        the writer thread (it takes ``_cond`` after every send).
+        the consumer (it takes ``_cond`` after every flush).
         """
         with self._cond:
             if self._closed:
@@ -141,7 +192,8 @@ class BoundedFrameQueue:
             self._items.append((kind, data))
             self.high_water = max(self.high_water, len(self._items))
             self._cond.notify_all()
-            return True
+        self._notify_ready()
+        return True
 
     def pop(self) -> Optional[Tuple[FrameKind, bytes]]:
         """Dequeue the next frame, blocking; None once closed and empty."""
@@ -154,6 +206,32 @@ class BoundedFrameQueue:
             self._cond.notify_all()
             return item
 
+    def pop_many_nowait(self, max_frames: int, max_bytes: int
+                        ) -> List[Tuple[FrameKind, bytes]]:
+        """Dequeue up to *max_frames* frames without blocking.
+
+        Stops before a frame that would push the popped total past
+        *max_bytes* (the first frame always fits, so an oversized frame
+        cannot wedge the queue).  Returns an empty list when paused,
+        empty or drained-after-close — one lock round-trip either way,
+        which is what lets the event loop drain a whole batch per
+        wakeup instead of locking per frame.
+        """
+        with self._cond:
+            if self._paused or not self._items:
+                return []
+            popped: List[Tuple[FrameKind, bytes]] = []
+            total = 0
+            while self._items and len(popped) < max_frames:
+                size = len(self._items[0][1])
+                if popped and total + size > max_bytes:
+                    break
+                item = self._items.popleft()
+                popped.append(item)
+                total += size
+            self._cond.notify_all()
+            return popped
+
     def pause(self) -> None:
         """Hold the consumer (frames pile up; policies become visible)."""
         with self._cond:
@@ -165,6 +243,7 @@ class BoundedFrameQueue:
         with self._cond:
             self._paused = False
             self._cond.notify_all()
+        self._notify_ready()
 
     def close(self) -> None:
         """Wake every waiter; pop drains remaining frames then ends."""
@@ -172,23 +251,29 @@ class BoundedFrameQueue:
             self._closed = True
             self._paused = False
             self._cond.notify_all()
+        self._notify_ready()
 
 
 class ReplayBuffer:
     """The server's bounded ring of recently published stream frames.
 
-    Every REPORT/HEALTH/GAP frame is appended as ``(seq, kind, bytes)``;
-    :meth:`since` answers a RESUME: the frames still held after
-    ``last_seq``, plus the highest sequence number that has scrolled out
-    of the window (``None`` when nothing the client missed was evicted).
-    Not self-locking — the server mutates it under its own ``_cond``.
+    Every REPORT/HEALTH/GAP frame is appended as ``(seq, kind, bytes)``
+    plus an optional *meta* — the frame's decoded payload, kept so a
+    RESUME replay can run the same pid/downsample filter predicate the
+    live path applies (entries appended without meta replay
+    unfiltered).  :meth:`since` answers a RESUME: the frames still held
+    after ``last_seq``, plus the highest sequence number that has
+    scrolled out of the window (``None`` when nothing the client missed
+    was evicted).  Not self-locking — the server mutates it under its
+    own ``_cond``.
     """
 
     def __init__(self, window: int) -> None:
         if window < 1:
             raise ConfigurationError("replay window must be >= 1")
         self.window = window
-        self._items: Deque[Tuple[int, FrameKind, bytes]] = deque(
+        self._items: Deque[Tuple[int, FrameKind, bytes,
+                                 Optional[Mapping[str, object]]]] = deque(
             maxlen=window)
         #: Highest sequence number ever appended (-1 when empty).
         self.last_seq = -1
@@ -196,12 +281,14 @@ class ReplayBuffer:
     def __len__(self) -> int:
         return len(self._items)
 
-    def append(self, seq: int, kind: FrameKind, data: bytes) -> None:
-        self._items.append((seq, kind, data))
+    def append(self, seq: int, kind: FrameKind, data: bytes,
+               meta: Optional[Mapping[str, object]] = None) -> None:
+        self._items.append((seq, kind, data, meta))
         self.last_seq = seq
 
-    def since(self, last_seq: int
-              ) -> Tuple[List[Tuple[int, FrameKind, bytes]], Optional[int]]:
+    def since(self, last_seq: int) -> Tuple[
+            List[Tuple[int, FrameKind, bytes,
+                       Optional[Mapping[str, object]]]], Optional[int]]:
         """``(replayable frames after last_seq, evicted_through)``."""
         frames = [item for item in self._items if item[0] > last_seq]
         if frames:
@@ -242,6 +329,30 @@ class _Subscription:
             return True
         return marker.pid in self.pids
 
+    def admit_payload(self, kind: FrameKind,
+                      payload: Mapping[str, object]) -> bool:
+        """The live-path filter predicate, evaluated on a wire payload.
+
+        One predicate for live publishes *and* RESUME replay (the
+        replay ring keeps each frame's payload as meta), so a resuming
+        subscriber sees exactly the frames it would have seen live —
+        including the downsample cadence, whose counter advances here.
+        """
+        if not self.wants_kind(kind):
+            return False
+        if kind is FrameKind.REPORT:
+            if (self.pids is not None and not payload.get("gap")
+                    and self.pids.isdisjoint(
+                        int(pid) for pid in payload.get("by_pid", {}))):
+                return False
+            index = self._report_index
+            self._report_index += 1
+            return index % self.downsample == 0
+        if kind is FrameKind.GAP:
+            pid = int(payload.get("pid", -1))
+            return self.pids is None or pid == -1 or pid in self.pids
+        return True
+
     def restrict(self, report: AggregatedPowerReport
                  ) -> AggregatedPowerReport:
         """The report with ``by_pid`` narrowed to the subscribed pids."""
@@ -253,9 +364,25 @@ class _Subscription:
                     if pid in self.pids},
             idle_w=report.idle_w, formula=report.formula, gap=report.gap)
 
+    def restrict_payload(self, payload: Mapping[str, object]
+                         ) -> Dict[str, object]:
+        """A report payload with ``by_pid`` narrowed to subscribed pids."""
+        restricted = dict(payload)
+        by_pid = payload.get("by_pid")
+        if self.pids is not None and isinstance(by_pid, dict):
+            restricted["by_pid"] = {key: watts
+                                    for key, watts in by_pid.items()
+                                    if int(key) in self.pids}
+        return restricted
+
 
 class _Subscriber:
-    """Server-side state for one connected subscriber."""
+    """Server-side state for one connection on the event loop.
+
+    The loop thread owns all connection state (decoder, write buffer,
+    selector registration); publishers touch only the thread-safe
+    ``queue`` and the counters guarded by the server's ``_cond``.
+    """
 
     _ids = 0
 
@@ -269,6 +396,7 @@ class _Subscriber:
         self.queue = BoundedFrameQueue(server.queue_capacity,
                                        server.overflow,
                                        on_block=server._count_stall)
+        self.queue.on_ready = self._on_queue_ready
         self.subscription: Optional[_Subscription] = None
         self.agent = ""
         self.version = wire.PROTOCOL_VERSION
@@ -281,104 +409,32 @@ class _Subscriber:
         self.frames_sent = 0
         self.bytes_sent = 0
         self.frames_replayed = 0
-        self.thread = threading.Thread(
-            target=self._run, name=f"telemetry-sub-{self.id}", daemon=True)
+        # -- event-loop-owned connection state ------------------------
+        self.decoder = wire.FrameDecoder()
+        self.hello: Optional[wire.Frame] = None
+        #: Pending write chunks: (bytes, stream frame count, counted).
+        #: Handshake plumbing rides with counted=False so the delivery
+        #: counters keep meaning "stream frames/bytes delivered".
+        self.outbuf: Deque[Tuple[bytes, int, bool]] = deque()
+        self.outbuf_bytes = 0
+        #: Bytes of the head chunk already handed to the kernel.
+        self.chunk_offset = 0
+        #: Close the connection once the outbuf drains (ERROR sent).
+        self.close_after_flush = False
+        #: Handshake was refused: drain and discard any further input.
+        self.refused = False
+        #: Selector interest currently registered for this connection.
+        self.interest = 0
+        #: Deadline for a latency-accumulated batch flush, if armed.
+        self.flush_deadline: Optional[float] = None
 
-    # -- handshake + writer loop --------------------------------------
+    def _on_queue_ready(self) -> None:
+        self.server._mark_dirty(self)
 
-    def _run(self) -> None:
-        try:
-            if self._handshake():
-                self.server._subscriber_ready(self)
-                self._write_loop()
-        except (OSError, WireProtocolError, TelemetryError):
-            pass
-        finally:
-            self.server._remove_subscriber(self)
-
-    def _handshake(self) -> bool:
-        decoder = wire.FrameDecoder()
-        hello: Optional[wire.Frame] = None
-        subscribe: Optional[wire.Frame] = None
-        while subscribe is None:
-            data = self.conn.recv(_RECV_BYTES)
-            if not data:
-                return False
-            for frame in decoder.feed(data):
-                if frame.kind is FrameKind.HELLO and hello is None:
-                    hello = frame
-                elif (frame.kind is FrameKind.RESUME and hello is not None
-                        and self.resume_last_seq is None):
-                    try:
-                        last_seq = int(frame.payload["last_seq"])
-                        if last_seq < 0:
-                            raise ValueError("negative")
-                    except (KeyError, TypeError, ValueError):
-                        self._refuse("bad RESUME payload: last_seq must "
-                                     "be a non-negative integer")
-                        return False
-                    self.resume_last_seq = last_seq
-                    epoch = frame.payload.get("epoch")
-                    if epoch is not None:
-                        self.resume_epoch = str(epoch)
-                elif frame.kind is FrameKind.SUBSCRIBE and hello is not None:
-                    subscribe = frame
-                    break
-                else:
-                    self._refuse(f"unexpected {frame.kind.name} frame "
-                                 "during handshake")
-                    return False
-        try:
-            self.version = wire.negotiate_version(
-                hello.payload.get("versions", ()))
-        except (WireProtocolError, TypeError, ValueError) as exc:
-            self._refuse(f"bad versions list: {exc}")
-            return False
-        self.agent = str(hello.payload.get("agent", ""))
-        try:
-            self.subscription = self._parse_subscription(subscribe.payload)
-        except (WireProtocolError, TypeError, ValueError) as exc:
-            self._refuse(f"bad subscription: {exc}")
-            return False
-        self.conn.sendall(wire.encode_frame(
-            FrameKind.HELLO,
-            wire.hello_payload(agent=self.server.agent,
-                               chosen=self.version,
-                               spec=self.server.advertised_spec,
-                               features=("resume",),
-                               epoch=self.server.stream_epoch),
-        ))
-        return True
-
-    @staticmethod
-    def _parse_subscription(payload: Dict[str, object]) -> _Subscription:
-        pids = payload.get("pids")
-        kinds = payload.get("kinds")
-        return _Subscription(
-            pids=None if pids is None else frozenset(
-                int(pid) for pid in pids),
-            kinds=None if kinds is None else frozenset(
-                wire.kinds_from_names(kinds)),
-            downsample=int(payload.get("downsample", 1)),
-        )
-
-    def _refuse(self, reason: str) -> None:
-        try:
-            self.conn.sendall(wire.error_frame(reason))
-        except OSError:
-            pass
-
-    def _write_loop(self) -> None:
-        while True:
-            item = self.queue.pop()
-            if item is None:
-                return
-            _kind, data = item
-            self.conn.sendall(data)
-            with self.server._cond:
-                self.frames_sent += 1
-                self.bytes_sent += len(data)
-                self.server._cond.notify_all()
+    def enqueue_chunk(self, data: bytes, frames: int = 0,
+                      counted: bool = False) -> None:
+        self.outbuf.append((data, frames, counted))
+        self.outbuf_bytes += len(data)
 
     # -- publisher side -----------------------------------------------
 
@@ -416,13 +472,37 @@ class _Subscriber:
         }
 
 
+def _parse_subscription(payload: Dict[str, object]) -> _Subscription:
+    pids = payload.get("pids")
+    kinds = payload.get("kinds")
+    return _Subscription(
+        pids=None if pids is None else frozenset(
+            int(pid) for pid in pids),
+        kinds=None if kinds is None else frozenset(
+            wire.kinds_from_names(kinds)),
+        downsample=int(payload.get("downsample", 1)),
+    )
+
+
+#: Stream kinds a server re-publishes, mapped to their stats counter.
+_PUBLISH_COUNTERS = {
+    FrameKind.REPORT: "reports_published",
+    FrameKind.HEALTH: "health_published",
+    FrameKind.GAP: "gaps_published",
+}
+
+
 class TelemetryServer:
     """Streams pipeline telemetry to TCP subscribers on localhost.
 
-    Thread model: ``start()`` spawns the accept thread; every
-    connection gets its own handler thread.  ``publish_*`` may be
-    called from any thread (typically the single actor-dispatch
-    thread through a :class:`TelemetryBridge`).
+    Thread model: ``start()`` spawns one event-loop thread that owns
+    every socket (accepting, handshakes, flushing write buffers).
+    ``publish_*`` may be called from any thread (typically the single
+    actor-dispatch thread through a :class:`TelemetryBridge`, or a
+    relay's uplink drain threads) — a dedicated publish lock keeps the
+    seq order frames enter subscriber queues consistent with the order
+    seqs were assigned, so client-side dedup never mistakes
+    reordering for replay.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -432,6 +512,8 @@ class TelemetryServer:
                  heartbeat_every: int = 0,
                  agent: str = "repro-telemetry-server",
                  replay_window: int = 0,
+                 batch: Optional[BatchPolicy] = None,
+                 max_subscribers: int = 0,
                  transport: Optional[Callable[[socket.socket],
                                               socket.socket]] = None) -> None:
         if queue_capacity < 1:
@@ -444,6 +526,8 @@ class TelemetryServer:
             raise ConfigurationError("heartbeat_every must be >= 0")
         if replay_window < 0:
             raise ConfigurationError("replay_window must be >= 0")
+        if max_subscribers < 0:
+            raise ConfigurationError("max_subscribers must be >= 0")
         self.host = host
         self.overflow = overflow
         self.queue_capacity = queue_capacity
@@ -455,6 +539,12 @@ class TelemetryServer:
         self.replay_window = replay_window
         self._replay = (ReplayBuffer(replay_window)
                         if replay_window > 0 else None)
+        #: BATCH envelope flush policy for v2 subscribers.
+        self.batch = batch if batch is not None else BatchPolicy()
+        #: Accepted-connection cap (0: unbounded).  Connections beyond
+        #: it are refused with an ERROR frame instead of silently
+        #: accumulating server state.
+        self.max_subscribers = max_subscribers
         #: Wraps every accepted connection (chaos tests inject faults
         #: here via ``NetworkFaultInjector.wrap``).
         self._transport = transport
@@ -462,9 +552,25 @@ class TelemetryServer:
         self.advertised_spec: Optional[Dict[str, object]] = None
         self._requested_port = port
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
+        #: Subscribers with queue activity since the last loop pass.
+        self._dirty: Set[_Subscriber] = set()
+        self._dirty_lock = threading.Lock()
+        self._wake_pending = False
+        #: Connections mid-handshake (accepted, not yet subscribed).
+        self._handshaking: Set[_Subscriber] = set()
+        #: Every live connection the loop owns (for teardown).
+        self._conns: Set[_Subscriber] = set()
+        #: Subscribers with an armed batch-latency flush deadline.
+        self._deadlines: Set[_Subscriber] = set()
         self._subscribers: List[_Subscriber] = []
         self._cond = threading.Condition()
+        #: Serializes whole publishes (seq assignment + queue offers)
+        #: across publisher threads; see the class docstring.
+        self._publish_lock = threading.RLock()
         self._running = False
         self.reports_published = 0
         self.health_published = 0
@@ -476,14 +582,15 @@ class TelemetryServer:
         #: RESUMEs whose seq belonged to another server's epoch and
         #: were therefore treated as fresh subscriptions.
         self.resumes_rejected = 0
+        #: Connections turned away by ``max_subscribers``.
+        self.connections_refused = 0
         self.frames_replayed = 0
         self.replay_evictions = 0
         #: Token identifying this server instance's sequence space.
         self.stream_epoch = uuid.uuid4().hex[:16]
         # One counter across REPORT/HEALTH/GAP: the *stream* sequence a
         # resuming client acks (heartbeats keep their own counter).
-        # Ordering assumes publishes are serialized — in practice they
-        # all come from the single actor-dispatch thread.
+        # ``_publish_lock`` serializes assignment with fan-out.
         self._seq = 0
 
     def set_transport(self, transport: Optional[Callable[[socket.socket],
@@ -509,18 +616,30 @@ class TelemetryServer:
     # -- lifecycle ----------------------------------------------------
 
     def start(self) -> "TelemetryServer":
-        """Bind, listen, and start accepting subscribers."""
+        """Bind, listen, and start the event-loop thread."""
         if self._running:
             return self
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
         listener.listen(128)
+        listener.setblocking(False)
         self._listener = listener
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, "listener")
+        # Self-pipe idiom: publishers nudge the loop out of select()
+        # with one byte on this pair whenever a queue gains frames.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        with self._dirty_lock:
+            self._dirty.clear()
+            self._wake_pending = False
         self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="telemetry-accept", daemon=True)
-        self._accept_thread.start()
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="telemetry-loop", daemon=True)
+        self._loop_thread.start()
         return self
 
     @property
@@ -538,48 +657,385 @@ class TelemetryServer:
     def stop(self) -> None:
         """Close the listener and every subscriber (idempotent)."""
         with self._cond:
-            if not self._running and self._listener is None:
+            if not self._running and self._loop_thread is None:
                 return
             self._running = False
-        if self._listener is not None:
-            # shutdown() (not just close()) is what actually wakes a
-            # thread blocked in accept() on Linux.
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-            self._accept_thread = None
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=5.0)
+            self._loop_thread = None
+        # The loop closed everything on its way out; sweeping here also
+        # covers a loop thread that died before reaching teardown.
         for subscriber in self.subscribers():
             subscriber.close()
-            subscriber.thread.join(timeout=5.0)
         with self._cond:
             self._subscribers.clear()
             self._cond.notify_all()
 
+    # -- event loop ---------------------------------------------------
+
+    def _wake(self) -> None:
+        wake = self._wake_w
+        if wake is None:
+            return
+        try:
+            wake.send(b"\x00")
+        except OSError:
+            pass
+
+    def _mark_dirty(self, subscriber: _Subscriber) -> None:
+        """Queue callback: frames (or a close) await the loop's attention.
+
+        Called from publisher threads with arbitrary locks held above
+        us, so this takes only the leaf ``_dirty_lock``.  The pending
+        flag coalesces wake bytes: at most one is in flight between
+        loop passes.
+        """
+        with self._dirty_lock:
+            self._dirty.add(subscriber)
+            if self._wake_pending:
+                return
+            self._wake_pending = True
+        self._wake()
+
+    def _loop(self) -> None:
+        selector = self._selector
+        try:
+            while self._running:
+                try:
+                    events = selector.select(self._next_timeout())
+                except OSError:
+                    continue
+                for key, mask in events:
+                    tag = key.data
+                    if tag == "listener":
+                        self._accept_ready()
+                    elif tag == "wake":
+                        try:
+                            self._wake_r.recv(_RECV_BYTES)
+                        except OSError:
+                            pass
+                    else:
+                        self._conn_ready(tag, mask)
+                self._service_dirty()
+                self._service_deadlines()
+        finally:
+            self._teardown()
+
+    def _next_timeout(self) -> Optional[float]:
+        if not self._deadlines:
+            return None
+        soonest = min((sub.flush_deadline for sub in self._deadlines
+                       if sub.flush_deadline is not None), default=None)
+        if soonest is None:
+            return None
+        return max(0.0, soonest - time.monotonic())
+
+    def _service_dirty(self) -> None:
+        with self._dirty_lock:
+            dirty = self._dirty
+            self._dirty = set()
+            self._wake_pending = False
+        for subscriber in dirty:
+            if not subscriber.closed and subscriber.ready:
+                self._pump(subscriber)
+                self._flush(subscriber)
+
+    def _service_deadlines(self) -> None:
+        if not self._deadlines:
+            return
+        now = time.monotonic()
+        due = [sub for sub in self._deadlines
+               if sub.flush_deadline is not None
+               and sub.flush_deadline <= now]
+        for subscriber in due:
+            self._pump(subscriber)
+            self._flush(subscriber)
+
+    def _teardown(self) -> None:
+        for subscriber in list(self._conns):
+            self._drop(subscriber)
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            self._selector = None
+        for sock in (self._wake_r, self._wake_w):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._wake_r = self._wake_w = None
+
     # -- accepting ----------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        # Capture the listener once: stop() nulls ``self._listener``
-        # concurrently, and an attribute lookup racing that assignment
-        # would raise AttributeError instead of the OSError we catch.
-        listener = self._listener
-        while self._running:
+    def _accept_ready(self) -> None:
+        while True:
             try:
-                conn, peer = listener.accept()
+                conn, peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:
                 return  # listener closed
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.setblocking(False)
             if self._transport is not None:
                 conn = self._transport(conn)
             subscriber = _Subscriber(self, conn, peer)
-            subscriber.thread.start()
+            self._conns.add(subscriber)
+            with self._cond:
+                ready = len(self._subscribers)
+                if (self.max_subscribers
+                        and ready + len(self._handshaking)
+                        >= self.max_subscribers):
+                    self.connections_refused += 1
+                    self._cond.notify_all()
+                    refused = True
+                else:
+                    refused = False
+            if refused:
+                # Send a proper ERROR frame, then hold the connection
+                # in read-until-EOF: closing with the client's
+                # handshake bytes unread would RST the socket and race
+                # the error off the wire.
+                subscriber.refused = True
+                subscriber.enqueue_chunk(wire.error_frame(
+                    "subscriber limit reached "
+                    f"({self.max_subscribers})"))
+                self._flush(subscriber)
+                continue
+            self._handshaking.add(subscriber)
+            self._set_interest(subscriber, selectors.EVENT_READ)
+
+    def _conn_ready(self, subscriber: _Subscriber, mask: int) -> None:
+        if subscriber.closed:
+            return
+        if mask & selectors.EVENT_READ:
+            self._read_ready(subscriber)
+        if subscriber.closed:
+            return
+        if mask & selectors.EVENT_WRITE:
+            self._pump(subscriber)
+            self._flush(subscriber)
+
+    def _read_ready(self, subscriber: _Subscriber) -> None:
+        try:
+            data = subscriber.conn.recv(_RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(subscriber)
+            return
+        if not data:
+            self._drop(subscriber)  # peer closed
+            return
+        if subscriber.ready or subscriber.refused:
+            # Post-handshake input is not part of the protocol; keep
+            # the legacy tolerance of reading and ignoring it (the
+            # recv doubles as EOF detection).
+            return
+        try:
+            frames = subscriber.decoder.feed(data)
+        except WireProtocolError:
+            # Garbage during the handshake: drop, as the threaded
+            # handler did (no ERROR — we cannot trust the stream).
+            self._drop(subscriber)
+            return
+        for frame in frames:
+            if subscriber.closed or subscriber.ready or subscriber.refused:
+                break
+            if not self._handshake_frame(subscriber, frame):
+                break
+
+    # -- handshake ----------------------------------------------------
+
+    def _handshake_frame(self, subscriber: _Subscriber,
+                         frame: wire.Frame) -> bool:
+        """Advance one connection's handshake by one frame."""
+        if frame.kind is FrameKind.HELLO and subscriber.hello is None:
+            subscriber.hello = frame
+            return True
+        if (frame.kind is FrameKind.RESUME and subscriber.hello is not None
+                and subscriber.resume_last_seq is None):
+            try:
+                last_seq = int(frame.payload["last_seq"])
+                if last_seq < 0:
+                    raise ValueError("negative")
+            except (KeyError, TypeError, ValueError):
+                self._refuse(subscriber,
+                             "bad RESUME payload: last_seq must "
+                             "be a non-negative integer")
+                return False
+            subscriber.resume_last_seq = last_seq
+            epoch = frame.payload.get("epoch")
+            if epoch is not None:
+                subscriber.resume_epoch = str(epoch)
+            return True
+        if frame.kind is FrameKind.SUBSCRIBE and subscriber.hello is not None:
+            return self._complete_handshake(subscriber, frame)
+        self._refuse(subscriber, f"unexpected {frame.kind.name} frame "
+                                 "during handshake")
+        return False
+
+    def _complete_handshake(self, subscriber: _Subscriber,
+                            subscribe: wire.Frame) -> bool:
+        try:
+            subscriber.version = wire.negotiate_version(
+                subscriber.hello.payload.get("versions", ()))
+        except (WireProtocolError, TypeError, ValueError) as exc:
+            self._refuse(subscriber, f"bad versions list: {exc}")
+            return False
+        subscriber.agent = str(subscriber.hello.payload.get("agent", ""))
+        try:
+            subscriber.subscription = _parse_subscription(subscribe.payload)
+        except (WireProtocolError, TypeError, ValueError) as exc:
+            self._refuse(subscriber, f"bad subscription: {exc}")
+            return False
+        subscriber.enqueue_chunk(wire.encode_frame(
+            FrameKind.HELLO,
+            wire.hello_payload(agent=self.agent,
+                               chosen=subscriber.version,
+                               spec=self.advertised_spec,
+                               features=("resume",),
+                               epoch=self.stream_epoch),
+        ))
+        self._handshaking.discard(subscriber)
+        self._subscriber_ready(subscriber)
+        self._pump(subscriber)
+        self._flush(subscriber)
+        return True
+
+    def _refuse(self, subscriber: _Subscriber, reason: str) -> None:
+        subscriber.refused = True
+        subscriber.close_after_flush = True
+        subscriber.enqueue_chunk(wire.error_frame(reason))
+        self._handshaking.discard(subscriber)
+        self._flush(subscriber)
+
+    # -- per-connection write path ------------------------------------
+
+    def _pump(self, subscriber: _Subscriber) -> None:
+        """Move queued frames into the connection's write buffer.
+
+        Frames were encoded once at publish time; this only decides
+        framing: v2 connections get one BATCH envelope per
+        ``BatchPolicy`` window, v1 connections get the same bytes
+        concatenated (wire-identical to frame-at-a-time sends).
+        """
+        if subscriber.closed or not subscriber.ready:
+            return
+        policy = self.batch
+        batching = (subscriber.version >= wire.BATCH_VERSION
+                    and policy.max_frames > 1)
+        while subscriber.outbuf_bytes < _OUTBUF_LIMIT:
+            if (batching and policy.max_latency_s > 0.0
+                    and not subscriber.queue.closed
+                    and len(subscriber.queue) < policy.max_frames):
+                # Not enough for a full batch: spend the latency
+                # budget accumulating before flushing a partial one.
+                now = time.monotonic()
+                if subscriber.flush_deadline is None:
+                    if len(subscriber.queue) == 0:
+                        break
+                    subscriber.flush_deadline = (
+                        now + policy.max_latency_s)
+                    self._deadlines.add(subscriber)
+                    break
+                if now < subscriber.flush_deadline:
+                    break
+            items = subscriber.queue.pop_many_nowait(
+                policy.max_frames, policy.max_bytes)
+            if subscriber.flush_deadline is not None:
+                subscriber.flush_deadline = None
+                self._deadlines.discard(subscriber)
+            if not items:
+                break
+            frames = [data for _kind, data in items]
+            if batching and len(frames) > 1:
+                chunk = wire.encode_batch(frames)
+            else:
+                chunk = frames[0] if len(frames) == 1 else b"".join(frames)
+            subscriber.enqueue_chunk(chunk, frames=len(frames),
+                                     counted=True)
+
+    def _flush(self, subscriber: _Subscriber) -> None:
+        """Write buffered chunks until the socket would block."""
+        while subscriber.outbuf:
+            data, frames, counted = subscriber.outbuf[0]
+            view = memoryview(data)[subscriber.chunk_offset:]
+            try:
+                sent = subscriber.conn.send(view)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop(subscriber)
+                return
+            if sent <= 0:
+                break
+            subscriber.chunk_offset += sent
+            complete = subscriber.chunk_offset >= len(data)
+            with self._cond:
+                subscriber.bytes_sent += sent
+                if complete and counted:
+                    subscriber.frames_sent += frames
+                self._cond.notify_all()
+            if not complete:
+                break  # kernel buffer full mid-chunk
+            subscriber.outbuf.popleft()
+            subscriber.outbuf_bytes -= len(data)
+            subscriber.chunk_offset = 0
+            if not subscriber.outbuf:
+                # Freed the buffer: top it back up so a deep backlog
+                # drains in few syscalls.
+                self._pump(subscriber)
+        if subscriber.closed:
+            return
+        if subscriber.outbuf:
+            self._set_interest(
+                subscriber, selectors.EVENT_READ | selectors.EVENT_WRITE)
+        elif subscriber.close_after_flush:
+            self._drop(subscriber)
+        else:
+            self._set_interest(subscriber, selectors.EVENT_READ)
+
+    def _set_interest(self, subscriber: _Subscriber, mask: int) -> None:
+        if subscriber.closed or subscriber.interest == mask:
+            return
+        try:
+            if subscriber.interest == 0:
+                self._selector.register(subscriber.conn, mask, subscriber)
+            else:
+                self._selector.modify(subscriber.conn, mask, subscriber)
+            subscriber.interest = mask
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _drop(self, subscriber: _Subscriber) -> None:
+        """Close one connection and forget every reference to it."""
+        if subscriber.interest:
+            try:
+                self._selector.unregister(subscriber.conn)
+            except (KeyError, ValueError, OSError):
+                pass
+            subscriber.interest = 0
+        self._conns.discard(subscriber)
+        self._handshaking.discard(subscriber)
+        self._deadlines.discard(subscriber)
+        subscriber.close()
+        with self._cond:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+            self._cond.notify_all()
+
+    # -- subscriber activation ----------------------------------------
 
     def _subscriber_ready(self, subscriber: _Subscriber) -> None:
         # Replay and registration are one atomic step under ``_cond``:
@@ -604,24 +1060,41 @@ class TelemetryServer:
 
         Runs under ``_cond``; enqueues via the queue's non-blocking
         ``force`` (the fresh queue has no blocked publishers, so taking
-        its lock here cannot deadlock).  Replay frames are the base
-        (unfiltered) encodings — pid/downsample filters apply to live
-        frames only.
+        its lock here cannot deadlock).  Replayed frames pass through
+        the same pid/kind/downsample predicate as live frames — a
+        resumed subscriber never sees a frame its subscription would
+        have suppressed live (entries recorded without payload metadata
+        fall back to kind-only filtering).
         """
         self.resumes_served += 1
         if self._replay is not None:
-            frames, evicted_through = self._replay.since(last_seq)
+            held, evicted_through = self._replay.since(last_seq)
         else:
-            frames = []
+            held = []
             evicted_through = (self._seq - 1
                                if self._seq - 1 > last_seq else None)
+        subscription = subscriber.subscription
+        admitted: List[Tuple[int, FrameKind, bytes]] = []
+        for seq, kind, data, meta in held:
+            if subscription is not None:
+                if meta is None:
+                    if not subscription.wants_kind(kind):
+                        continue
+                elif not subscription.admit_payload(kind, meta):
+                    continue
+                elif (kind is FrameKind.REPORT
+                        and subscription.pids is not None):
+                    data = wire.encode_frame(
+                        kind, subscription.restrict_payload(meta),
+                        version=wire.STREAM_VERSION)
+            admitted.append((seq, kind, data))
         # Reserve one queue slot for the eviction gap marker: frames
         # that cannot fit extend the evicted range instead of silently
         # evicting each other inside the queue.
         budget = subscriber.queue.capacity - 1
-        if len(frames) > budget:
-            overflow = frames[:-budget] if budget > 0 else frames
-            frames = frames[-budget:] if budget > 0 else []
+        if len(admitted) > budget:
+            overflow = admitted[:-budget] if budget > 0 else admitted
+            admitted = admitted[-budget:] if budget > 0 else []
             evicted_through = overflow[-1][0]
         if evicted_through is not None and evicted_through > last_seq:
             self.replay_evictions += 1
@@ -629,87 +1102,81 @@ class TelemetryServer:
                 evicted_from=last_seq + 1, evicted_through=evicted_through,
                 time_s=0.0, host=self.host_label)
             subscriber.queue.force(FrameKind.GAP, gap)
-        for _seq, kind, data in frames:
+        for _seq, kind, data in admitted:
             subscriber.queue.force(kind, data)
-        subscriber.frames_replayed += len(frames)
-        self.frames_replayed += len(frames)
-
-    def _remove_subscriber(self, subscriber: _Subscriber) -> None:
-        subscriber.close()
-        with self._cond:
-            if subscriber in self._subscribers:
-                self._subscribers.remove(subscriber)
-            self._cond.notify_all()
+        subscriber.frames_replayed += len(admitted)
+        self.frames_replayed += len(admitted)
 
     # -- publishing ---------------------------------------------------
 
     def publish_report(self, report: AggregatedPowerReport) -> int:
         """Fan one aggregated report out; returns queues offered to."""
-        with self._cond:
-            seq = self._seq
-            self._seq += 1
-            self.reports_published += 1
-            targets = list(self._subscribers)
-            base: Optional[bytes] = None
-            if self._replay is not None:
-                # Seq assignment + ring append are atomic with the
-                # targets snapshot, so a concurrent resume replays
-                # exactly the frames its owner will not receive live.
-                base = wire.report_frame(report, host=self.host_label,
-                                         seq=seq)
-                self._replay.append(seq, FrameKind.REPORT, base)
-        offered = 0
-        for subscriber in targets:
-            subscription = subscriber.subscription
-            if (subscription is None
-                    or not subscription.wants_kind(FrameKind.REPORT)
-                    or not subscription.admit_report(report)):
-                continue
-            if subscription.pids is None:
-                if base is None:
-                    base = wire.report_frame(report, host=self.host_label,
-                                             seq=seq)
-                data = base
-            else:
-                data = wire.report_frame(subscription.restrict(report),
-                                         host=self.host_label, seq=seq)
-            offered += self._offer(subscriber, FrameKind.REPORT, data)
-        self._maybe_heartbeat(report.time_s)
-        self._notify()
-        return offered
+        return self.publish_frame(FrameKind.REPORT, report.to_wire())
 
     def publish_health(self, event: HealthEvent) -> int:
         """Fan one health event out to health subscribers."""
-        with self._cond:
-            seq = self._seq
-            self._seq += 1
-            self.health_published += 1
-            targets = list(self._subscribers)
-            data = wire.health_frame(event, host=self.host_label, seq=seq)
-            if self._replay is not None:
-                self._replay.append(seq, FrameKind.HEALTH, data)
-        offered = sum(
-            self._offer(sub, FrameKind.HEALTH, data) for sub in targets
-            if sub.subscription is not None
-            and sub.subscription.wants_kind(FrameKind.HEALTH))
-        self._notify()
-        return offered
+        return self.publish_frame(FrameKind.HEALTH, event.to_wire())
 
     def publish_gap(self, marker: GapMarker) -> int:
         """Fan one sensor gap marker out to gap subscribers."""
-        with self._cond:
-            seq = self._seq
-            self._seq += 1
-            self.gaps_published += 1
-            targets = list(self._subscribers)
-            data = wire.gap_frame(marker, host=self.host_label, seq=seq)
-            if self._replay is not None:
-                self._replay.append(seq, FrameKind.GAP, data)
-        offered = sum(
-            self._offer(sub, FrameKind.GAP, data) for sub in targets
-            if sub.subscription is not None
-            and sub.subscription.wants_kind(FrameKind.GAP)
-            and sub.subscription.admit_gap(marker))
+        return self.publish_frame(FrameKind.GAP, marker.to_wire())
+
+    def publish_frame(self, kind: FrameKind,
+                      payload: Mapping[str, object]) -> int:
+        """Fan one stream frame out from its wire payload; returns
+        queues offered to.
+
+        The shared entry point behind every ``publish_*`` wrapper and
+        the relay's re-publish path: *payload* is a JSON-safe dict
+        (``event.to_wire()``, or a decoded upstream frame's payload).
+        This hop stamps its own ``seq``, fills ``host`` only if the
+        origin left it empty, and preserves any ``origin_seq`` /
+        ``origin_epoch`` keys riding along — which is how end-to-end
+        identity survives a relay tree.  The frame is encoded exactly
+        once (at the floor stream version, so the same bytes serve v1
+        and v2 subscribers); only pid-restricted report views are
+        re-encoded, per subscriber.
+        """
+        counter = _PUBLISH_COUNTERS.get(kind)
+        if counter is None:
+            raise TelemetryError(
+                f"cannot publish {FrameKind(kind).name} frames")
+        body = dict(payload)
+        if not body.get("host"):
+            body["host"] = self.host_label
+        with self._publish_lock:
+            with self._cond:
+                seq = self._seq
+                self._seq += 1
+                setattr(self, counter, getattr(self, counter) + 1)
+                targets = list(self._subscribers)
+                body["seq"] = seq
+                data = wire.encode_frame(kind, body,
+                                         version=wire.STREAM_VERSION)
+                if self._replay is not None:
+                    # Seq assignment + ring append are atomic with the
+                    # targets snapshot, so a concurrent resume replays
+                    # exactly the frames its owner will not receive
+                    # live.  The payload rides along as replay
+                    # metadata so resumes re-apply subscription
+                    # filters.
+                    self._replay.append(seq, kind, data, meta=body)
+            offered = 0
+            for subscriber in targets:
+                subscription = subscriber.subscription
+                if (subscription is None
+                        or not subscription.admit_payload(kind, body)):
+                    continue
+                if (kind is FrameKind.REPORT
+                        and subscription.pids is not None):
+                    chunk = wire.encode_frame(
+                        kind, subscription.restrict_payload(body),
+                        version=wire.STREAM_VERSION)
+                else:
+                    chunk = data
+                offered += self._offer(subscriber, kind, chunk)
+            if kind is FrameKind.REPORT:
+                self._maybe_heartbeat(float(body.get("time_s", 0.0)))
         self._notify()
         return offered
 
@@ -781,6 +1248,7 @@ class TelemetryServer:
             "stream_epoch": self.stream_epoch,
             "resumes_served": self.resumes_served,
             "resumes_rejected": self.resumes_rejected,
+            "connections_refused": self.connections_refused,
             "frames_replayed": self.frames_replayed,
             "replay_evictions": self.replay_evictions,
             "subscribers": subscribers,

@@ -18,7 +18,16 @@ Version negotiation is forward-compatible: :data:`FrameKind.HELLO`
 frames are always encoded at protocol version 1 and carry the sender's
 full ``versions`` list, so a v1 peer can always read a v9 peer's hello
 and the pair settles on ``max(common)`` (:func:`negotiate_version`).
-All post-handshake frames use the negotiated version in their header.
+
+Protocol version 2 adds the :data:`FrameKind.BATCH` envelope: one
+length-prefixed frame whose payload is the raw concatenation of N
+complete inner frames (not JSON).  Batching amortises one ``send()``
+and one header parse over many telemetry frames.  Stream frames
+themselves (report/health/gap/heartbeat) stay encoded at
+:data:`STREAM_VERSION` (the v1 floor) so a server can encode each
+frame **once** and share the bytes across v1 and v2 subscribers — only
+the per-connection envelope differs.  A v1 peer never sees kind 9:
+servers batch only on connections that negotiated version 2.
 """
 
 from __future__ import annotations
@@ -35,12 +44,16 @@ from repro.errors import WireProtocolError
 #: Magic bytes opening every frame ("PowerWire").
 MAGIC = b"PW"
 #: The protocol version this implementation speaks natively.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 #: Every version this implementation can decode.
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1,)
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2)
 #: Hello frames are always encoded at the floor version so any peer can
 #: read them before negotiation.
 HELLO_VERSION = 1
+#: Stream frames (report/health/gap/heartbeat) are encoded once at the
+#: floor version and the bytes shared across every subscriber; the v2
+#: BATCH envelope is applied per connection, never the frames inside.
+STREAM_VERSION = 1
 
 _HEADER = struct.Struct("!2sBBI")
 HEADER_SIZE = _HEADER.size
@@ -51,12 +64,14 @@ MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
 
 
 class FrameKind(enum.IntEnum):
-    """The frame kinds of protocol version 1.
+    """The frame kinds of protocol versions 1 and 2.
 
     RESUME is a capability-gated extension, not a version bump: only
     clients send it, and only after the server's HELLO reply advertised
     the ``"resume"`` feature — so a pre-RESUME peer never sees kind 8
-    and the wire stays backward compatible at version 1.
+    and the wire stays backward compatible at version 1.  BATCH is a
+    version-2 envelope: a server sends it only on connections that
+    negotiated version 2, so a v1 peer never sees kind 9 either.
     """
 
     HELLO = 1       #: handshake: version lists / chosen version
@@ -67,6 +82,7 @@ class FrameKind(enum.IntEnum):
     HEARTBEAT = 6   #: server -> client: liveness marker with sequence
     ERROR = 7       #: either direction: fatal protocol error, then close
     RESUME = 8      #: client -> server: last-acked seq, replay after it
+    BATCH = 9       #: v2 envelope: N complete inner frames in one payload
 
 
 #: Event-kind names accepted in Subscribe filters (Hello/Subscribe/Error
@@ -107,6 +123,10 @@ def encode_frame(kind: FrameKind, payload: Optional[Dict[str, object]] = None,
         kind = FrameKind(kind)
     except ValueError:
         raise WireProtocolError(f"unknown frame kind {kind!r}") from None
+    if kind is FrameKind.BATCH:
+        raise WireProtocolError(
+            "BATCH payloads are raw inner frames, not JSON; "
+            "use encode_batch()")
     if not 0 < version < 256:
         raise WireProtocolError(f"version {version} out of range")
     if kind is FrameKind.HELLO:
@@ -118,6 +138,34 @@ def encode_frame(kind: FrameKind, payload: Optional[Dict[str, object]] = None,
             f"payload of {len(body)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit")
     return _HEADER.pack(MAGIC, version, int(kind), len(body)) + body
+
+
+#: Minimum protocol version whose decoders understand BATCH envelopes.
+BATCH_VERSION = 2
+
+
+def encode_batch(frames: Sequence[bytes],
+                 version: int = BATCH_VERSION) -> bytes:
+    """Wrap already-encoded frames in one v2 BATCH envelope.
+
+    The payload is the raw concatenation of the inner frames — each a
+    complete frame with its own header — so a decoder can validate and
+    yield them individually.  Nesting is not allowed, and the receiver
+    must have negotiated protocol version >= 2.
+    """
+    if version < BATCH_VERSION or version > 255:
+        raise WireProtocolError(
+            f"BATCH requires protocol version >= {BATCH_VERSION}, "
+            f"got {version}")
+    if not frames:
+        raise WireProtocolError("a BATCH frame must contain >= 1 frame")
+    body = b"".join(frames)
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise WireProtocolError(
+            f"batch of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit")
+    return _HEADER.pack(MAGIC, version, int(FrameKind.BATCH),
+                        len(body)) + body
 
 
 class FrameDecoder:
@@ -175,16 +223,64 @@ class FrameDecoder:
                 break  # incomplete frame: wait for more bytes
             body = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
             del self._buffer[:HEADER_SIZE + length]
-            try:
-                payload = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                self._fail(f"frame payload is not valid JSON "
-                           f"({len(body)} bytes, kind {kind.name})")
-            if not isinstance(payload, dict):
-                self._fail(f"frame payload must be a JSON object, "
-                           f"got {type(payload).__name__}")
-            frames.append(Frame(kind=kind, payload=payload, version=version))
+            if kind is FrameKind.BATCH:
+                if version < BATCH_VERSION:
+                    self._fail(f"BATCH envelope at version {version} "
+                               f"(requires >= {BATCH_VERSION})")
+                frames.extend(self._decode_batch(body))
+                continue
+            frames.append(self._decode_body(kind, version, body))
             self.frames_decoded += 1
+        return frames
+
+    def _decode_body(self, kind: FrameKind, version: int,
+                     body: bytes) -> Frame:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._fail(f"frame payload is not valid JSON "
+                       f"({len(body)} bytes, kind {kind.name})")
+        if not isinstance(payload, dict):
+            self._fail(f"frame payload must be a JSON object, "
+                       f"got {type(payload).__name__}")
+        return Frame(kind=kind, payload=payload, version=version)
+
+    def _decode_batch(self, body: bytes) -> List[Frame]:
+        """Validate and decode the inner frames of one BATCH envelope.
+
+        Strict like the outer loop: a truncated or malformed inner
+        frame poisons the decoder — a batch is all-or-nothing.
+        """
+        frames: List[Frame] = []
+        offset = 0
+        while offset < len(body):
+            if len(body) - offset < HEADER_SIZE:
+                self._fail(f"truncated inner frame header in BATCH "
+                           f"({len(body) - offset} trailing bytes)")
+            magic, version, kind_byte, length = _HEADER.unpack_from(
+                body, offset)
+            if magic != MAGIC:
+                self._fail(f"bad inner frame magic {bytes(magic)!r} "
+                           f"in BATCH: corrupt stream")
+            try:
+                kind = FrameKind(kind_byte)
+            except ValueError:
+                self._fail(f"unknown inner frame kind {kind_byte} in BATCH")
+            if kind is FrameKind.BATCH:
+                self._fail("nested BATCH frames are not allowed")
+            if version not in self.accept_versions and not (
+                    kind is FrameKind.HELLO and version == HELLO_VERSION):
+                self._fail(f"unsupported inner frame version {version} "
+                           f"in BATCH (accepting "
+                           f"{list(self.accept_versions)})")
+            start = offset + HEADER_SIZE
+            if len(body) - start < length:
+                self._fail(f"truncated inner frame in BATCH (need "
+                           f"{length} bytes, have {len(body) - start})")
+            frames.append(self._decode_body(
+                kind, version, body[start:start + length]))
+            self.frames_decoded += 1
+            offset = start + length
         return frames
 
 
@@ -275,7 +371,7 @@ def subscribe_payload(pids: Optional[Iterable[int]] = None,
 # -- event payloads -------------------------------------------------------
 
 def report_frame(report: AggregatedPowerReport, host: str = "",
-                 seq: int = 0, version: int = PROTOCOL_VERSION) -> bytes:
+                 seq: int = 0, version: int = STREAM_VERSION) -> bytes:
     """Encode one aggregated report as a Report frame."""
     payload = report.to_wire()
     payload["host"] = host
@@ -284,7 +380,7 @@ def report_frame(report: AggregatedPowerReport, host: str = "",
 
 
 def health_frame(event: HealthEvent, host: str = "", seq: int = 0,
-                 version: int = PROTOCOL_VERSION) -> bytes:
+                 version: int = STREAM_VERSION) -> bytes:
     """Encode one health event as a Health frame."""
     payload = event.to_wire()
     payload["host"] = host
@@ -293,7 +389,7 @@ def health_frame(event: HealthEvent, host: str = "", seq: int = 0,
 
 
 def gap_frame(marker: GapMarker, host: str = "", seq: int = 0,
-              version: int = PROTOCOL_VERSION) -> bytes:
+              version: int = STREAM_VERSION) -> bytes:
     """Encode one sensor gap marker as a Gap frame."""
     payload = marker.to_wire()
     payload["host"] = host
@@ -303,7 +399,7 @@ def gap_frame(marker: GapMarker, host: str = "", seq: int = 0,
 
 def eviction_gap_frame(evicted_from: int, evicted_through: int,
                        time_s: float, host: str = "",
-                       version: int = PROTOCOL_VERSION) -> bytes:
+                       version: int = STREAM_VERSION) -> bytes:
     """Encode the synthetic Gap frame marking a replay-window eviction.
 
     When a resuming client's window ``(last_seq, now]`` has partly
@@ -324,15 +420,20 @@ def eviction_gap_frame(evicted_from: int, evicted_through: int,
 
 
 def heartbeat_frame(seq: int, time_s: float, host: str = "",
-                    version: int = PROTOCOL_VERSION) -> bytes:
+                    version: int = STREAM_VERSION) -> bytes:
     """Encode a liveness heartbeat."""
     return encode_frame(FrameKind.HEARTBEAT,
                         {"seq": int(seq), "time_s": float(time_s),
                          "host": host}, version=version)
 
 
-def error_frame(reason: str, version: int = PROTOCOL_VERSION) -> bytes:
-    """Encode a fatal protocol error (the sender closes afterwards)."""
+def error_frame(reason: str, version: int = HELLO_VERSION) -> bytes:
+    """Encode a fatal protocol error (the sender closes afterwards).
+
+    Errors default to the floor version: they are connection plumbing
+    (handshake refusals, capacity rejections) that must be readable by
+    a peer whose negotiation never completed.
+    """
     return encode_frame(FrameKind.ERROR, {"reason": reason}, version=version)
 
 
@@ -340,11 +441,26 @@ def error_frame(reason: str, version: int = PROTOCOL_VERSION) -> bytes:
 
 @dataclass(frozen=True)
 class ReportEvent:
-    """A Report frame decoded back into library types."""
+    """A Report frame decoded back into library types.
+
+    ``origin_seq``/``origin_epoch`` are set on frames that crossed a
+    :class:`~repro.telemetry.relay.TelemetryRelay`: the sequence number
+    and stream epoch the *origin* server assigned, preserved hop by hop
+    so ``(host, origin_seq, origin_epoch)`` identifies the frame end to
+    end regardless of per-hop resequencing.
+    """
 
     report: AggregatedPowerReport
     host: str = ""
     seq: int = 0
+    origin_seq: Optional[int] = None
+    origin_epoch: Optional[str] = None
+
+    def identity(self) -> Tuple[str, object, int]:
+        """End-to-end frame identity: prefers origin over hop-local seq."""
+        if self.origin_seq is not None:
+            return (self.host, self.origin_epoch, self.origin_seq)
+        return (self.host, None, self.seq)
 
 
 @dataclass(frozen=True)
@@ -354,6 +470,8 @@ class HealthTelemetry:
     event: HealthEvent
     host: str = ""
     seq: int = 0
+    origin_seq: Optional[int] = None
+    origin_epoch: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -370,6 +488,8 @@ class GapTelemetry:
     seq: int = 0
     evicted_from: Optional[int] = None
     evicted_through: Optional[int] = None
+    origin_seq: Optional[int] = None
+    origin_epoch: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -389,15 +509,22 @@ def decode_event(frame: Frame):
     """
     try:
         payload = frame.payload
+        origin_seq = payload.get("origin_seq")
+        origin_seq = None if origin_seq is None else int(origin_seq)
+        origin_epoch = payload.get("origin_epoch")
+        origin_epoch = None if origin_epoch is None else str(origin_epoch)
         if frame.kind is FrameKind.REPORT:
             return ReportEvent(
                 report=AggregatedPowerReport.from_wire(payload),
                 host=str(payload.get("host", "")),
-                seq=int(payload.get("seq", 0)))
+                seq=int(payload.get("seq", 0)),
+                origin_seq=origin_seq, origin_epoch=origin_epoch)
         if frame.kind is FrameKind.HEALTH:
             return HealthTelemetry(event=HealthEvent.from_wire(payload),
                                    host=str(payload.get("host", "")),
-                                   seq=int(payload.get("seq", 0)))
+                                   seq=int(payload.get("seq", 0)),
+                                   origin_seq=origin_seq,
+                                   origin_epoch=origin_epoch)
         if frame.kind is FrameKind.GAP:
             evicted_from = payload.get("evicted_from")
             evicted_through = payload.get("evicted_through")
@@ -408,7 +535,8 @@ def decode_event(frame: Frame):
                 evicted_from=(None if evicted_from is None
                               else int(evicted_from)),
                 evicted_through=(None if evicted_through is None
-                                 else int(evicted_through)))
+                                 else int(evicted_through)),
+                origin_seq=origin_seq, origin_epoch=origin_epoch)
         if frame.kind is FrameKind.HEARTBEAT:
             return Heartbeat(seq=int(payload["seq"]),
                              time_s=float(payload["time_s"]),

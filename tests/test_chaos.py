@@ -151,6 +151,74 @@ class TestResumeReplay:
         finally:
             server.stop()
 
+    def test_replay_respects_pid_filter(self, server, tmp_path):
+        """Regression: replayed frames used to bypass the subscription
+        filters — a pid-scoped consumer resuming after a crash received
+        every frame in the window, including other pids' reports."""
+        first = make_client(server, spool=tmp_path, pids=[100])
+        server.wait_for(lambda: server.subscriber_count == 1)
+        server.publish_report(report(time_s=1.0))  # seq 0, pid 100
+        assert first.collect(1)[0].seq == 0
+        first.close()
+
+        # Published while the consumer was down: two frames it must
+        # NOT see on resume, one it must.
+        server.publish_report(report(time_s=2.0, by_pid={200: 1.0}))
+        server.publish_report(report(time_s=3.0, by_pid={200: 2.0}))
+        server.publish_report(report(time_s=4.0,
+                                     by_pid={100: 9.0, 200: 1.0}))
+
+        second = make_client(server, spool=tmp_path, pids=[100])
+        events = second.collect(1)
+        assert events[0].report.time_s == 4.0
+        assert events[0].seq == 3
+        # The replayed payload is narrowed exactly like a live one.
+        assert set(events[0].report.by_pid) == {100}
+        stats = server.stats()
+        assert stats["resumes_served"] == 1
+        assert stats["frames_replayed"] == 1
+        second.close()
+
+    def test_replay_respects_kind_filter(self, server, tmp_path):
+        first = make_client(server, spool=tmp_path, kinds=["report"])
+        server.wait_for(lambda: server.subscriber_count == 1)
+        server.publish_report(report(time_s=1.0))  # seq 0
+        assert first.collect(1)[0].seq == 0
+        first.close()
+
+        server.publish_health(HealthEvent(  # seq 1: filtered on resume
+            time_s=1.5, component="sensor", kind="degraded", detail=""))
+        server.publish_report(report(time_s=2.0))  # seq 2
+
+        second = make_client(server, spool=tmp_path, kinds=["report"])
+        events = second.collect(1)
+        assert isinstance(events[0], ReportEvent)
+        assert events[0].seq == 2 and events[0].report.time_s == 2.0
+        assert server.stats()["frames_replayed"] == 1
+        second.close()
+
+    def test_replay_respects_downsample_cadence(self, server, tmp_path):
+        """Replay applies the same every-Nth predicate as the live
+        path: the reconnected subscription's counter starts fresh, so
+        the replayed window is downsampled exactly like a live stream
+        would be for this connection — not delivered wholesale."""
+        first = make_client(server, spool=tmp_path, downsample=2)
+        server.wait_for(lambda: server.subscriber_count == 1)
+        server.publish_report(report(time_s=1.0))  # index 0: delivered
+        assert first.collect(1)[0].seq == 0
+        first.close()
+
+        for time_s in (2.0, 3.0, 4.0, 5.0):  # published while away
+            server.publish_report(report(time_s=time_s))
+
+        second = make_client(server, spool=tmp_path, downsample=2)
+        events = second.collect(2)
+        # Replay indexes 0 and 2 of this connection fall on the
+        # cadence; the frames between them are skipped, not queued.
+        assert [e.report.time_s for e in events] == [2.0, 4.0]
+        assert server.stats()["frames_replayed"] == 2
+        second.close()
+
     def test_resume_rejected_across_server_restart(self, tmp_path):
         """A seq from another server's epoch must not be replayed."""
         first_server = TelemetryServer(port=0, replay_window=16).start()

@@ -16,7 +16,7 @@ from tests.strategies import default_settings, pipeline_specs
 from repro.core.model import FrequencyFormula, PowerModel
 from repro.core.monitor import PowerAPI
 from repro.core.pipeline import (DegradationSpec, PipelineSpec, StageSpec,
-                                 TelemetrySpec)
+                                 TelemetrySpec, parse_uplink)
 from repro.core.reporters import CsvReporter, InMemoryReporter
 from repro.errors import ConfigurationError
 from repro.os.kernel import SimKernel
@@ -50,7 +50,10 @@ FULL_SPEC = PipelineSpec(
     faults="crash@5.0:formula-0;pid-exit@8.0",
     telemetry=TelemetrySpec(host="0.0.0.0", port=9977,
                             overflow="coalesce", queue_capacity=64,
-                            heartbeat_every=10, host_label="node-3"),
+                            heartbeat_every=10, host_label="node-3",
+                            batch_max_frames=32, batch_max_bytes=65536,
+                            batch_max_latency_s=0.005, max_subscribers=128,
+                            uplinks=("upstream-a:9100", "upstream-b:9101")),
 )
 
 
@@ -115,6 +118,66 @@ class TestRoundTrip:
     def test_stage_without_type_rejected(self):
         with pytest.raises(ConfigurationError, match="missing 'type'"):
             StageSpec.from_dict({"path": "x.csv"})
+
+
+class TestTelemetryTier:
+    """The [telemetry] batch/uplink/limit knobs and their plumbing."""
+
+    def test_parse_uplink(self):
+        assert parse_uplink("host-a:9200") == ("host-a", 9200)
+        assert parse_uplink("::1:9200") == ("::1", 9200)
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            parse_uplink("nocolon")
+        with pytest.raises(ConfigurationError, match="port"):
+            parse_uplink("host:abc")
+
+    def test_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            TelemetrySpec(batch_max_frames=0)
+        with pytest.raises(ConfigurationError):
+            TelemetrySpec(batch_max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            TelemetrySpec(batch_max_latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            TelemetrySpec(max_subscribers=-1)
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            TelemetrySpec(uplinks=("bogus",))
+
+    def test_server_kwargs_builds_batch_policy_and_uplinks(self):
+        from repro.telemetry.server import BatchPolicy
+        spec = TelemetrySpec(batch_max_frames=8,
+                             batch_max_latency_s=0.01,
+                             max_subscribers=16,
+                             uplinks=("up-a:9100", "up-b:9101"))
+        kwargs = spec.server_kwargs()
+        assert kwargs["max_subscribers"] == 16
+        assert kwargs["uplinks"] == (("up-a", 9100), ("up-b", 9101))
+        batch = kwargs["batch"]
+        assert isinstance(batch, BatchPolicy)
+        assert batch.max_frames == 8
+        assert batch.max_latency_s == 0.01
+        # Unset batch knobs inherit the policy defaults.
+        assert batch.max_bytes == BatchPolicy().max_bytes
+
+    def test_server_kwargs_omits_unset_tier_knobs(self):
+        kwargs = TelemetrySpec().server_kwargs()
+        assert "batch" not in kwargs
+        assert "uplinks" not in kwargs
+        assert "max_subscribers" not in kwargs
+
+    def test_with_telemetry_fluent_builder(self, model):
+        api, pid = fresh_api(model)
+        builder = api.monitor(pid).every(1.0).with_telemetry(
+            port=0, batch_max_frames=32, max_subscribers=8,
+            uplinks=("up-a:9100",))
+        spec = builder.spec()
+        assert spec.telemetry is not None
+        assert spec.telemetry.batch_max_frames == 32
+        assert spec.telemetry.max_subscribers == 8
+        assert spec.telemetry.uplinks == ("up-a:9100",)
+        # The description round-trips like any other config file.
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+        api.shutdown()
 
 
 class TestValidation:

@@ -1,0 +1,427 @@
+"""Relay-tree tests: origin identity across hops, multi-hop
+resequencing properties, mid-chain restart exactly-once, diamond
+dedup, hierarchical fleet rollup and the ``relay`` CLI node.
+
+The property tests draw reports from ``tests/strategies`` and push
+them through live 1-3 hop chains on ephemeral localhost ports; every
+wait is condition-based — no sleeps.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
+from repro.errors import ConfigurationError
+from repro.telemetry import (FleetAggregator, HierarchicalFleetAggregator,
+                             TelemetryClient, TelemetryRelay, TelemetryServer,
+                             relay_chain)
+from repro.telemetry.client import ReconnectPolicy
+from repro.telemetry.wire import GapTelemetry, HealthTelemetry, ReportEvent
+from tests.strategies import aggregated_reports
+
+pytestmark = pytest.mark.telemetry
+
+
+def report(time_s=1.0, by_pid=None, gap=False):
+    return AggregatedPowerReport(
+        time_s=time_s, period_s=1.0,
+        by_pid={} if gap else (by_pid if by_pid is not None else {100: 5.5}),
+        idle_w=31.48, formula="hpc", gap=gap)
+
+
+def make_client(port, **kwargs):
+    client = TelemetryClient("127.0.0.1", port,
+                             read_timeout_s=10.0, **kwargs)
+    client.connect()
+    return client
+
+
+def wait_chain_connected(origin, chain):
+    """Every hop has its downstream neighbour subscribed."""
+    assert origin.wait_for_subscribers(1, timeout=10.0)
+    for relay in chain[:-1]:
+        assert relay.wait_for_subscribers(1, timeout=10.0)
+
+
+class TestRelayConfig:
+    def test_needs_at_least_one_upstream(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            TelemetryRelay([])
+
+    def test_server_kwargs_conflict_with_grafted_server(self):
+        server = TelemetryServer(port=0)
+        with pytest.raises(ConfigurationError, match="existing server"):
+            TelemetryRelay(("127.0.0.1", 1), server=server,
+                           replay_window=8)
+
+    def test_chain_needs_a_hop(self):
+        with pytest.raises(ConfigurationError, match=">= 1 hop"):
+            relay_chain(("127.0.0.1", 1), hops=0)
+
+
+class TestSingleHop:
+    def test_identity_stamped_at_first_hop(self):
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=64).start()
+        relay = None
+        client = None
+        try:
+            relay = TelemetryRelay(("127.0.0.1", origin.port)).start()
+            assert origin.wait_for_subscribers(1)
+            client = make_client(relay.port)
+            for index in range(3):
+                origin.publish_report(report(time_s=float(index)))
+            events = client.collect(3)
+            assert [e.host for e in events] == ["origin-1"] * 3
+            assert [e.origin_seq for e in events] == [0, 1, 2]
+            assert all(e.origin_epoch == origin.stream_epoch
+                       for e in events)
+            assert [e.identity() for e in events] == [
+                ("origin-1", origin.stream_epoch, i) for i in range(3)]
+            assert relay.wait_until_relayed(3)
+        finally:
+            if client is not None:
+                client.close()
+            if relay is not None:
+                relay.stop()
+            origin.stop()
+
+    def test_health_and_gap_frames_relay_with_identity(self):
+        origin = TelemetryServer(host_label="origin-1").start()
+        relay = None
+        client = None
+        try:
+            relay = TelemetryRelay(("127.0.0.1", origin.port)).start()
+            assert origin.wait_for_subscribers(1)
+            client = make_client(relay.port)
+            origin.publish_health(HealthEvent(
+                time_s=1.0, component="sensor", kind="degraded",
+                detail="hpc read failed"))
+            origin.publish_gap(GapMarker(time_s=2.0, pid=7, period_s=1.0,
+                                         source="sensor"))
+            health, gap = client.collect(2)
+            assert isinstance(health, HealthTelemetry)
+            assert health.event.component == "sensor"
+            assert health.host == "origin-1" and health.origin_seq == 0
+            assert isinstance(gap, GapTelemetry)
+            assert gap.marker.pid == 7
+            assert gap.host == "origin-1" and gap.origin_seq == 1
+            assert gap.origin_epoch == origin.stream_epoch
+        finally:
+            if client is not None:
+                client.close()
+            if relay is not None:
+                relay.stop()
+            origin.stop()
+
+    def test_heartbeats_stay_hop_local(self):
+        origin = TelemetryServer(host_label="origin-1",
+                                 heartbeat_every=1).start()
+        relay = None
+        client = None
+        try:
+            relay = TelemetryRelay(("127.0.0.1", origin.port)).start()
+            assert origin.wait_for_subscribers(1)
+            client = make_client(relay.port)
+            origin.publish_report(report(time_s=1.0))
+            origin.publish_report(report(time_s=2.0))
+            events = client.collect(2)
+            # Only the two reports cross the relay; the origin's
+            # heartbeats are consumed at the uplink and never re-sent.
+            assert all(isinstance(e, ReportEvent) for e in events)
+            assert relay.wait_until_relayed(2)
+        finally:
+            if client is not None:
+                client.close()
+            if relay is not None:
+                relay.stop()
+            origin.stop()
+
+
+class TestChainProperties:
+    """Multi-hop resequencing over generated report streams."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(reports=st.lists(aggregated_reports(), min_size=1, max_size=6),
+           hops=st.integers(2, 3))
+    def test_chain_preserves_identity_order_and_payload(self, reports,
+                                                        hops):
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=64).start()
+        chain = []
+        client = None
+        try:
+            chain = relay_chain(("127.0.0.1", origin.port), hops=hops)
+            wait_chain_connected(origin, chain)
+            client = make_client(chain[-1].port)
+            for item in reports:
+                origin.publish_report(item)
+            events = client.collect(len(reports))
+            epoch = origin.stream_epoch
+            # End-to-end identity: origin (host, epoch, seq), in order,
+            # no duplicates, no loss — regardless of hop count.
+            assert [e.identity() for e in events] == [
+                ("origin-1", epoch, i) for i in range(len(reports))]
+            assert [e.report.time_s for e in events] == [
+                r.time_s for r in reports]
+            assert [e.report.gap for e in events] == [
+                r.gap for r in reports]
+            assert [e.report.total_w for e in events] == pytest.approx(
+                [r.total_w for r in reports])
+        finally:
+            if client is not None:
+                client.close()
+            for relay in reversed(chain):
+                relay.stop()
+            origin.stop()
+
+    @settings(max_examples=10, deadline=None)
+    @given(reports=st.lists(aggregated_reports(), min_size=1, max_size=6))
+    def test_fleet_dedup_key_is_stable_across_hops(self, reports):
+        """The same stream consumed at hop 1 and hop 2 yields identical
+        identity keys, so any consumer dedups consistently no matter
+        where in the tree it is attached."""
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=64).start()
+        chain = []
+        near = far = None
+        try:
+            chain = relay_chain(("127.0.0.1", origin.port), hops=2)
+            wait_chain_connected(origin, chain)
+            near = make_client(chain[0].port)
+            far = make_client(chain[-1].port)
+            for item in reports:
+                origin.publish_report(item)
+            near_ids = [e.identity() for e in near.collect(len(reports))]
+            far_ids = [e.identity() for e in far.collect(len(reports))]
+            assert near_ids == far_ids
+        finally:
+            for client in (near, far):
+                if client is not None:
+                    client.close()
+            for relay in reversed(chain):
+                relay.stop()
+            origin.stop()
+
+
+class TestRestartExactlyOnce:
+    def test_midchain_restart_no_loss(self, tmp_path):
+        """A relay that crashes and restarts with its spool RESUMEs
+        from the origin: downstream sees every frame exactly once.
+
+        The consumer is a :class:`HierarchicalFleetAggregator`, which
+        keys samples by the origin host each frame carries — so the
+        same per-host dedup state spans both relay incarnations."""
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=128).start()
+        agg = HierarchicalFleetAggregator()
+        down = TelemetryServer(replay_window=128).start()
+        relay = None
+        try:
+            # Graft the relay onto a pre-started server so the
+            # consumer is subscribed before the first frame crosses.
+            relay = TelemetryRelay(("127.0.0.1", origin.port),
+                                   spool_dir=tmp_path, server=down)
+            agg.add_uplink("edge", "127.0.0.1", down.port)
+            assert down.wait_for_subscribers(1)
+            relay.start()
+            assert origin.wait_for_subscribers(1)
+            for index in range(3):
+                origin.publish_report(report(time_s=float(index)))
+            assert relay.wait_until_relayed(3)
+            assert agg.wait_for_samples(3)
+
+            relay.stop()  # crash the middle of the tree
+            down.stop()
+            for index in range(3, 6):  # published while it was down
+                origin.publish_report(report(time_s=float(index)))
+
+            down = TelemetryServer(replay_window=128).start()
+            relay = TelemetryRelay(("127.0.0.1", origin.port),
+                                   spool_dir=tmp_path, server=down)
+            agg.add_uplink("edge", "127.0.0.1", down.port)
+            assert down.wait_for_subscribers(1)
+            relay.start()
+            assert relay.wait_until_relayed(3)
+            assert agg.wait_for(
+                lambda: len(agg._streams["origin-1"].samples) == 6)
+            times = [s.time_s for s in agg.host_series("origin-1")]
+            assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+            assert agg.duplicate_count() == 0
+            assert relay.stats()["uplinks"][0]["resumes_sent"] == 1
+        finally:
+            agg.close()
+            if relay is not None:
+                relay.stop()
+            down.stop()
+            origin.stop()
+
+    def test_diamond_duplicates_collapse_by_identity(self):
+        """Two parallel relay paths deliver every frame twice; the
+        origin identity makes the copies collapse to exactly-once."""
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=64).start()
+        left = right = join = None
+        fleet = FleetAggregator()
+        try:
+            left = TelemetryRelay(("127.0.0.1", origin.port)).start()
+            right = TelemetryRelay(("127.0.0.1", origin.port)).start()
+            assert origin.wait_for_subscribers(2)
+            join = TelemetryRelay([("127.0.0.1", left.port),
+                                   ("127.0.0.1", right.port)]).start()
+            assert left.wait_for_subscribers(1)
+            assert right.wait_for_subscribers(1)
+            fleet.add_host("origin-1", "127.0.0.1", join.port)
+            assert join.wait_for_subscribers(1)
+            for index in range(4):
+                origin.publish_report(report(time_s=float(index)))
+            assert join.wait_until_relayed(8)  # both copies crossed
+            assert fleet.wait_for(lambda: fleet.duplicate_count() == 4)
+            times = [s.time_s for s in fleet.host_series("origin-1")]
+            assert times == [0.0, 1.0, 2.0, 3.0]  # merged exactly once
+        finally:
+            fleet.close()
+            for relay in (join, left, right):
+                if relay is not None:
+                    relay.stop()
+            origin.stop()
+
+
+class TestHierarchicalFleet:
+    def test_two_cluster_rollup_through_relays(self):
+        east_a = TelemetryServer(host_label="east-a").start()
+        east_b = TelemetryServer(host_label="east-b").start()
+        west_a = TelemetryServer(host_label="west-a").start()
+        east = west = None
+        agg = HierarchicalFleetAggregator()
+        try:
+            east = TelemetryRelay([("127.0.0.1", east_a.port),
+                                   ("127.0.0.1", east_b.port)]).start()
+            west = TelemetryRelay(("127.0.0.1", west_a.port)).start()
+            assert east_a.wait_for_subscribers(1)
+            assert east_b.wait_for_subscribers(1)
+            assert west_a.wait_for_subscribers(1)
+            agg.add_uplink("east", "127.0.0.1", east.port)
+            agg.add_uplink("west", "127.0.0.1", west.port)
+            assert east.wait_for_subscribers(1)
+            assert west.wait_for_subscribers(1)
+            for origin, watts in ((east_a, 10.0), (east_b, 20.0),
+                                  (west_a, 40.0)):
+                origin.publish_report(report(time_s=1.0,
+                                             by_pid={100: watts}))
+            assert agg.wait_for_samples(3)
+
+            assert agg.cluster_of("east-a") == "east"
+            assert agg.cluster_of("east-b") == "east"
+            assert agg.cluster_of("west-a") == "west"
+            assert agg.clusters() == ("east", "west")
+            assert sorted(agg.hosts_in("east")) == ["east-a", "east-b"]
+
+            rollup = agg.cluster_rollup()
+            assert set(rollup) == {"east", "west"}
+            east_point = rollup["east"][0]
+            assert east_point.total_w == pytest.approx(10.0 + 20.0
+                                                       + 2 * 31.48)
+            assert east_point.complete
+            west_point = rollup["west"][0]
+            assert west_point.by_host == {
+                "west-a": pytest.approx(40.0 + 31.48)}
+
+            top = agg.global_series()[0]
+            assert top.total_w == pytest.approx(
+                east_point.total_w + west_point.total_w)
+            energy = agg.cluster_energy_by_cluster()
+            assert energy["east"] == pytest.approx(east_point.total_w)
+            assert energy["west"] == pytest.approx(west_point.total_w)
+        finally:
+            agg.close()
+            for relay in (east, west):
+                if relay is not None:
+                    relay.stop()
+            for origin in (east_a, east_b, west_a):
+                origin.stop()
+
+
+class TestGraftedServer:
+    def test_relay_onto_existing_server_merges_streams(self):
+        upstream = TelemetryServer(host_label="edge-1").start()
+        local = TelemetryServer(host_label="junction").start()
+        relay = None
+        client = None
+        try:
+            relay = TelemetryRelay(("127.0.0.1", upstream.port),
+                                   server=local).start()
+            assert upstream.wait_for_subscribers(1)
+            client = make_client(local.port)
+            upstream.publish_report(report(time_s=1.0))
+            assert relay.wait_until_relayed(1)
+            local.publish_report(report(time_s=2.0))
+            events = client.collect(2)
+            hosts = {e.host for e in events}
+            assert hosts == {"edge-1", "junction"}
+            relayed = next(e for e in events if e.host == "edge-1")
+            assert relayed.origin_epoch == upstream.stream_epoch
+        finally:
+            if client is not None:
+                client.close()
+            if relay is not None:
+                relay.stop()
+            local.stop()  # grafted: the relay does not own it
+            upstream.stop()
+
+    def test_stop_leaves_grafted_server_running(self):
+        upstream = TelemetryServer().start()
+        local = TelemetryServer().start()
+        try:
+            relay = TelemetryRelay(("127.0.0.1", upstream.port),
+                                   server=local).start()
+            relay.stop()
+            assert local.port  # still listening
+            client = make_client(local.port)
+            local.publish_report(report(time_s=1.0))
+            assert client.collect(1)
+            client.close()
+        finally:
+            local.stop()
+            upstream.stop()
+
+
+class TestRelayCli:
+    def test_relay_command_bridges_a_live_stream(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        origin = TelemetryServer(host_label="origin-1",
+                                 replay_window=64).start()
+        buffer = io.StringIO()
+        try:
+            for index in range(3):
+                origin.publish_report(report(time_s=float(index)))
+            # Publish-before-subscribe is fine: the relay RESUMEs are
+            # not needed here, the frames land after it connects.
+            ready = threading.Event()
+            rc = {}
+
+            def run():
+                rc["code"] = main([
+                    "relay", "--upstream", f"127.0.0.1:{origin.port}",
+                    "--duration", "2.0", "--replay-window", "16",
+                    "--spool", str(tmp_path / "spool")], out=buffer)
+                ready.set()
+
+            publisher = threading.Thread(target=run, daemon=True)
+            publisher.start()
+            assert origin.wait_for_subscribers(1, timeout=10.0)
+            for index in range(3, 6):
+                origin.publish_report(report(time_s=float(index)))
+            assert ready.wait(timeout=15.0)
+            assert rc["code"] == 0
+            out = buffer.getvalue()
+            assert "relay: serving on 127.0.0.1:" in out
+            assert f"uplinks: 127.0.0.1:{origin.port}" in out
+            assert "relayed 3 frame(s) from 1 uplink(s)" in out
+        finally:
+            origin.stop()

@@ -133,7 +133,7 @@ class TestReconnect:
             publisher.join(timeout=10.0)
             assert event.report.time_s == 2.0
             assert client.reconnects == 1
-            assert client.negotiated_version == 1
+            assert client.negotiated_version == wire.PROTOCOL_VERSION
             # The backoff schedule was consulted, not a busy loop.
             assert sleeps and all(delay <= 0.05 for delay in sleeps)
         finally:

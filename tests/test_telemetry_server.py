@@ -15,8 +15,9 @@ from repro.core.messages import AggregatedPowerReport, GapMarker, HealthEvent
 from repro.errors import ConfigurationError, WireProtocolError
 from repro.telemetry import wire
 from repro.telemetry.client import TelemetryClient
-from repro.telemetry.server import (BoundedFrameQueue, OverflowPolicy,
-                                    TelemetryBridge, TelemetryServer)
+from repro.telemetry.server import (BatchPolicy, BoundedFrameQueue,
+                                    OverflowPolicy, TelemetryBridge,
+                                    TelemetryServer)
 from repro.telemetry.wire import (FrameKind, GapTelemetry, Heartbeat,
                                   HealthTelemetry, ReportEvent)
 
@@ -497,6 +498,193 @@ class TestBridge:
         assert isinstance(events[1], GapTelemetry)
         assert events[1].marker.pid == 100
         client.close()
+
+
+def _raw_subscribe(server, versions=(1, 2)):
+    """Handshake a raw socket; returns (sock, decoder, leftover raw)."""
+    sock = socket.create_connection(("127.0.0.1", server.port),
+                                    timeout=10.0)
+    sock.sendall(wire.encode_frame(
+        FrameKind.HELLO, {"agent": "raw", "versions": list(versions)}))
+    sock.sendall(wire.encode_frame(FrameKind.SUBSCRIBE, {"downsample": 1}))
+    decoder = wire.FrameDecoder(accept_versions=versions)
+    raw = b""
+    frames = []
+    while not frames:
+        data = sock.recv(65536)
+        assert data, "server closed during handshake"
+        raw += data
+        frames = decoder.feed(data)
+    assert frames[0].kind is FrameKind.HELLO
+    # Bytes past the HELLO reply belong to the stream proper.
+    hello_len = len(wire.encode_frame(FrameKind.HELLO, frames[0].payload))
+    return sock, decoder, raw[hello_len:]
+
+
+def _outer_kinds(data):
+    """Frame kinds at the outer (envelope) level of a raw byte run."""
+    kinds = []
+    offset = 0
+    while offset + wire.HEADER_SIZE <= len(data):
+        _magic, _version, kind, length = wire._HEADER.unpack_from(
+            data, offset)
+        kinds.append(FrameKind(kind))
+        offset += wire.HEADER_SIZE + length
+    return kinds
+
+
+class TestBatching:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_frames=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_latency_s=-0.1)
+
+    def test_batched_stream_is_transparent_to_the_client(self):
+        server = TelemetryServer(
+            port=0, batch=BatchPolicy(max_frames=16,
+                                      max_latency_s=0.02)).start()
+        try:
+            client = make_client(server)
+            assert server.wait_for_subscribers(1)
+            for index in range(20):
+                server.publish_report(report(time_s=float(index)))
+            events = client.collect(20)
+            assert [e.seq for e in events] == list(range(20))
+            assert [e.report.time_s for e in events] == [
+                float(i) for i in range(20)]
+            client.close()
+        finally:
+            server.stop()
+
+    def test_v2_wire_carries_batch_envelopes(self):
+        server = TelemetryServer(
+            port=0, batch=BatchPolicy(max_frames=16,
+                                      max_latency_s=0.05)).start()
+        try:
+            sock, decoder, raw = _raw_subscribe(server)
+            assert server.wait_for_subscribers(1)
+            for index in range(6):
+                server.publish_report(report(time_s=float(index)))
+            frames = decoder.feed(b"")
+            while len(frames) < 6:
+                data = sock.recv(65536)
+                assert data, "server closed mid-stream"
+                raw += data
+                frames.extend(decoder.feed(data))
+            assert len(frames) == 6
+            assert all(f.kind is FrameKind.REPORT for f in frames)
+            # The latency window coalesced the burst: at least one
+            # outer frame is a BATCH envelope.
+            assert FrameKind.BATCH in _outer_kinds(raw)
+            sock.close()
+        finally:
+            server.stop()
+
+    def test_v1_subscriber_receives_bare_frames(self):
+        # A PR-5-era client that only negotiated v1 must never be sent
+        # a BATCH envelope, whatever the server's flush policy says.
+        server = TelemetryServer(
+            port=0, batch=BatchPolicy(max_frames=16,
+                                      max_latency_s=0.05)).start()
+        try:
+            sock, decoder, raw = _raw_subscribe(server, versions=(1,))
+            assert server.wait_for_subscribers(1)
+            for index in range(6):
+                server.publish_report(report(time_s=float(index)))
+            frames = decoder.feed(b"")
+            while len(frames) < 6:
+                data = sock.recv(65536)
+                assert data, "server closed mid-stream"
+                raw += data
+                frames.extend(decoder.feed(data))
+            outer = _outer_kinds(raw)
+            assert FrameKind.BATCH not in outer
+            assert outer.count(FrameKind.REPORT) == 6
+            sock.close()
+        finally:
+            server.stop()
+
+    def test_max_frames_one_disables_batching(self):
+        server = TelemetryServer(
+            port=0, batch=BatchPolicy(max_frames=1)).start()
+        try:
+            sock, decoder, raw = _raw_subscribe(server)
+            assert server.wait_for_subscribers(1)
+            for index in range(6):
+                server.publish_report(report(time_s=float(index)))
+            frames = decoder.feed(b"")
+            while len(frames) < 6:
+                data = sock.recv(65536)
+                assert data, "server closed mid-stream"
+                raw += data
+                frames.extend(decoder.feed(data))
+            assert FrameKind.BATCH not in _outer_kinds(raw)
+            sock.close()
+        finally:
+            server.stop()
+
+
+class TestMaxSubscribers:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(max_subscribers=-1)
+
+    def test_excess_connection_gets_error_frame(self):
+        server = TelemetryServer(port=0, max_subscribers=1).start()
+        try:
+            first = make_client(server)
+            assert server.wait_for_subscribers(1)
+
+            sock = socket.create_connection(("127.0.0.1", server.port),
+                                            timeout=10.0)
+            sock.sendall(wire.encode_frame(
+                FrameKind.HELLO, wire.hello_payload("overflow")))
+            sock.sendall(wire.encode_frame(
+                FrameKind.SUBSCRIBE, {"downsample": 1}))
+            decoder = wire.FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(65536)
+                assert data, "server closed without an error frame"
+                frames = decoder.feed(data)
+            assert frames[0].kind is FrameKind.ERROR
+            assert "subscriber limit reached (1)" \
+                in frames[0].payload["reason"]
+            sock.close()
+
+            stats = server.stats()
+            assert stats["connections_refused"] == 1
+            assert server.subscriber_count == 1
+
+            # A slot freed by a disconnect is usable again.
+            first.close()
+            assert server.wait_for(
+                lambda: server.subscriber_count == 0)
+            second = make_client(server)
+            assert server.wait_for_subscribers(1)
+            server.publish_report(report())
+            assert len(second.collect(1)) == 1
+            second.close()
+        finally:
+            server.stop()
+
+    def test_client_surfaces_refusal(self):
+        from repro.errors import TelemetryError
+        server = TelemetryServer(port=0, max_subscribers=1).start()
+        try:
+            first = make_client(server)
+            assert server.wait_for_subscribers(1)
+            blocked = TelemetryClient("127.0.0.1", server.port,
+                                      read_timeout_s=10.0)
+            with pytest.raises(TelemetryError,
+                               match="subscriber limit"):
+                blocked.connect()
+            first.close()
+        finally:
+            server.stop()
 
 
 class TestServerLifecycle:

@@ -148,7 +148,113 @@ class TestVersioning:
 
     def test_hello_payload_shape(self):
         payload = wire.hello_payload("me", chosen=1)
-        assert payload == {"agent": "me", "versions": [1], "version": 1}
+        assert payload == {"agent": "me", "versions": [1, 2], "version": 1}
+
+
+class TestBatchFrames:
+    def test_roundtrip_preserves_order_and_payloads(self):
+        inner = [encode_frame(FrameKind.REPORT, {"seq": i})
+                 for i in range(5)]
+        frames = decode_all(wire.encode_batch(inner))
+        assert [frame.payload["seq"] for frame in frames] == list(range(5))
+        assert all(frame.kind is FrameKind.REPORT for frame in frames)
+
+    def test_mixed_kinds_in_one_batch(self):
+        inner = [encode_frame(FrameKind.REPORT, {"seq": 0}),
+                 encode_frame(FrameKind.GAP, {"seq": 1}),
+                 encode_frame(FrameKind.HEALTH, {"seq": 2})]
+        frames = decode_all(wire.encode_batch(inner))
+        assert [frame.kind for frame in frames] == [
+            FrameKind.REPORT, FrameKind.GAP, FrameKind.HEALTH]
+
+    def test_batch_interleaves_with_bare_frames(self):
+        data = (encode_frame(FrameKind.REPORT, {"seq": 0})
+                + wire.encode_batch(
+                    [encode_frame(FrameKind.REPORT, {"seq": 1}),
+                     encode_frame(FrameKind.REPORT, {"seq": 2})])
+                + encode_frame(FrameKind.REPORT, {"seq": 3}))
+        frames = decode_all(data)
+        assert [frame.payload["seq"] for frame in frames] == [0, 1, 2, 3]
+
+    def test_chunked_batch_decodes_incrementally(self):
+        data = wire.encode_batch(
+            [encode_frame(FrameKind.REPORT, {"seq": i}) for i in range(4)])
+        decoder = FrameDecoder()
+        frames = []
+        for offset in range(0, len(data), 7):
+            frames.extend(decoder.feed(data[offset:offset + 7]))
+        assert [frame.payload["seq"] for frame in frames] == [0, 1, 2, 3]
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(WireProtocolError, match=">= 1 frame"):
+            wire.encode_batch([])
+
+    def test_batch_below_floor_version_rejected_on_encode(self):
+        inner = [encode_frame(FrameKind.REPORT, {})]
+        with pytest.raises(WireProtocolError, match="version >= 2"):
+            wire.encode_batch(inner, version=1)
+
+    def test_v1_only_decoder_rejects_batch(self):
+        # A PR-5-era subscriber that never negotiated v2 must treat a
+        # BATCH envelope as a protocol violation, not silently skip it.
+        data = wire.encode_batch([encode_frame(FrameKind.REPORT, {})])
+        with pytest.raises(WireProtocolError, match="version 2"):
+            decode_all(data, accept_versions=(1,))
+
+    def test_nested_batch_rejected(self):
+        inner = wire.encode_batch([encode_frame(FrameKind.REPORT, {})])
+        with pytest.raises(WireProtocolError, match="nested"):
+            decode_all(wire.encode_batch([inner]))
+
+    def test_truncated_inner_frame_poisons_decoder(self):
+        inner = encode_frame(FrameKind.REPORT, {"seq": 1})
+        clipped = inner[:-3]
+        body = encode_frame(FrameKind.REPORT, {"seq": 0}) + clipped
+        data = (wire._HEADER.pack(wire.MAGIC, wire.BATCH_VERSION,
+                                  int(FrameKind.BATCH), len(body)) + body)
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError, match="truncated inner"):
+            decoder.feed(data)
+        with pytest.raises(WireProtocolError):
+            decoder.feed(encode_frame(FrameKind.REPORT, {}))
+
+    def test_corrupt_inner_magic_rejected(self):
+        inner = bytearray(encode_frame(FrameKind.REPORT, {"seq": 0}))
+        inner[0] ^= 0xFF
+        data = (wire._HEADER.pack(wire.MAGIC, wire.BATCH_VERSION,
+                                  int(FrameKind.BATCH), len(inner))
+                + bytes(inner))
+        with pytest.raises(WireProtocolError, match="magic"):
+            decode_all(data)
+
+    def test_oversized_batch_rejected_on_encode(self):
+        blob = encode_frame(FrameKind.REPORT,
+                            {"blob": "x" * (wire.MAX_PAYLOAD_BYTES // 2)})
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            wire.encode_batch([blob, blob, blob])
+
+
+class TestOriginIdentity:
+    def test_report_event_identity_prefers_origin(self):
+        report = AggregatedPowerReport(
+            time_s=1.0, period_s=1.0, by_pid={1: 2.0}, idle_w=20.0,
+            formula="hpc")
+        payload = dict(report.to_wire())
+        payload.update(host="edge-1", seq=7,
+                       origin_seq=3, origin_epoch="abc")
+        frame = encode_frame(FrameKind.REPORT, payload)
+        event = wire.decode_event(decode_all(frame)[0])
+        assert event.origin_seq == 3 and event.origin_epoch == "abc"
+        assert event.identity() == ("edge-1", "abc", 3)
+
+    def test_report_event_identity_falls_back_to_hop_seq(self):
+        report = AggregatedPowerReport(
+            time_s=1.0, period_s=1.0, by_pid={}, idle_w=20.0,
+            formula="hpc", gap=True)
+        frame = wire.report_frame(report, host="edge-1", seq=7)
+        event = wire.decode_event(decode_all(frame)[0])
+        assert event.origin_seq is None and event.origin_epoch is None
+        assert event.identity() == ("edge-1", None, 7)
 
 
 class TestSubscribePayload:
