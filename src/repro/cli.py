@@ -13,12 +13,16 @@ Commands mirror the library's main flows:
   the merged stream downstream (a node in a relay tree),
 * ``replay``   — the Figure 3 experiment: SPECjbb vs PowerSpy with an
   ASCII chart and the median error.
+* ``matrix``   — scenario-matrix chaos campaigns: ``matrix run`` expands
+  a declarative TOML into cells, checks invariants and shrinks failing
+  cells; ``matrix report`` summarizes a saved campaign report.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import signal
 import sys
 import threading
@@ -302,6 +306,38 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="the Figure 3 SPECjbb experiment")
     replay.add_argument("--model", type=Path, default=None)
     replay.add_argument("--duration", type=float, default=300.0)
+
+    matrix = commands.add_parser(
+        "matrix", help="scenario-matrix chaos campaigns")
+    matrix_sub = matrix.add_subparsers(dest="matrix_command", required=True)
+    mrun = matrix_sub.add_parser(
+        "run", help="expand a matrix TOML, run every cell, check "
+                    "invariants, shrink failing cells")
+    mrun.add_argument("--matrix", type=Path, required=True, metavar="FILE",
+                      help="the declarative campaign TOML")
+    mrun.add_argument("--output", type=Path, default=None, metavar="FILE",
+                      help="write the machine-readable JSON report here "
+                           "(shrunk repro TOMLs are written alongside)")
+    mrun.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the cell fan-out "
+                           "(1 = serial, 0 = one per CPU)")
+    mrun.add_argument("--cell", default=None, metavar="PATTERN",
+                      help="only run cells whose id matches this fnmatch "
+                           "pattern (or a single cell index)")
+    mrun.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging failing cells")
+    mrun.add_argument("--max-shrink", type=int, default=4,
+                      help="shrink at most this many failing cells")
+    mrun.add_argument("--shrink-budget", type=int, default=48,
+                      help="candidate re-runs allowed per shrink")
+    mrun.add_argument("--bench", type=Path, default=None, metavar="FILE",
+                      help="write the BENCH headline JSON here")
+    mreport = matrix_sub.add_parser(
+        "report", help="summarize a saved campaign report JSON")
+    mreport.add_argument("report", type=Path,
+                         help="report file from `matrix run --output`")
+    mreport.add_argument("--failures-only", action="store_true",
+                         help="only list cells that violated an invariant")
     return parser
 
 
@@ -717,6 +753,73 @@ def cmd_replay(args, out=sys.stdout) -> int:
     return 0
 
 
+def _print_cell_line(payload, out) -> None:
+    marker = {"pass": ".", "xfail": "x", "xpass": "X", "fail": "F"}
+    line = (f"  [{marker[payload['outcome']]}] {payload['cell_id']} "
+            f"({payload['wall_s']:.2f}s)")
+    print(line, file=out)
+    for violation in payload["violations"]:
+        print(f"      - {violation['invariant']}: {violation['detail']}",
+              file=out)
+    shrunk = payload.get("shrunk")
+    if shrunk:
+        print(f"      shrunk to faults={shrunk['faults']!r} "
+              f"net={shrunk['net_faults']!r} "
+              f"(-{shrunk['events_removed']} events, "
+              f"{shrunk['runs_used']} runs)", file=out)
+
+
+def _print_report(report, out, failures_only: bool = False) -> None:
+    outcomes = report["outcomes"]
+    print(f"matrix {report['name']!r}: {report['cells_run']} of "
+          f"{report['cells_total']} cell(s) in {report['wall_s']:.1f}s",
+          file=out)
+    print("  " + ", ".join(f"{n} {o}" for o, n in outcomes.items() if n)
+          + f"; pass rate {report['pass_rate'] * 100:.1f}%"
+          + f"; {report['unexpected']} unexpected", file=out)
+    for payload in report["cells"]:
+        if failures_only and payload["ok"]:
+            continue
+        _print_cell_line(payload, out)
+
+
+def cmd_matrix(args, out=sys.stdout) -> int:
+    """Run or summarize a scenario-matrix chaos campaign."""
+    from repro.matrix import MatrixSpec, bench_headline, run_matrix
+
+    if args.matrix_command == "report":
+        report = json.loads(args.report.read_text())
+        _print_report(report, out, failures_only=args.failures_only)
+        return 0 if report["unexpected"] == 0 else 1
+
+    spec = MatrixSpec.from_file(args.matrix)
+    report = run_matrix(
+        spec, workers=args.workers, shrink=not args.no_shrink,
+        cell_filter=args.cell, max_shrink_cells=args.max_shrink,
+        shrink_budget=args.shrink_budget,
+        log=lambda msg: print(msg, file=out))
+    if args.output is not None:
+        for payload in report["cells"]:
+            shrunk = payload.get("shrunk")
+            if not shrunk:
+                continue
+            repro_path = args.output.with_name(
+                f"{args.output.stem}.repro-{payload['index']}.toml")
+            repro_path.write_text(shrunk["matrix_toml"])
+            shrunk["command"] = (
+                f"python -m repro matrix run --matrix {repro_path}")
+            print(f"shrunk repro for {payload['cell_id']} -> {repro_path}",
+                  file=out)
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {args.output}", file=out)
+    if args.bench is not None:
+        args.bench.write_text(
+            json.dumps(bench_headline(report), indent=2, sort_keys=True))
+        print(f"bench headline written to {args.bench}", file=out)
+    _print_report(report, out, failures_only=True)
+    return 0 if report["unexpected"] == 0 else 1
+
+
 COMMANDS = {
     "specs": cmd_specs,
     "learn": cmd_learn,
@@ -725,6 +828,7 @@ COMMANDS = {
     "subscribe": cmd_subscribe,
     "relay": cmd_relay,
     "replay": cmd_replay,
+    "matrix": cmd_matrix,
 }
 
 

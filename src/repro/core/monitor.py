@@ -404,6 +404,13 @@ class PowerAPI:
         self._injector = FaultInjector(plan, self)
         return self._injector
 
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The armed fault injector (``install_faults`` or a spec's
+        ``faults`` key), or None; ``injector.applied`` is the ground
+        truth of what actually fired."""
+        return self._injector
+
     # -- driving ----------------------------------------------------------
 
     def _step(self) -> None:

@@ -65,6 +65,9 @@ class CircuitBreaker:
         self.opens = 0
         #: Attempts refused while the breaker was open.
         self.refusals = 0
+        #: Successes reported while open (stale results of attempts
+        #: dialed before the breaker opened; they never close it).
+        self.stale_successes = 0
         #: Every (time, state) transition, oldest first.
         self.transitions: List[Tuple[float, str]] = []
 
@@ -118,8 +121,20 @@ class CircuitBreaker:
                        - self.clock())
 
     def record_success(self) -> None:
-        """The attempt succeeded: close the breaker, reset the count."""
+        """The attempt succeeded: close the breaker, reset the count.
+
+        While the breaker is **open** a success can only be the stale
+        result of an attempt that was dialed *before* the breaker
+        opened — e.g. a second redial thread racing the one whose
+        failures tripped it.  Letting such a result close the breaker
+        would bypass the reset timeout entirely, so the open verdict
+        stands: only a half-open probe (granted by :meth:`allow`)
+        may close an open breaker.
+        """
         with self._lock:
+            if self._state == BreakerState.OPEN:
+                self.stale_successes += 1
+                return
             self._failures = 0
             self._probe_inflight = False
             if self._state != BreakerState.CLOSED:

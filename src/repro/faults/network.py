@@ -37,6 +37,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import _convert, _max_args, _spec_entries, spec_number
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,10 @@ class Partition:
     def describe(self) -> str:
         return f"partition@{self.at_s:g}:{self.duration_s:g}"
 
+    def to_spec(self) -> str:
+        return (f"partition@{spec_number(self.at_s)}"
+                f":{spec_number(self.duration_s)}")
+
 
 @dataclass(frozen=True)
 class ConnectionReset:
@@ -58,6 +63,9 @@ class ConnectionReset:
 
     def describe(self) -> str:
         return f"reset@{self.at_s:g}"
+
+    def to_spec(self) -> str:
+        return f"reset@{spec_number(self.at_s)}"
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,9 @@ class ByteCorruption:
     def describe(self) -> str:
         return f"corrupt@{self.at_s:g}:{self.nbytes}"
 
+    def to_spec(self) -> str:
+        return f"corrupt@{spec_number(self.at_s)}:{self.nbytes}"
+
 
 @dataclass(frozen=True)
 class TruncatedFrame:
@@ -79,6 +90,9 @@ class TruncatedFrame:
 
     def describe(self) -> str:
         return f"truncate@{self.at_s:g}"
+
+    def to_spec(self) -> str:
+        return f"truncate@{spec_number(self.at_s)}"
 
 
 @dataclass(frozen=True)
@@ -91,6 +105,11 @@ class SlowReader:
 
     def describe(self) -> str:
         return f"stall@{self.at_s:g}:{self.duration_s:g}:{self.delay_s:g}"
+
+    def to_spec(self) -> str:
+        return (f"stall@{spec_number(self.at_s)}"
+                f":{spec_number(self.duration_s)}"
+                f":{spec_number(self.delay_s)}")
 
 
 NetworkFaultEvent = Union[Partition, ConnectionReset, ByteCorruption,
@@ -117,8 +136,18 @@ class NetworkFaultPlan:
         return iter(self.events)
 
     def describe(self) -> str:
-        """The plan as a parseable spec string."""
+        """The plan as a human-oriented spec string (``%g`` times)."""
         return ";".join(event.describe() for event in self.events)
+
+    def to_spec(self) -> str:
+        """The plan as a lossless, parseable spec string.
+
+        ``NetworkFaultPlan.parse(plan.to_spec())`` reproduces the exact
+        event tuple (shortest-round-trip floats, seeded campaigns
+        flattened), so any plan is a copy-pasteable ``--net-faults``
+        argument.
+        """
+        return ";".join(event.to_spec() for event in self.events)
 
     # -- construction --------------------------------------------------
 
@@ -127,53 +156,68 @@ class NetworkFaultPlan:
         """Parse a compact ``kind@time[:arg[:arg]]`` spec (the
         ``--net-faults`` flag); entries separated by ``;`` or ``,``.
         ``random:SEED[:DURATION]`` composes a seeded campaign in.
+        Errors name the offending entry, its character position and
+        the token that failed to parse.
         """
         events: List[NetworkFaultEvent] = []
         seed: Optional[int] = None
-        for chunk in spec.replace(",", ";").split(";"):
-            entry = chunk.strip()
-            if not entry:
-                continue
+        for entry, where in _spec_entries(spec):
+
+            def bad(reason: str) -> ConfigurationError:
+                return ConfigurationError(
+                    f"bad network fault entry {entry!r} {where}: {reason}")
+
             if entry.startswith("random:"):
+
+                def bad_random(reason: str) -> ConfigurationError:
+                    return ConfigurationError(
+                        f"bad random network fault entry {entry!r} "
+                        f"{where}: {reason}; use random:SEED[:DURATION]")
+
                 parts = entry.split(":")[1:]
-                try:
-                    seed = int(parts[0])
-                    duration = float(parts[1]) if len(parts) > 1 else 10.0
-                except (ValueError, IndexError):
-                    raise ConfigurationError(
-                        f"bad random network fault entry {entry!r}; use "
-                        "random:SEED[:DURATION]") from None
+                seed = _convert(parts[0] if parts else "", "seed", int,
+                                bad_random)
+                duration = 10.0
+                if len(parts) > 1:
+                    duration = _convert(parts[1], "duration", float,
+                                        bad_random)
+                if len(parts) > 2:
+                    raise bad_random(f"unexpected argument {parts[2]!r}")
                 events.extend(cls.random(seed, duration_s=duration).events)
                 continue
             if "@" not in entry:
-                raise ConfigurationError(
-                    f"bad network fault entry {entry!r}; expected "
-                    "kind@time[:args]")
+                raise bad("expected kind@time[:args]")
             kind, _, rest = entry.partition("@")
             args = rest.split(":")
-            try:
-                at_s = float(args[0])
-                if kind == "partition":
-                    events.append(Partition(
-                        at_s, float(args[1]) if len(args) > 1 else 1.0))
-                elif kind == "reset":
-                    events.append(ConnectionReset(at_s))
-                elif kind == "corrupt":
-                    events.append(ByteCorruption(
-                        at_s, int(args[1]) if len(args) > 1 else 1))
-                elif kind == "truncate":
-                    events.append(TruncatedFrame(at_s))
-                elif kind == "stall":
-                    events.append(SlowReader(
-                        at_s,
-                        float(args[1]) if len(args) > 1 else 0.5,
-                        float(args[2]) if len(args) > 2 else 0.05))
-                else:
-                    raise ConfigurationError(
-                        f"unknown network fault kind {kind!r} in {entry!r}")
-            except (ValueError, IndexError):
-                raise ConfigurationError(
-                    f"bad network fault entry {entry!r}") from None
+            at_s = _convert(args[0], "time", float, bad)
+            if kind == "partition":
+                _max_args(args, 2, bad)
+                events.append(Partition(
+                    at_s,
+                    _convert(args[1], "duration", float, bad)
+                    if len(args) > 1 else 1.0))
+            elif kind == "reset":
+                _max_args(args, 1, bad)
+                events.append(ConnectionReset(at_s))
+            elif kind == "corrupt":
+                _max_args(args, 2, bad)
+                events.append(ByteCorruption(
+                    at_s,
+                    _convert(args[1], "byte count", int, bad)
+                    if len(args) > 1 else 1))
+            elif kind == "truncate":
+                _max_args(args, 1, bad)
+                events.append(TruncatedFrame(at_s))
+            elif kind == "stall":
+                _max_args(args, 3, bad)
+                events.append(SlowReader(
+                    at_s,
+                    _convert(args[1], "duration", float, bad)
+                    if len(args) > 1 else 0.5,
+                    _convert(args[2], "delay", float, bad)
+                    if len(args) > 2 else 0.05))
+            else:
+                raise bad(f"unknown network fault kind {kind!r}")
         return cls(events, seed=seed)
 
     @classmethod

@@ -24,6 +24,20 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def spec_number(value) -> str:
+    """*value* as the shortest decimal that parses back to the same float.
+
+    ``describe()`` renders times with ``%g`` for humans, which silently
+    rounds past six significant digits; spec emission (``to_spec()``)
+    uses ``repr``'s shortest-round-trip form so any plan — including
+    seeded-random ones with awkward floats — survives
+    ``parse(plan.to_spec())`` bit-exactly.
+    """
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
 @dataclass(frozen=True)
 class MeterDropout:
     """Every attached power meter loses its link for ``down_s`` seconds."""
@@ -33,6 +47,10 @@ class MeterDropout:
 
     def describe(self) -> str:
         return f"meter-dropout@{self.at_s:g}:{self.down_s:g}"
+
+    def to_spec(self) -> str:
+        return (f"meter-dropout@{spec_number(self.at_s)}"
+                f":{spec_number(self.down_s)}")
 
 
 @dataclass(frozen=True)
@@ -44,6 +62,9 @@ class PidExit:
 
     def describe(self) -> str:
         return f"pid-exit@{self.at_s:g}:{self.index}"
+
+    def to_spec(self) -> str:
+        return f"pid-exit@{spec_number(self.at_s)}:{self.index}"
 
 
 @dataclass(frozen=True)
@@ -57,6 +78,10 @@ class SlotStarvation:
     def describe(self) -> str:
         return f"starve@{self.at_s:g}:{self.duration_s:g}:{self.slots}"
 
+    def to_spec(self) -> str:
+        return (f"starve@{spec_number(self.at_s)}"
+                f":{spec_number(self.duration_s)}:{self.slots}")
+
 
 @dataclass(frozen=True)
 class SampleLoss:
@@ -67,6 +92,10 @@ class SampleLoss:
 
     def describe(self) -> str:
         return f"hpc-loss@{self.at_s:g}:{self.duration_s:g}"
+
+    def to_spec(self) -> str:
+        return (f"hpc-loss@{spec_number(self.at_s)}"
+                f":{spec_number(self.duration_s)}")
 
 
 @dataclass(frozen=True)
@@ -79,9 +108,41 @@ class ActorCrash:
     def describe(self) -> str:
         return f"crash@{self.at_s:g}:{self.actor}"
 
+    def to_spec(self) -> str:
+        return f"crash@{spec_number(self.at_s)}:{self.actor}"
+
 
 FaultEvent = Union[MeterDropout, PidExit, SlotStarvation, SampleLoss,
                    ActorCrash]
+
+
+def _spec_entries(spec: str):
+    """Yield ``(entry, "at position N")`` for each non-empty spec chunk.
+
+    ``,`` and ``;`` both separate entries and are the same width, so
+    character offsets computed on the normalized string line up with
+    the user's original input.
+    """
+    pos = 0
+    for chunk in spec.replace(",", ";").split(";"):
+        offset = pos + (len(chunk) - len(chunk.lstrip()))
+        pos += len(chunk) + 1
+        entry = chunk.strip()
+        if entry:
+            yield entry, f"at position {offset}"
+
+
+def _convert(token: str, what: str, conv, bad):
+    """Convert one spec token, raising ``bad(...)`` naming it on failure."""
+    try:
+        return conv(token)
+    except ValueError:
+        raise bad(f"invalid {what} {token!r}") from None
+
+
+def _max_args(args, limit: int, bad) -> None:
+    if len(args) > limit:
+        raise bad(f"unexpected argument {args[limit]!r}")
 
 
 class FaultPlan:
@@ -106,8 +167,18 @@ class FaultPlan:
         return iter(self.events)
 
     def describe(self) -> str:
-        """The plan as a parseable spec string."""
+        """The plan as a human-oriented spec string (``%g`` times)."""
         return ";".join(event.describe() for event in self.events)
+
+    def to_spec(self) -> str:
+        """The plan as a lossless, parseable spec string.
+
+        ``FaultPlan.parse(plan.to_spec())`` reproduces the exact event
+        tuple (shortest-round-trip floats, seeded campaigns flattened
+        to their explicit events), so any plan — including a shrunk
+        minimal repro — is a copy-pasteable ``--faults`` argument.
+        """
+        return ";".join(event.to_spec() for event in self.events)
 
     # -- construction -----------------------------------------------------
 
@@ -124,56 +195,75 @@ class FaultPlan:
         * ``crash@T:ACTOR`` — crash the named pipeline actor,
         * ``random:SEED[:DURATION]`` — a generated campaign
           (see :meth:`random`); composes with explicit entries.
+
+        Errors name the offending entry, its character position in the
+        spec, and the specific token that failed to parse.
         """
         events: List[FaultEvent] = []
         seed: Optional[int] = None
-        for chunk in spec.replace(",", ";").split(";"):
-            entry = chunk.strip()
-            if not entry:
-                continue
+        for entry, where in _spec_entries(spec):
+
+            def bad(reason: str) -> ConfigurationError:
+                return ConfigurationError(
+                    f"bad fault entry {entry!r} {where}: {reason}")
+
             if entry.startswith("random:"):
+
+                def bad_random(reason: str) -> ConfigurationError:
+                    return ConfigurationError(
+                        f"bad random fault entry {entry!r} {where}: "
+                        f"{reason}; use random:SEED[:DURATION]")
+
                 parts = entry.split(":")[1:]
-                try:
-                    seed = int(parts[0])
-                    duration = float(parts[1]) if len(parts) > 1 else 30.0
-                except (ValueError, IndexError):
-                    raise ConfigurationError(
-                        f"bad random fault entry {entry!r}; use "
-                        "random:SEED[:DURATION]") from None
+                seed = _convert(parts[0] if parts else "", "seed", int,
+                                bad_random)
+                duration = 30.0
+                if len(parts) > 1:
+                    duration = _convert(parts[1], "duration", float,
+                                        bad_random)
+                if len(parts) > 2:
+                    raise bad_random(f"unexpected argument {parts[2]!r}")
                 events.extend(cls.random(seed, duration_s=duration).events)
                 continue
             if "@" not in entry:
-                raise ConfigurationError(
-                    f"bad fault entry {entry!r}; expected kind@time[:args]")
+                raise bad("expected kind@time[:args]")
             kind, _, rest = entry.partition("@")
             args = rest.split(":")
-            try:
-                at_s = float(args[0])
-                if kind == "meter-dropout":
-                    events.append(MeterDropout(
-                        at_s, float(args[1]) if len(args) > 1 else 2.0))
-                elif kind == "pid-exit":
-                    events.append(PidExit(
-                        at_s, int(args[1]) if len(args) > 1 else 0))
-                elif kind == "starve":
-                    events.append(SlotStarvation(
-                        at_s,
-                        float(args[1]) if len(args) > 1 else 2.0,
-                        int(args[2]) if len(args) > 2 else 0))
-                elif kind == "hpc-loss":
-                    events.append(SampleLoss(
-                        at_s, float(args[1]) if len(args) > 1 else 1.0))
-                elif kind == "crash":
-                    if len(args) < 2 or not args[1]:
-                        raise ConfigurationError(
-                            f"crash entry {entry!r} needs an actor name")
-                    events.append(ActorCrash(at_s, args[1]))
-                else:
-                    raise ConfigurationError(
-                        f"unknown fault kind {kind!r} in {entry!r}")
-            except (ValueError, IndexError):
-                raise ConfigurationError(
-                    f"bad fault entry {entry!r}") from None
+            at_s = _convert(args[0], "time", float, bad)
+            if kind == "meter-dropout":
+                _max_args(args, 2, bad)
+                events.append(MeterDropout(
+                    at_s,
+                    _convert(args[1], "down duration", float, bad)
+                    if len(args) > 1 else 2.0))
+            elif kind == "pid-exit":
+                _max_args(args, 2, bad)
+                events.append(PidExit(
+                    at_s,
+                    _convert(args[1], "pid index", int, bad)
+                    if len(args) > 1 else 0))
+            elif kind == "starve":
+                _max_args(args, 3, bad)
+                events.append(SlotStarvation(
+                    at_s,
+                    _convert(args[1], "duration", float, bad)
+                    if len(args) > 1 else 2.0,
+                    _convert(args[2], "slot count", int, bad)
+                    if len(args) > 2 else 0))
+            elif kind == "hpc-loss":
+                _max_args(args, 2, bad)
+                events.append(SampleLoss(
+                    at_s,
+                    _convert(args[1], "duration", float, bad)
+                    if len(args) > 1 else 1.0))
+            elif kind == "crash":
+                _max_args(args, 2, bad)
+                if len(args) < 2 or not args[1]:
+                    raise bad("crash needs an actor name "
+                              "(crash@TIME:ACTOR)")
+                events.append(ActorCrash(at_s, args[1]))
+            else:
+                raise bad(f"unknown fault kind {kind!r}")
         return cls(events, seed=seed)
 
     @classmethod

@@ -1,0 +1,55 @@
+"""Scenario-matrix chaos campaigns with runtime invariant checking.
+
+One TOML file declares the axes of a robustness campaign; the package
+expands them into the cartesian product of cells, runs each cell as a
+seeded virtual-time pipeline (optionally fanned out over worker
+processes), judges every run against a pluggable invariant suite, and
+delta-debugs failing cells into minimal one-line repros.
+
+* :mod:`repro.matrix.spec` — :class:`MatrixSpec` /
+  :class:`MatrixCell` / :class:`PipelineVariant` /
+  :class:`InvariantConfig`, with lossless TOML round-trips,
+* :mod:`repro.matrix.invariants` — the :func:`invariant` registry and
+  the built-in suite (frame conservation, gap accounting, monotonic
+  seq, exactly-once delivery, cap adherence, health consistency,
+  determinism),
+* :mod:`repro.matrix.runner` — :func:`run_cell` / :func:`run_matrix`
+  and the JSON campaign report,
+* :mod:`repro.matrix.shrink` — :func:`ddmin` / :func:`shrink_cell` /
+  :func:`reverify` minimal-repro reduction.
+"""
+
+from repro.matrix.invariants import (INVARIANTS, CellObservations,
+                                     TelemetryObservations, Violation,
+                                     evaluate, invariant)
+from repro.matrix.runner import (CellResult, bench_headline, run_cell,
+                                 run_matrix)
+from repro.matrix.shrink import ddmin, reverify, shrink_cell
+from repro.matrix.spec import (DEFAULT_SUITE, GOVERNOR_NAMES,
+                               WORKLOAD_NAMES, InvariantConfig, MatrixCell,
+                               MatrixSpec, PipelineVariant,
+                               single_cell_spec)
+
+__all__ = [
+    "CellObservations",
+    "CellResult",
+    "DEFAULT_SUITE",
+    "GOVERNOR_NAMES",
+    "INVARIANTS",
+    "InvariantConfig",
+    "MatrixCell",
+    "MatrixSpec",
+    "PipelineVariant",
+    "TelemetryObservations",
+    "Violation",
+    "WORKLOAD_NAMES",
+    "bench_headline",
+    "ddmin",
+    "evaluate",
+    "invariant",
+    "reverify",
+    "run_cell",
+    "run_matrix",
+    "shrink_cell",
+    "single_cell_spec",
+]

@@ -1,0 +1,399 @@
+"""The pluggable invariant suite matrix cells are judged against.
+
+Each invariant is a pure function over one cell's
+:class:`CellObservations` — the reports, cap events, health log,
+injected-fault ground truth and (for telemetry cells) the delivery
+record a run produced.  Invariants return :class:`Violation` lists;
+an empty list is a pass.  They are registered by name via
+:func:`invariant`, which is what makes the suite pluggable: a matrix
+TOML's ``[invariants] suite`` key selects any subset, and test code
+can register extra invariants before expanding a spec.
+
+The built-ins encode the guarantees earlier PRs claimed:
+
+* ``frame-conservation`` — the report stream tiles virtual time
+  exactly: one frame per period, no holes, no extras; a truncated
+  series is only legal when the monitored pid demonstrably died.
+* ``gap-accounting`` — every ``gap=True`` frame is explained by an
+  injected fault close enough in time to have caused it.
+* ``monotonic-seq`` — telemetry frames arrive in strictly increasing
+  per-epoch sequence order (duplicates or reordering fail).
+* ``exactly-once`` — every sequence number the server published was
+  delivered exactly once, or its loss explicitly declared by a
+  replay-eviction gap; silent loss fails.
+* ``zero-loss`` — the strict form: *no* frame may be lost at all,
+  declared or not.  Replay-enabled streams meet it through RESUME
+  replay; a no-replay stream that loses its subscriber mid-run cannot,
+  which is exactly the degradation a campaign wants to surface.
+* ``cap-adherence`` — after a settle window, non-gap estimates stay
+  within tolerance of the cap unless the controller declared the cap
+  unattainable.
+* ``health-consistency`` — the health log agrees with the injector's
+  ground truth: every applied fault surfaced as a health event, and
+  no event carries an impossible timestamp.
+* ``determinism`` — re-running the cell under the same seed produced
+  a bit-identical artifact digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.network import NetworkFaultPlan
+from repro.faults.plan import FaultPlan
+
+#: Absolute slack for virtual-time comparisons (the clock accumulates
+#: one float addition per quantum; 800 ticks drift ~1e-13).
+TIME_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with JSON-ready evidence."""
+
+    invariant: str
+    detail: str
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "detail": self.detail,
+                "evidence": dict(self.evidence)}
+
+
+@dataclass(frozen=True)
+class ReceivedFrame:
+    """One telemetry frame as the subscriber saw it."""
+
+    seq: int
+    kind: str
+    epoch: str
+
+
+@dataclass
+class TelemetryObservations:
+    """What one cell's loopback telemetry session delivered."""
+
+    #: Frames in arrival order, sentinel excluded.
+    received: Tuple[ReceivedFrame, ...] = ()
+    #: Stream seq of the first end-of-run sentinel the client saw;
+    #: every seq below it was published during the run.
+    sentinel_seq: Optional[int] = None
+    #: Inclusive seq ranges declared lost by replay-eviction gaps.
+    declared_lost: Tuple[Tuple[int, int], ...] = ()
+    #: Times the client re-dialed after losing the connection.
+    reconnects: int = 0
+    #: Network faults the injector actually fired, as
+    #: ``(plan_time_s, description)``.
+    injected: Tuple[Tuple[float, str], ...] = ()
+
+
+@dataclass
+class CellObservations:
+    """Everything invariants may inspect about one cell run."""
+
+    duration_s: float
+    period_s: float
+    cap_w: float
+    faults: str
+    net_faults: str
+    #: ``(time_s, period_s, total_w, gap)`` per aggregated report.
+    reports: Tuple[Tuple[float, float, float, bool], ...] = ()
+    #: ``(time_s, action, estimate_w)`` per control CapEvent.
+    cap_events: Tuple[Tuple[float, str, float], ...] = ()
+    #: ``(time_s, component, kind, detail)`` — the health log signature.
+    health: Tuple[Tuple[float, str, str, str], ...] = ()
+    #: Faults the injector actually applied: ``(time_s, label)``.
+    applied: Tuple[Tuple[float, str], ...] = ()
+    telemetry: Optional[TelemetryObservations] = None
+    #: Artifact digests of the primary run and the verification re-run
+    #: (None when the determinism re-run was disabled).
+    digest: Optional[str] = None
+    rerun_digest: Optional[str] = None
+
+
+InvariantFn = Callable[[CellObservations, "object"], List[Violation]]
+
+#: The registry ``InvariantConfig.suite`` selects from.
+INVARIANTS: Dict[str, InvariantFn] = {}
+
+
+def invariant(name: str) -> Callable[[InvariantFn], InvariantFn]:
+    """Register an invariant under *name* (later wins, so tests can
+    override a built-in)."""
+
+    def register(fn: InvariantFn) -> InvariantFn:
+        INVARIANTS[name] = fn
+        return fn
+
+    return register
+
+
+def evaluate(obs: CellObservations, config) -> List[Violation]:
+    """Run the configured suite over one cell's observations."""
+    violations: List[Violation] = []
+    for name in config.suite:
+        violations.extend(INVARIANTS[name](obs, config))
+    return violations
+
+
+# -- built-ins ---------------------------------------------------------
+
+
+@invariant("frame-conservation")
+def frame_conservation(obs: CellObservations, config) -> List[Violation]:
+    violations: List[Violation] = []
+    expected = int(round(obs.duration_s / obs.period_s))
+    for i, (time_s, period_s, _total, _gap) in enumerate(obs.reports):
+        want = (i + 1) * obs.period_s
+        if abs(time_s - want) > TIME_EPS:
+            violations.append(Violation(
+                "frame-conservation",
+                f"frame {i} at t={time_s:g} breaks the period tiling "
+                f"(expected t={want:g})",
+                {"frame": i, "time_s": time_s, "expected_s": want}))
+            return violations  # later frames are all off by the same hole
+        if abs(period_s - obs.period_s) > TIME_EPS:
+            violations.append(Violation(
+                "frame-conservation",
+                f"frame {i} claims period {period_s:g}s, pipeline runs "
+                f"at {obs.period_s:g}s",
+                {"frame": i, "period_s": period_s}))
+    count = len(obs.reports)
+    if count > expected:
+        violations.append(Violation(
+            "frame-conservation",
+            f"{count} frames for a {obs.duration_s:g}s run at "
+            f"{obs.period_s:g}s ({expected} expected): duplicated frames",
+            {"frames": count, "expected": expected}))
+    elif count < expected:
+        # A shorter series is legal only when the monitored pid died:
+        # the sensor reports `pid-lost` and the series ends there.
+        lost = [t for t, _c, kind, _d in obs.health if kind == "pid-lost"]
+        end_s = count * obs.period_s
+        if not lost or min(lost) > end_s + 2 * obs.period_s + TIME_EPS:
+            violations.append(Violation(
+                "frame-conservation",
+                f"only {count}/{expected} frames and no pid loss "
+                f"explains the truncation at t={end_s:g}",
+                {"frames": count, "expected": expected,
+                 "pid_lost_times": lost}))
+    return violations
+
+
+def _fault_windows(spec: str) -> List[Tuple[float, float]]:
+    """``(start, end)`` spans during which a plan event can explain
+    degradations; one-shots get a zero-length span at their time."""
+    if not spec:
+        return []
+    windows = []
+    for event in FaultPlan.parse(spec):
+        duration = max(getattr(event, "down_s", 0.0),
+                       getattr(event, "duration_s", 0.0))
+        windows.append((event.at_s, event.at_s + duration))
+    return windows
+
+
+@invariant("gap-accounting")
+def gap_accounting(obs: CellObservations, config) -> List[Violation]:
+    violations: List[Violation] = []
+    windows = _fault_windows(obs.faults)
+    slack = config.gap_window_s
+    for i, (time_s, _period, _total, gap) in enumerate(obs.reports):
+        if not gap:
+            continue
+        explained = any(start - TIME_EPS <= time_s <= end + slack + TIME_EPS
+                        for start, end in windows)
+        if not explained:
+            violations.append(Violation(
+                "gap-accounting",
+                f"gap frame at t={time_s:g} has no injected fault within "
+                f"{slack:g}s to explain it",
+                {"frame": i, "time_s": time_s,
+                 "fault_windows": [[s, e] for s, e in windows]}))
+    return violations
+
+
+@invariant("monotonic-seq")
+def monotonic_seq(obs: CellObservations, config) -> List[Violation]:
+    if obs.telemetry is None:
+        return []
+    violations: List[Violation] = []
+    last_by_epoch: Dict[str, int] = {}
+    for frame in obs.telemetry.received:
+        last = last_by_epoch.get(frame.epoch)
+        if last is not None and frame.seq <= last:
+            violations.append(Violation(
+                "monotonic-seq",
+                f"seq {frame.seq} arrived after seq {last} in epoch "
+                f"{frame.epoch!r} ({frame.kind} frame)",
+                {"seq": frame.seq, "previous": last,
+                 "epoch": frame.epoch}))
+        last_by_epoch[frame.epoch] = max(last or 0, frame.seq)
+    return violations
+
+
+@invariant("exactly-once")
+def exactly_once(obs: CellObservations, config) -> List[Violation]:
+    telemetry = obs.telemetry
+    if telemetry is None or telemetry.sentinel_seq is None:
+        return []
+    violations: List[Violation] = []
+    seen: Dict[int, int] = {}
+    for frame in telemetry.received:
+        if frame.seq < telemetry.sentinel_seq:
+            seen[frame.seq] = seen.get(frame.seq, 0) + 1
+    duplicates = sorted(seq for seq, n in seen.items() if n > 1)
+    if duplicates:
+        violations.append(Violation(
+            "exactly-once",
+            f"{len(duplicates)} frame(s) delivered more than once "
+            f"(first: seq {duplicates[0]})",
+            {"duplicate_seqs": duplicates[:16]}))
+    missing = [seq for seq in range(telemetry.sentinel_seq)
+               if seq not in seen]
+    declared = [seq for seq in missing
+                if any(lo <= seq <= hi
+                       for lo, hi in telemetry.declared_lost)]
+    silent = sorted(set(missing) - set(declared))
+    if silent:
+        violations.append(Violation(
+            "exactly-once",
+            f"{len(silent)} frame(s) silently lost out of "
+            f"{telemetry.sentinel_seq} published (first: seq {silent[0]}; "
+            f"no replay-eviction gap declared them)",
+            {"lost_seqs": silent[:16],
+             "published": telemetry.sentinel_seq,
+             "declared_lost": [list(r) for r in telemetry.declared_lost],
+             "reconnects": telemetry.reconnects}))
+    return violations
+
+
+@invariant("zero-loss")
+def zero_loss(obs: CellObservations, config) -> List[Violation]:
+    telemetry = obs.telemetry
+    if telemetry is None or telemetry.sentinel_seq is None:
+        return []
+    seen = {frame.seq for frame in telemetry.received
+            if frame.seq < telemetry.sentinel_seq}
+    declared = {seq for lo, hi in telemetry.declared_lost
+                for seq in range(lo, min(hi, telemetry.sentinel_seq - 1)
+                                 + 1)}
+    # A declared-lost seq may still carry a received frame: the server
+    # sends the eviction gap *in place of* the evicted range, so the
+    # payload is gone even when a frame with that seq arrived.
+    lost = sorted(declared | {seq for seq in
+                              range(telemetry.sentinel_seq)
+                              if seq not in seen})
+    if not lost:
+        return []
+    silent = len([seq for seq in lost if seq not in declared])
+    return [Violation(
+        "zero-loss",
+        f"{len(lost)} of {telemetry.sentinel_seq} published frame(s) "
+        f"never reached the subscriber ({len(declared)} declared by "
+        f"replay eviction, {silent} silent)",
+        {"lost_seqs": lost[:16],
+         "declared_lost": [list(r) for r in telemetry.declared_lost],
+         "published": telemetry.sentinel_seq,
+         "reconnects": telemetry.reconnects})]
+
+
+@invariant("cap-adherence")
+def cap_adherence(obs: CellObservations, config) -> List[Violation]:
+    """The *converged* estimate respects the cap.
+
+    The controller steps actuators down one grace window at a time, so
+    convergence takes time proportional to the initial overshoot; the
+    invariant therefore judges the final ``cap_settle_periods``
+    reporting periods — the steady tail — and waives everything after
+    an explicit ``unattainable`` verdict.
+    """
+    if obs.cap_w <= 0:
+        return []
+    tail_s = obs.duration_s - config.cap_settle_periods * obs.period_s
+    limit = obs.cap_w * (1.0 + config.cap_tolerance_pct / 100.0)
+    unattainable = [t for t, action, _e in obs.cap_events
+                    if action == "unattainable"]
+    waiver_s = min(unattainable) if unattainable else None
+    worst: Optional[Tuple[float, float]] = None
+    over = 0
+    for time_s, _period, total_w, gap in obs.reports:
+        # Frames at t = (i+1)*period: the final N periods are exactly
+        # the frames strictly past duration - N*period.
+        if gap or time_s <= tail_s + TIME_EPS:
+            continue
+        if waiver_s is not None and time_s >= waiver_s - TIME_EPS:
+            continue
+        if total_w > limit:
+            over += 1
+            if worst is None or total_w > worst[1]:
+                worst = (time_s, total_w)
+    if worst is None:
+        return []
+    return [Violation(
+        "cap-adherence",
+        f"{over} converged frame(s) exceed the {obs.cap_w:g}W cap "
+        f"(+{config.cap_tolerance_pct:g}% tolerance); worst "
+        f"{worst[1]:.2f}W at t={worst[0]:g}",
+        {"cap_w": obs.cap_w, "limit_w": limit, "frames_over": over,
+         "worst_w": worst[1], "worst_t_s": worst[0]})]
+
+
+@invariant("health-consistency")
+def health_consistency(obs: CellObservations, config) -> List[Violation]:
+    violations: List[Violation] = []
+    injected_events = [(t, detail) for t, _c, kind, detail in obs.health
+                       if kind == "fault-injected"]
+    if len(injected_events) != len(obs.applied):
+        violations.append(Violation(
+            "health-consistency",
+            f"injector applied {len(obs.applied)} fault(s) but the "
+            f"health log records {len(injected_events)} "
+            f"fault-injected event(s)",
+            {"applied": [list(a) for a in obs.applied],
+             "health_injected": [list(e) for e in injected_events]}))
+    else:
+        for (t_applied, label), (t_health, detail) in zip(
+                obs.applied, injected_events):
+            if label not in detail or abs(t_applied - t_health) > TIME_EPS:
+                violations.append(Violation(
+                    "health-consistency",
+                    f"applied fault {label!r} at t={t_applied:g} does "
+                    f"not match health record {detail!r} at "
+                    f"t={t_health:g}",
+                    {"applied": [t_applied, label],
+                     "health": [t_health, detail]}))
+    horizon = obs.duration_s + obs.period_s + TIME_EPS
+    for t, component, kind, _detail in obs.health:
+        if t < -TIME_EPS or t > horizon:
+            violations.append(Violation(
+                "health-consistency",
+                f"health event {kind!r} from {component!r} carries "
+                f"impossible time t={t:g} (run is {obs.duration_s:g}s)",
+                {"time_s": t, "component": component, "kind": kind}))
+    return violations
+
+
+@invariant("determinism")
+def determinism(obs: CellObservations, config) -> List[Violation]:
+    if obs.rerun_digest is None:
+        return []
+    if obs.digest == obs.rerun_digest:
+        return []
+    return [Violation(
+        "determinism",
+        "re-running the cell under the same seed produced a different "
+        "artifact digest",
+        {"digest": obs.digest, "rerun_digest": obs.rerun_digest})]
+
+
+def net_plan_summary(spec: str) -> Dict[str, int]:
+    """Event counts by kind, for report metrics (empty spec → {})."""
+    if not spec:
+        return {}
+    counts: Dict[str, int] = {}
+    for event in NetworkFaultPlan.parse(spec):
+        kind = type(event).__name__
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -19,6 +19,9 @@ from tests.strategies.assignments import (assignment_lists, dts,
                                           memory_profiles, schedules,
                                           thread_assignments)
 from tests.strategies.faultplans import fault_events, fault_plans
+from tests.strategies.matrices import (invariant_configs, matrix_specs,
+                                       net_fault_events, net_fault_plans,
+                                       pipeline_variants)
 from tests.strategies.pipelines import (control_specs, pipeline_specs,
                                         reporter_specs)
 from tests.strategies.spool import (spool_payload_lists, spool_payloads,
@@ -45,4 +48,7 @@ __all__ = [
     "control_specs", "pipeline_specs", "reporter_specs",
     # fault plans
     "fault_events", "fault_plans",
+    # scenario matrices
+    "invariant_configs", "matrix_specs", "net_fault_events",
+    "net_fault_plans", "pipeline_variants",
 ]

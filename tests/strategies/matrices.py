@@ -1,0 +1,102 @@
+"""Generators for scenario matrices (axes, cells, invariant suites).
+
+Everything stays on the 0.25 s time grid used by the fault-plan
+strategies so plan specs survive ``to_spec()`` round-trips unchanged,
+and every generated :class:`MatrixSpec` is valid by construction —
+network-fault windows are kept inside the run by deriving the matrix
+duration from the latest window end.
+"""
+
+from hypothesis import strategies as st
+
+from repro.faults.network import (ByteCorruption, ConnectionReset,
+                                  NetworkFaultPlan, Partition, SlowReader,
+                                  TruncatedFrame)
+from repro.matrix import (DEFAULT_SUITE, GOVERNOR_NAMES, WORKLOAD_NAMES,
+                          InvariantConfig, MatrixSpec, PipelineVariant)
+from tests.strategies.faultplans import fault_plans
+
+_times = st.integers(0, 240).map(lambda n: n / 4.0)
+_durations = st.integers(1, 40).map(lambda n: n / 4.0)
+
+
+@st.composite
+def net_fault_events(draw):
+    kind = draw(st.sampled_from(
+        ["partition", "reset", "corrupt", "truncate", "slow"]))
+    at_s = draw(_times)
+    if kind == "partition":
+        return Partition(at_s=at_s, duration_s=draw(_durations))
+    if kind == "reset":
+        return ConnectionReset(at_s=at_s)
+    if kind == "corrupt":
+        return ByteCorruption(at_s=at_s)
+    if kind == "truncate":
+        return TruncatedFrame(at_s=at_s)
+    return SlowReader(at_s=at_s, duration_s=draw(_durations))
+
+
+@st.composite
+def net_fault_plans(draw):
+    """A NetworkFaultPlan of 1-6 events (sorted internally)."""
+    return NetworkFaultPlan(draw(st.lists(net_fault_events(), min_size=1,
+                                          max_size=6)))
+
+
+@st.composite
+def pipeline_variants(draw):
+    name = draw(st.sampled_from(
+        ["sim", "durable", "no-replay", "tiny-ring"]))
+    window = draw(st.sampled_from([None, 0, 4, 256]))
+    return PipelineVariant(name=name, replay_window=window)
+
+
+@st.composite
+def invariant_configs(draw):
+    """A valid InvariantConfig over a subset of the built-in suite."""
+    suite = tuple(draw(st.sets(st.sampled_from(DEFAULT_SUITE))))
+    return InvariantConfig(
+        suite=suite,
+        cap_tolerance_pct=draw(st.integers(0, 80)) / 4.0,
+        cap_settle_periods=draw(st.integers(0, 8)),
+        gap_window_s=draw(st.integers(0, 16)) / 4.0,
+        rerun=draw(st.booleans()))
+
+
+def _axis(values, max_size):
+    return st.lists(st.sampled_from(values), min_size=1,
+                    max_size=max_size, unique=True)
+
+
+@st.composite
+def matrix_specs(draw):
+    """A valid MatrixSpec: unique axis values, net windows inside the
+    run, 1-2 values per axis (expansion stays small enough to count)."""
+    faults = draw(st.lists(fault_plans().map(lambda p: p.to_spec()),
+                           min_size=1, max_size=2, unique=True))
+    net_plans = draw(st.lists(net_fault_plans(), min_size=0, max_size=1))
+    nets = [""] + [plan.to_spec() for plan in net_plans]
+    # Windows must end inside the run and one-shots must fire before
+    # its end; pad past the latest event so the spec always validates.
+    latest = max((event.at_s + getattr(event, "duration_s", 0.0)
+                  for plan in net_plans for event in plan), default=0.0)
+    duration_s = latest + draw(st.integers(1, 32)) / 4.0
+    variants = draw(st.lists(pipeline_variants(), min_size=1, max_size=2,
+                             unique_by=lambda v: v.name))
+    return MatrixSpec(
+        name=draw(st.sampled_from(["m", "campaign", "nightly"])),
+        seed=draw(st.integers(0, 2 ** 16)),
+        duration_s=duration_s,
+        period_s=0.25,
+        cpus=("i3-2120",),
+        governors=draw(_axis(GOVERNOR_NAMES, 2)),
+        workloads=draw(_axis(WORKLOAD_NAMES, 2)),
+        faults=faults,
+        net_faults=nets,
+        pipelines=variants,
+        caps_w=draw(st.lists(st.sampled_from([0.0, 40.0, 55.0]),
+                             min_size=1, max_size=2, unique=True)),
+        invariants=draw(invariant_configs()),
+        xfail=draw(st.lists(st.sampled_from(
+            ["*pipe=no-replay*", "*gov=ondemand*", "cpu=*"]),
+            max_size=2, unique=True)))

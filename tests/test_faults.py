@@ -122,6 +122,34 @@ class TestFaultPlan:
         again = FaultPlan.parse(plan.describe())
         assert again.events == plan.events
 
+    @given(plan=fault_plans())
+    @default_settings
+    def test_to_spec_round_trips_losslessly(self, plan):
+        # to_spec() must be lossless for *any* plan, not just times that
+        # happen to print well: repr-based number formatting guarantees
+        # parse(to_spec()) == plan exactly.
+        again = FaultPlan.parse(plan.to_spec())
+        assert again.events == plan.events
+
+    def test_to_spec_keeps_awkward_floats(self):
+        plan = FaultPlan([MeterDropout(at_s=0.1 + 0.2, down_s=1e-4)])
+        assert FaultPlan.parse(plan.to_spec()).events == plan.events
+
+    def test_parse_error_names_entry_and_position(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"'warp@3' at position 18"):
+            FaultPlan.parse("meter-dropout@2:1;warp@3")
+
+    def test_parse_error_names_bad_argument(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"'meter-dropout@abc' at position 0.*time"):
+            FaultPlan.parse("meter-dropout@abc;crash@3:formula-0")
+
+    def test_parse_error_rejects_extra_arguments(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"at position 0.*argument"):
+            FaultPlan.parse("pid-exit@3:1:9")
+
 
 class TestMeterDropout:
     def test_dropout_reconnect_and_gap_markers(self, kernel, model):

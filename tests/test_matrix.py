@@ -1,0 +1,462 @@
+"""Scenario-matrix harness tests: spec expansion and TOML round-trips,
+the invariant suite over synthetic observations, ddmin reduction, cell
+runs (simulation-only and telemetry-backed), campaign reports, failing
+cell shrinking with re-verification, and the ``matrix`` CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.matrix import (DEFAULT_SUITE, INVARIANTS, CellObservations,
+                          InvariantConfig, MatrixSpec, PipelineVariant,
+                          TelemetryObservations, Violation, bench_headline,
+                          ddmin, evaluate, invariant, reverify, run_cell,
+                          run_matrix, shrink_cell, single_cell_spec)
+from repro.matrix.invariants import ReceivedFrame
+from tests.strategies import default_settings, matrix_specs
+
+pytestmark = pytest.mark.matrix
+
+EXAMPLE = Path(__file__).resolve().parent.parent / "examples" / "matrix.toml"
+
+
+def small_spec(**overrides):
+    """A fast simulation-only matrix (no telemetry sockets)."""
+    kwargs = dict(
+        name="small", seed=7, duration_s=2.0, period_s=0.5,
+        governors=("performance",), workloads=("cpu",),
+        faults=("", "hpc-loss@0.5:0.5"),
+        pipelines=(PipelineVariant("sim"),), caps_w=(0.0,))
+    kwargs.update(overrides)
+    return MatrixSpec(**kwargs)
+
+
+class TestSpec:
+
+    @given(spec=matrix_specs())
+    @default_settings
+    def test_toml_round_trips(self, spec):
+        assert MatrixSpec.from_toml(spec.to_toml()) == spec
+
+    @given(spec=matrix_specs())
+    @default_settings
+    def test_expansion_counts(self, spec):
+        cells = spec.cells()
+        product = 1
+        for size in spec.axis_sizes().values():
+            product *= size
+        assert len(cells) == len(spec) == product
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+        assert [cell.seed for cell in cells] == [
+            spec.seed + i for i in range(len(cells))]
+
+    def test_expansion_is_deterministic(self):
+        spec = small_spec()
+        assert spec.cells() == spec.cells()
+
+    def test_cell_ids_label_plan_columns(self):
+        cells = small_spec().cells()
+        assert cells[0].cell_id == ("cpu=i3-2120/gov=performance/wl=cpu/"
+                                    "faults=none/net=none/pipe=sim/cap=0")
+        assert "faults=f1" in cells[1].cell_id
+
+    def test_xfail_patterns_mark_cells(self):
+        spec = small_spec(xfail=("*faults=f1*",))
+        flags = [cell.xfail for cell in spec.cells()]
+        assert flags == [False, True]
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown cpu"):
+            small_spec(cpus=("z80",))
+        with pytest.raises(ConfigurationError, match="unknown governor"):
+            small_spec(governors=("warp",))
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            small_spec(workloads=("mining",))
+
+    def test_bad_fault_specs_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad fault entry"):
+            small_spec(faults=("meter-dropout@oops",))
+
+    def test_net_windows_must_fit_the_run(self):
+        with pytest.raises(ConfigurationError, match="past the run"):
+            small_spec(net_faults=("partition@1.5:1",),
+                       pipelines=(PipelineVariant("t", replay_window=4),))
+        with pytest.raises(ConfigurationError, match="at/after the end"):
+            small_spec(net_faults=("reset@2",),
+                       pipelines=(PipelineVariant("t", replay_window=4),))
+
+    def test_duplicate_and_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            small_spec(governors=("ondemand", "ondemand"))
+        with pytest.raises(ConfigurationError, match="not be empty"):
+            small_spec(workloads=())
+
+    def test_unknown_keys_rejected(self):
+        payload = small_spec().to_dict()
+        payload["tpyo"] = 1
+        with pytest.raises(ConfigurationError, match="tpyo"):
+            MatrixSpec.from_dict(payload)
+        payload = small_spec().to_dict()
+        payload["axes"]["cpus"] = ["i3-2120"]
+        with pytest.raises(ConfigurationError, match="cpus"):
+            MatrixSpec.from_dict(payload)
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown invariant"):
+            InvariantConfig(suite=("frame-conservation", "vibes"))
+
+    def test_single_cell_spec_round_trips_the_cell(self):
+        spec = small_spec()
+        cell = spec.cells()[1]
+        repro = single_cell_spec(cell, name="repro")
+        (again,) = repro.cells()
+        assert again.axes() == cell.axes()
+        assert again.seed == cell.seed
+
+    def test_single_cell_spec_flattens_random_plans(self):
+        spec = small_spec(faults=("random:42:2",))
+        repro = single_cell_spec(spec.cells()[0], name="repro")
+        assert "random" not in repro.faults[0]
+
+    def test_example_matrix_shape(self):
+        spec = MatrixSpec.from_file(EXAMPLE)
+        cells = spec.cells()
+        assert len(cells) == 48
+        assert sum(1 for cell in cells if cell.xfail) == 12
+        assert spec.invariants.suite == DEFAULT_SUITE
+
+
+def observations(**overrides):
+    """Synthetic observations for a clean 2 s / 0.5 s cell."""
+    kwargs = dict(
+        duration_s=2.0, period_s=0.5, cap_w=0.0, faults="", net_faults="",
+        reports=tuple((0.5 * (i + 1), 0.5, 30.0, False) for i in range(4)),
+        digest="d", rerun_digest="d")
+    kwargs.update(overrides)
+    return CellObservations(**kwargs)
+
+
+def delivered(n, **overrides):
+    kwargs = dict(
+        received=tuple(ReceivedFrame(seq, "report", "e0")
+                       for seq in range(n)),
+        sentinel_seq=n)
+    kwargs.update(overrides)
+    return TelemetryObservations(**kwargs)
+
+
+def names(violations):
+    return [violation.invariant for violation in violations]
+
+
+class TestInvariants:
+
+    config = InvariantConfig()
+
+    def test_clean_cell_passes_everything(self):
+        assert evaluate(observations(), self.config) == []
+
+    def test_frame_hole_breaks_conservation(self):
+        obs = observations(reports=(
+            (0.5, 0.5, 30.0, False), (1.5, 0.5, 30.0, False)))
+        violations = INVARIANTS["frame-conservation"](obs, self.config)
+        assert "breaks the period tiling" in violations[0].detail
+
+    def test_truncation_needs_a_pid_loss(self):
+        short = tuple((0.5 * (i + 1), 0.5, 30.0, False) for i in range(2))
+        obs = observations(reports=short)
+        assert names(INVARIANTS["frame-conservation"](obs, self.config)) \
+            == ["frame-conservation"]
+        explained = observations(
+            reports=short,
+            health=((1.1, "sensor", "pid-lost", "pid 1 exited"),))
+        assert INVARIANTS["frame-conservation"](explained,
+                                                self.config) == []
+
+    def test_gap_needs_an_explaining_fault(self):
+        gappy = tuple((0.5 * (i + 1), 0.5, 30.0, i == 1)
+                      for i in range(4))
+        obs = observations(reports=gappy)
+        assert names(INVARIANTS["gap-accounting"](obs, self.config)) \
+            == ["gap-accounting"]
+        explained = observations(reports=gappy,
+                                 faults="meter-dropout@0.75:0.5")
+        assert INVARIANTS["gap-accounting"](explained, self.config) == []
+
+    def test_duplicate_seq_breaks_monotonicity(self):
+        telemetry = delivered(3)
+        telemetry.received += (ReceivedFrame(2, "report", "e0"),)
+        obs = observations(telemetry=telemetry)
+        assert names(INVARIANTS["monotonic-seq"](obs, self.config)) \
+            == ["monotonic-seq"]
+        assert names(INVARIANTS["exactly-once"](obs, self.config)) \
+            == ["exactly-once"]
+
+    def test_new_epoch_may_restart_seq(self):
+        telemetry = delivered(3)
+        telemetry.received += (ReceivedFrame(0, "report", "e1"),)
+        obs = observations(telemetry=telemetry)
+        assert INVARIANTS["monotonic-seq"](obs, self.config) == []
+
+    def test_silent_loss_fails_exactly_once(self):
+        telemetry = delivered(4)
+        telemetry.received = telemetry.received[:2]
+        obs = observations(telemetry=telemetry)
+        violations = INVARIANTS["exactly-once"](obs, self.config)
+        assert "silently lost" in violations[0].detail
+
+    def test_declared_loss_passes_exactly_once_but_not_zero_loss(self):
+        telemetry = delivered(4, declared_lost=((2, 3),))
+        telemetry.received = telemetry.received[:2]
+        obs = observations(telemetry=telemetry)
+        assert INVARIANTS["exactly-once"](obs, self.config) == []
+        violations = INVARIANTS["zero-loss"](obs, self.config)
+        assert "2 declared" in violations[0].detail
+
+    def test_full_delivery_passes_zero_loss(self):
+        obs = observations(telemetry=delivered(4))
+        assert INVARIANTS["zero-loss"](obs, self.config) == []
+
+    def test_cap_judges_only_the_converged_tail(self):
+        config = InvariantConfig(cap_settle_periods=2)
+        settling = observations(cap_w=40.0, reports=(
+            (0.5, 0.5, 70.0, False), (1.0, 0.5, 60.0, False),
+            (1.5, 0.5, 42.0, False), (2.0, 0.5, 41.0, False)))
+        assert INVARIANTS["cap-adherence"](settling, config) == []
+        still_over = observations(cap_w=40.0, reports=(
+            (0.5, 0.5, 70.0, False), (1.0, 0.5, 60.0, False),
+            (1.5, 0.5, 55.0, False), (2.0, 0.5, 52.0, False)))
+        violations = INVARIANTS["cap-adherence"](still_over, config)
+        assert "exceed the 40W cap" in violations[0].detail
+
+    def test_unattainable_cap_waives_the_tail(self):
+        config = InvariantConfig(cap_settle_periods=2)
+        obs = observations(
+            cap_w=40.0,
+            cap_events=((1.2, "unattainable", 55.0),),
+            reports=((0.5, 0.5, 70.0, False), (1.0, 0.5, 60.0, False),
+                     (1.5, 0.5, 55.0, False), (2.0, 0.5, 55.0, False)))
+        assert INVARIANTS["cap-adherence"](obs, config) == []
+
+    def test_health_must_record_every_applied_fault(self):
+        obs = observations(applied=((0.5, "meter-dropout"),))
+        violations = INVARIANTS["health-consistency"](obs, self.config)
+        assert "health log records 0" in violations[0].detail
+        consistent = observations(
+            applied=((0.5, "meter-dropout"),),
+            health=((0.5, "injector", "fault-injected",
+                     "meter-dropout for 1s"),))
+        assert INVARIANTS["health-consistency"](consistent,
+                                                self.config) == []
+
+    def test_impossible_health_timestamp_fails(self):
+        obs = observations(
+            health=((99.0, "sensor", "gap-detected", "late"),))
+        violations = INVARIANTS["health-consistency"](obs, self.config)
+        assert "impossible time" in violations[0].detail
+
+    def test_determinism_compares_digests(self):
+        obs = observations(rerun_digest="different")
+        assert names(INVARIANTS["determinism"](obs, self.config)) \
+            == ["determinism"]
+        assert INVARIANTS["determinism"](
+            observations(rerun_digest=None), self.config) == []
+
+    def test_suite_subset_only_runs_selected(self):
+        obs = observations(rerun_digest="different")
+        config = InvariantConfig(suite=("frame-conservation",))
+        assert evaluate(obs, config) == []
+
+    def test_registry_is_pluggable(self):
+        @invariant("always-angry")
+        def always_angry(obs, config):
+            return [Violation("always-angry", "grr")]
+
+        try:
+            config = InvariantConfig(suite=("always-angry",))
+            assert names(evaluate(observations(), config)) \
+                == ["always-angry"]
+        finally:
+            del INVARIANTS["always-angry"]
+
+
+class TestDdmin:
+
+    def test_reduces_to_single_culprit(self):
+        items = list(range(8))
+        assert ddmin(items, lambda subset: 5 in subset) == [5]
+
+    def test_keeps_a_one_minimal_pair(self):
+        items = list("abcdef")
+        result = ddmin(items, lambda s: "a" in s and "e" in s)
+        assert result == ["a", "e"]
+
+    def test_empty_config_wins_when_failure_is_unconditional(self):
+        assert ddmin([1, 2, 3], lambda _subset: True) == []
+
+
+class TestRunner:
+
+    def test_clean_sim_cell_passes(self):
+        result = run_cell(small_spec().cells()[0])
+        assert result.ok and result.violations == []
+        assert result.metrics["frames"] == 4
+        assert result.metrics["gap_frames"] == 0
+        assert "telemetry" not in result.metrics
+
+    def test_faulted_sim_cell_accounts_for_its_gaps(self):
+        result = run_cell(small_spec().cells()[1])
+        assert result.ok
+        assert result.metrics["faults_applied"] >= 1
+        assert result.metrics["gap_frames"] >= 1
+
+    def test_run_matrix_report_shape(self):
+        report = run_matrix(small_spec(), shrink=False)
+        assert report["cells_total"] == report["cells_run"] == 2
+        assert report["outcomes"] == {"pass": 2, "fail": 0,
+                                      "xfail": 0, "xpass": 0}
+        assert report["unexpected"] == 0
+        assert report["pass_rate"] == 1.0
+        assert bench_headline(report) == {
+            "cells_run": 2, "pass_rate": 1.0, "unexpected": 0,
+            "wall_s": report["wall_s"]}
+
+    def test_run_matrix_filters_cells(self):
+        report = run_matrix(small_spec(), shrink=False,
+                            cell_filter="*faults=f1*")
+        assert report["cells_run"] == 1
+        assert report["cells_total"] == 2
+        assert "faults=f1" in report["cells"][0]["cell_id"]
+
+    def test_run_matrix_fans_out_over_workers(self):
+        serial = run_matrix(small_spec(), shrink=False)
+        fanned = run_matrix(small_spec(), shrink=False, workers=2)
+        strip = lambda report: [
+            {k: v for k, v in cell.items() if k != "wall_s"}
+            for cell in report["cells"]]
+        assert strip(serial) == strip(fanned)
+
+    def test_xpass_is_unexpected(self):
+        report = run_matrix(small_spec(xfail=("*faults=f1*",)),
+                            shrink=False)
+        assert report["outcomes"]["xpass"] == 1
+        assert report["unexpected"] == 1
+
+
+def violation_spec(**overrides):
+    """A telemetry matrix whose no-replay column provably loses frames:
+    the partition window keeps the subscriber out while frames publish,
+    and with the replay ring disabled they are gone for good."""
+    kwargs = dict(
+        name="violating", seed=99, duration_s=6.0, period_s=0.5,
+        governors=("performance",), workloads=("cpu",),
+        faults=("meter-dropout@1:0.5;hpc-loss@3:0.5",),
+        net_faults=("partition@2:1",),
+        pipelines=(PipelineVariant("no-replay", replay_window=0),),
+        caps_w=(0.0,))
+    kwargs.update(overrides)
+    return MatrixSpec(**kwargs)
+
+
+class TestEndToEnd:
+
+    def test_durable_pipeline_survives_the_partition(self):
+        spec = violation_spec(pipelines=(
+            PipelineVariant("durable", replay_window=256),))
+        result = run_cell(spec.cells()[0])
+        assert result.ok, result.violations
+        assert result.metrics["telemetry"]["net_faults_injected"] >= 1
+
+    def test_no_replay_pipeline_violates_zero_loss(self):
+        result = run_cell(violation_spec().cells()[0])
+        assert not result.ok
+        assert names_of(result) == ["zero-loss"]
+        assert result.metrics["telemetry"]["declared_lost"] >= 1
+
+    def test_shrink_reduces_and_reverifies(self):
+        spec = violation_spec()
+        cell = spec.cells()[0]
+        shrunk = shrink_cell(spec, cell, "zero-loss", budget=24)
+        # The two kernel faults are noise for a delivery violation; the
+        # partition is the culprit and must survive the reduction.
+        assert shrunk["faults"] == ""
+        assert "partition" in shrunk["net_faults"]
+        assert shrunk["events_removed"] == 2
+        assert shrunk["runs_used"] <= 24
+        assert reverify(shrunk)
+
+    def test_run_matrix_attaches_shrunk_repro(self):
+        report = run_matrix(violation_spec(), shrink=True,
+                            max_shrink_cells=1, shrink_budget=24)
+        (cell,) = report["cells"]
+        assert cell["outcome"] == "fail"
+        assert "matrix_toml" in cell["shrunk"]
+        repro = MatrixSpec.from_toml(cell["shrunk"]["matrix_toml"])
+        assert len(repro) == 1
+
+
+def names_of(result):
+    return [violation["invariant"] for violation in result.violations]
+
+
+class TestCli:
+
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_matrix_run_writes_report_and_bench(self, tmp_path):
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(small_spec().to_toml())
+        report_path = tmp_path / "report.json"
+        bench_path = tmp_path / "bench.json"
+        code, text = self.run_cli(
+            "matrix", "run", "--matrix", str(matrix),
+            "--output", str(report_path), "--bench", str(bench_path))
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["cells_run"] == 2 and report["unexpected"] == 0
+        bench = json.loads(bench_path.read_text())
+        assert bench["pass_rate"] == 1.0
+        assert "report written" in text
+
+    def test_matrix_run_exits_nonzero_on_unexpected(self, tmp_path):
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(small_spec(xfail=("*",)).to_toml())
+        code, text = self.run_cli("matrix", "run",
+                                  "--matrix", str(matrix), "--no-shrink")
+        assert code == 1
+        assert "xpass" in text
+
+    def test_matrix_run_cell_filter(self, tmp_path):
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(small_spec().to_toml())
+        code, text = self.run_cli(
+            "matrix", "run", "--matrix", str(matrix), "--cell", "0")
+        assert code == 0
+        assert "1 cell(s)" in text
+
+    def test_matrix_report_summarizes(self, tmp_path):
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(small_spec().to_toml())
+        report_path = tmp_path / "report.json"
+        self.run_cli("matrix", "run", "--matrix", str(matrix),
+                     "--output", str(report_path))
+        code, text = self.run_cli("matrix", "report", str(report_path))
+        assert code == 0
+        assert "2 of 2 cell(s)" in text
+        assert "pass rate 100.0%" in text
+
+    def test_matrix_run_missing_file_is_a_clean_error(self, tmp_path):
+        code, _text = self.run_cli(
+            "matrix", "run", "--matrix", str(tmp_path / "nope.toml"))
+        assert code == 1

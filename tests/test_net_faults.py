@@ -4,6 +4,7 @@ waiting), and the circuit breaker state machine.
 """
 
 import pytest
+from hypothesis import given
 
 from repro.core.messages import HealthEvent
 from repro.errors import ConfigurationError
@@ -11,6 +12,7 @@ from repro.faults import (BreakerState, ByteCorruption, CircuitBreaker,
                           ConnectionReset, FaultyTransport,
                           NetworkFaultInjector, NetworkFaultPlan, Partition,
                           SlowReader, TruncatedFrame)
+from tests.strategies import default_settings, net_fault_plans
 
 pytestmark = [pytest.mark.faults, pytest.mark.chaos]
 
@@ -104,6 +106,35 @@ class TestPlanParsing:
     def test_negative_time_rejected(self):
         with pytest.raises(ConfigurationError, match=">= 0"):
             NetworkFaultPlan([ConnectionReset(-1.0)])
+
+    @given(plan=net_fault_plans())
+    @default_settings
+    def test_to_spec_round_trips_losslessly(self, plan):
+        # to_spec() is the machine-oriented serialisation: reparsing it
+        # must reproduce the exact event tuple for any plan.
+        again = NetworkFaultPlan.parse(plan.to_spec())
+        assert again.events == plan.events
+
+    def test_to_spec_keeps_awkward_floats(self):
+        plan = NetworkFaultPlan([Partition(at_s=0.1 + 0.2,
+                                           duration_s=1e-4)])
+        assert NetworkFaultPlan.parse(plan.to_spec()).events == plan.events
+
+    def test_parse_error_names_entry_and_position(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"'meteor@3' at position 8"):
+            NetworkFaultPlan.parse("reset@2;meteor@3")
+
+    def test_parse_error_names_bad_argument(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"'partition@1:long' at position 11.*"
+                                 r"duration"):
+            NetworkFaultPlan.parse("truncate@4;partition@1:long")
+
+    def test_parse_error_rejects_extra_arguments(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"at position 0.*argument"):
+            NetworkFaultPlan.parse("reset@2:9")
 
 
 class TestRandomCampaign:
@@ -304,3 +335,45 @@ class TestCircuitBreaker:
         assert all(isinstance(event, HealthEvent) for event in events)
         assert [state for _t, state in breaker.transitions] == [
             BreakerState.OPEN, BreakerState.HALF_OPEN, BreakerState.CLOSED]
+
+    def test_stale_success_cannot_close_an_open_breaker(self):
+        # Regression: a redial dialed *before* the breaker opened may
+        # land its success while the breaker is OPEN; that stale result
+        # must not bypass the reset timeout.
+        breaker, _clock = self.make(threshold=1, reset_s=10.0)
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        breaker.record_success()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.stale_successes == 1
+        assert breaker.retry_in_s() == pytest.approx(10.0)
+        assert not breaker.allow()  # the timeout still stands
+
+    def test_concurrent_redials_race_for_one_probe(self):
+        # Regression: two redial threads hitting the expired-open
+        # breaker together must get exactly one probe and exactly one
+        # open -> half-open transition.
+        import threading
+
+        breaker, clock = self.make(threshold=1, reset_s=10.0)
+        breaker.record_failure()
+        clock.now = 10.0
+        barrier = threading.Barrier(2)
+        grants = []
+
+        def redial():
+            barrier.wait()
+            grants.append(breaker.allow())
+
+        threads = [threading.Thread(target=redial) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(grants) == [False, True]
+        assert breaker.state == BreakerState.HALF_OPEN
+        half_opens = [s for _t, s in breaker.transitions
+                      if s == BreakerState.HALF_OPEN]
+        assert len(half_opens) == 1
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
